@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), prints the same rows/series the paper
+reports, and writes a copy under ``benchmarks/out/`` so results survive
+pytest's output capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to watch the tables print live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/out/<name>.txt."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

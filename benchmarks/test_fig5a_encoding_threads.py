@@ -1,0 +1,50 @@
+"""Figure 5(a) — encoding speed vs number of threads, (n, k) = (4, 3).
+
+Paper: all three codecs speed up with threads; CAONT-RS (OAEP-based AONT)
+is the fastest, beating CAONT-RS-Rivest by 40-61 % and AONT-RS by 12-35 %
+on the authors' machines.
+
+Two documented deviations in pure Python (see EXPERIMENTS.md):
+
+* the per-word overhead of the Rivest transforms is amplified, so
+  CAONT-RS's lead is *larger* than the paper's and the two Rivest-based
+  codecs are nearly tied;
+* CPython's GIL makes secret-level multi-threading counterproductive, so
+  the thread sweep is printed for transparency but the asserted claim is
+  the hardware-independent one: CAONT-RS is the fastest codec at every
+  thread count.
+"""
+
+from conftest import emit
+
+from repro.bench.encoding import FIGURE5_SCHEMES, _make_secrets, encoding_speed
+from repro.bench.reporting import format_table
+
+DATA_BYTES = 1 << 20  # scaled from the paper's 2 GB (pure-Python speeds)
+THREADS = (1, 2, 3, 4)
+
+
+def test_fig5a(benchmark):
+    secrets = _make_secrets(DATA_BYTES)
+
+    def run():
+        return [
+            encoding_speed(scheme, threads=t, secrets=secrets)
+            for scheme in FIGURE5_SCHEMES
+            for t in THREADS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["scheme", "threads", "MB/s"],
+        [[r.scheme, r.threads, r.mbps] for r in results],
+        title="Figure 5(a): encoding speed vs #threads, (n, k)=(4, 3)",
+    )
+    emit("fig5a", table)
+
+    speed = {(r.scheme, r.threads): r.mbps for r in results}
+    # CAONT-RS is the fastest codec at every thread count.
+    for t in THREADS:
+        assert speed[("caont-rs", t)] > speed[("aont-rs", t)]
+        assert speed[("caont-rs", t)] > speed[("caont-rs-rivest", t)]

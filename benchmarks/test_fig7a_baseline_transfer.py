@@ -1,0 +1,49 @@
+"""Figure 7(a) — single-client baseline upload/download speeds.
+
+Paper (MB/s): LAN 77.5 (uniq) / 149.9 (dup) / 99.2 (down); cloud testbed
+6.2 / 57.1 / 12.3.  Shape claims: unique uploads are bounded by k/n of the
+network; duplicate uploads are compute-bound (LAN) or dedup-round-trip
+bound (cloud) and far faster; downloads sit just under the link speed.
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.bench.transfer import baseline_transfer_speeds
+from repro.cloud.testbed import cloud_testbed, lan_testbed
+
+PAPER = {
+    "lan": (77.5, 149.9, 99.2),
+    "cloud": (6.2, 57.1, 12.3),
+}
+
+
+def test_fig7a(benchmark):
+    def run():
+        return [baseline_transfer_speeds(tb) for tb in (lan_testbed(), cloud_testbed())]
+
+    results = benchmark(run)
+
+    table = format_table(
+        ["testbed", "upload uniq", "upload dup", "download", "paper (u/d/dl)"],
+        [
+            [
+                s.testbed,
+                s.upload_unique_mbps,
+                s.upload_duplicate_mbps,
+                s.download_mbps,
+                "/".join(str(v) for v in PAPER[s.testbed]),
+            ]
+            for s in results
+        ],
+        title="Figure 7(a): single-client baseline speeds (MB/s), (n, k)=(4, 3), 2 GB",
+    )
+    emit("fig7a", table)
+
+    for s in results:
+        paper_uniq, paper_dup, paper_down = PAPER[s.testbed]
+        assert abs(s.upload_unique_mbps - paper_uniq) / paper_uniq < 0.20
+        assert abs(s.upload_duplicate_mbps - paper_dup) / paper_dup < 0.20
+        assert abs(s.download_mbps - paper_down) / paper_down < 0.20
+        # Structural claims.
+        assert s.upload_duplicate_mbps > s.download_mbps > s.upload_unique_mbps

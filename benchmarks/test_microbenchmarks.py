@@ -1,0 +1,93 @@
+"""Substrate microbenchmarks (context for the paper-figure numbers).
+
+Not a paper table — these measure the building blocks so EXPERIMENTS.md
+readers can see *why* the absolute throughputs sit where they do in pure
+Python: the from-scratch AES vs the OpenSSL backend, GF(2^8) bulk kernels,
+Reed-Solomon encode, SHA-256 hashing, Rabin chunking, and the LSM store.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.crypto.ciphers import AesCtr, available_aes_backends
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashing import sha256
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.gf.gf256 import gf_mul_bytes
+
+
+def _rate(nbytes: float, seconds: float) -> float:
+    return nbytes / 1e6 / seconds if seconds else float("inf")
+
+
+def test_microbenchmarks(benchmark):
+    data = DRBG("micro").random_bytes(1 << 20)
+    rows = []
+
+    def run():
+        rows.clear()
+        # AES-CTR keystream, both backends.
+        for backend in available_aes_backends():
+            ctr = AesCtr(b"k" * 32, backend=backend)
+            start = time.perf_counter()
+            ctr.keystream(len(data))
+            rows.append([f"aes-ctr ({backend})", _rate(len(data), time.perf_counter() - start)])
+        # SHA-256 (stdlib).
+        start = time.perf_counter()
+        for off in range(0, len(data), 8192):
+            sha256(data[off : off + 8192])
+        rows.append(["sha-256 (8 KB chunks)", _rate(len(data), time.perf_counter() - start)])
+        # GF(2^8) scalar-vector multiply.
+        arr = np.frombuffer(data, dtype=np.uint8)
+        start = time.perf_counter()
+        for _ in range(8):
+            gf_mul_bytes(0x57, arr)
+        rows.append(["gf256 mul_bytes", _rate(8 * len(data), time.perf_counter() - start)])
+        # Reed-Solomon encode (4, 3), 8 KB pieces.
+        rs = ReedSolomon(4, 3)
+        start = time.perf_counter()
+        for off in range(0, len(data), 8192):
+            rs.encode(data[off : off + 8192])
+        rows.append(["reed-solomon encode (4,3)", _rate(len(data), time.perf_counter() - start)])
+        # Rabin chunking (vectorised kernel).
+        from repro.chunking import RabinChunker
+
+        chunker = RabinChunker()
+        start = time.perf_counter()
+        list(chunker.chunk_bytes(data[: 512 << 10]))
+        rows.append(["rabin chunking", _rate(512 << 10, time.perf_counter() - start)])
+        # LSM store put/get throughput.
+        import tempfile
+
+        from repro.lsm.db import LSMStore
+
+        with tempfile.TemporaryDirectory() as tmp:
+            with LSMStore(tmp) as db:
+                start = time.perf_counter()
+                for i in range(2000):
+                    db.put(f"key-{i:06d}".encode(), data[i % 1024 : i % 1024 + 100])
+                put_rate = 2000 / (time.perf_counter() - start)
+                start = time.perf_counter()
+                for i in range(2000):
+                    db.get(f"key-{i:06d}".encode())
+                get_rate = 2000 / (time.perf_counter() - start)
+        rows.append(["lsm puts/s", put_rate])
+        rows.append(["lsm gets/s", get_rate])
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["substrate", "MB/s or ops/s"],
+        results,
+        title="Substrate microbenchmarks (1 MB working set)",
+    )
+    emit("microbenchmarks", table)
+
+    named = dict(results)
+    if "aes-ctr (openssl)" in named:
+        assert named["aes-ctr (openssl)"] > named["aes-ctr (pure)"]
+    assert named["lsm puts/s"] > 1000
+    assert named["lsm gets/s"] > 1000

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Cost planner: should your organisation adopt CDStore?
+
+Reproduces the §5.6 analysis as a what-if tool: give it a weekly backup
+size and an expected deduplication ratio, and it prices CDStore against
+the AONT-RS multi-cloud baseline and a single encrypted cloud on the
+Sept-2014 EC2/S3 models, then prints the two Figure 9 sweeps.
+
+Run:  python examples/cost_planner.py [weekly_TB] [dedup_ratio]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.costs import cost_savings, sweep_dedup_ratio, sweep_weekly_size
+
+TB = 1000**4
+
+
+def plan(weekly_tb: float, dedup_ratio: float) -> None:
+    row = cost_savings(weekly_tb * TB, dedup_ratio)
+    print(f"--- scenario: {weekly_tb} TB weekly backups, {dedup_ratio}x dedup, "
+          f"26-week retention, (n, k)=(4, 3) ---")
+    print(format_table(
+        ["system", "storage $/mo", "VM $/mo", "total $/mo"],
+        [
+            ["CDStore", row.cdstore.storage_usd, row.cdstore.vm_usd, row.cdstore.total_usd],
+            ["AONT-RS multi-cloud", row.aont_rs.storage_usd, 0.0, row.aont_rs.total_usd],
+            ["single cloud", row.single_cloud.storage_usd, 0.0, row.single_cloud.total_usd],
+        ],
+    ))
+    print(f"CDStore instances: {row.cdstore.instances[0]} x 4")
+    print(f"saving vs AONT-RS:      {row.saving_vs_aont_rs:.1%}")
+    print(f"saving vs single cloud: {row.saving_vs_single_cloud:.1%}\n")
+
+
+def sweeps() -> None:
+    print(format_table(
+        ["weekly TB", "vs AONT-RS %", "vs single %"],
+        [
+            [r.weekly_bytes / TB, 100 * r.saving_vs_aont_rs, 100 * r.saving_vs_single_cloud]
+            for r in sweep_weekly_size()
+        ],
+        title="Figure 9(a): saving vs weekly backup size (10x dedup)",
+    ))
+    print()
+    print(format_table(
+        ["dedup ratio", "vs AONT-RS %", "vs single %"],
+        [
+            [r.dedup_ratio, 100 * r.saving_vs_aont_rs, 100 * r.saving_vs_single_cloud]
+            for r in sweep_dedup_ratio()
+        ],
+        title="Figure 9(b): saving vs dedup ratio (16 TB weekly)",
+    ))
+
+
+if __name__ == "__main__":
+    weekly_tb = float(sys.argv[1]) if len(sys.argv) > 1 else 16.0
+    ratio = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    plan(weekly_tb, ratio)
+    sweeps()

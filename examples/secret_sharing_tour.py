@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A tour of the secret-sharing design space (§2 / Table 1).
+
+Splits the same secret with every algorithm the paper surveys — SSSS, IDA,
+RSSS, SSMS, AONT-RS — plus the convergent instantiations, and prints their
+confidentiality degree, storage blowup and deduplicability side by side.
+Then demonstrates *why* CDStore needed convergent dispersal: classical
+schemes produce different shares for identical secrets.
+
+Run:  python examples/secret_sharing_tour.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import AONTRS, CAONTRS
+from repro.bench.reporting import format_table
+from repro.bench.table1 import scheme_comparison
+
+
+def main() -> None:
+    rows = scheme_comparison(n=4, k=3, rsss_r=1, secret_size=8192)
+    print(format_table(
+        ["scheme", "confidentiality r", "storage blowup", "deduplicable"],
+        [[r.scheme, r.r, r.measured_blowup, "yes" if r.deterministic else "no"] for r in rows],
+        title="Table 1 at (n, k) = (4, 3), 8 KB secret, RSSS r = 1",
+    ))
+
+    print("\n--- why convergent dispersal? ---")
+    secret = os.urandom(8192)
+
+    aont_rs = AONTRS(4, 3)
+    a, b = aont_rs.split(secret), aont_rs.split(secret)
+    print(f"AONT-RS, same secret twice: shares identical? "
+          f"{a.shares == b.shares}  (random key -> no dedup)")
+
+    caont_rs = CAONTRS(4, 3)
+    c, d = caont_rs.split(secret), caont_rs.split(secret)
+    print(f"CAONT-RS, same secret twice: shares identical? "
+          f"{c.shares == d.shares}  (hash key -> dedupable)")
+
+    # ...while still hiding everything from fewer than k shares: flipping
+    # one byte of the secret scrambles every share completely.
+    flipped = bytearray(secret)
+    flipped[0] ^= 1
+    e = caont_rs.split(bytes(flipped))
+    same_bytes = sum(
+        x == y for x, y in zip(c.shares[0], e.shares[0])
+    ) / len(c.shares[0])
+    print(f"one secret bit flipped: share 0 bytes unchanged = {same_bytes:.1%} "
+          f"(~random agreement)")
+
+
+if __name__ == "__main__":
+    main()

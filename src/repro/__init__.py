@@ -1,0 +1,39 @@
+"""CDStore reproduction: multi-cloud storage via convergent dispersal.
+
+A from-scratch Python implementation of *CDStore: Toward Reliable, Secure,
+and Cost-Efficient Cloud Storage via Convergent Dispersal* (Li, Qin, Lee —
+USENIX ATC 2015), including the CAONT-RS convergent-dispersal codec, the
+classical secret-sharing baselines, the client/server system with two-stage
+deduplication, and a simulated multi-cloud testbed.
+
+Quickstart
+----------
+>>> from repro import CAONTRS
+>>> codec = CAONTRS(n=4, k=3)
+>>> shares = codec.split(b"backup chunk contents")
+>>> codec.recover(shares.subset([0, 2, 3]), shares.secret_size)
+b'backup chunk contents'
+
+The full system (chunking, deduplication, clouds) is exposed through
+:class:`repro.system.CDStoreSystem`; see ``examples/quickstart.py``.
+"""
+
+from repro.core import CRSSS, AONTRS, CAONTRS, CAONTRSRivest, ConvergentDispersal
+from repro.sharing import RSSS, SSMS, SSSS, IDAScheme, available_schemes, create_scheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AONTRS",
+    "CAONTRS",
+    "CAONTRSRivest",
+    "CRSSS",
+    "ConvergentDispersal",
+    "IDAScheme",
+    "RSSS",
+    "SSMS",
+    "SSSS",
+    "available_schemes",
+    "create_scheme",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Analysis tools: restore fragmentation metrics.
+
+§5.5 observes that "deduplication now introduces chunk fragmentation [38]
+for subsequent backups" and that download speed "will gradually degrade
+due to fragmentation as we store more backups", while declining to address
+it.  :mod:`repro.analysis.fragmentation` provides the measurement side:
+per-restore container-access metrics that quantify the effect on real
+deployments (and feed the fragmentation derating of the transfer model).
+"""
+
+from repro.analysis.fragmentation import FragmentationReport, analyze_fragmentation
+
+__all__ = ["FragmentationReport", "analyze_fragmentation"]

@@ -1,0 +1,85 @@
+"""Restore-fragmentation measurement ([38], §5.5).
+
+A freshly-written backup restores sequentially: its shares sit in the few
+containers its own upload filled.  A deduplicated later backup references
+shares scattered across *older* containers, so the server opens many more
+containers per restored megabyte — the fragmentation that erodes download
+speed as backup series grow (Lillibridge et al. [38]).
+
+:func:`analyze_fragmentation` walks a stored file's recipe on one server
+and reports:
+
+* ``containers_accessed`` — distinct containers the restore must read;
+* ``container_switches`` — recipe-order transitions between containers
+  (sequential locality: fewer is better);
+* ``shares_total`` / per-container occupancy;
+* ``fragmentation_score`` — switches normalised by the ideal (contiguous)
+  layout, 0.0 = perfectly sequential, → 1.0 as every share hops
+  containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.server import CDStoreServer
+
+__all__ = ["FragmentationReport", "analyze_fragmentation"]
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Container-locality metrics for one file restore on one server."""
+
+    user_id: str
+    shares_total: int
+    containers_accessed: int
+    container_switches: int
+    share_bytes: int
+
+    @property
+    def shares_per_container(self) -> float:
+        if not self.containers_accessed:
+            return 0.0
+        return self.shares_total / self.containers_accessed
+
+    @property
+    def fragmentation_score(self) -> float:
+        """0.0 = sequential restore; approaches 1.0 as locality vanishes.
+
+        Defined as the excess container switches over the minimum possible
+        (``containers_accessed - 1``), normalised by the worst case (a
+        switch at every share boundary).
+        """
+        if self.shares_total <= 1:
+            return 0.0
+        minimum = max(self.containers_accessed - 1, 0)
+        worst = self.shares_total - 1
+        if worst == minimum:
+            return 0.0
+        return (self.container_switches - minimum) / (worst - minimum)
+
+
+def analyze_fragmentation(
+    server: CDStoreServer, user_id: str, lookup_key: bytes
+) -> FragmentationReport:
+    """Measure the container locality of one stored file's restore."""
+    recipe = server.get_recipe(user_id, lookup_key)
+    containers: list[str] = []
+    share_bytes = 0
+    for entry in recipe:
+        share_entry = server._get_share_entry(entry.fingerprint)
+        if share_entry is None:
+            continue
+        containers.append(share_entry.ref.container_id)
+        share_bytes += share_entry.share_size
+    switches = sum(
+        1 for a, b in zip(containers, containers[1:]) if a != b
+    )
+    return FragmentationReport(
+        user_id=user_id,
+        shares_total=len(containers),
+        containers_accessed=len(set(containers)),
+        container_switches=switches,
+        share_bytes=share_bytes,
+    )

@@ -1,0 +1,133 @@
+"""Deterministic directory archiver (the "UNIX tar format" role, §3).
+
+CDStore clients receive "a series of backup files (e.g., in UNIX tar
+format)".  This module provides that packaging step from scratch, with a
+property tar does not guarantee: **determinism** — the same directory tree
+always serialises to the same bytes (entries sorted by path, no
+timestamps) — so re-archiving an unchanged tree deduplicates perfectly
+after chunking, and small tree changes stay local in the archive (which
+variable-size chunking then exploits).
+
+Format (all big-endian)::
+
+    8-byte magic "CDARCH01"
+    entry*:  u8 type | u16 pathlen | path(utf-8) | u32 mode | u64 size | data
+    types:   1 = file (data = contents), 2 = directory (size = 0)
+
+Paths are /-separated and relative; ``..`` segments and absolute paths are
+rejected on extraction (archive-escape hardening).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.errors import ParameterError, StorageError
+
+__all__ = ["pack_tree", "unpack_tree", "list_archive"]
+
+_MAGIC = b"CDARCH01"
+_TYPE_FILE = 1
+_TYPE_DIR = 2
+_ENTRY = struct.Struct(">BH")
+_META = struct.Struct(">IQ")
+
+
+def _iter_tree(root: Path):
+    """Yield (relative_posix_path, path) for the tree, sorted."""
+    entries = sorted(
+        p for p in root.rglob("*") if p.is_file() or p.is_dir()
+    )
+    for path in entries:
+        yield path.relative_to(root).as_posix(), path
+
+
+def pack_tree(root: str | Path) -> bytes:
+    """Serialise the directory tree at ``root`` into one archive blob."""
+    root = Path(root)
+    if not root.is_dir():
+        raise ParameterError(f"{root} is not a directory")
+    parts = [_MAGIC]
+    for rel, path in _iter_tree(root):
+        encoded = rel.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ParameterError(f"path too long: {rel!r}")
+        mode = path.stat().st_mode & 0o7777
+        if path.is_dir():
+            parts.append(_ENTRY.pack(_TYPE_DIR, len(encoded)))
+            parts.append(encoded)
+            parts.append(_META.pack(mode, 0))
+        else:
+            data = path.read_bytes()
+            parts.append(_ENTRY.pack(_TYPE_FILE, len(encoded)))
+            parts.append(encoded)
+            parts.append(_META.pack(mode, len(data)))
+            parts.append(data)
+    return b"".join(parts)
+
+
+def _parse(blob: bytes):
+    """Yield (type, relpath, mode, data) entries; validates framing."""
+    if not blob.startswith(_MAGIC):
+        raise StorageError("not a CDStore archive (bad magic)")
+    pos = len(_MAGIC)
+    size = len(blob)
+    while pos < size:
+        if pos + _ENTRY.size > size:
+            raise StorageError("truncated archive entry header")
+        etype, pathlen = _ENTRY.unpack_from(blob, pos)
+        pos += _ENTRY.size
+        if etype not in (_TYPE_FILE, _TYPE_DIR):
+            raise StorageError(f"unknown archive entry type {etype}")
+        if pos + pathlen + _META.size > size:
+            raise StorageError("truncated archive entry")
+        rel = blob[pos : pos + pathlen].decode("utf-8")
+        pos += pathlen
+        mode, data_size = _META.unpack_from(blob, pos)
+        pos += _META.size
+        if pos + data_size > size:
+            raise StorageError("truncated archive file data")
+        data = blob[pos : pos + data_size]
+        pos += data_size
+        yield etype, rel, mode, data
+
+
+def _check_safe(rel: str) -> None:
+    if rel.startswith("/") or rel.startswith("\\"):
+        raise StorageError(f"absolute path in archive: {rel!r}")
+    if any(part in ("..", "") for part in rel.split("/")):
+        raise StorageError(f"unsafe path in archive: {rel!r}")
+
+
+def list_archive(blob: bytes) -> list[tuple[str, int]]:
+    """Return (path, size) for every file entry (directories size -1)."""
+    out = []
+    for etype, rel, _mode, data in _parse(blob):
+        out.append((rel, len(data) if etype == _TYPE_FILE else -1))
+    return out
+
+
+def unpack_tree(blob: bytes, destination: str | Path) -> int:
+    """Extract an archive into ``destination``; returns file count.
+
+    Rejects absolute or ``..`` paths so a malicious archive cannot write
+    outside the destination.
+    """
+    dest = Path(destination)
+    dest.mkdir(parents=True, exist_ok=True)
+    files = 0
+    for etype, rel, mode, data in _parse(blob):
+        _check_safe(rel)
+        target = dest / rel
+        if etype == _TYPE_DIR:
+            target.mkdir(parents=True, exist_ok=True)
+        else:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(data)
+            files += 1
+        try:
+            target.chmod(mode)
+        except OSError:  # pragma: no cover - permission-restricted hosts
+            pass
+    return files

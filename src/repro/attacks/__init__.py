@@ -1,0 +1,32 @@
+"""Side-channel attack demonstrations (§3.3).
+
+Client-side *global* deduplication leaks information: an attacker who can
+observe or influence dedup decisions learns whether other users store a
+given file [28], and one who obtains a fingerprint can convince the cloud
+it owns the data [27].  CDStore's two-stage deduplication closes both
+channels.  This package makes the argument executable:
+
+* :class:`~repro.attacks.naive.NaiveGlobalDedupServer` — the vulnerable
+  strawman of §3.3: client-side dedup answered from the *global* index,
+  and ownership granted by fingerprint;
+* :mod:`repro.attacks.side_channel` — the confirmation-of-file attack and
+  the fingerprint ownership attack, each runnable against the naive
+  server (succeeds) and against :class:`~repro.server.server.CDStoreServer`
+  (fails).
+
+The tests in ``tests/test_attacks.py`` pin both outcomes.
+"""
+
+from repro.attacks.naive import NaiveGlobalDedupServer
+from repro.attacks.side_channel import (
+    AttackResult,
+    run_confirmation_attack,
+    run_ownership_attack,
+)
+
+__all__ = [
+    "AttackResult",
+    "NaiveGlobalDedupServer",
+    "run_confirmation_attack",
+    "run_ownership_attack",
+]

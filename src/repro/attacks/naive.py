@@ -1,0 +1,56 @@
+"""The vulnerable strawman: client-side global deduplication (§3.3).
+
+"A naïve approach is to perform global deduplication on the client side
+... it checks with the cloud by fingerprint for the existence of any
+duplicate data that has been uploaded by *any* user", and ownership is
+recorded from the client-supplied fingerprint.  Both behaviours are what
+the side-channel attacks exploit; this class implements them honestly so
+the attacks in :mod:`repro.attacks.side_channel` can demonstrate the
+leak — and so the contrast with :class:`~repro.server.server.CDStoreServer`
+is an executable security argument rather than prose.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotFoundError
+
+__all__ = ["NaiveGlobalDedupServer"]
+
+
+class NaiveGlobalDedupServer:
+    """Single-cloud dedup storage with client-side global deduplication."""
+
+    def __init__(self) -> None:
+        self._shares: dict[bytes, bytes] = {}
+        self._owners: dict[bytes, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def query_duplicates(self, user_id: str, fingerprints: list[bytes]) -> list[bool]:
+        """VULNERABLE: answers from the *global* share index.
+
+        The reply tells any user whether *any other* user already stores
+        each fingerprint — the existence side channel of [28].
+        """
+        return [fp in self._shares for fp in fingerprints]
+
+    def upload(self, user_id: str, fingerprint: bytes, data: bytes | None) -> None:
+        """VULNERABLE: trusts the client's fingerprint.
+
+        When the fingerprint is known, the server records ownership
+        *without requiring the bytes* — "convincing the cloud of the data
+        ownership" with a fingerprint alone, the attack of [27].
+        """
+        if fingerprint in self._shares:
+            self._owners[fingerprint].add(user_id)
+            return
+        if data is None:
+            raise NotFoundError("unknown fingerprint requires data upload")
+        self._shares[fingerprint] = data
+        self._owners[fingerprint] = {user_id}
+
+    def download(self, user_id: str, fingerprint: bytes) -> bytes:
+        """Serve the share to any registered owner."""
+        owners = self._owners.get(fingerprint, set())
+        if user_id not in owners:
+            raise NotFoundError(f"user {user_id!r} does not own this share")
+        return self._shares[fingerprint]

@@ -1,0 +1,141 @@
+"""The two §3.3 side-channel attacks, as runnable procedures.
+
+Both attacks are parameterised by the target so the same code exercises
+the vulnerable strawman and CDStore:
+
+* **confirmation attack** [28] — the attacker suspects a victim stores a
+  specific file, generates its fingerprints, and asks the dedup oracle
+  whether an upload is needed.  "No upload needed" for data the attacker
+  never uploaded confirms someone else has it.
+* **ownership attack** [27] — the attacker has only the *fingerprint* of
+  a victim's share (e.g. leaked from a client log) and tries to register
+  ownership and download the bytes.
+
+CDStore defeats the first by answering dedup queries from the attacker's
+*own* history only, and the second by recomputing fingerprints server-
+side in an independent domain, so a client fingerprint is useless for
+claiming data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.naive import NaiveGlobalDedupServer
+from repro.crypto.hashing import fingerprint
+from repro.errors import NotFoundError, ProtocolError
+from repro.server.messages import ShareMeta, ShareUpload
+from repro.server.server import CDStoreServer
+
+__all__ = ["AttackResult", "run_confirmation_attack", "run_ownership_attack"]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one attack run."""
+
+    succeeded: bool
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# attack 1: confirming the existence of other users' data
+# ---------------------------------------------------------------------------
+
+
+def run_confirmation_attack(
+    target: CDStoreServer | NaiveGlobalDedupServer,
+    victim_data: bytes,
+    victim_id: str = "victim",
+    attacker_id: str = "attacker",
+) -> AttackResult:
+    """The victim stores ``victim_data``; the attacker probes for it.
+
+    Returns ``succeeded=True`` when the dedup oracle reveals the data
+    already exists even though the attacker never uploaded it.
+    """
+    victim_fp = fingerprint(victim_data, domain="client")
+    # Victim stores the data first.
+    if isinstance(target, NaiveGlobalDedupServer):
+        target.upload(victim_id, victim_fp, victim_data)
+    else:
+        meta = ShareMeta(victim_fp, len(victim_data), 0, len(victim_data))
+        target.upload_shares(victim_id, [ShareUpload(meta=meta, data=victim_data)])
+    # Attacker computes the same fingerprint (deterministic in the data —
+    # that is the whole point of convergent storage) and probes.
+    answer = target.query_duplicates(attacker_id, [victim_fp])[0]
+    if answer:
+        return AttackResult(
+            succeeded=True,
+            detail="dedup oracle confirmed another user stores the data",
+        )
+    return AttackResult(
+        succeeded=False,
+        detail="oracle only reflects the attacker's own uploads; no leak",
+    )
+
+
+# ---------------------------------------------------------------------------
+# attack 2: claiming ownership with a stolen fingerprint
+# ---------------------------------------------------------------------------
+
+
+def run_ownership_attack(
+    target: CDStoreServer | NaiveGlobalDedupServer,
+    victim_data: bytes,
+    victim_id: str = "victim",
+    attacker_id: str = "attacker",
+) -> AttackResult:
+    """The attacker holds only the victim share's *client fingerprint*.
+
+    Returns ``succeeded=True`` when the attacker obtains the share bytes.
+    """
+    victim_fp = fingerprint(victim_data, domain="client")
+    if isinstance(target, NaiveGlobalDedupServer):
+        target.upload(victim_id, victim_fp, victim_data)
+        try:
+            # Register ownership by fingerprint, then download.
+            target.upload(attacker_id, victim_fp, None)
+            stolen = target.download(attacker_id, victim_fp)
+        except NotFoundError:
+            return AttackResult(False, "naive server unexpectedly refused")
+        return AttackResult(
+            succeeded=stolen == victim_data,
+            detail="fingerprint alone granted ownership and the bytes",
+        )
+
+    # CDStore: store the victim's share properly (upload + recipe).
+    meta = ShareMeta(victim_fp, len(victim_data), 0, len(victim_data))
+    target.upload_shares(victim_id, [ShareUpload(meta=meta, data=victim_data)])
+    from repro.server.messages import FileManifest
+
+    target.finalize_file(
+        victim_id,
+        FileManifest(b"victim-file", b"", len(victim_data), 1),
+        [meta],
+    )
+    # The attacker tries to reference the stolen client fingerprint in its
+    # own file without uploading the bytes.  finalize_file resolves
+    # fingerprints through the *attacker's* intra-user index, which has no
+    # such entry — the claim is rejected.
+    try:
+        target.finalize_file(
+            attacker_id,
+            FileManifest(b"stolen-file", b"", len(victim_data), 1),
+            [meta],
+        )
+    except ProtocolError:
+        return AttackResult(
+            succeeded=False,
+            detail="server rejected a fingerprint the attacker never uploaded",
+        )
+    # If finalize somehow passed, check whether the bytes are reachable.
+    try:
+        recipe = target.get_recipe(attacker_id, b"stolen-file")
+        shares = target.fetch_shares([recipe[0].fingerprint])
+        return AttackResult(
+            succeeded=recipe[0].fingerprint in shares,
+            detail="attacker reached the victim's bytes",
+        )
+    except (NotFoundError, ProtocolError):
+        return AttackResult(False, "share unreachable for the attacker")

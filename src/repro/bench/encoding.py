@@ -1,0 +1,135 @@
+"""Encoding-speed experiments (Figure 5, §5.3).
+
+The paper creates 2 GB of random in-memory data, chunks it with the 8 KB
+variable-size chunker, encodes every secret into shares, and reports
+``original bytes / total encode time``.  These drivers do the same with a
+configurable data size (pure Python needs smaller defaults; the *relative*
+ordering CAONT-RS > {AONT-RS, CAONT-RS-Rivest} is the reproduced claim).
+
+Threading note (documented deviation): §4.6 parallelises encoding at the
+secret level, and the paper's C++ prototype scales near-linearly to four
+threads.  CPython cannot reproduce that: although hashlib and the
+OpenSSL-backed cipher release the GIL, the Python-level share bookkeeping
+between those calls is serialised, and GIL hand-offs between threads make
+multi-threaded encoding *slower* than single-threaded at the paper's 8 KB
+secret size.  The harness therefore measures and prints the thread sweep
+faithfully (so the deviation is visible) but asserts only the
+hardware-independent Figure 5 claim — the codec ordering.  The thread-
+scaling *model* used by the transfer experiments
+(:meth:`repro.cloud.testbed.PerformanceModel.scaled_threads`) follows the
+paper's measured scaling instead.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.chunking.rabin import RabinChunker
+from repro.crypto.drbg import DRBG
+from repro.sharing.base import SecretSharingScheme
+from repro.sharing.registry import create_scheme
+
+__all__ = ["EncodingResult", "encoding_speed", "sweep_threads", "sweep_n"]
+
+#: The three codecs Figure 5 compares.
+FIGURE5_SCHEMES = ("caont-rs", "aont-rs", "caont-rs-rivest")
+
+
+@dataclass(frozen=True)
+class EncodingResult:
+    """One measured encoding configuration."""
+
+    scheme: str
+    n: int
+    k: int
+    threads: int
+    data_bytes: int
+    seconds: float
+
+    @property
+    def mbps(self) -> float:
+        """Encoding speed in MB/s of original data (the Figure 5 metric)."""
+        return self.data_bytes / 1e6 / self.seconds if self.seconds else float("inf")
+
+
+def _make_secrets(data_bytes: int, seed: str = "fig5") -> list[bytes]:
+    """Variable-size chunks of random data (8 KB average, §5.3)."""
+    data = DRBG(seed).random_bytes(data_bytes)
+    return [chunk.data for chunk in RabinChunker().chunk_bytes(data)]
+
+
+def _encode_all(codec: SecretSharingScheme, secrets: list[bytes], threads: int) -> float:
+    def encode_slab(slab: list[bytes]) -> None:
+        for secret in slab:
+            codec.split(secret)
+
+    start = time.perf_counter()
+    if threads == 1:
+        encode_slab(secrets)
+    else:
+        # One contiguous slab per worker: the coarsest-grained split, so
+        # any slowdown observed is pure GIL contention, not task overhead.
+        slabs = [secrets[i::threads] for i in range(threads)]
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(encode_slab, slabs))
+    return time.perf_counter() - start
+
+
+def encoding_speed(
+    scheme: str,
+    n: int = 4,
+    k: int = 3,
+    threads: int = 2,
+    data_bytes: int = 2 << 20,
+    secrets: list[bytes] | None = None,
+    repeats: int = 1,
+) -> EncodingResult:
+    """Measure one scheme's encoding speed (best of ``repeats`` runs)."""
+    if secrets is None:
+        secrets = _make_secrets(data_bytes)
+    total = sum(len(s) for s in secrets)
+    codec = create_scheme(scheme, n, k)
+    best = min(_encode_all(codec, secrets, threads) for _ in range(repeats))
+    return EncodingResult(
+        scheme=scheme, n=n, k=k, threads=threads, data_bytes=total, seconds=best
+    )
+
+
+def sweep_threads(
+    threads_list: tuple[int, ...] = (1, 2, 3, 4),
+    schemes: tuple[str, ...] = FIGURE5_SCHEMES,
+    n: int = 4,
+    k: int = 3,
+    data_bytes: int = 2 << 20,
+) -> list[EncodingResult]:
+    """Figure 5(a): encoding speed vs number of threads at (n, k)=(4, 3)."""
+    secrets = _make_secrets(data_bytes)
+    return [
+        encoding_speed(scheme, n=n, k=k, threads=t, secrets=secrets)
+        for scheme in schemes
+        for t in threads_list
+    ]
+
+
+def figure5b_k(n: int) -> int:
+    """The paper's rule: k is the largest integer with k/n <= 3/4."""
+    return (3 * n) // 4
+
+
+def sweep_n(
+    n_list: tuple[int, ...] = (4, 8, 12, 16, 20),
+    schemes: tuple[str, ...] = FIGURE5_SCHEMES,
+    threads: int = 2,
+    data_bytes: int = 2 << 20,
+) -> list[EncodingResult]:
+    """Figure 5(b): encoding speed vs n with k = floor(3n/4), 2 threads."""
+    secrets = _make_secrets(data_bytes)
+    return [
+        encoding_speed(
+            scheme, n=n, k=figure5b_k(n), threads=threads, secrets=secrets
+        )
+        for scheme in schemes
+        for n in n_list
+    ]

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark output.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and copy-paste friendly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_row"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in str_rows)) if str_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_row(values: list, precision: int = 2) -> list[str]:
+    """Format a mixed row with a fixed float precision."""
+    return [
+        f"{v:.{precision}f}" if isinstance(v, float) else str(v) for v in values
+    ]
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,229 @@
+"""Transfer-speed experiments (Table 2, Figures 7 and 8).
+
+These drivers run the calibrated testbed models of
+:mod:`repro.cloud.testbed` over the same scenarios the paper measures:
+
+* :func:`cloud_speed_table` — per-cloud speeds moving 2 GB in 4 MB units
+  (Table 2);
+* :func:`baseline_transfer_speeds` — single-client upload of unique data,
+  upload of duplicate data, and download, on either testbed (Figure 7a);
+* :func:`trace_transfer_speeds` — trace-driven first/subsequent upload and
+  download speeds using the FSL-like workload (Figure 7b);
+* :func:`aggregate_upload_speeds` — multi-client aggregate upload speeds
+  (Figure 8).
+
+Times come from the simulated-performance model; deduplication decisions
+come from real fingerprint accounting over the workload traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.dedup import TwoStageSimulator
+from repro.cloud.network import MB
+from repro.cloud.testbed import Testbed
+from repro.crypto.hashing import HASH_SIZE
+from repro.server.messages import ShareMeta
+from repro.workloads.base import Workload
+
+__all__ = [
+    "CloudSpeedRow",
+    "TransferSpeeds",
+    "TraceSpeeds",
+    "aggregate_upload_speeds",
+    "baseline_transfer_speeds",
+    "cloud_speed_table",
+    "trace_transfer_speeds",
+]
+
+#: Wire size of one share's dedup metadata (fingerprint + sizes, §4.3).
+_META_BYTES = ShareMeta.packed_size()
+_AVG_SECRET = 8192
+
+
+@dataclass(frozen=True)
+class CloudSpeedRow:
+    """Table 2 row: one cloud's measured upload/download speed (MB/s)."""
+
+    cloud: str
+    upload_mbps: float
+    download_mbps: float
+
+
+def cloud_speed_table(testbed: Testbed, data_bytes: int = 2 << 30) -> list[CloudSpeedRow]:
+    """Move ``data_bytes`` in 4 MB units through each cloud individually."""
+    rows = []
+    batches = max(1, data_bytes // (4 << 20))
+    for cloud in testbed.clouds:
+        up = cloud.uplink.transfer_time(data_bytes, batches=batches)
+        down = cloud.downlink.transfer_time(data_bytes, batches=batches)
+        rows.append(
+            CloudSpeedRow(
+                cloud=cloud.name,
+                upload_mbps=data_bytes / MB / up,
+                download_mbps=data_bytes / MB / down,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class TransferSpeeds:
+    """Figure 7(a) triple for one testbed (MB/s)."""
+
+    testbed: str
+    upload_unique_mbps: float
+    upload_duplicate_mbps: float
+    download_mbps: float
+
+
+def _share_bytes(logical_bytes: int, k: int) -> float:
+    """Per-cloud share bytes for ``logical_bytes`` of unique data."""
+    return logical_bytes / k
+
+
+def _meta_bytes(logical_bytes: int) -> float:
+    """Per-cloud metadata bytes for ``logical_bytes`` of data."""
+    return logical_bytes / _AVG_SECRET * _META_BYTES
+
+
+def _download_clouds(testbed: Testbed, k: int) -> list[int]:
+    """Pick the k clouds used for download (fastest downlinks first)."""
+    order = sorted(
+        range(len(testbed.clouds)),
+        key=lambda i: (testbed.clouds[i].downlink.bandwidth_mbps, testbed.clouds[i].name),
+        reverse=True,
+    )
+    return order[:k]
+
+
+def baseline_transfer_speeds(
+    testbed: Testbed, k: int = 3, data_bytes: int = 2 << 30
+) -> TransferSpeeds:
+    """Figure 7(a): single-client baseline speeds on one testbed.
+
+    Uploads 2 GB of unique data, then 2 GB of duplicate data (only
+    metadata travels), then downloads the 2 GB from ``k`` clouds.
+    """
+    n = testbed.n
+    unique_wire = [_share_bytes(data_bytes, k) + _meta_bytes(data_bytes)] * n
+    t_uniq = testbed.upload_time(data_bytes, unique_wire, k=k)
+    dup_wire = [_meta_bytes(data_bytes)] * n
+    t_dup = testbed.upload_time(data_bytes, dup_wire, k=k)
+    down_wire = {
+        idx: _share_bytes(data_bytes, k) for idx in _download_clouds(testbed, k)
+    }
+    t_down = testbed.download_time(data_bytes, down_wire)
+    return TransferSpeeds(
+        testbed=testbed.name,
+        upload_unique_mbps=data_bytes / MB / t_uniq,
+        upload_duplicate_mbps=data_bytes / MB / t_dup,
+        download_mbps=data_bytes / MB / t_down,
+    )
+
+
+@dataclass(frozen=True)
+class TraceSpeeds:
+    """Figure 7(b) triple: trace-driven speeds (MB/s)."""
+
+    testbed: str
+    upload_first_mbps: float
+    upload_subsequent_mbps: float
+    download_mbps: float
+
+
+def trace_transfer_speeds(
+    testbed: Testbed,
+    workload: Workload,
+    k: int = 3,
+    users: int | None = None,
+    weeks: int | None = None,
+    fragmentation: float = 0.1,
+) -> TraceSpeeds:
+    """Figure 7(b): replay weekly backups through the transfer model.
+
+    Deduplication decisions are made by real fingerprint accounting (the
+    same :class:`TwoStageSimulator` behind Figure 6); wire bytes feed the
+    testbed timing model.  Download replays every backup with the
+    fragmentation derating of §5.5.
+    """
+    n = testbed.n
+    sim = TwoStageSimulator(n=n, k=k)
+    chosen_users = workload.users[: users or len(workload.users)]
+    total_weeks = weeks or workload.weeks
+
+    first_logical = first_seconds = 0.0
+    subs_logical = subs_seconds = 0.0
+    down_logical = down_seconds = 0.0
+    down_clouds = _download_clouds(testbed, k)
+
+    for week in range(1, total_weeks + 1):
+        for user in chosen_users:
+            snapshot = workload.snapshot(user, week)
+            before = sim.stats.snapshot()
+            sim.ingest_snapshot(snapshot)
+            weekly = sim.stats.delta(before)
+            logical = weekly.logical_data
+            # Transferred share bytes are spread evenly over the n clouds.
+            wire_each = weekly.transferred_shares / n + _meta_bytes(logical)
+            t_up = testbed.upload_time(logical, [wire_each] * n, k=k)
+            if week == 1:
+                first_logical += logical
+                first_seconds += t_up
+            else:
+                subs_logical += logical
+                subs_seconds += t_up
+            # Download the full backup back from k clouds.
+            share_total = weekly.logical_shares / n  # per-cloud share bytes
+            t_down = testbed.download_time(
+                logical,
+                {idx: share_total for idx in down_clouds},
+                fragmentation=fragmentation if week > 1 else 0.0,
+            )
+            down_logical += logical
+            down_seconds += t_down
+
+    return TraceSpeeds(
+        testbed=testbed.name,
+        upload_first_mbps=first_logical / MB / first_seconds,
+        upload_subsequent_mbps=subs_logical / MB / subs_seconds,
+        download_mbps=down_logical / MB / down_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Figure 8 point: aggregate upload speed for one client count."""
+
+    clients: int
+    unique_mbps: float
+    duplicate_mbps: float
+
+
+def aggregate_upload_speeds(
+    testbed: Testbed,
+    client_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    k: int = 3,
+    data_bytes: int = 2 << 30,
+) -> list[AggregateRow]:
+    """Figure 8: aggregate upload speed vs number of concurrent clients.
+
+    Every client uploads ``data_bytes`` of unique data, then the same again
+    as duplicates; the aggregate speed is ``clients * data / makespan``.
+    """
+    n = testbed.n
+    rows = []
+    for m in client_counts:
+        uniq_wire = [_share_bytes(data_bytes, k) + _meta_bytes(data_bytes)] * n
+        t_uniq = testbed.upload_time(data_bytes, uniq_wire, clients=m, k=k)
+        dup_wire = [_meta_bytes(data_bytes)] * n
+        t_dup = testbed.upload_time(data_bytes, dup_wire, clients=m, k=k)
+        rows.append(
+            AggregateRow(
+                clients=m,
+                unique_mbps=m * data_bytes / MB / t_uniq,
+                duplicate_mbps=m * data_bytes / MB / t_dup,
+            )
+        )
+    return rows

@@ -1,0 +1,14 @@
+"""Chunking substrate (§4.2): fixed-size and Rabin variable-size chunkers.
+
+A CDStore client splits each backup file into *secrets* (chunks) before
+convergent dispersal.  Variable-size chunking — content-defined boundaries
+from a Rabin rolling fingerprint [49] — is the default because it is robust
+to content shifting; the paper configures average/min/max chunk sizes of
+8 KB / 2 KB / 16 KB.
+"""
+
+from repro.chunking.base import Chunk, Chunker
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.rabin import RabinChunker
+
+__all__ = ["Chunk", "Chunker", "FixedChunker", "RabinChunker"]

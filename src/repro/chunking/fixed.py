@@ -1,0 +1,27 @@
+"""Fixed-size chunking (§4.2's simpler alternative).
+
+Used by the VM-image dataset of §5.2 (4 KB fixed-size chunks).  The final
+chunk may be shorter than the configured size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.chunking.base import Chunk, Chunker
+from repro.errors import ParameterError
+
+__all__ = ["FixedChunker"]
+
+
+class FixedChunker(Chunker):
+    """Split data into consecutive ``size``-byte chunks."""
+
+    def __init__(self, size: int = 4096) -> None:
+        if size <= 0:
+            raise ParameterError(f"chunk size must be positive, got {size}")
+        self.size = size
+
+    def chunk_bytes(self, data: bytes) -> Iterator[Chunk]:
+        for seq, offset in enumerate(range(0, len(data), self.size)):
+            yield Chunk(data=data[offset : offset + self.size], offset=offset, seq=seq)

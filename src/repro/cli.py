@@ -1,0 +1,245 @@
+"""Command-line interface: a persistent local CDStore deployment.
+
+Gives the library the operational surface a downstream user expects:
+
+.. code-block:: bash
+
+    python -m repro init    --root ./store --n 4 --k 3 --salt my-org
+    python -m repro backup  --root ./store --user alice /path/to/file
+    python -m repro ls      --root ./store --user alice
+    python -m repro restore --root ./store --user alice /path/to/file -o out.bin
+    python -m repro delete  --root ./store --user alice /path/to/file
+    python -m repro stats   --root ./store
+    python -m repro cost    --weekly-tb 16 --dedup 10
+
+The deployment persists under ``--root``: one :class:`LocalDirBackend`
+directory per simulated cloud and one LSM index directory per server, so
+separate invocations see the same state (including deduplication against
+earlier backups).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cloud.network import Link
+from repro.cloud.provider import CloudProvider
+from repro.errors import ReproError
+from repro.storage.backend import LocalDirBackend
+from repro.system.cdstore import CDStoreSystem
+
+__all__ = ["main", "build_parser"]
+
+_CONFIG_NAME = "cdstore.json"
+
+
+def _load_system(root: Path) -> CDStoreSystem:
+    config_path = root / _CONFIG_NAME
+    if not config_path.exists():
+        raise ReproError(
+            f"{root} is not a CDStore deployment (run `repro init` first)"
+        )
+    config = json.loads(config_path.read_text())
+    n, k = config["n"], config["k"]
+    clouds = [
+        CloudProvider(
+            name=f"cloud-{i}",
+            uplink=Link(100.0),
+            downlink=Link(100.0),
+            backend=LocalDirBackend(root / f"cloud-{i}"),
+        )
+        for i in range(n)
+    ]
+    return CDStoreSystem(
+        n=n,
+        k=k,
+        salt=config["salt"].encode("utf-8"),
+        clouds=clouds,
+        index_root=root / "indices",
+    )
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    config_path = root / _CONFIG_NAME
+    if config_path.exists():
+        print(f"error: {root} already initialised", file=sys.stderr)
+        return 1
+    root.mkdir(parents=True, exist_ok=True)
+    config = {"n": args.n, "k": args.k, "salt": args.salt}
+    config_path.write_text(json.dumps(config, indent=2) + "\n")
+    for i in range(args.n):
+        (root / f"cloud-{i}").mkdir(exist_ok=True)
+    print(f"initialised CDStore deployment at {root} "
+          f"(n={args.n}, k={args.k})")
+    return 0
+
+
+def cmd_backup(args: argparse.Namespace) -> int:
+    system = _load_system(Path(args.root))
+    try:
+        source = Path(args.path)
+        data = source.read_bytes()
+        name = args.name or str(source)
+        client = system.client(args.user)
+        receipt = client.upload(name, data)
+        client.flush()
+        print(
+            f"backed up {receipt.file_size} bytes as {name!r}: "
+            f"{receipt.secret_count} secrets, "
+            f"{receipt.transferred_share_bytes} share bytes transferred "
+            f"(intra-user saving {receipt.intra_user_saving:.1%})"
+        )
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    system = _load_system(Path(args.root))
+    try:
+        client = system.client(args.user)
+        data = client.download(args.name)
+        Path(args.output).write_bytes(data)
+        print(f"restored {len(data)} bytes to {args.output}")
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_ls(args: argparse.Namespace) -> int:
+    system = _load_system(Path(args.root))
+    try:
+        for path in system.client(args.user).list_files():
+            print(path)
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    system = _load_system(Path(args.root))
+    try:
+        system.client(args.user).delete(args.name)
+        if args.gc:
+            freed = sum(server.collect_garbage() for server in system.servers)
+            print(f"deleted {args.name!r}; GC reclaimed {freed} bytes")
+        else:
+            print(f"deleted {args.name!r}")
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    system = _load_system(Path(args.root))
+    try:
+        stored = system.stored_bytes()
+        print(f"clouds: {system.n} (k = {system.k})")
+        print(f"bytes stored across clouds: {stored}")
+        for i, cloud in enumerate(system.clouds):
+            print(f"  cloud-{i}: {cloud.stored_bytes} bytes, "
+                  f"{len(cloud.backend.list_keys('container-'))} containers")
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    from repro.costs import cost_savings
+
+    tb = 1000**4
+    row = cost_savings(args.weekly_tb * tb, args.dedup)
+    print(f"weekly {args.weekly_tb} TB, dedup {args.dedup}x, 26-week retention:")
+    print(f"  CDStore:      ${row.cdstore.total_usd:>10,.0f}/mo "
+          f"(storage ${row.cdstore.storage_usd:,.0f} + "
+          f"VMs ${row.cdstore.vm_usd:,.0f}, {row.cdstore.instances[0]})")
+    print(f"  AONT-RS:      ${row.aont_rs.total_usd:>10,.0f}/mo")
+    print(f"  single cloud: ${row.single_cloud.total_usd:>10,.0f}/mo")
+    print(f"  saving vs AONT-RS:      {row.saving_vs_aont_rs:.1%}")
+    print(f"  saving vs single cloud: {row.saving_vs_single_cloud:.1%}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CDStore: multi-cloud backup via convergent dispersal",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a deployment directory")
+    p.add_argument("--root", required=True)
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--salt", default="")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("backup", help="back up a file")
+    p.add_argument("--root", required=True)
+    p.add_argument("--user", required=True)
+    p.add_argument("path")
+    p.add_argument("--name", help="stored name (defaults to the path)")
+    p.set_defaults(func=cmd_backup)
+
+    p = sub.add_parser("restore", help="restore a file")
+    p.add_argument("--root", required=True)
+    p.add_argument("--user", required=True)
+    p.add_argument("name")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_restore)
+
+    p = sub.add_parser("ls", help="list a user's backups")
+    p.add_argument("--root", required=True)
+    p.add_argument("--user", required=True)
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("delete", help="delete a backup")
+    p.add_argument("--root", required=True)
+    p.add_argument("--user", required=True)
+    p.add_argument("name")
+    p.add_argument("--gc", action="store_true", help="run garbage collection")
+    p.set_defaults(func=cmd_delete)
+
+    p = sub.add_parser("stats", help="deployment storage statistics")
+    p.add_argument("--root", required=True)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("cost", help="monthly cost comparison (§5.6)")
+    p.add_argument("--weekly-tb", type=float, default=16.0)
+    p.add_argument("--dedup", type=float, default=10.0)
+    p.set_defaults(func=cmd_cost)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved UNIX tool.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The CDStore client (§4.1-4.3, Figure 4a).
+
+One client runs at each user's machine: it chunks backup files into
+secrets, encodes each secret into ``n`` shares with convergent dispersal,
+performs intra-user deduplication against each server, uploads unique
+shares in 4 MB batches, and offloads all metadata (file recipes, share
+metadata, secret-shared pathnames) to the servers so a client-side failure
+loses nothing.
+"""
+
+from repro.client.client import CDStoreClient, UploadReceipt
+
+__all__ = ["CDStoreClient", "UploadReceipt"]

@@ -1,0 +1,337 @@
+"""CDStore client implementation.
+
+Upload pipeline (Figure 4a):
+
+1. **chunking module** — variable-size (Rabin) chunking into ~8 KB secrets;
+2. **coding module** — CAONT-RS encoding of each secret into ``n`` shares,
+   parallelisable across secrets with a thread pool (§4.6);
+3. **intra-user deduplication** — one fingerprint query per cloud; only
+   shares this user never uploaded travel further (§3.3 stage 1);
+4. **comm module** — unique shares batched per cloud (4 MB units, §4.1);
+5. **metadata offloading** — per-share metadata and the file manifest
+   (with the pathname dispersed via Shamir sharing, §4.3) finalise the
+   upload on every server.
+
+Download reverses the pipeline from any ``k`` reachable clouds, with the
+brute-force subset retry of §3.2 on integrity failure.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.chunking.base import Chunk, Chunker
+from repro.chunking.rabin import RabinChunker
+from repro.core.convergent import ConvergentDispersal
+from repro.crypto.hashing import fingerprint, sha256
+from repro.dedup.stats import DedupStats
+from repro.errors import (
+    CloudUnavailableError,
+    InsufficientCloudsError,
+    IntegrityError,
+    ParameterError,
+)
+from repro.server.messages import FileManifest, ShareMeta, ShareUpload
+from repro.server.server import CDStoreServer
+from repro.sharing.ssss import SSSS
+
+__all__ = ["CDStoreClient", "UploadReceipt"]
+
+#: Client-side upload batch size (§4.1: "batch the shares ... in a 4MB
+#: buffer and upload the buffer when it is full").
+UPLOAD_BATCH_BYTES = 4 << 20
+
+
+@dataclass
+class UploadReceipt:
+    """Summary of one file upload."""
+
+    path: str
+    file_size: int
+    secret_count: int
+    logical_share_bytes: int
+    transferred_share_bytes: int
+    #: Wire bytes sent to each cloud (drives the simulated transfer times).
+    wire_bytes_per_cloud: list[int] = field(default_factory=list)
+
+    @property
+    def intra_user_saving(self) -> float:
+        if self.logical_share_bytes == 0:
+            return 0.0
+        return 1.0 - self.transferred_share_bytes / self.logical_share_bytes
+
+
+class CDStoreClient:
+    """A user's CDStore client bound to ``n`` servers.
+
+    Parameters
+    ----------
+    user_id:
+        Identifies the user for intra-user deduplication and file naming.
+    servers:
+        The ``n`` CDStore servers, ordered by cloud index.
+    k:
+        Reconstruction threshold (``n`` is implied by ``len(servers)``).
+    salt:
+        Organisation-wide convergent salt (shared by all clients of the
+        organisation so their data deduplicates against each other).
+    chunker:
+        Defaults to the paper's 8 KB-average Rabin chunker.
+    scheme:
+        Convergent codec name (default ``"caont-rs"``).
+    threads:
+        Encoding thread count (§4.6); 1 disables the pool.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        servers: list[CDStoreServer],
+        k: int,
+        salt: bytes = b"",
+        chunker: Chunker | None = None,
+        scheme: str = "caont-rs",
+        threads: int = 1,
+        codec=None,
+    ) -> None:
+        if not servers:
+            raise ParameterError("need at least one server")
+        if threads < 1:
+            raise ParameterError(f"threads must be >= 1, got {threads}")
+        self.user_id = user_id
+        self.servers = list(servers)
+        self.n = len(servers)
+        self.k = k
+        self.threads = threads
+        self.dispersal = ConvergentDispersal(
+            self.n, k, scheme=scheme, salt=salt, codec=codec
+        )
+        self.chunker = chunker if chunker is not None else RabinChunker()
+        self._path_sharer = SSSS(self.n, k)
+        self.stats = DedupStats()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _lookup_key(self, path: str) -> bytes:
+        """File-index key: hash of pathname + user identifier (§4.4)."""
+        return sha256(self.user_id.encode("utf-8") + b"\x00" + path.encode("utf-8"))
+
+    def _encode_chunks(self, chunks: list[Chunk]):
+        """Encode secrets into share sets, optionally with a thread pool."""
+        if self.threads == 1 or len(chunks) < 2:
+            return [self.dispersal.encode(chunk.data) for chunk in chunks]
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            return list(pool.map(lambda c: self.dispersal.encode(c.data), chunks))
+
+    # ------------------------------------------------------------------
+    # upload (backup)
+    # ------------------------------------------------------------------
+    def upload(self, path: str, data: bytes) -> UploadReceipt:
+        """Back up ``data`` under ``path`` across all ``n`` clouds.
+
+        Requires every cloud to be reachable (backups write to all ``n``;
+        restores are what tolerate failures).
+        """
+        for server in self.servers:
+            server.cloud.check_available()
+        chunks = list(self.chunker.chunk_bytes(data))
+        share_sets = self._encode_chunks(chunks)
+
+        self.stats.logical_data += len(data)
+        self.stats.secrets_total += len(chunks)
+
+        # Per-cloud share streams with client-domain fingerprints.
+        metas: list[list[ShareMeta]] = [[] for _ in range(self.n)]
+        payloads: list[list[bytes]] = [[] for _ in range(self.n)]
+        for chunk, share_set in zip(chunks, share_sets):
+            for cloud_idx, share in enumerate(share_set.shares):
+                metas[cloud_idx].append(
+                    ShareMeta(
+                        fingerprint=fingerprint(share, domain="client"),
+                        share_size=len(share),
+                        secret_seq=chunk.seq,
+                        secret_size=chunk.size,
+                    )
+                )
+                payloads[cloud_idx].append(share)
+                self.stats.logical_shares += len(share)
+                self.stats.shares_total += 1
+
+        # Stage 1: intra-user deduplication, one query per cloud (§3.3).
+        transferred_total = 0
+        transferred_count = 0
+        wire_per_cloud: list[int] = []
+        for cloud_idx, server in enumerate(self.servers):
+            cloud_metas = metas[cloud_idx]
+            known = server.query_duplicates(
+                self.user_id, [meta.fingerprint for meta in cloud_metas]
+            )
+            seen_in_batch: set[bytes] = set()
+            batch: list[ShareUpload] = []
+            batch_bytes = 0
+            wire_bytes = 0
+
+            def flush_batch() -> None:
+                nonlocal batch, batch_bytes
+                if batch:
+                    server.upload_shares(self.user_id, batch)
+                    batch = []
+                    batch_bytes = 0
+
+            for meta, payload, is_known in zip(cloud_metas, payloads[cloud_idx], known):
+                if is_known or meta.fingerprint in seen_in_batch:
+                    continue
+                seen_in_batch.add(meta.fingerprint)
+                batch.append(ShareUpload(meta=meta, data=payload))
+                batch_bytes += len(payload)
+                wire_bytes += len(payload)
+                transferred_count += 1
+                if batch_bytes >= UPLOAD_BATCH_BYTES:
+                    flush_batch()
+            flush_batch()
+            transferred_total += wire_bytes
+            wire_per_cloud.append(wire_bytes)
+
+        self.stats.transferred_shares += transferred_total
+        self.stats.shares_transferred += transferred_count
+
+        # Metadata offloading: manifest + full share metadata (§4.3).
+        lookup_key = self._lookup_key(path)
+        path_shares = self._path_sharer.split(path.encode("utf-8")).shares
+        for cloud_idx, server in enumerate(self.servers):
+            manifest = FileManifest(
+                lookup_key=lookup_key,
+                path_share=path_shares[cloud_idx],
+                file_size=len(data),
+                secret_count=len(chunks),
+            )
+            server.finalize_file(self.user_id, manifest, metas[cloud_idx])
+
+        return UploadReceipt(
+            path=path,
+            file_size=len(data),
+            secret_count=len(chunks),
+            logical_share_bytes=sum(
+                meta.share_size for cloud_metas in metas for meta in cloud_metas
+            ),
+            transferred_share_bytes=transferred_total,
+            wire_bytes_per_cloud=wire_per_cloud,
+        )
+
+    # ------------------------------------------------------------------
+    # download (restore)
+    # ------------------------------------------------------------------
+    def _reachable_servers(self) -> list[CDStoreServer]:
+        return [server for server in self.servers if server.cloud.available]
+
+    def download(self, path: str) -> bytes:
+        """Restore the file stored under ``path`` from any ``k`` clouds."""
+        reachable = self._reachable_servers()
+        if len(reachable) < self.k:
+            raise InsufficientCloudsError(
+                f"only {len(reachable)} of {self.n} clouds reachable; "
+                f"need k={self.k}"
+            )
+        lookup_key = self._lookup_key(path)
+        chosen = reachable[: self.k]
+        spare = reachable[self.k :]
+
+        recipes = {}
+        file_size = None
+        secret_count = None
+        for server in chosen:
+            entry = server.get_file_entry(self.user_id, lookup_key)
+            recipes[server.server_id] = server.get_recipe(self.user_id, lookup_key)
+            file_size = entry.file_size
+            secret_count = entry.secret_count
+        lengths = {len(r) for r in recipes.values()}
+        if len(lengths) != 1 or lengths.pop() != secret_count:
+            raise IntegrityError("servers disagree on recipe length")
+
+        # Fetch all shares per server in one locality-friendly call.
+        shares_by_server: dict[int, dict[bytes, bytes]] = {}
+        for server in chosen:
+            recipe = recipes[server.server_id]
+            shares_by_server[server.server_id] = server.fetch_shares(
+                [entry.fingerprint for entry in recipe]
+            )
+
+        parts: list[bytes] = []
+        for seq in range(secret_count):
+            secret_size = recipes[chosen[0].server_id][seq].secret_size
+            shares = {
+                server.server_id: shares_by_server[server.server_id][
+                    recipes[server.server_id][seq].fingerprint
+                ]
+                for server in chosen
+            }
+            try:
+                parts.append(self.dispersal.decode(shares, secret_size))
+            except IntegrityError:
+                # Brute-force fallback (§3.2): widen the share pool with the
+                # remaining reachable clouds and retry all k-subsets.
+                widened = dict(shares)
+                for server in spare:
+                    recipe = server.get_recipe(self.user_id, lookup_key)
+                    fetched = server.fetch_shares([recipe[seq].fingerprint])
+                    widened[server.server_id] = fetched[recipe[seq].fingerprint]
+                parts.append(self.dispersal.decode(widened, secret_size))
+        result = b"".join(parts)
+        if file_size is not None and len(result) != file_size:
+            raise IntegrityError(
+                f"restored size {len(result)} != recorded size {file_size}"
+            )
+        return result
+
+    def list_files(self) -> list[str]:
+        """List this user's stored pathnames.
+
+        Pathnames are dispersed via Shamir sharing across the servers
+        (§4.3 sensitive metadata), so listing needs any ``k`` reachable
+        clouds — the same availability contract as restore.
+        """
+        reachable = self._reachable_servers()
+        if len(reachable) < self.k:
+            raise InsufficientCloudsError(
+                f"only {len(reachable)} of {self.n} clouds reachable; "
+                f"need k={self.k}"
+            )
+        chosen = reachable[: self.k]
+        listings = {
+            server.server_id: dict(server.list_files(self.user_id))
+            for server in chosen
+        }
+        keys = set.intersection(*(set(l) for l in listings.values()))
+        paths = []
+        for lookup_key in keys:
+            shares = {
+                sid: listing[lookup_key].path_share
+                for sid, listing in listings.items()
+            }
+            size = len(next(iter(shares.values())))
+            paths.append(
+                self._path_sharer.recover(shares, size).decode("utf-8")
+            )
+        return sorted(paths)
+
+    # ------------------------------------------------------------------
+    # deletion (extension; the paper defers GC to future work, §4.7)
+    # ------------------------------------------------------------------
+    def delete(self, path: str) -> None:
+        """Delete the file on every reachable cloud."""
+        lookup_key = self._lookup_key(path)
+        for server in self.servers:
+            if not server.cloud.available:
+                raise CloudUnavailableError(
+                    f"cloud {server.cloud.name!r} is down; deletion must "
+                    "reach all clouds"
+                )
+        for server in self.servers:
+            server.delete_file(self.user_id, lookup_key)
+
+    def flush(self) -> None:
+        """Seal open containers on every server (end of a session)."""
+        for server in self.servers:
+            server.flush()

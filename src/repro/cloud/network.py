@@ -1,0 +1,74 @@
+"""Network link models and the simulated clock.
+
+Transfer-speed experiments need only two ingredients: per-connection links
+with bandwidth and latency, and a clock that understands parallel transfers
+(CDStore's client uploads to all clouds concurrently via multi-threading,
+§4.6, so wall-clock time is the *maximum* over per-cloud times, further
+bounded by the client's shared physical uplink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["Link", "SimClock"]
+
+MB = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """A one-directional network path.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Sustained throughput in MB/s (decimal megabytes, as the paper's
+        tables use).
+    latency_s:
+        Per-request round-trip setup cost charged once per batch (CDStore
+        batches shares in 4 MB units precisely to amortise this, §4.1).
+    """
+
+    bandwidth_mbps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ParameterError(
+                f"bandwidth must be positive, got {self.bandwidth_mbps}"
+            )
+        if self.latency_s < 0:
+            raise ParameterError(f"latency must be >= 0, got {self.latency_s}")
+
+    def transfer_time(self, nbytes: int, batches: int = 1) -> float:
+        """Seconds to move ``nbytes`` split into ``batches`` requests."""
+        if nbytes < 0:
+            raise ParameterError(f"negative byte count {nbytes}")
+        return nbytes / (self.bandwidth_mbps * MB) + self.latency_s * max(batches, 1)
+
+
+class SimClock:
+    """Accumulates simulated seconds, with a parallel-section helper."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by a serial cost."""
+        if seconds < 0:
+            raise ParameterError(f"cannot advance clock by {seconds}")
+        self.now += seconds
+
+    def advance_parallel(self, durations: list[float], shared_floor: float = 0.0) -> float:
+        """Advance by the makespan of concurrent activities.
+
+        ``durations`` are per-connection times; ``shared_floor`` is a lower
+        bound imposed by a shared resource (e.g. total bytes over the
+        client's physical uplink).  Returns the elapsed span.
+        """
+        span = max(durations + [shared_floor]) if durations else shared_floor
+        self.advance(span)
+        return span

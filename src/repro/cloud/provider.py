@@ -1,0 +1,102 @@
+"""Simulated cloud providers.
+
+A :class:`CloudProvider` bundles what Figure 1 puts inside one cloud: the
+storage backend, the co-locating VM that will host a CDStore server, and
+the Internet links between the user's site and the cloud.  Failure
+injection (:meth:`fail` / :meth:`recover`) drives the reliability
+experiments: a failed cloud rejects every operation, and CDStore must
+restore from the remaining ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.network import Link
+from repro.errors import CloudUnavailableError
+from repro.storage.backend import MemoryBackend, StorageBackend
+
+__all__ = ["CloudProvider"]
+
+
+class CloudProvider:
+    """One cloud: backend + links + availability state.
+
+    Parameters
+    ----------
+    name:
+        Provider label ("amazon", "google", ...).
+    uplink / downlink:
+        Client-to-cloud and cloud-to-client links (Table 2 speeds for the
+        commercial testbed; 1 Gb/s for the LAN testbed).
+    backend:
+        Storage backend; defaults to a fresh :class:`MemoryBackend`.
+
+    The intra-cloud path between the VM and the storage backend is free and
+    unmetered, matching the billing assumption of §3.1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        uplink: Link,
+        downlink: Link,
+        backend: StorageBackend | None = None,
+    ) -> None:
+        self.name = name
+        self.uplink = uplink
+        self.downlink = downlink
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._available = True
+
+    # ------------------------------------------------------------------
+    # availability / failure injection
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def fail(self) -> None:
+        """Take the cloud offline (outage injection)."""
+        self._available = False
+
+    def recover(self) -> None:
+        """Bring the cloud back online."""
+        self._available = True
+
+    def wipe(self) -> None:
+        """Destroy all stored objects (permanent-loss injection).
+
+        Models the vendor-termination scenario of §1 (e.g. Nirvanix): the
+        cloud comes back empty and CDStore must repair every share onto it.
+        """
+        for key in self.backend.list_keys():
+            self.backend.delete_object(key)
+
+    def check_available(self) -> None:
+        """Raise :class:`CloudUnavailableError` if the cloud is down."""
+        if not self._available:
+            raise CloudUnavailableError(f"cloud {self.name!r} is unavailable")
+
+    # ------------------------------------------------------------------
+    # metered object API (used by the CDStore server on this cloud's VM)
+    # ------------------------------------------------------------------
+    def put_object(self, key: str, data: bytes) -> None:
+        self.check_available()
+        self.backend.put_object(key, data)
+
+    def get_object(self, key: str) -> bytes:
+        self.check_available()
+        return self.backend.get_object(key)
+
+    def exists(self, key: str) -> bool:
+        self.check_available()
+        return self.backend.exists(key)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes currently stored (ignores availability: billing survives
+        outages)."""
+        return self.backend.stored_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._available else "DOWN"
+        return f"CloudProvider({self.name!r}, {state})"

@@ -1,0 +1,275 @@
+"""Testbed configurations and the transfer-time performance model.
+
+Reproduces the two networked testbeds of §5.1 and the performance model
+behind Figures 7-8:
+
+* **LAN testbed** — client and four servers on a 1 Gb/s switch with an
+  effective speed of ~110 MB/s per NIC (§5.5), servers writing containers
+  to a 7200 RPM SATA disk;
+* **Cloud testbed** — four commercial clouds with the per-cloud speeds the
+  paper measures in Table 2 (4 MB-unit transfers from Hong Kong).
+
+The model is deliberately simple — every term is named after the sentence
+in §5.5 that motivates it:
+
+* upload wall-clock = max(client compute, client shared uplink, slowest
+  per-cloud connection, server ingest = max(NIC, disk, CPU));
+* duplicate data moves no share bytes, so its "upload" reduces to client
+  compute (chunking + encoding + fingerprinting), reproducing the dup ≫
+  uniq gap and its amplification on the slow cloud links;
+* multi-client aggregate speed saturates at the server ingest capacity,
+  reproducing the Figure 8 knee.
+
+Compute rates default to the paper's own Local-i5 measurements (§5.3), so
+the simulated absolute numbers land in the paper's range; pass your own
+:class:`PerformanceModel` to explore other hardware (the Local-Xeon
+constants are provided too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.network import MB, Link
+from repro.cloud.provider import CloudProvider
+from repro.errors import ParameterError
+
+__all__ = [
+    "CLOUD_LINKS",
+    "PerformanceModel",
+    "Testbed",
+    "cloud_testbed",
+    "lan_testbed",
+    "LOCAL_I5",
+    "LOCAL_XEON",
+]
+
+#: Table 2 — measured per-cloud speeds (MB/s) of the commercial testbed.
+CLOUD_LINKS: dict[str, tuple[float, float]] = {
+    "amazon": (5.87, 4.45),
+    "google": (4.99, 4.45),
+    "azure": (19.59, 13.78),
+    "rackspace": (19.42, 12.93),
+}
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Compute/disk rates (MB/s of logical data) for simulated time.
+
+    Defaults follow §5.3's Local-i5 numbers with two encoding threads:
+    CAONT-RS encoding at 183 MB/s, combined chunking+encoding at 154 MB/s
+    (the paper reports the combination drops ~16 %), servers ingesting
+    through a SATA disk and spending CPU on inter-user dedup.
+    """
+
+    encode_mbps: float = 183.0
+    chunk_encode_mbps: float = 154.0
+    decode_mbps: float = 183.0
+    server_disk_write_mbps: float = 90.0
+    server_disk_read_mbps: float = 100.0
+    #: Per-server CPU capacity for fingerprinting incoming metadata and
+    #: updating the dedup index, in MB/s of *logical* client data (every
+    #: server sees every secret's metadata).  Sets the Figure 8 knee: with
+    #: 4+ clients producing ~150 MB/s of logical data each, server CPU
+    #: saturates ("the knee point at four CDStore clients is due to the
+    #: saturation of CPU resources in each CDStore server", §5.5).
+    server_cpu_mbps: float = 572.0
+    #: Fraction of the client's physical downlink usable by bursty
+    #: container-at-a-time server replies (§5.5 reports downloads ~10 %
+    #: under the effective link speed because servers fetch containers from
+    #: disk before replying).
+    downlink_utilization: float = 0.9
+    #: Share bytes covered by one intra-user dedup query round trip.  On
+    #: high-latency Internet paths these serialised round trips are what
+    #: bound duplicate-data uploads (Figure 7a's cloud dup speed).
+    query_batch_bytes: int = 1 << 20
+
+    def scaled_threads(self, threads: int, base_threads: int = 2) -> "PerformanceModel":
+        """Scale client compute rates for a different thread count.
+
+        Figure 5(a) shows near-linear scaling from 1 to 4 threads; we model
+        it as proportional, which is what the paper observes up to the core
+        count.
+        """
+        if threads <= 0:
+            raise ParameterError(f"threads must be positive, got {threads}")
+        factor = threads / base_threads
+        return PerformanceModel(
+            encode_mbps=self.encode_mbps * factor,
+            chunk_encode_mbps=self.chunk_encode_mbps * factor,
+            decode_mbps=self.decode_mbps * factor,
+            server_disk_write_mbps=self.server_disk_write_mbps,
+            server_disk_read_mbps=self.server_disk_read_mbps,
+            server_cpu_mbps=self.server_cpu_mbps,
+            downlink_utilization=self.downlink_utilization,
+            query_batch_bytes=self.query_batch_bytes,
+        )
+
+
+#: §5.3 compute rates for the two local machines (2 encoding threads).
+LOCAL_I5 = PerformanceModel()
+LOCAL_XEON = PerformanceModel(
+    encode_mbps=83.0, chunk_encode_mbps=69.0, decode_mbps=83.0
+)
+
+
+@dataclass
+class Testbed:
+    """A named set of clouds plus the client-side shared link capacities."""
+
+    name: str
+    clouds: list[CloudProvider]
+    #: Aggregate client uplink/downlink caps (MB/s) across all connections.
+    client_uplink_mbps: float
+    client_downlink_mbps: float
+    model: PerformanceModel = field(default_factory=PerformanceModel)
+
+    @property
+    def n(self) -> int:
+        return len(self.clouds)
+
+    # ------------------------------------------------------------------
+    # transfer-time model (Figures 7-8)
+    # ------------------------------------------------------------------
+    def upload_time(
+        self,
+        logical_bytes: int,
+        wire_bytes_per_cloud: list[float],
+        clients: int = 1,
+        k: int | None = None,
+    ) -> float:
+        """Wall-clock seconds to upload one client-batch of data.
+
+        ``logical_bytes`` is the pre-dispersal data size (drives compute);
+        ``wire_bytes_per_cloud[i]`` is what actually crosses the Internet to
+        cloud ``i`` after intra-user deduplication.  With ``clients`` > 1,
+        per-server resources are shared (Figure 8); the return value is the
+        makespan for *one* client, assuming symmetric clients.
+        """
+        if len(wire_bytes_per_cloud) != self.n:
+            raise ParameterError(
+                f"expected {self.n} per-cloud byte counts, got "
+                f"{len(wire_bytes_per_cloud)}"
+            )
+        compute = logical_bytes / (self.model.chunk_encode_mbps * MB)
+        total_wire = float(sum(wire_bytes_per_cloud))
+        shared_uplink = total_wire / (self.client_uplink_mbps * MB)
+        # Per-cloud ingress: the server NIC is shared by all concurrent
+        # clients (Figure 8's "without disk I/O ... approximates to the
+        # aggregate effective Ethernet speed" observation).
+        per_cloud = [
+            cloud.uplink.transfer_time(int(clients * nbytes), batches=_batches(nbytes))
+            for cloud, nbytes in zip(self.clouds, wire_bytes_per_cloud)
+        ]
+        # Intra-user dedup queries: one round trip per query batch of share
+        # fingerprints, serialised within each cloud connection (this is
+        # what caps duplicate-data uploads on high-latency Internet paths —
+        # the cloud-testbed dup/uniq gap of Figure 7a).
+        k_eff = k if k is not None else max(1, self.n - 1)
+        share_stream = logical_bytes / k_eff
+        query_rtts = [
+            _batches(share_stream, unit=self.model.query_batch_bytes)
+            * 2
+            * cloud.uplink.latency_s
+            for cloud in self.clouds
+        ]
+        # Server-side ingest: NIC sharing is inside the per-cloud link; disk
+        # and CPU are charged per server and scale with concurrent clients.
+        server_terms = []
+        for nbytes in wire_bytes_per_cloud:
+            disk = clients * nbytes / (self.model.server_disk_write_mbps * MB)
+            cpu = clients * logical_bytes / (self.model.server_cpu_mbps * MB)
+            server_terms.append(max(disk, cpu))
+        # Pipelined stages: the slowest stage dominates (§4.6 multi-threading).
+        return max([compute, shared_uplink] + per_cloud + query_rtts + server_terms)
+
+    def download_time(
+        self,
+        logical_bytes: int,
+        wire_bytes_per_cloud: dict[int, float],
+        fragmentation: float = 0.0,
+    ) -> float:
+        """Wall-clock seconds to download from the chosen ``k`` clouds.
+
+        ``wire_bytes_per_cloud`` maps cloud index to share bytes fetched
+        from it.  Servers read containers from the disk backend before
+        replying, which keeps downloads under the raw link speed (§5.5);
+        ``fragmentation`` ∈ [0, 1) further derates the client downlink
+        utilisation for deduplicated backups whose chunks scatter across
+        containers ("deduplication now introduces chunk fragmentation [38]
+        for subsequent backups", §5.5).
+        """
+        if not 0 <= fragmentation < 1:
+            raise ParameterError(f"fragmentation must be in [0, 1), got {fragmentation}")
+        compute = logical_bytes / (self.model.decode_mbps * MB)
+        utilization = self.model.downlink_utilization * (1.0 - fragmentation)
+        total_wire = float(sum(wire_bytes_per_cloud.values()))
+        shared_downlink = total_wire / (self.client_downlink_mbps * utilization * MB)
+        per_cloud = []
+        for idx, nbytes in wire_bytes_per_cloud.items():
+            link_t = self.clouds[idx].downlink.transfer_time(
+                int(nbytes), batches=_batches(nbytes)
+            )
+            disk_t = nbytes / (self.model.server_disk_read_mbps * MB)
+            # Server disk read and network send are serialised per request
+            # batch (fetch container, then reply), hence the sum.
+            per_cloud.append(link_t + disk_t)
+        return max([compute, shared_downlink] + per_cloud)
+
+
+def _batches(nbytes: float, unit: int = 4 << 20) -> int:
+    """Number of 4 MB upload units (§4.1 batching)."""
+    return max(1, int(-(-nbytes // unit)))
+
+
+# ---------------------------------------------------------------------------
+# testbed factories (§5.1)
+# ---------------------------------------------------------------------------
+
+
+def lan_testbed(
+    n: int = 4,
+    effective_mbps: float = 110.0,
+    model: PerformanceModel | None = None,
+) -> Testbed:
+    """The 1 Gb/s LAN testbed: ``n`` servers, ~110 MB/s effective links."""
+    clouds = [
+        CloudProvider(
+            name=f"lan-server-{i}",
+            uplink=Link(effective_mbps),
+            downlink=Link(effective_mbps),
+        )
+        for i in range(n)
+    ]
+    return Testbed(
+        name="lan",
+        clouds=clouds,
+        client_uplink_mbps=effective_mbps,
+        client_downlink_mbps=effective_mbps,
+        model=model or PerformanceModel(),
+    )
+
+
+def cloud_testbed(model: PerformanceModel | None = None) -> Testbed:
+    """The four-cloud commercial testbed with Table 2 link speeds.
+
+    The aggregate uplink cap reflects the Hong Kong site's Internet
+    capacity implied by the paper's measured 6.2 MB/s unique-data upload
+    (total wire = 4/3 of logical data ⇒ ~8.3 MB/s shared uplink).
+    """
+    clouds = [
+        CloudProvider(
+            name=name,
+            uplink=Link(up, latency_s=0.025),
+            downlink=Link(down, latency_s=0.025),
+        )
+        for name, (up, down) in CLOUD_LINKS.items()
+    ]
+    return Testbed(
+        name="cloud",
+        clouds=clouds,
+        client_uplink_mbps=8.3,
+        client_downlink_mbps=30.0,
+        model=model or PerformanceModel(),
+    )

@@ -1,0 +1,40 @@
+"""Compression substrate (§4.7 "open issues").
+
+The paper defers two storage-efficiency features to future work:
+"Compression also effectively reduces storage space of both data [58] and
+metadata (e.g., file recipes [41])."  This package implements both from
+scratch:
+
+* :mod:`repro.compress.lzss` — an LZSS dictionary coder (sliding window,
+  hash-chain match finder);
+* :mod:`repro.compress.huffman` — canonical Huffman entropy coding;
+* :mod:`repro.compress.codec` — the composed ``lzss+huffman`` pipeline
+  with a self-describing header, plus the recipe-compression helpers
+  (Meister et al. [41] style) the CDStore server uses when constructed
+  with ``recipe_compression=True``.
+
+Important interaction with deduplication: *share* payloads are encrypted
+(AONT output ≈ uniformly random) and do not compress, so CDStore applies
+compression to metadata (file recipes) — where fingerprint entries share
+long common prefixes across versions — and leaves shares untouched.
+"""
+
+from repro.compress.codec import (
+    compress,
+    compress_recipe,
+    decompress,
+    decompress_recipe,
+)
+from repro.compress.huffman import huffman_decode, huffman_encode
+from repro.compress.lzss import lzss_compress, lzss_decompress
+
+__all__ = [
+    "compress",
+    "compress_recipe",
+    "decompress",
+    "decompress_recipe",
+    "huffman_decode",
+    "huffman_encode",
+    "lzss_compress",
+    "lzss_decompress",
+]

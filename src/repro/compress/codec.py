@@ -1,0 +1,74 @@
+"""Composed compression pipeline and recipe-compression helpers.
+
+Format: 1 method byte | method-specific body.
+
+* method 0 — stored (incompressible input; the pipeline never expands
+  data by more than one byte);
+* method 1 — LZSS only;
+* method 2 — LZSS then Huffman.
+
+:func:`compress_recipe` / :func:`decompress_recipe` wrap the pipeline for
+file recipes, the metadata the paper highlights as compressible [41]:
+recipes are runs of 36-byte entries whose fingerprints repeat across
+versions, which LZSS folds into back-references.
+"""
+
+from __future__ import annotations
+
+from repro.compress.huffman import huffman_decode, huffman_encode
+from repro.compress.lzss import lzss_compress, lzss_decompress
+from repro.errors import ParameterError
+
+__all__ = ["compress", "decompress", "compress_recipe", "decompress_recipe"]
+
+METHOD_STORED = 0
+METHOD_LZSS = 1
+METHOD_LZSS_HUFFMAN = 2
+
+
+def compress(data: bytes, method: str = "auto") -> bytes:
+    """Compress ``data``; picks the smallest representation under 'auto'."""
+    if method not in ("auto", "stored", "lzss", "lzss+huffman"):
+        raise ParameterError(f"unknown compression method {method!r}")
+    candidates: list[tuple[int, bytes]] = [(METHOD_STORED, data)]
+    if method in ("auto", "lzss", "lzss+huffman"):
+        lz = lzss_compress(data)
+        if method != "lzss+huffman":
+            candidates.append((METHOD_LZSS, lz))
+        if method in ("auto", "lzss+huffman"):
+            candidates.append((METHOD_LZSS_HUFFMAN, huffman_encode(lz)))
+    if method == "stored":
+        candidates = [(METHOD_STORED, data)]
+    elif method == "lzss":
+        candidates = [c for c in candidates if c[0] in (METHOD_STORED, METHOD_LZSS)]
+    best_method, best_body = min(candidates, key=lambda c: len(c[1]))
+    return bytes([best_method]) + best_body
+
+
+def decompress(blob: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    if not blob:
+        raise ParameterError("empty compressed blob")
+    method, body = blob[0], blob[1:]
+    if method == METHOD_STORED:
+        return body
+    if method == METHOD_LZSS:
+        return lzss_decompress(body)
+    if method == METHOD_LZSS_HUFFMAN:
+        return lzss_decompress(huffman_decode(body))
+    raise ParameterError(f"unknown compression method byte {method}")
+
+
+_RECIPE_MAGIC = b"RCPZ"
+
+
+def compress_recipe(recipe_blob: bytes) -> bytes:
+    """Compress a file-recipe blob (magic-framed so readers can detect it)."""
+    return _RECIPE_MAGIC + compress(recipe_blob)
+
+
+def decompress_recipe(blob: bytes) -> bytes:
+    """Transparently decompress a recipe blob (pass through legacy blobs)."""
+    if blob.startswith(_RECIPE_MAGIC):
+        return decompress(blob[len(_RECIPE_MAGIC):])
+    return blob

@@ -1,0 +1,165 @@
+"""Canonical Huffman entropy coding.
+
+Byte-alphabet Huffman with canonical codes: the header stores only the
+256 code lengths (run-length packed), from which both sides rebuild the
+same code table.  Code lengths are capped at 15 bits via the standard
+length-limiting fix-up.
+
+Used as the entropy stage behind LZSS in the ``lzss+huffman`` pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ParameterError
+
+__all__ = ["huffman_encode", "huffman_decode"]
+
+_MAX_BITS = 15
+
+
+def _code_lengths(freqs: list[int]) -> list[int]:
+    """Huffman code length per symbol (0 for absent symbols)."""
+    heap = [(f, i, None) for i, f in enumerate(freqs) if f]
+    if not heap:
+        return [0] * 256
+    if len(heap) == 1:
+        lengths = [0] * 256
+        lengths[heap[0][1]] = 1
+        return lengths
+    heapq.heapify(heap)
+    counter = 256  # tie-breaker ids for internal nodes
+    nodes: dict[int, tuple] = {}
+    for f, i, payload in heap:
+        nodes[i] = payload
+    while len(heap) > 1:
+        fa, ia, na = heapq.heappop(heap)
+        fb, ib, nb = heapq.heappop(heap)
+        heapq.heappush(heap, (fa + fb, counter, ((ia, na), (ib, nb))))
+        counter += 1
+    lengths = [0] * 256
+
+    def walk(node_id: int, payload, depth: int) -> None:
+        if payload is None:  # leaf
+            lengths[node_id] = max(1, depth)
+            return
+        (left_id, left), (right_id, right) = payload
+        walk(left_id, left, depth + 1)
+        walk(right_id, right, depth + 1)
+
+    _, root_id, root = heap[0]
+    walk(root_id, root, 0)
+    return _limit_lengths(lengths)
+
+
+def _limit_lengths(lengths: list[int]) -> list[int]:
+    """Cap code lengths at ``_MAX_BITS`` while keeping Kraft equality."""
+    if max(lengths) <= _MAX_BITS:
+        return lengths
+    # Clamp, then repair the Kraft sum by lengthening the shortest codes.
+    lengths = [min(l, _MAX_BITS) if l else 0 for l in lengths]
+    kraft = sum(1 << (_MAX_BITS - l) for l in lengths if l)
+    budget = 1 << _MAX_BITS
+    symbols = sorted((l, i) for i, l in enumerate(lengths) if l)
+    idx = 0
+    while kraft > budget:
+        l, i = symbols[idx % len(symbols)]
+        if lengths[i] < _MAX_BITS:
+            kraft -= 1 << (_MAX_BITS - lengths[i])
+            lengths[i] += 1
+            kraft += 1 << (_MAX_BITS - lengths[i])
+        idx += 1
+    return lengths
+
+
+def _canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
+    """Map symbol -> (code, length) in canonical order."""
+    symbols = sorted((l, s) for s, l in enumerate(lengths) if l)
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for length, symbol in symbols:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def _pack_lengths(lengths: list[int]) -> bytes:
+    """Nibble-pack the 256 code lengths (two per byte)."""
+    out = bytearray(128)
+    for i in range(128):
+        out[i] = lengths[2 * i] << 4 | lengths[2 * i + 1]
+    return bytes(out)
+
+
+def _unpack_lengths(blob: bytes) -> list[int]:
+    if len(blob) != 128:
+        raise ParameterError("bad Huffman length table")
+    lengths = []
+    for byte in blob:
+        lengths.append(byte >> 4)
+        lengths.append(byte & 0xF)
+    return lengths
+
+
+def huffman_encode(data: bytes) -> bytes:
+    """Encode ``data``; format: u32 size | 128-byte lengths | bitstream."""
+    header = len(data).to_bytes(4, "big")
+    if not data:
+        return header
+    freqs = [0] * 256
+    for byte in data:
+        freqs[byte] += 1
+    lengths = _code_lengths(freqs)
+    codes = _canonical_codes(lengths)
+    # Bit packing via an int accumulator flushed byte-wise.
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for byte in data:
+        code, length = codes[byte]
+        acc = acc << length | code
+        acc_bits += length
+        while acc_bits >= 8:
+            acc_bits -= 8
+            out.append(acc >> acc_bits & 0xFF)
+    if acc_bits:
+        out.append(acc << (8 - acc_bits) & 0xFF)
+    return header + _pack_lengths(lengths) + bytes(out)
+
+
+def huffman_decode(blob: bytes) -> bytes:
+    """Invert :func:`huffman_encode`."""
+    if len(blob) < 4:
+        raise ParameterError("truncated Huffman header")
+    size = int.from_bytes(blob[:4], "big")
+    if size == 0:
+        return b""
+    if len(blob) < 132:
+        raise ParameterError("truncated Huffman length table")
+    lengths = _unpack_lengths(blob[4:132])
+    codes = _canonical_codes(lengths)
+    # Invert: (length, code) -> symbol.
+    decode: dict[tuple[int, int], int] = {
+        (length, code): symbol for symbol, (code, length) in codes.items()
+    }
+    out = bytearray()
+    code = 0
+    length = 0
+    for byte in blob[132:]:
+        for bit in range(7, -1, -1):
+            code = code << 1 | (byte >> bit & 1)
+            length += 1
+            if length > _MAX_BITS:
+                raise ParameterError("corrupt Huffman stream")
+            symbol = decode.get((length, code))
+            if symbol is not None:
+                out.append(symbol)
+                if len(out) == size:
+                    return bytes(out)
+                code = 0
+                length = 0
+    raise ParameterError("Huffman stream ended early")

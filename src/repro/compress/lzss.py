@@ -1,0 +1,132 @@
+"""LZSS dictionary compression.
+
+A classic byte-oriented LZSS: the encoder emits a stream of tokens, each
+either a literal byte or a back-reference ``(offset, length)`` into a
+sliding window.  Tokens are framed by flag bytes (one flag bit per token,
+LSB first; 1 = reference, 0 = literal), references are 16-bit little-
+endian ``offset:12 | (length - MIN_MATCH):4``.
+
+Match finding uses hash chains over 3-byte prefixes with a bounded probe
+count, trading a little ratio for predictable speed — the pure-Python
+envelope this library lives in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["lzss_compress", "lzss_decompress"]
+
+WINDOW_BITS = 12
+WINDOW_SIZE = 1 << WINDOW_BITS  # 4096
+MIN_MATCH = 3
+MAX_MATCH = MIN_MATCH + 15  # 4-bit length field
+_MAX_PROBES = 32
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return (data[pos] << 16 | data[pos + 1] << 8 | data[pos + 2]) * 2654435761 >> 16 & 0xFFFF
+
+
+def lzss_compress(data: bytes) -> bytes:
+    """Compress ``data``; always decompressible, may expand ~12% worst-case."""
+    n = len(data)
+    if n == 0:
+        return b""
+    out = bytearray()
+    # token buffer per flag byte
+    flags = 0
+    flag_bits = 0
+    pending = bytearray()
+    head: dict[int, int] = {}
+    prev: dict[int, int] = {}
+
+    def flush_group() -> None:
+        nonlocal flags, flag_bits, pending
+        if flag_bits:
+            out.append(flags)
+            out.extend(pending)
+            flags = 0
+            flag_bits = 0
+            pending = bytearray()
+
+    pos = 0
+    while pos < n:
+        best_len = 0
+        best_off = 0
+        if pos + MIN_MATCH <= n:
+            key = _hash3(data, pos)
+            candidate = head.get(key)
+            probes = 0
+            limit = min(MAX_MATCH, n - pos)
+            while candidate is not None and probes < _MAX_PROBES:
+                if pos - candidate > WINDOW_SIZE - 1:
+                    break
+                length = 0
+                while length < limit and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_off = pos - candidate
+                    if length >= limit:
+                        break
+                candidate = prev.get(candidate)
+                probes += 1
+        if best_len >= MIN_MATCH:
+            token = best_off << 4 | (best_len - MIN_MATCH)
+            pending.append(token & 0xFF)
+            pending.append(token >> 8)
+            flags |= 1 << flag_bits
+            step = best_len
+        else:
+            pending.append(data[pos])
+            step = 1
+        flag_bits += 1
+        if flag_bits == 8:
+            flush_group()
+        # Index every position we consume so later matches can refer here.
+        end = min(pos + step, n - MIN_MATCH + 1)
+        for p in range(pos, max(pos, end)):
+            key = _hash3(data, p)
+            if key in head:
+                prev[p] = head[key]
+            head[key] = p
+        pos += step
+    flush_group()
+    return bytes(out)
+
+
+def lzss_decompress(blob: bytes, expected_size: int | None = None) -> bytes:
+    """Invert :func:`lzss_compress`.
+
+    ``expected_size`` (if given) is validated against the output length.
+    """
+    out = bytearray()
+    pos = 0
+    n = len(blob)
+    while pos < n:
+        flags = blob[pos]
+        pos += 1
+        for bit in range(8):
+            if pos >= n:
+                break
+            if flags >> bit & 1:
+                if pos + 2 > n:
+                    raise ParameterError("truncated LZSS reference")
+                token = blob[pos] | blob[pos + 1] << 8
+                pos += 2
+                offset = token >> 4
+                length = (token & 0xF) + MIN_MATCH
+                if offset == 0 or offset > len(out):
+                    raise ParameterError("LZSS reference outside window")
+                start = len(out) - offset
+                for i in range(length):
+                    out.append(out[start + i])
+            else:
+                out.append(blob[pos])
+                pos += 1
+    if expected_size is not None and len(out) != expected_size:
+        raise ParameterError(
+            f"LZSS output {len(out)} bytes, expected {expected_size}"
+        )
+    return bytes(out)

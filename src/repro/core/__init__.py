@@ -1,0 +1,59 @@
+"""The paper's core contribution: convergent dispersal via CAONT-RS.
+
+This package implements the three AONT-RS-family codecs evaluated in §5.3:
+
+* :class:`~repro.core.aont_rs.AONTRS` — the original AONT-RS of Resch and
+  Plank [52]: Rivest's all-or-nothing transform with a *random* key followed
+  by systematic Reed-Solomon coding.  Secure, but duplicates do not
+  deduplicate.
+* :class:`~repro.core.caont_rs_rivest.CAONTRSRivest` — the authors' prior
+  HotStorage'14 instantiation [37]: Rivest's AONT with the random key
+  replaced by a SHA-256 hash of the secret (convergent).
+* :class:`~repro.core.caont_rs.CAONTRS` — the paper's new instantiation:
+  OAEP-based AONT (single bulk encryption instead of per-word encryptions)
+  with a convergent hash key.  Faster and deduplicable; CDStore's default.
+
+All three share the (n, k, r = k-1) interface of
+:class:`repro.sharing.base.SecretSharingScheme` and register themselves in
+the scheme registry, so Table 1 and the system layer treat them uniformly.
+"""
+
+from repro.core.aont import (
+    CANARY,
+    CANARY_SIZE,
+    oaep_aont_decode,
+    oaep_aont_encode,
+    rivest_aont_decode,
+    rivest_aont_encode,
+)
+from repro.core.aont_rs import AONTRS
+from repro.core.caont_rs import CAONTRS
+from repro.core.caont_rs_rivest import CAONTRSRivest
+from repro.core.convergent import ConvergentDispersal, create_codec
+from repro.core.crsss import CRSSS
+from repro.sharing.registry import register_scheme
+
+__all__ = [
+    "AONTRS",
+    "CAONTRS",
+    "CAONTRSRivest",
+    "CRSSS",
+    "CANARY",
+    "CANARY_SIZE",
+    "ConvergentDispersal",
+    "create_codec",
+    "oaep_aont_decode",
+    "oaep_aont_encode",
+    "rivest_aont_decode",
+    "rivest_aont_encode",
+]
+
+
+def _register() -> None:
+    register_scheme("aont-rs", AONTRS)
+    register_scheme("caont-rs", CAONTRS)
+    register_scheme("caont-rs-rivest", CAONTRSRivest)
+    register_scheme("crsss", CRSSS)
+
+
+_register()

@@ -1,0 +1,66 @@
+"""AONT-RS: the original dispersed-storage codec of Resch and Plank [52].
+
+Rivest's AONT with a *random* 32-byte key, followed by systematic
+Reed-Solomon coding (§2).  This is the baseline CDStore's cost analysis
+compares against: same reliability and security as CAONT-RS, but identical
+secrets produce unrelated shares, so nothing deduplicates.
+"""
+
+from __future__ import annotations
+
+from repro.core.aont import (
+    rivest_aont_decode,
+    rivest_aont_encode,
+    rivest_package_size,
+)
+from repro.core.package_codec import PackageRSCodec
+from repro.crypto.drbg import DRBG, system_random_bytes
+from repro.crypto.hashing import HASH_SIZE
+
+__all__ = ["AONTRS"]
+
+
+class AONTRS(PackageRSCodec):
+    """(n, k) AONT-RS with a random key (non-deduplicable baseline).
+
+    Parameters
+    ----------
+    n, k:
+        Dispersal parameters; r = k - 1 computationally.
+    rng:
+        Optional deterministic RNG (tests/benchmarks); defaults to OS
+        randomness.
+    per_word:
+        Model Rivest's per-word encryption cost (default True, matching the
+        construction the paper benchmarks in Figure 5).
+    """
+
+    name = "aont-rs"
+    deterministic = False
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        rng: DRBG | None = None,
+        per_word: bool = True,
+        rs_matrix: str = "vandermonde",
+    ) -> None:
+        super().__init__(n, k, rs_matrix=rs_matrix)
+        self._rng = rng
+        self._per_word = per_word
+
+    def _random_key(self) -> bytes:
+        if self._rng is not None:
+            return self._rng.random_bytes(HASH_SIZE)
+        return system_random_bytes(HASH_SIZE)
+
+    def _make_package(self, secret: bytes) -> bytes:
+        return rivest_aont_encode(secret, self._random_key(), per_word=self._per_word)
+
+    def _package_size(self, secret_size: int) -> int:
+        return rivest_package_size(secret_size)
+
+    def _open_package(self, package: bytes, secret_size: int) -> bytes:
+        secret, _key = rivest_aont_decode(package, secret_size)
+        return secret

@@ -1,0 +1,81 @@
+"""CAONT-RS: the paper's new convergent-dispersal instantiation (§3.2).
+
+Encoding (Figure 3, Eq. 1-4):
+
+1. ``h = H(salt || X)`` — a deterministic hash key instead of a random key;
+2. ``Y = X' XOR G(h)`` with ``G(h) = E(h, C)`` — a *single* bulk encryption
+   of a constant block (OAEP-based AONT), where ``X'`` is ``X`` zero-padded
+   so the package divides evenly into ``k`` pieces;
+3. ``t = h XOR H(Y)``;
+4. the package ``(Y, t)`` is divided into ``k`` pieces and encoded into
+   ``n`` shares with a systematic Reed-Solomon code; share ``i`` goes to
+   cloud ``i`` so identical secrets deduplicate per cloud.
+
+Decoding retrieves any ``k`` shares, rebuilds ``(Y, t)``, deduces
+``h = t XOR H(Y)`` and ``X' = Y XOR G(h)``, strips the padding, and
+verifies integrity by re-deriving ``H(X)`` and comparing with ``h``.
+
+Deterministic: identical secrets (same salt) yield identical shares —
+the property that enables CDStore's two-stage deduplication.
+"""
+
+from __future__ import annotations
+
+from repro.core.aont import oaep_aont_decode, oaep_aont_encode
+from repro.core.package_codec import PackageRSCodec
+from repro.crypto.hashing import HASH_SIZE, hash_key
+from repro.errors import IntegrityError
+
+__all__ = ["CAONTRS"]
+
+
+class CAONTRS(PackageRSCodec):
+    """(n, k) CAONT-RS — CDStore's default codec.
+
+    Parameters
+    ----------
+    n, k:
+        Dispersal parameters: any ``k`` of ``n`` shares reconstruct, no
+        ``k - 1`` reveal anything (computationally).
+    salt:
+        Optional organisation-wide salt mixed into the hash key (§3.2
+        "optionally salted"); scopes deduplication and blunts offline
+        dictionary attacks by outsiders.
+    """
+
+    name = "caont-rs"
+    deterministic = True
+
+    def __init__(
+        self, n: int, k: int, salt: bytes = b"", rs_matrix: str = "vandermonde"
+    ) -> None:
+        super().__init__(n, k, rs_matrix=rs_matrix)
+        self.salt = bytes(salt)
+
+    # ------------------------------------------------------------------
+    def _padded_secret_size(self, secret_size: int) -> int:
+        """Pad X so that len(X') + HASH_SIZE divides evenly by k (§3.2)."""
+        return secret_size + (-(secret_size + HASH_SIZE)) % self.k
+
+    def _package_size(self, secret_size: int) -> int:
+        return self._padded_secret_size(secret_size) + HASH_SIZE
+
+    def _make_package(self, secret: bytes) -> bytes:
+        key = hash_key(secret, self.salt)
+        padded = secret + b"\0" * (self._padded_secret_size(len(secret)) - len(secret))
+        return oaep_aont_encode(padded, key)
+
+    def _open_package(self, package: bytes, secret_size: int) -> bytes:
+        padded, key = oaep_aont_decode(package)
+        secret = padded[:secret_size]
+        if hash_key(secret, self.salt) != key:
+            raise IntegrityError(
+                "caont-rs: recovered hash key does not match H(secret); "
+                "decoded secret is corrupt"
+            )
+        return secret
+
+    # ------------------------------------------------------------------
+    def hash_key_of(self, secret: bytes) -> bytes:
+        """Expose ``h = H(salt || X)`` (Eq. 1) for diagnostics and tests."""
+        return hash_key(secret, self.salt)

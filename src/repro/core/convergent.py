@@ -1,0 +1,111 @@
+"""Convergent-dispersal facade and codec factory.
+
+:class:`ConvergentDispersal` is the high-level entry point matching
+Figure 2 of the paper: a secret goes in, ``n`` deterministic shares come
+out, with the share-to-cloud pinning and brute-force decode fallback of
+§3.2 handled here so the client code stays simple.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import CodingError, IntegrityError, ParameterError
+from repro.sharing.base import SecretSharingScheme, ShareSet
+from repro.sharing.registry import create_scheme
+
+__all__ = ["ConvergentDispersal", "create_codec"]
+
+_CONVERGENT_SCHEMES = ("caont-rs", "caont-rs-rivest", "crsss")
+
+
+def create_codec(name: str, n: int, k: int, **kwargs) -> SecretSharingScheme:
+    """Instantiate an AONT-RS-family codec by name.
+
+    Accepts ``"caont-rs"`` (the paper's contribution, default choice),
+    ``"caont-rs-rivest"`` and ``"aont-rs"``; delegates to the scheme
+    registry so custom registrations work too.
+    """
+    return create_scheme(name, n, k, **kwargs)
+
+
+class ConvergentDispersal:
+    """Encode secrets into per-cloud shares; decode from any ``k`` clouds.
+
+    Wraps a convergent codec and adds:
+
+    * share labelling — share ``i`` always belongs to cloud ``i`` (§3.2:
+      "the same cloud always receives the same share"), so deduplication
+      works per cloud and restores know where to look;
+    * integrity-driven brute force — if a decode fails verification, every
+      other ``k``-subset of the available shares is tried before giving up
+      (§3.2: "try a different subset of k shares until the secret is
+      correctly decoded").
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        scheme: str = "caont-rs",
+        salt: bytes = b"",
+        codec: SecretSharingScheme | None = None,
+        **kwargs,
+    ) -> None:
+        if codec is not None:
+            # A pre-built deterministic codec (e.g. the server-aided
+            # CAONT-RS bound to a key server) bypasses the registry.
+            if not codec.deterministic:
+                raise ParameterError(
+                    f"codec {codec.name!r} is not convergent (non-deterministic)"
+                )
+            if (codec.n, codec.k) != (n, k):
+                raise ParameterError(
+                    f"codec is ({codec.n}, {codec.k}), expected ({n}, {k})"
+                )
+            self.n = n
+            self.k = k
+            self.scheme = codec.name
+            self.codec = codec
+            return
+        if scheme not in _CONVERGENT_SCHEMES:
+            raise ParameterError(
+                f"{scheme!r} is not convergent; choose from {_CONVERGENT_SCHEMES}"
+            )
+        self.n = n
+        self.k = k
+        self.scheme = scheme
+        self.codec = create_codec(scheme, n, k, salt=salt, **kwargs)
+
+    # ------------------------------------------------------------------
+    def encode(self, secret: bytes) -> ShareSet:
+        """Disperse ``secret`` into ``n`` shares (share i → cloud i)."""
+        return self.codec.split(secret)
+
+    def decode(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        """Reconstruct a secret from any ``k`` of its shares.
+
+        On integrity failure, retries every other ``k``-subset of the
+        provided shares (brute-force fallback of §3.2) and raises
+        :class:`IntegrityError` only when all subsets fail.
+        """
+        if len(shares) < self.k:
+            raise CodingError(
+                f"need at least k={self.k} shares, got {len(shares)}"
+            )
+        indices = sorted(shares)
+        first_error: Exception | None = None
+        for subset in combinations(indices, self.k):
+            try:
+                return self.codec.recover(
+                    {i: shares[i] for i in subset}, secret_size
+                )
+            except (IntegrityError, CodingError) as exc:
+                first_error = first_error or exc
+        raise IntegrityError(
+            f"no {self.k}-subset of {len(indices)} shares decoded cleanly"
+        ) from first_error
+
+    def share_size(self, secret_size: int) -> int:
+        """Per-share size for a secret of ``secret_size`` bytes."""
+        return self.codec.share_size(secret_size)

@@ -1,0 +1,122 @@
+"""CRSSS: convergent ramp secret sharing (the RSSS instantiation of [37]).
+
+The authors' HotStorage'14 paper proposes convergent instantiations for
+*both* RSSS and AONT-RS ("Our prior work [37] also proposes instantiations
+for RSSS [16] and AONT-RS", §3.2).  CDStore adopts the AONT-RS line; this
+module completes the family with the ramp-scheme line so the trade-off is
+measurable:
+
+* RSSS splits the secret into ``k - r`` pieces and pads with ``r`` pieces
+  that are *random* in the classical scheme; CRSSS derives them
+  deterministically as ``H(salt || X || i)`` keystreams, making the whole
+  transform convergent (identical secrets → identical shares).
+* Confidentiality degree stays ``r`` in the computational sense — an
+  attacker holding ``r`` shares sees data masked by hash-derived pads it
+  cannot compute without the whole secret.
+* Storage blowup is ``n / (k - r)``: *worse* than CAONT-RS's ``~n/k`` for
+  the same ``r = k - 1`` confidentiality, which is exactly why the paper
+  picked the AONT-RS line; the Table 1 benchmark makes the gap visible.
+
+Integrity: a truncated hash of the secret is embedded in an extra trailer
+piece of the pad stream and verified on recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.ciphers import ctr_keystream
+from repro.crypto.hashing import hash_key
+from repro.errors import CodingError, IntegrityError, ParameterError
+from repro.gf.matrix import gf_mat_inv, gf_mat_vec, vandermonde_matrix
+from repro.sharing.base import SecretSharingScheme, ShareSet
+
+__all__ = ["CRSSS"]
+
+
+class CRSSS(SecretSharingScheme):
+    """(n, k, r) convergent ramp secret sharing.
+
+    Parameters mirror :class:`~repro.sharing.rsss.RSSS`, plus the
+    organisation ``salt`` of the convergent family.
+    """
+
+    name = "crsss"
+    deterministic = True
+
+    def __init__(self, n: int, k: int, r: int = None, salt: bytes = b"") -> None:  # type: ignore[assignment]
+        if r is None:
+            r = k - 1
+        super().__init__(n, k, r)
+        if r < 1:
+            raise ParameterError("CRSSS requires r >= 1 (r = 0 is plain IDA)")
+        if n + 1 > 255:
+            raise ParameterError(f"n={n} too large for GF(256) Vandermonde")
+        self.salt = bytes(salt)
+        full = vandermonde_matrix(n + 1, k)
+        self._matrix = full[1:]
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _piece_size(self, secret_size: int) -> int:
+        data_pieces = self.k - self.r
+        return -(-secret_size // data_pieces) if secret_size else 1
+
+    def _pads(self, secret: bytes, size: int) -> np.ndarray:
+        """The ``r`` deterministic pad pieces: AES-CTR keyed by H(X).
+
+        Each pad piece ``i`` is an independent keystream slice, so pads are
+        pseudorandom to anyone without the convergent hash — the same
+        argument as CAONT-RS's mask ``G(h)`` — while being reproducible by
+        any client holding the same secret.
+        """
+        key = hash_key(secret, self.salt)
+        stream = ctr_keystream(key, self.r * size)
+        return np.frombuffer(stream, dtype=np.uint8).reshape(self.r, size)
+
+    def split(self, secret: bytes) -> ShareSet:
+        data_pieces = self.k - self.r
+        size = self._piece_size(len(secret))
+        buf = np.zeros((self.k, size), dtype=np.uint8)
+        padded = np.zeros(data_pieces * size, dtype=np.uint8)
+        padded[: len(secret)] = np.frombuffer(secret, dtype=np.uint8)
+        buf[:data_pieces] = padded.reshape(data_pieces, size)
+        buf[data_pieces:] = self._pads(secret, size)
+        coded = gf_mat_vec(self._matrix, buf)
+        shares = tuple(row.tobytes() for row in coded)
+        return ShareSet(shares=shares, secret_size=len(secret), scheme=self.name)
+
+    def recover(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        self._check_recover_args(shares, secret_size)
+        chosen = tuple(sorted(shares)[: self.k])
+        sizes = {len(shares[idx]) for idx in chosen}
+        if len(sizes) != 1:
+            raise CodingError(f"shares have inconsistent sizes: {sorted(sizes)}")
+        matrix = self._decode_cache.get(chosen)
+        if matrix is None:
+            matrix = gf_mat_inv(self._matrix[list(chosen)])
+            self._decode_cache[chosen] = matrix
+        stacked = np.stack(
+            [np.frombuffer(shares[idx], dtype=np.uint8) for idx in chosen]
+        )
+        pieces = gf_mat_vec(matrix, stacked)
+        data_pieces = self.k - self.r
+        secret = pieces[:data_pieces].reshape(-1).tobytes()[:secret_size]
+        # Convergent integrity check: the recovered pad pieces must equal
+        # the pads derived from the recovered secret.
+        expected = self._pads(secret, pieces.shape[1])
+        if not np.array_equal(pieces[data_pieces:], expected):
+            raise IntegrityError(
+                "crsss: pad pieces do not match H(secret); shares corrupt"
+            )
+        return secret
+
+    def share_size(self, secret_size: int) -> int:
+        """Per-share size for a ``secret_size``-byte secret."""
+        return self._piece_size(secret_size)
+
+    def expected_blowup(self, secret_size: int) -> float:
+        """Blowup n / (k - r) (Table 1 row for RSSS), up to padding."""
+        if secret_size == 0:
+            return float("inf")
+        return self.n * self._piece_size(secret_size) / secret_size

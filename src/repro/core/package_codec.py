@@ -1,0 +1,72 @@
+"""Shared AONT-package ⇄ Reed-Solomon share plumbing.
+
+All three AONT-RS-family codecs follow the same outer shape (§2, §3.2):
+
+1. transform the secret into an AONT package (construction-specific);
+2. pad the package with zeroes so it divides evenly into ``k`` pieces;
+3. encode the ``k`` pieces into ``n`` shares with a *systematic*
+   Reed-Solomon code, labelling share ``i`` for cloud ``i``.
+
+Decoding reverses the pipeline from any ``k`` shares.  This base class owns
+steps 2-3 and the share bookkeeping; subclasses provide the AONT.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.sharing.base import SecretSharingScheme, ShareSet
+
+__all__ = ["PackageRSCodec"]
+
+
+class PackageRSCodec(SecretSharingScheme):
+    """Base class: AONT package + systematic RS dispersal.
+
+    Confidentiality degree is r = k - 1 in the computational sense for all
+    AONT-based codecs (Table 1).
+    """
+
+    def __init__(self, n: int, k: int, rs_matrix: str = "vandermonde") -> None:
+        super().__init__(n, k, r=k - 1)
+        self._rs = ReedSolomon(n, k, matrix=rs_matrix)
+
+    # ------------------------------------------------------------------
+    # subclass contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _make_package(self, secret: bytes) -> bytes:
+        """Transform ``secret`` into an AONT package."""
+
+    @abc.abstractmethod
+    def _package_size(self, secret_size: int) -> int:
+        """Exact package size for a ``secret_size``-byte secret."""
+
+    @abc.abstractmethod
+    def _open_package(self, package: bytes, secret_size: int) -> bytes:
+        """Invert the AONT and verify integrity where supported."""
+
+    # ------------------------------------------------------------------
+    # SecretSharingScheme implementation
+    # ------------------------------------------------------------------
+    def split(self, secret: bytes) -> ShareSet:
+        package = self._make_package(secret)
+        shares = tuple(self._rs.encode(package))
+        return ShareSet(shares=shares, secret_size=len(secret), scheme=self.name)
+
+    def recover(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        self._check_recover_args(shares, secret_size)
+        package_size = self._package_size(secret_size)
+        package = self._rs.decode(shares, data_size=package_size)
+        return self._open_package(package, secret_size)
+
+    def share_size(self, secret_size: int) -> int:
+        """Size in bytes of each share for a ``secret_size``-byte secret."""
+        return self._rs.piece_size(self._package_size(secret_size))
+
+    def expected_blowup(self, secret_size: int) -> float:
+        """Measured blowup; asymptotically (n/k)(1 + Skey/Ssec) (Table 1)."""
+        if secret_size == 0:
+            return float("inf")
+        return self.n * self.share_size(secret_size) / secret_size

@@ -1,0 +1,38 @@
+"""Monetary cost analysis (§5.6, Figure 9).
+
+Reimplements the paper's cost-estimation tool: Amazon EC2/S3 pricing as of
+September 2014 (tiered S3 storage, heavy-utilisation reserved instances),
+applied to three systems — CDStore, an AONT-RS multi-cloud baseline
+(same reliability/security, no deduplication), and a single-cloud
+encrypted baseline (no redundancy, no deduplication).
+"""
+
+from repro.costs.analysis import (
+    CostBreakdown,
+    aont_rs_monthly_cost,
+    cdstore_monthly_cost,
+    cost_savings,
+    single_cloud_monthly_cost,
+    sweep_dedup_ratio,
+    sweep_weekly_size,
+)
+from repro.costs.pricing import (
+    EC2Instance,
+    cheapest_instance_for,
+    ec2_catalog,
+    s3_monthly_cost,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "EC2Instance",
+    "aont_rs_monthly_cost",
+    "cdstore_monthly_cost",
+    "cheapest_instance_for",
+    "cost_savings",
+    "ec2_catalog",
+    "s3_monthly_cost",
+    "single_cloud_monthly_cost",
+    "sweep_dedup_ratio",
+    "sweep_weekly_size",
+]

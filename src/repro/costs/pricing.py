@@ -1,0 +1,106 @@
+"""Amazon EC2/S3 pricing models (September 2014, per §5.6).
+
+The paper's tool uses: (i) S3 tiered storage pricing ("around US$30 per TB
+per month"), (ii) high-utilisation reserved EC2 instances ("US$60-1,300 per
+month, depending on the CPU, memory, and storage settings"), choosing the
+cheapest instance whose local storage holds the server's dedup indices.
+Inbound transfer and VM⇄S3 traffic are free; outbound replies and PUT
+requests are negligible next to storage and VM costs (§5.6).
+
+The exact 2014 price sheet is no longer published; the tiers and catalog
+below are transcribed from the figures quoted in the paper and Amazon's
+archived Sept-2014 structure.  The Figure 9 reproduction depends on the
+magnitudes and the tier/instance *structure* (which produces the jagged
+curves), not on cent-level accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["EC2Instance", "ec2_catalog", "cheapest_instance_for", "s3_monthly_cost"]
+
+TB = 1000**4
+GB = 1000**3
+
+#: S3 storage tiers (Sept 2014): (tier ceiling in bytes, $ per GB-month).
+_S3_TIERS: list[tuple[float, float]] = [
+    (1 * TB, 0.0300),
+    (50 * TB, 0.0295),
+    (500 * TB, 0.0290),
+    (1000 * TB, 0.0285),
+    (5000 * TB, 0.0280),
+    (float("inf"), 0.0275),
+]
+
+
+def s3_monthly_cost(stored_bytes: float) -> float:
+    """Monthly S3 storage cost in USD, applying tiered pricing."""
+    if stored_bytes < 0:
+        raise ParameterError(f"negative storage {stored_bytes}")
+    cost = 0.0
+    prev_ceiling = 0.0
+    remaining = float(stored_bytes)
+    for ceiling, per_gb in _S3_TIERS:
+        span = min(remaining, ceiling - prev_ceiling)
+        if span <= 0:
+            break
+        cost += span / GB * per_gb
+        remaining -= span
+        prev_ceiling = ceiling
+    return cost
+
+
+@dataclass(frozen=True)
+class EC2Instance:
+    """One reserved-instance option: name, local storage, monthly cost.
+
+    ``monthly_usd`` amortises the upfront fee of a 1-year heavy-utilisation
+    reservation into the hourly bill, as the paper's tool does.
+    """
+
+    name: str
+    family: str  # "compute" or "storage" optimised (§5.6)
+    local_storage_bytes: float
+    monthly_usd: float
+
+
+#: Catalog spanning the paper's "US$60~1,300 per month" range: c3
+#: compute-optimised (SSD-light) and i2/hs1 storage-optimised instances.
+_CATALOG: list[EC2Instance] = [
+    EC2Instance("c3.large", "compute", 32 * GB, 60.0),
+    EC2Instance("c3.xlarge", "compute", 80 * GB, 120.0),
+    EC2Instance("c3.2xlarge", "compute", 160 * GB, 240.0),
+    EC2Instance("i2.xlarge", "storage", 800 * GB, 270.0),
+    EC2Instance("c3.4xlarge", "compute", 320 * GB, 480.0),
+    EC2Instance("i2.2xlarge", "storage", 1600 * GB, 540.0),
+    EC2Instance("c3.8xlarge", "compute", 640 * GB, 960.0),
+    EC2Instance("i2.4xlarge", "storage", 3200 * GB, 1080.0),
+    EC2Instance("hs1.8xlarge", "storage", 48 * TB, 1200.0),
+    EC2Instance("i2.8xlarge", "storage", 6400 * GB, 1300.0),
+]
+
+
+def ec2_catalog() -> list[EC2Instance]:
+    """The instance catalog, cheapest first."""
+    return sorted(_CATALOG, key=lambda inst: inst.monthly_usd)
+
+
+def cheapest_instance_for(index_bytes: float) -> EC2Instance:
+    """Cheapest instance whose local storage holds ``index_bytes``.
+
+    "Our tool chooses the cheapest instance that can keep the entire
+    indices according to the storage size and deduplication efficiency"
+    (§5.6).  Raises :class:`ParameterError` when no instance is big enough
+    (the paper's scenarios stay within hs1.8xlarge's 48 TB).
+    """
+    if index_bytes < 0:
+        raise ParameterError(f"negative index size {index_bytes}")
+    for instance in ec2_catalog():
+        if instance.local_storage_bytes >= index_bytes:
+            return instance
+    raise ParameterError(
+        f"no EC2 instance holds a {index_bytes / TB:.1f} TB index"
+    )

@@ -1,0 +1,49 @@
+"""Cryptographic substrate.
+
+The paper implements CDStore's cryptography with OpenSSL (§4): AES-256 for
+the encryption function ``E`` inside the AONTs, and SHA-256 for convergent
+hashes and deduplication fingerprints.  This package provides the same
+primitives from scratch:
+
+* :mod:`repro.crypto.aes` — AES-128/192/256 block cipher, implemented from
+  the FIPS-197 specification with numpy-vectorised bulk rounds.
+* :mod:`repro.crypto.ciphers` — CTR keystream / mask generation on top of
+  the block cipher, with an optional fast backend using the host
+  ``cryptography`` wheel (standing in for OpenSSL, exactly as the paper
+  does) selected via :func:`set_aes_backend`.
+* :mod:`repro.crypto.hashing` — SHA-256 helpers: convergent hash keys,
+  share fingerprints, salted hashes.
+* :mod:`repro.crypto.drbg` — a deterministic random byte generator used for
+  reproducible workloads and for the *random* keys of the non-convergent
+  baselines (AONT-RS, SSMS, RSSS).
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.ciphers import (
+    aes_backend_name,
+    available_aes_backends,
+    ctr_keystream,
+    mask_block,
+    set_aes_backend,
+)
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    fingerprint,
+    hash_key,
+    sha256,
+)
+
+__all__ = [
+    "AES",
+    "DRBG",
+    "HASH_SIZE",
+    "aes_backend_name",
+    "available_aes_backends",
+    "ctr_keystream",
+    "fingerprint",
+    "hash_key",
+    "mask_block",
+    "set_aes_backend",
+    "sha256",
+]

@@ -1,0 +1,206 @@
+"""AES block cipher (FIPS-197) implemented from scratch.
+
+CDStore uses AES-256 as the encryption function ``E`` in its AONTs (§3.2,
+§4).  This module implements the full cipher — key expansion, encryption and
+decryption — for 128/192/256-bit keys, in two forms:
+
+* scalar single-block routines (:meth:`AES.encrypt_block`,
+  :meth:`AES.decrypt_block`), used for correctness tests against the
+  FIPS-197 / NIST vectors; and
+* a numpy-vectorised bulk path (:meth:`AES.encrypt_blocks`) that runs each
+  round across an entire batch of blocks at once, which is what the CTR
+  mask generator uses to approach usable throughput in pure Python.
+
+No external crypto library is required; the optional accelerated backend in
+:mod:`repro.crypto.ciphers` may bypass this implementation the same way the
+paper's prototype delegates to OpenSSL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+__all__ = ["AES"]
+
+BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# S-box generation (computed, not transcribed, so the table provably matches
+# the FIPS-197 definition: multiplicative inverse in GF(2^8) with the AES
+# polynomial 0x11B, followed by the affine transform).
+# ---------------------------------------------------------------------------
+
+
+def _aes_gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES reduction polynomial 0x11B."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[np.ndarray, np.ndarray]:
+    # Multiplicative inverses via brute force (256 elements; done once).
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _aes_gf_mul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = np.zeros(256, dtype=np.uint8)
+    for x in range(256):
+        b = inv[x]
+        s = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            s |= bit << i
+        sbox[x] = s
+    inv_sbox = np.zeros(256, dtype=np.uint8)
+    inv_sbox[sbox] = np.arange(256, dtype=np.uint8)
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# GF(2^8) multiplication tables (AES polynomial) for MixColumns.
+_MUL = {
+    c: np.array([_aes_gf_mul(x, c) for x in range(256)], dtype=np.uint8)
+    for c in (2, 3, 9, 11, 13, 14)
+}
+
+# ShiftRows operates on the 4x4 column-major state; expressed as a flat
+# permutation of the 16 state bytes (byte i of the new state comes from
+# position _SHIFT_ROWS[i] of the old state).
+_SHIFT_ROWS = np.array(
+    [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11], dtype=np.intp
+)
+_INV_SHIFT_ROWS = np.zeros(16, dtype=np.intp)
+_INV_SHIFT_ROWS[_SHIFT_ROWS] = np.arange(16, dtype=np.intp)
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+_ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """An AES cipher instance bound to one key.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes selecting AES-128, AES-192 or AES-256.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS_BY_KEY_SIZE:
+            raise CryptoError(
+                f"AES key must be 16/24/32 bytes, got {len(key)}"
+            )
+        self.key = bytes(key)
+        self.rounds = _ROUNDS_BY_KEY_SIZE[len(key)]
+        self._round_keys = self._expand_key(self.key, self.rounds)
+
+    # ------------------------------------------------------------------
+    # key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes, rounds: int) -> np.ndarray:
+        """Expand ``key`` into ``rounds + 1`` round keys.
+
+        Returns an array of shape ``(rounds + 1, 16)``.
+        """
+        nk = len(key) // 4
+        total_words = 4 * (rounds + 1)
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [int(SBOX[b]) for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [int(SBOX[b]) for b in temp]  # AES-256 extra SubWord
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        flat = np.array(words, dtype=np.uint8).reshape(rounds + 1, 16)
+        return flat
+
+    # ------------------------------------------------------------------
+    # bulk (vectorised) encryption
+    # ------------------------------------------------------------------
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt a batch of blocks.
+
+        ``blocks`` has shape ``(count, 16)`` (uint8) and is not modified; the
+        ciphertext batch of the same shape is returned.  All rounds run
+        across the whole batch with table gathers, which is the key to
+        acceptable pure-Python throughput.
+        """
+        state = blocks ^ self._round_keys[0]
+        mul2, mul3 = _MUL[2], _MUL[3]
+        for rnd in range(1, self.rounds):
+            state = SBOX[state]
+            state = state[:, _SHIFT_ROWS]
+            # MixColumns on the column-major flat state: bytes 4c..4c+3 form
+            # column c.
+            s = state.reshape(-1, 4, 4)
+            a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+            mixed = np.empty_like(s)
+            mixed[:, :, 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+            mixed[:, :, 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+            mixed[:, :, 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+            mixed[:, :, 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+            state = mixed.reshape(-1, 16) ^ self._round_keys[rnd]
+        state = SBOX[state]
+        state = state[:, _SHIFT_ROWS]
+        return state ^ self._round_keys[self.rounds]
+
+    def decrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Decrypt a batch of blocks of shape ``(count, 16)``."""
+        state = blocks ^ self._round_keys[self.rounds]
+        m9, m11, m13, m14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = state[:, _INV_SHIFT_ROWS]
+            state = INV_SBOX[state]
+            state = state ^ self._round_keys[rnd]
+            s = state.reshape(-1, 4, 4)
+            a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+            mixed = np.empty_like(s)
+            mixed[:, :, 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+            mixed[:, :, 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+            mixed[:, :, 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+            mixed[:, :, 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+            state = mixed.reshape(-1, 16)
+        state = state[:, _INV_SHIFT_ROWS]
+        state = INV_SBOX[state]
+        return state ^ self._round_keys[0]
+
+    # ------------------------------------------------------------------
+    # single-block convenience wrappers
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+        return self.encrypt_blocks(arr).tobytes()
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+        return self.decrypt_blocks(arr).tobytes()

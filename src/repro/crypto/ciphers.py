@@ -1,0 +1,175 @@
+"""CTR-mode keystreams and the AONT mask generator ``G``.
+
+The paper's OAEP-based AONT computes a mask ``G(h) = E(h, C)`` — AES-256
+encrypting a constant-value block ``C`` the size of the secret, keyed by the
+convergent hash ``h`` (§3.2, Eq. 3).  Encrypting a large constant buffer
+with a block cipher is counter-mode keystream generation (ECB over a
+constant would repeat blocks), so ``G`` is realised as AES-CTR over zeroes.
+
+Rivest's AONT [53] instead masks 16-byte word ``i`` with ``E(key, i)`` —
+which is *exactly keystream block i* of the same CTR stream.  The
+:class:`AesCtr` class therefore serves both transforms: bulk keystream for
+OAEP (one encryption pass over a large block) and per-block access for the
+word-by-word Rivest transform, with identical bytes either way.  This is
+what lets the Figure 5 benchmark reproduce the paper's cost comparison —
+same masks, different call granularity.
+
+Backends
+--------
+``pure``
+    The from-scratch vectorised AES in :mod:`repro.crypto.aes`.  Always
+    available; the authoritative implementation for tests.
+``openssl``
+    Delegates CTR to the host ``cryptography`` wheel (OpenSSL bindings),
+    mirroring how the paper's C++ prototype calls OpenSSL [4].  Selected by
+    default when available, because encoding-throughput experiments are
+    otherwise dominated by interpreter overhead.
+
+Both backends produce identical bytes; a property test pins them together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import AES
+from repro.errors import CryptoError, ParameterError
+
+__all__ = [
+    "AesCtr",
+    "ctr_keystream",
+    "mask_block",
+    "set_aes_backend",
+    "aes_backend_name",
+    "available_aes_backends",
+]
+
+try:  # pragma: no cover - availability depends on host environment
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    _HAVE_OPENSSL = True
+except Exception:  # pragma: no cover
+    _HAVE_OPENSSL = False
+
+_BACKEND_NAMES = ["pure"] + (["openssl"] if _HAVE_OPENSSL else [])
+_active_backend = "openssl" if _HAVE_OPENSSL else "pure"
+
+
+def available_aes_backends() -> list[str]:
+    """Names of the AES backends usable in this environment."""
+    return list(_BACKEND_NAMES)
+
+
+def aes_backend_name() -> str:
+    """Name of the currently active AES backend."""
+    return _active_backend
+
+
+def set_aes_backend(name: str) -> None:
+    """Select the AES backend (``"pure"`` or ``"openssl"``).
+
+    Raises :class:`ParameterError` for unknown or unavailable backends.
+    """
+    global _active_backend
+    if name not in _BACKEND_NAMES:
+        raise ParameterError(
+            f"unknown AES backend {name!r}; available: {_BACKEND_NAMES}"
+        )
+    _active_backend = name
+
+
+class AesCtr:
+    """AES in counter mode with a 16-byte big-endian block counter.
+
+    Keystream block ``i`` is ``E(key, i)`` where ``i`` is encoded as the
+    full 16-byte counter block — i.e. the stream starts from counter 0 with
+    no nonce.  Determinism in the key is exactly what convergent dispersal
+    requires (the "nonce" role is played by the per-secret key ``h``).
+    """
+
+    def __init__(self, key: bytes, backend: str | None = None) -> None:
+        if len(key) not in (16, 24, 32):
+            raise CryptoError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.backend = backend or _active_backend
+        if self.backend not in _BACKEND_NAMES:
+            raise ParameterError(f"unknown AES backend {self.backend!r}")
+        self._pure_cipher: AES | None = None
+
+    # ------------------------------------------------------------------
+    def _pure(self) -> AES:
+        if self._pure_cipher is None:
+            self._pure_cipher = AES(self.key)
+        return self._pure_cipher
+
+    @staticmethod
+    def _counter_blocks(start: int, count: int) -> np.ndarray:
+        blocks = np.zeros((count, 16), dtype=np.uint8)
+        idx = np.arange(start, start + count, dtype=np.uint64)
+        for byte in range(8):
+            blocks[:, 15 - byte] = (idx >> np.uint64(8 * byte)).astype(np.uint8)
+        return blocks
+
+    def keystream(self, length: int, block_offset: int = 0) -> bytes:
+        """Return ``length`` keystream bytes starting at ``block_offset``.
+
+        ``block_offset`` addresses 16-byte keystream blocks, so
+        ``keystream(16, i)`` is Rivest's per-word mask ``E(key, i)`` while
+        ``keystream(n)`` is the bulk OAEP mask — the same byte stream.
+        """
+        if length < 0:
+            raise ParameterError(f"negative keystream length {length}")
+        if block_offset < 0:
+            raise ParameterError(f"negative block offset {block_offset}")
+        if length == 0:
+            return b""
+        nblocks = -(-length // 16)
+        if self.backend == "openssl":
+            iv = int(block_offset).to_bytes(16, "big")
+            enc = Cipher(algorithms.AES(self.key), modes.CTR(iv)).encryptor()
+            return enc.update(b"\0" * (nblocks * 16))[:length]
+        stream = self._pure().encrypt_blocks(
+            self._counter_blocks(block_offset, nblocks)
+        )
+        return stream.tobytes()[:length]
+
+    def block(self, index: int) -> bytes:
+        """Keystream block ``index`` — Rivest's per-word mask ``E(key, i)``."""
+        return self.keystream(16, block_offset=index)
+
+    def word_stream(self, count: int):
+        """Yield keystream blocks 0..count-1 one encryption call at a time.
+
+        This is the faithful cost model of Rivest's AONT (§2): ``count``
+        *separate* small-block encryption operations, versus the single
+        bulk pass OAEP uses — the difference Figure 5 measures.  The bytes
+        produced equal ``keystream(16 * count)``.
+        """
+        if count < 0:
+            raise ParameterError(f"negative word count {count}")
+        if self.backend == "openssl":
+            enc = Cipher(
+                algorithms.AES(self.key), modes.CTR(b"\0" * 16)
+            ).encryptor()
+            zero = b"\0" * 16
+            for _ in range(count):
+                yield enc.update(zero)
+        else:
+            cipher = self._pure()
+            for i in range(count):
+                yield cipher.encrypt_blocks(self._counter_blocks(i, 1)).tobytes()
+
+
+def ctr_keystream(key: bytes, length: int, block_offset: int = 0) -> bytes:
+    """One-shot helper: ``AesCtr(key).keystream(length, block_offset)``."""
+    return AesCtr(key).keystream(length, block_offset)
+
+
+def mask_block(key: bytes, length: int) -> bytes:
+    """The AONT mask generator ``G(h) = E(h, C)`` of Eq. (3).
+
+    ``C`` is the constant (zero) block of ``length`` bytes; the result is
+    its AES-CTR encryption under ``key``.  Deterministic in ``(key,
+    length)``, which is what makes CAONT-RS convergent.
+    """
+    return ctr_keystream(key, length)

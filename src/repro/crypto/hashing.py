@@ -1,0 +1,67 @@
+"""SHA-256 helpers: convergent hash keys and deduplication fingerprints.
+
+The paper uses SHA-256 both as the hash function ``H`` of convergent
+dispersal (Eq. 1 and 4, §3.2) and for share fingerprints in two-stage
+deduplication (§4).  We use the stdlib ``hashlib`` implementation (SHA-256
+is available in every CPython build; no third-party dependency).
+
+Two deliberately *distinct* fingerprint domains are provided, because §3.3
+requires the server to compute its own fingerprints rather than trust the
+client's: ``fingerprint(data, domain="client")`` and ``domain="server"``
+yield unrelated values for the same share, so a stolen client fingerprint
+cannot be replayed to claim ownership of a share (the side-channel attack of
+[27, 43]).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.errors import ParameterError
+
+__all__ = ["HASH_SIZE", "sha256", "hash_key", "fingerprint", "hmac_sha256"]
+
+#: Size in bytes of all hashes/fingerprints in this library (SHA-256).
+HASH_SIZE = 32
+
+_FINGERPRINT_DOMAINS = ("client", "server")
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_key(secret: bytes, salt: bytes = b"") -> bytes:
+    """The convergent hash key ``h = H(X)`` of Eq. (1).
+
+    An optional ``salt`` scopes deduplication: all clients of one
+    organisation share a salt, so their identical secrets converge, while an
+    attacker outside the organisation cannot precompute hashes (§3.2 notes
+    the hash "optionally salted").
+    """
+    if salt:
+        return hashlib.sha256(salt + secret).digest()
+    return hashlib.sha256(secret).digest()
+
+
+def fingerprint(data: bytes, domain: str = "client") -> bytes:
+    """Deduplication fingerprint of a share or chunk.
+
+    ``domain`` selects an independent fingerprint function: the client uses
+    its own for intra-user deduplication, and the server recomputes under
+    the server domain for inter-user deduplication, exactly as §3.3
+    prescribes to stop fingerprint-replay side channels.
+    """
+    if domain not in _FINGERPRINT_DOMAINS:
+        raise ParameterError(
+            f"unknown fingerprint domain {domain!r}; expected one of "
+            f"{_FINGERPRINT_DOMAINS}"
+        )
+    return hashlib.sha256(domain.encode("ascii") + b"\x00" + data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256, used by the DRBG and by keyed-fingerprint variants."""
+    return _hmac.new(key, data, hashlib.sha256).digest()

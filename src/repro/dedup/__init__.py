@@ -1,0 +1,12 @@
+"""Deduplication primitives shared by client and server.
+
+Fingerprints (SHA-256, §4) identify shares; the client and server domains
+are deliberately independent so a client fingerprint cannot be replayed to
+the server to claim ownership of another user's share (§3.3).
+:class:`DedupStats` carries the byte accounting behind Figure 6.
+"""
+
+from repro.crypto.hashing import fingerprint
+from repro.dedup.stats import DedupStats
+
+__all__ = ["DedupStats", "fingerprint"]

@@ -1,0 +1,102 @@
+"""Byte accounting for two-stage deduplication (Figure 6).
+
+The paper defines four data types (§5.4):
+
+* **logical data** — original user bytes before encoding;
+* **logical shares** — all shares before any deduplication;
+* **transferred shares** — shares crossing the Internet after *intra-user*
+  deduplication;
+* **physical shares** — shares actually stored after *inter-user*
+  deduplication;
+
+and two savings metrics derived from them.  :class:`DedupStats` accumulates
+the four counters and computes the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DedupStats"]
+
+
+@dataclass
+class DedupStats:
+    """Running totals of the four §5.4 data types, in bytes."""
+
+    logical_data: int = 0
+    logical_shares: int = 0
+    transferred_shares: int = 0
+    physical_shares: int = 0
+    #: Secrets processed / deduplicated counts, for diagnostics.
+    secrets_total: int = 0
+    shares_total: int = 0
+    shares_transferred: int = 0
+    shares_stored: int = 0
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def intra_user_saving(self) -> float:
+        """1 - transferred/logical shares (§5.4 metric (i))."""
+        if self.logical_shares == 0:
+            return 0.0
+        return 1.0 - self.transferred_shares / self.logical_shares
+
+    @property
+    def inter_user_saving(self) -> float:
+        """1 - physical/transferred shares (§5.4 metric (ii))."""
+        if self.transferred_shares == 0:
+            return 0.0
+        return 1.0 - self.physical_shares / self.transferred_shares
+
+    @property
+    def overall_saving(self) -> float:
+        """1 - physical shares / logical shares (combined saving)."""
+        if self.logical_shares == 0:
+            return 0.0
+        return 1.0 - self.physical_shares / self.logical_shares
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical-to-physical share ratio (the §5.6 'deduplication ratio')."""
+        if self.physical_shares == 0:
+            return float("inf") if self.logical_shares else 1.0
+        return self.logical_shares / self.physical_shares
+
+    def merge(self, other: "DedupStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.logical_data += other.logical_data
+        self.logical_shares += other.logical_shares
+        self.transferred_shares += other.transferred_shares
+        self.physical_shares += other.physical_shares
+        self.secrets_total += other.secrets_total
+        self.shares_total += other.shares_total
+        self.shares_transferred += other.shares_transferred
+        self.shares_stored += other.shares_stored
+
+    def snapshot(self) -> "DedupStats":
+        """Copy of the current counters (for per-week deltas in Fig 6)."""
+        return DedupStats(
+            logical_data=self.logical_data,
+            logical_shares=self.logical_shares,
+            transferred_shares=self.transferred_shares,
+            physical_shares=self.physical_shares,
+            secrets_total=self.secrets_total,
+            shares_total=self.shares_total,
+            shares_transferred=self.shares_transferred,
+            shares_stored=self.shares_stored,
+        )
+
+    def delta(self, earlier: "DedupStats") -> "DedupStats":
+        """Counters accumulated since ``earlier`` (one backup's worth)."""
+        return DedupStats(
+            logical_data=self.logical_data - earlier.logical_data,
+            logical_shares=self.logical_shares - earlier.logical_shares,
+            transferred_shares=self.transferred_shares - earlier.transferred_shares,
+            physical_shares=self.physical_shares - earlier.physical_shares,
+            secrets_total=self.secrets_total - earlier.secrets_total,
+            shares_total=self.shares_total - earlier.shares_total,
+            shares_transferred=self.shares_transferred - earlier.shares_transferred,
+            shares_stored=self.shares_stored - earlier.shares_stored,
+        )

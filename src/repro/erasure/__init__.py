@@ -1,0 +1,11 @@
+"""Erasure-coding substrate: systematic Reed-Solomon codes and Rabin's IDA.
+
+These are the fault-tolerance building blocks of every secret-sharing scheme
+in the paper (§2): AONT-RS / CAONT-RS append Reed-Solomon parity to an AONT
+package; IDA, RSSS and SSMS disperse data with the same codes.
+"""
+
+from repro.erasure.ida import InformationDispersal
+from repro.erasure.reed_solomon import ReedSolomon
+
+__all__ = ["ReedSolomon", "InformationDispersal"]

@@ -1,0 +1,50 @@
+"""Rabin's information dispersal algorithm (IDA) [50].
+
+IDA is the r = 0 extreme of the secret-sharing spectrum in Table 1 of the
+paper: it disperses a secret into ``n`` shares of size ``len(secret)/k``
+such that any ``k`` reconstruct it, with the minimum possible storage blowup
+``n/k`` — but *no* confidentiality (each share leaks a linear projection of
+the data).
+
+Our IDA is a thin semantic wrapper over the systematic Reed-Solomon codec:
+Rabin's original construction uses any n x k matrix whose every k rows are
+invertible, and a systematic MDS generator is exactly that.  RSSS and SSMS
+(§2) both build on this primitive.
+"""
+
+from __future__ import annotations
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.errors import ParameterError
+
+__all__ = ["InformationDispersal"]
+
+
+class InformationDispersal:
+    """(n, k) information dispersal with storage blowup n/k.
+
+    ``disperse`` produces ``n`` shares; ``reconstruct`` needs any ``k`` of
+    them plus the original length (IDA pads to a multiple of ``k``).
+    """
+
+    def __init__(self, n: int, k: int, matrix: str = "vandermonde") -> None:
+        if not 0 < k <= n:
+            raise ParameterError(f"require 0 < k <= n, got (n={n}, k={k})")
+        self.n = n
+        self.k = k
+        self._rs = ReedSolomon(n, k, matrix=matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InformationDispersal(n={self.n}, k={self.k})"
+
+    def share_size(self, data_size: int) -> int:
+        """Size in bytes of each share for a ``data_size``-byte input."""
+        return self._rs.piece_size(data_size)
+
+    def disperse(self, data: bytes) -> list[bytes]:
+        """Split ``data`` into ``n`` shares, any ``k`` of which suffice."""
+        return self._rs.encode(data)
+
+    def reconstruct(self, shares: dict[int, bytes], data_size: int) -> bytes:
+        """Rebuild the original ``data_size`` bytes from any ``k`` shares."""
+        return self._rs.decode(shares, data_size=data_size)

@@ -1,0 +1,186 @@
+"""Systematic Reed-Solomon erasure coding over GF(2^8).
+
+Implements the (n, k) maximum-distance-separable code used by AONT-RS and
+CAONT-RS (§2, §3.2): data is split into ``k`` equal-size pieces, ``n - k``
+parity pieces are appended, and *any* ``k`` of the ``n`` pieces reconstruct
+the original data.  The code is systematic — the first ``k`` output pieces
+are the input pieces verbatim — which is what lets deduplication observe
+identical shares for identical secrets.
+
+Two generator-matrix constructions are available (``matrix="vandermonde"``
+per Plank's tutorial [46,47], or ``matrix="cauchy"`` per Blomer et al. [17]);
+both are MDS and interchangeable on the wire as long as encode and decode
+agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError, ParameterError
+from repro.gf.matrix import (
+    gf_mat_inv,
+    gf_mat_vec,
+    systematic_cauchy_matrix,
+    systematic_vandermonde_matrix,
+)
+
+__all__ = ["ReedSolomon"]
+
+_CONSTRUCTIONS = {
+    "vandermonde": systematic_vandermonde_matrix,
+    "cauchy": systematic_cauchy_matrix,
+}
+
+
+class ReedSolomon:
+    """A systematic (n, k) Reed-Solomon codec.
+
+    Parameters
+    ----------
+    n:
+        Total number of coded pieces (one per cloud in CDStore).
+    k:
+        Number of pieces sufficient (and necessary) for reconstruction.
+    matrix:
+        Generator-matrix construction, ``"vandermonde"`` (default) or
+        ``"cauchy"``.
+
+    The codec is stateless after construction and safe to share across
+    threads; encode/decode allocate fresh output arrays.
+    """
+
+    def __init__(self, n: int, k: int, matrix: str = "vandermonde") -> None:
+        if not 0 < k <= n:
+            raise ParameterError(f"require 0 < k <= n, got (n={n}, k={k})")
+        if n > 255:
+            raise ParameterError(f"GF(256) supports n <= 255, got n={n}")
+        try:
+            construction = _CONSTRUCTIONS[matrix]
+        except KeyError:
+            raise ParameterError(
+                f"unknown matrix construction {matrix!r}; "
+                f"expected one of {sorted(_CONSTRUCTIONS)}"
+            ) from None
+        self.n = n
+        self.k = k
+        self.matrix_name = matrix
+        self.generator = construction(n, k)
+        # Cache of decode matrices keyed by the tuple of piece indices used.
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReedSolomon(n={self.n}, k={self.k}, matrix={self.matrix_name!r})"
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def piece_size(self, data_size: int) -> int:
+        """Size of each coded piece for a ``data_size``-byte input."""
+        return -(-data_size // self.k)  # ceil division
+
+    def encode(self, data: bytes | np.ndarray) -> list[bytes]:
+        """Encode ``data`` into ``n`` pieces of equal size.
+
+        ``data`` is padded with zeroes to a multiple of ``k`` bytes; callers
+        that need exact-size recovery must remember the original length
+        (CDStore stores the secret size in share metadata, §4.3).
+        """
+        matrix_rows = self.encode_array(data)
+        return [row.tobytes() for row in matrix_rows]
+
+    def encode_array(self, data: bytes | np.ndarray) -> np.ndarray:
+        """Encode and return a ``(n, piece_size)`` uint8 array.
+
+        Exploits the systematic structure: the top ``k`` output rows are
+        the input pieces verbatim, so only the ``n - k`` parity rows incur
+        Galois arithmetic.
+        """
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else np.asarray(data, dtype=np.uint8)
+        size = self.piece_size(buf.size)
+        if size * self.k != buf.size:
+            padded = np.zeros(size * self.k, dtype=np.uint8)
+            padded[: buf.size] = buf
+            buf = padded
+        pieces = buf.reshape(self.k, size)
+        out = np.empty((self.n, size), dtype=np.uint8)
+        out[: self.k] = pieces
+        if self.n > self.k:
+            out[self.k :] = gf_mat_vec(self.generator[self.k :], pieces)
+        return out
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _decode_matrix(self, indices: tuple[int, ...]) -> np.ndarray:
+        matrix = self._decode_cache.get(indices)
+        if matrix is None:
+            sub = self.generator[list(indices)]
+            matrix = gf_mat_inv(sub)
+            self._decode_cache[indices] = matrix
+        return matrix
+
+    def decode(
+        self,
+        pieces: dict[int, bytes] | list[tuple[int, bytes]],
+        data_size: int | None = None,
+    ) -> bytes:
+        """Reconstruct the original data from any ``k`` pieces.
+
+        Parameters
+        ----------
+        pieces:
+            Mapping (or list of pairs) from piece index (0-based, < n) to
+            piece bytes.  At least ``k`` entries are required; extras are
+            ignored deterministically (lowest indices win).
+        data_size:
+            If given, the output is truncated to this many bytes (stripping
+            encode-time padding).
+        """
+        items = dict(pieces)
+        if len(items) < self.k:
+            raise CodingError(
+                f"need at least k={self.k} pieces to decode, got {len(items)}"
+            )
+        chosen = sorted(items)[: self.k]
+        for idx in chosen:
+            if not 0 <= idx < self.n:
+                raise ParameterError(f"piece index {idx} outside [0, {self.n})")
+        sizes = {len(items[idx]) for idx in chosen}
+        if len(sizes) != 1:
+            raise CodingError(f"pieces have inconsistent sizes: {sorted(sizes)}")
+        stacked = np.stack(
+            [np.frombuffer(items[idx], dtype=np.uint8) for idx in chosen]
+        )
+        # Fast path: if we hold the k systematic pieces, no matrix math at all.
+        if chosen == list(range(self.k)):
+            data = stacked.reshape(-1)
+        else:
+            matrix = self._decode_matrix(tuple(chosen))
+            data = gf_mat_vec(matrix, stacked).reshape(-1)
+        out = data.tobytes()
+        if data_size is not None:
+            if data_size > len(out):
+                raise CodingError(
+                    f"data_size {data_size} exceeds decoded size {len(out)}"
+                )
+            out = out[:data_size]
+        return out
+
+    def reconstruct_pieces(
+        self,
+        pieces: dict[int, bytes],
+        missing: list[int],
+    ) -> dict[int, bytes]:
+        """Rebuild lost pieces from any ``k`` survivors (repair path, §3.1).
+
+        Returns a mapping from each index in ``missing`` to its regenerated
+        piece.  This is how CDStore rebuilds shares lost to a cloud failure
+        after reconstructing secrets.
+        """
+        data = self.decode(pieces)
+        full = self.encode(data)
+        for idx in missing:
+            if not 0 <= idx < self.n:
+                raise ParameterError(f"piece index {idx} outside [0, {self.n})")
+        return {idx: full[idx] for idx in missing}

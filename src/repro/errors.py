@@ -1,0 +1,56 @@
+"""Exception hierarchy for the CDStore reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.  Subsystems raise the most specific
+subclass that describes the failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid parameter was supplied (e.g. bad (n, k, r) combination)."""
+
+
+class CodingError(ReproError):
+    """An erasure-coding operation failed (e.g. not enough shares)."""
+
+
+class IntegrityError(ReproError):
+    """Decoded data failed an integrity check (canary or embedded hash)."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key size, corrupt input...)."""
+
+
+class StorageError(ReproError):
+    """A storage backend or container operation failed."""
+
+
+class NotFoundError(StorageError, KeyError):
+    """A requested object (file, share, container, key) does not exist."""
+
+
+class CloudError(ReproError):
+    """A simulated cloud provider rejected or failed an operation."""
+
+
+class CloudUnavailableError(CloudError):
+    """The simulated cloud is offline (injected outage)."""
+
+
+class InsufficientCloudsError(CloudError):
+    """Fewer than ``k`` clouds are reachable; data cannot be reconstructed."""
+
+
+class ProtocolError(ReproError):
+    """Client/server exchanged malformed or unexpected messages."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured."""

@@ -1,0 +1,52 @@
+"""Galois-field GF(2^8) arithmetic substrate.
+
+The paper accelerates Reed-Solomon coding with GF-Complete [48]; this package
+provides the equivalent software substrate: log/exp-table arithmetic over
+GF(2^8) with numpy-vectorised bulk kernels, plus dense matrix algebra
+(multiplication, Gauss-Jordan inversion, Vandermonde and Cauchy builders)
+used by the erasure codes and secret-sharing schemes.
+"""
+
+from repro.gf.gf256 import (
+    GF256,
+    gf_add,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_mul,
+    gf_mul_bytes,
+    gf_poly_eval,
+    gf_pow,
+)
+from repro.gf.matrix import (
+    cauchy_matrix,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mat_vec,
+    identity_matrix,
+    systematic_cauchy_matrix,
+    systematic_vandermonde_matrix,
+    vandermonde_matrix,
+)
+
+__all__ = [
+    "GF256",
+    "gf_add",
+    "gf_div",
+    "gf_exp",
+    "gf_inv",
+    "gf_log",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_poly_eval",
+    "gf_pow",
+    "cauchy_matrix",
+    "gf_mat_inv",
+    "gf_mat_mul",
+    "gf_mat_vec",
+    "identity_matrix",
+    "systematic_cauchy_matrix",
+    "systematic_vandermonde_matrix",
+    "vandermonde_matrix",
+]

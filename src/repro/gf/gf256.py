@@ -1,0 +1,200 @@
+"""Arithmetic over the finite field GF(2^8).
+
+This is the workhorse substrate for Reed-Solomon coding (§3.2 of the paper),
+Rabin's IDA, and the ramp/Shamir secret-sharing schemes.  The paper uses
+GF-Complete [48] for SIMD Galois arithmetic; here we use the classic
+log/exp-table technique with numpy table-gather kernels for bulk operations,
+which is the same algorithm GF-Complete accelerates.
+
+The field is GF(2^8) = GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the
+primitive polynomial ``0x11D`` commonly used by storage erasure codes
+(Plank's tutorial [46,47]).  The generator is ``x`` (0x02).
+
+Two calling styles are supported:
+
+* module-level functions (``gf_mul``, ``gf_div``...) operating on Python ints
+  and numpy arrays, and
+* the :class:`GF256` namespace object for callers that prefer an explicit
+  field handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+PRIMITIVE_POLY = 0x11D
+
+#: Order of the multiplicative group.
+GROUP_ORDER = 255
+
+#: Field size.
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build the exp/log tables for GF(2^8) under ``PRIMITIVE_POLY``.
+
+    ``exp[i] = g^i`` for i in [0, 509] (doubled so that products of logs can
+    be looked up without a modular reduction), and ``log[exp[i]] = i`` for
+    i in [0, 254].  ``log[0]`` is set to a sentinel that is never read by
+    correct code paths.
+    """
+    exp = np.zeros(2 * GROUP_ORDER, dtype=np.int32)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    x = 1
+    for i in range(GROUP_ORDER):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    exp[GROUP_ORDER:] = exp[:GROUP_ORDER]
+    log[0] = -1  # sentinel; multiplication by zero is special-cased
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+#: 256x256 full multiplication table; ~64 KB, used for fast scalar-vector
+#: products in the erasure kernels (one row gather per coefficient).
+_MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+for _a in range(1, FIELD_SIZE):
+    _log_a = _LOG[_a]
+    _MUL_TABLE[_a, 1:] = _EXP[_log_a + _LOG[1:]].astype(np.uint8)
+del _a, _log_a
+
+
+def gf_add(a, b):
+    """Field addition (and subtraction): XOR.
+
+    Works on ints and numpy arrays alike.
+    """
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements (scalars)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_pow(a: int, power: int) -> int:
+    """Raise field element ``a`` to an integer power (may be negative)."""
+    if a == 0:
+        if power == 0:
+            return 1
+        if power < 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse in GF(256)")
+        return 0
+    exponent = (_LOG[a] * power) % GROUP_ORDER
+    return int(_EXP[exponent])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises on ``a == 0``."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(256)")
+    return int(_EXP[GROUP_ORDER - _LOG[a]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b`` in the field."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] - _LOG[b]) % GROUP_ORDER])
+
+
+def gf_exp(i: int) -> int:
+    """Return ``g^i`` for the field generator g = 0x02."""
+    return int(_EXP[i % GROUP_ORDER])
+
+
+def gf_log(a: int) -> int:
+    """Discrete log base g of a nonzero field element."""
+    if a == 0:
+        raise ZeroDivisionError("log(0) is undefined in GF(256)")
+    return int(_LOG[a])
+
+
+def gf_mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by the scalar ``coeff``.
+
+    This is the inner kernel of Reed-Solomon encoding: one gather from the
+    precomputed 256x256 multiplication table.  ``data`` must be a uint8
+    array; a new array is returned.
+    """
+    if not 0 <= coeff < FIELD_SIZE:
+        raise ParameterError(f"coefficient {coeff} outside GF(256)")
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    return _MUL_TABLE[coeff][data]
+
+
+def gf_mul_bytes_into(coeff: int, data: np.ndarray, out: np.ndarray) -> None:
+    """XOR ``coeff * data`` into ``out`` in place (multiply-accumulate)."""
+    if coeff == 0:
+        return
+    if coeff == 1:
+        np.bitwise_xor(out, data, out=out)
+        return
+    np.bitwise_xor(out, _MUL_TABLE[coeff][data], out=out)
+
+
+def gf_poly_eval(coeffs: list[int] | np.ndarray, x: int) -> int:
+    """Evaluate a polynomial with coefficients in GF(256) at point ``x``.
+
+    ``coeffs[0]`` is the constant term (ascending order), matching the
+    secret-sharing convention where the constant term carries the secret.
+    Uses Horner's rule.
+    """
+    result = 0
+    for coeff in reversed(list(coeffs)):
+        result = gf_mul(result, x) ^ int(coeff)
+    return result
+
+
+def gf_poly_eval_bytes(coeff_rows: np.ndarray, x: int) -> np.ndarray:
+    """Evaluate many polynomials (one per column) at ``x`` simultaneously.
+
+    ``coeff_rows`` has shape ``(degree + 1, width)``: row ``i`` holds the
+    degree-``i`` coefficients of ``width`` independent polynomials.  Returns
+    a uint8 array of length ``width``.  This vectorises Shamir share
+    generation across a whole secret at once.
+    """
+    result = np.zeros(coeff_rows.shape[1], dtype=np.uint8)
+    for row in coeff_rows[::-1]:
+        result = gf_mul_bytes(x, result)
+        np.bitwise_xor(result, row, out=result)
+    return result
+
+
+class GF256:
+    """Namespace handle over GF(2^8) arithmetic.
+
+    All methods are static delegations to the module-level kernels; the class
+    exists so call sites can pass "the field" around explicitly and so tests
+    can enumerate field axioms against one object.
+    """
+
+    order = FIELD_SIZE
+    primitive_poly = PRIMITIVE_POLY
+
+    add = staticmethod(gf_add)
+    sub = staticmethod(gf_add)  # characteristic 2: subtraction == addition
+    mul = staticmethod(gf_mul)
+    div = staticmethod(gf_div)
+    inv = staticmethod(gf_inv)
+    pow = staticmethod(gf_pow)
+    exp = staticmethod(gf_exp)
+    log = staticmethod(gf_log)
+    mul_bytes = staticmethod(gf_mul_bytes)
+    mul_bytes_into = staticmethod(gf_mul_bytes_into)
+    poly_eval = staticmethod(gf_poly_eval)

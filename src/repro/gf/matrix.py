@@ -1,0 +1,182 @@
+"""Dense matrix algebra over GF(2^8).
+
+Provides the matrix kernels the erasure codes are built on: multiplication,
+Gauss-Jordan inversion, and the Vandermonde / Cauchy generator-matrix
+constructions used to derive *systematic* Reed-Solomon codes (the paper's
+CAONT-RS uses a systematic code so that the first ``k`` shares are the
+original CAONT package pieces, §2).
+
+Matrices are numpy uint8 arrays of shape ``(rows, cols)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError, ParameterError
+from repro.gf.gf256 import FIELD_SIZE, gf_div, gf_inv, gf_mul, gf_pow
+
+__all__ = [
+    "identity_matrix",
+    "gf_mat_mul",
+    "gf_mat_vec",
+    "gf_mat_inv",
+    "vandermonde_matrix",
+    "systematic_vandermonde_matrix",
+    "cauchy_matrix",
+    "systematic_cauchy_matrix",
+]
+
+
+def identity_matrix(size: int) -> np.ndarray:
+    """Return the ``size`` x ``size`` identity matrix over GF(256)."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def gf_mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two GF(256) matrices.
+
+    Shapes follow ordinary matrix multiplication: ``(m, p) @ (p, n)``.
+    Implemented as per-entry log/exp products accumulated with XOR; the
+    matrices involved here are tiny (at most ~20x20), so clarity wins over
+    blocking tricks.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ParameterError(f"incompatible shapes {a.shape} x {b.shape}")
+    rows, inner = a.shape
+    cols = b.shape[1]
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+            out[i, j] = acc
+    return out
+
+
+def gf_mat_vec(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Apply ``matrix`` to a stack of data rows.
+
+    ``data`` has shape ``(k, width)``: ``k`` input pieces of ``width`` bytes
+    each.  Returns ``(rows, width)`` where row ``i`` is the GF-linear
+    combination of the inputs given by matrix row ``i``.  This is the bulk
+    path used by Reed-Solomon encode/decode, vectorised with the 256x256
+    multiplication table.
+    """
+    from repro.gf.gf256 import gf_mul_bytes_into
+
+    if matrix.shape[1] != data.shape[0]:
+        raise ParameterError(
+            f"matrix cols {matrix.shape[1]} != data rows {data.shape[0]}"
+        )
+    rows = matrix.shape[0]
+    out = np.zeros((rows, data.shape[1]), dtype=np.uint8)
+    for i in range(rows):
+        for t in range(matrix.shape[1]):
+            gf_mul_bytes_into(int(matrix[i, t]), data[t], out[i])
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss-Jordan elimination.
+
+    Raises :class:`CodingError` if the matrix is singular (which, for
+    Reed-Solomon decode matrices, means the chosen shares cannot reconstruct
+    the data — callers translate this into share-selection retries).
+    """
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ParameterError(f"matrix {matrix.shape} is not square")
+    work = matrix.astype(np.int32).copy()
+    inv = np.eye(size, dtype=np.int32)
+    for col in range(size):
+        # Find a pivot at or below the diagonal.
+        pivot = -1
+        for row in range(col, size):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot < 0:
+            raise CodingError("singular matrix over GF(256)")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        # Scale pivot row so the diagonal entry becomes 1.
+        scale = gf_inv(int(work[col, col]))
+        for j in range(size):
+            work[col, j] = gf_mul(int(work[col, j]), scale)
+            inv[col, j] = gf_mul(int(inv[col, j]), scale)
+        # Eliminate the column from every other row.
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(size):
+                work[row, j] ^= gf_mul(factor, int(work[col, j]))
+                inv[row, j] ^= gf_mul(factor, int(inv[col, j]))
+    return inv.astype(np.uint8)
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """Return the ``rows`` x ``cols`` Vandermonde matrix ``V[i, j] = i^j``.
+
+    Uses evaluation points 0, 1, ..., rows-1 with the convention
+    ``0^0 = 1``.  Any ``cols`` rows of this matrix are linearly independent
+    provided ``rows <= FIELD_SIZE``, which is what Reed-Solomon relies on.
+    """
+    if rows > FIELD_SIZE:
+        raise ParameterError(f"at most {FIELD_SIZE} rows supported, got {rows}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i, j) if i else (1 if j == 0 else 0)
+    return out
+
+
+def systematic_vandermonde_matrix(n: int, k: int) -> np.ndarray:
+    """Build an ``n`` x ``k`` systematic generator matrix from Vandermonde.
+
+    Column-reduces the ``n x k`` Vandermonde matrix so its top ``k`` rows
+    become the identity (Plank's construction [46,47]).  The resulting code
+    is MDS: any ``k`` of the ``n`` output rows are invertible, and the first
+    ``k`` outputs equal the inputs (systematic property CAONT-RS needs).
+    """
+    if not 0 < k <= n <= FIELD_SIZE:
+        raise ParameterError(f"invalid (n={n}, k={k}) for GF(256)")
+    vand = vandermonde_matrix(n, k)
+    top_inv = gf_mat_inv(vand[:k])
+    return gf_mat_mul(vand, top_inv)
+
+
+def cauchy_matrix(xs: list[int], ys: list[int]) -> np.ndarray:
+    """Return the Cauchy matrix ``C[i, j] = 1 / (xs[i] + ys[j])``.
+
+    ``xs`` and ``ys`` must be disjoint lists of distinct field elements.
+    Every square submatrix of a Cauchy matrix is invertible, which makes it
+    an alternative MDS construction (used by Blomer et al. [17]).
+    """
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise ParameterError("Cauchy points must be distinct")
+    if set(xs) & set(ys):
+        raise ParameterError("Cauchy xs and ys must be disjoint")
+    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = gf_div(1, x ^ y)
+    return out
+
+
+def systematic_cauchy_matrix(n: int, k: int) -> np.ndarray:
+    """Build an ``n`` x ``k`` systematic MDS generator matrix via Cauchy.
+
+    The top ``k`` rows are the identity; the bottom ``n - k`` rows are the
+    Cauchy matrix on points ``xs = {k..n-1}``, ``ys = {0..k-1}`` mapped into
+    the field.  Any ``k`` rows remain invertible.
+    """
+    if not 0 < k <= n or n - k + k > FIELD_SIZE:
+        raise ParameterError(f"invalid (n={n}, k={k}) for GF(256)")
+    if n == k:
+        return identity_matrix(k)
+    parity = cauchy_matrix(list(range(k, n)), list(range(k)))
+    return np.vstack([identity_matrix(k), parity])

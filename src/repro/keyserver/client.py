@@ -1,0 +1,96 @@
+"""Client-side blind key derivation.
+
+Derivation of the convergent key for chunk ``X``:
+
+1. ``x = FDH(salt || X)`` — full-domain hash into the RSA group;
+2. pick random ``r``; send ``x · r^e mod N`` to the key server;
+3. receive ``s' = (x · r^e)^d = x^d · r mod N``;
+4. unblind: ``s = s' · r⁻¹ = x^d mod N``;
+5. verify ``s^e == x mod N`` (an actively-misbehaving server is caught);
+6. key = SHA-256(s).
+
+``s`` depends only on the chunk (and the server's key), so two clients of
+the same organisation derive the *same* key for the same chunk — exactly
+the determinism deduplication needs — yet nobody can compute it offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.crypto.drbg import DRBG, system_random_bytes
+from repro.errors import CryptoError
+from repro.keyserver.rsa import full_domain_hash
+from repro.keyserver.server import KeyServer
+
+__all__ = ["KeyClient"]
+
+
+class KeyClient:
+    """Derives chunk keys through a :class:`KeyServer`.
+
+    Parameters
+    ----------
+    client_id:
+        Identity presented to the server (rate-limit principal).
+    server:
+        The key server (direct reference; the transport is out of scope).
+    salt:
+        Organisation-wide salt mixed into the hash, scoping deduplication
+        exactly as CAONT-RS's salted hash does.
+    rng:
+        Optional deterministic RNG for reproducible blinding in tests.
+    cache_size:
+        Derived keys are memoised (by chunk hash) so re-uploads of known
+        chunks spend no server budget.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        server: KeyServer,
+        salt: bytes = b"",
+        rng: DRBG | None = None,
+        cache_size: int = 4096,
+    ) -> None:
+        self.client_id = client_id
+        self.server = server
+        self.salt = bytes(salt)
+        self._rng = rng
+        self._cache: dict[bytes, bytes] = {}
+        self._cache_size = cache_size
+        self.derivations = 0
+
+    def _random_below(self, n: int) -> int:
+        nbytes = (n.bit_length() + 7) // 8
+        while True:
+            raw = (
+                self._rng.random_bytes(nbytes)
+                if self._rng is not None
+                else system_random_bytes(nbytes)
+            )
+            value = int.from_bytes(raw, "big")
+            if 1 < value < n and math.gcd(value, n) == 1:
+                return value
+
+    def derive_key(self, chunk: bytes) -> bytes:
+        """Derive the 32-byte convergent key for ``chunk``."""
+        digest = hashlib.sha256(self.salt + chunk).digest()
+        cached = self._cache.get(digest)
+        if cached is not None:
+            return cached
+        n, e = self.server.public_key
+        x = full_domain_hash(self.salt + chunk, n)
+        r = self._random_below(n)
+        blinded = x * pow(r, e, n) % n
+        signed = self.server.sign_blinded(self.client_id, blinded)
+        s = signed * pow(r, -1, n) % n
+        if pow(s, e, n) != x:
+            raise CryptoError("key server returned an invalid signature")
+        key = hashlib.sha256(s.to_bytes((n.bit_length() + 7) // 8, "big")).digest()
+        if len(self._cache) >= self._cache_size:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[digest] = key
+        self.derivations += 1
+        return key

@@ -1,0 +1,65 @@
+"""Server-aided CAONT-RS (§3.2's "more sophisticated key" variant).
+
+Identical to CAONT-RS except the AONT key is the key-server-derived value
+rather than ``H(X)``.  Deduplication is preserved (the derived key is
+deterministic per chunk, organisation-wide); offline brute force is not
+possible without the key server.
+
+Integrity: plain CAONT-RS verifies ``H(X) == h`` after decoding.  Here
+the key is not a hash of the secret, so the codec appends a canary block
+to the secret before the transform and checks it on decode — corruption
+is still detected without contacting the key server (restores must work
+while the key server is down, which is the whole availability argument).
+"""
+
+from __future__ import annotations
+
+from repro.core.aont import CANARY, CANARY_SIZE, oaep_aont_decode, oaep_aont_encode
+from repro.core.package_codec import PackageRSCodec
+from repro.crypto.hashing import HASH_SIZE
+from repro.errors import IntegrityError
+from repro.keyserver.client import KeyClient
+
+__all__ = ["ServerAidedCAONTRS"]
+
+
+class ServerAidedCAONTRS(PackageRSCodec):
+    """(n, k) CAONT-RS keyed by a DupLESS-style key server."""
+
+    name = "caont-rs-server-aided"
+    deterministic = True
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        key_client: KeyClient,
+        rs_matrix: str = "vandermonde",
+    ) -> None:
+        super().__init__(n, k, rs_matrix=rs_matrix)
+        self.key_client = key_client
+
+    # ------------------------------------------------------------------
+    def _padded_secret_size(self, secret_size: int) -> int:
+        """Pad X + canary so the package divides evenly into k pieces."""
+        body = secret_size + CANARY_SIZE
+        return body + (-(body + HASH_SIZE)) % self.k
+
+    def _package_size(self, secret_size: int) -> int:
+        return self._padded_secret_size(secret_size) + HASH_SIZE
+
+    def _make_package(self, secret: bytes) -> bytes:
+        key = self.key_client.derive_key(secret)
+        body = secret + CANARY
+        body += b"\0" * (self._padded_secret_size(len(secret)) - len(body))
+        return oaep_aont_encode(body, key)
+
+    def _open_package(self, package: bytes, secret_size: int) -> bytes:
+        body, _key = oaep_aont_decode(package)
+        secret = body[:secret_size]
+        canary = body[secret_size : secret_size + CANARY_SIZE]
+        if canary != CANARY:
+            raise IntegrityError(
+                "server-aided caont-rs: canary mismatch, decoded secret corrupt"
+            )
+        return secret

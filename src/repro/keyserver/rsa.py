@@ -1,0 +1,138 @@
+"""RSA primitives and blind signatures, from scratch.
+
+Implements exactly what the DupLESS-style key server needs:
+
+* probabilistic prime generation (Miller-Rabin with 40 rounds);
+* RSA key generation with ``e = 65537``;
+* raw ("textbook") RSA signing of *already-hashed, blinded* values — safe
+  here because the only thing ever signed is a full-domain-hashed chunk
+  digest, and blinding randomises the server's view;
+* the blind/unblind algebra: ``blind(x) = x·r^e mod N``,
+  ``unblind(s') = s'·r⁻¹ mod N``, giving ``s = x^d mod N`` without the
+  server learning ``x``.
+
+Keys default to 1024 bits: the goal of this module is protocol fidelity
+inside a simulation, not production cryptography, and pure-Python keygen
+cost grows steeply with size (2048-bit keys work, just slower).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DRBG, system_random_bytes
+from repro.errors import CryptoError, ParameterError
+
+__all__ = ["RSAKeyPair", "generate_keypair", "full_domain_hash"]
+
+_MR_ROUNDS = 40
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def _is_probable_prime(n: int, rng) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MR_ROUNDS):
+        a = 2 + rng.randint(0, n - 4)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng) -> int:
+    """Random prime with the top two bits set (ensures full modulus size)."""
+    while True:
+        candidate = int.from_bytes(rng.random_bytes(bits // 8), "big")
+        candidate |= 1 << (bits - 1) | 1 << (bits - 2) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+class _SystemRng:
+    """Adapter exposing the DRBG interface over OS randomness."""
+
+    @staticmethod
+    def random_bytes(length: int) -> bytes:
+        return system_random_bytes(length)
+
+    @staticmethod
+    def randint(low: int, high: int) -> int:
+        span = high - low + 1
+        nbytes = (span - 1).bit_length() // 8 + 1
+        while True:
+            value = int.from_bytes(system_random_bytes(nbytes), "big")
+            if value < (256**nbytes // span) * span:
+                return low + value % span
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key: public (n, e) and private exponent d."""
+
+    n: int
+    e: int
+    d: int
+    bits: int
+
+    @property
+    def public(self) -> tuple[int, int]:
+        return self.n, self.e
+
+    # ------------------------------------------------------------------
+    def sign_raw(self, value: int) -> int:
+        """Raw RSA signature ``value^d mod n`` (only for blinded FDH values)."""
+        if not 0 < value < self.n:
+            raise CryptoError("value outside RSA modulus range")
+        return pow(value, self.d, self.n)
+
+    def verify_raw(self, value: int, signature: int) -> bool:
+        """Check ``signature^e == value mod n``."""
+        return pow(signature, self.e, self.n) == value % self.n
+
+
+def generate_keypair(bits: int = 1024, rng: DRBG | None = None) -> RSAKeyPair:
+    """Generate an RSA keypair with ``e = 65537``."""
+    if bits < 512 or bits % 2:
+        raise ParameterError(f"RSA size must be an even number >= 512, got {bits}")
+    source = rng if rng is not None else _SystemRng()
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, source)
+        q = _random_prime(bits // 2, source)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        lam = (p - 1) * (q - 1)
+        if lam % e == 0:
+            continue
+        d = pow(e, -1, lam)
+        return RSAKeyPair(n=n, e=e, d=d, bits=bits)
+
+
+def full_domain_hash(data: bytes, n: int) -> int:
+    """Hash ``data`` to an integer in [1, n) (counter-mode FDH)."""
+    nbytes = (n.bit_length() + 7) // 8 + 8
+    stream = b"".join(
+        hashlib.sha256(b"FDH" + i.to_bytes(4, "big") + data).digest()
+        for i in range(-(-nbytes // 32))
+    )
+    return int.from_bytes(stream[:nbytes], "big") % (n - 1) + 1

@@ -1,0 +1,111 @@
+"""The rate-limited key server (DupLESS [9] role).
+
+The server holds the RSA private key and signs *blinded* values for
+authenticated clients.  Two properties carry the security argument:
+
+* **obliviousness** — blinding means the server learns nothing about the
+  chunks whose keys it derives, so a compromised key server alone reveals
+  no data;
+* **rate limiting** — each client spends from a token bucket per epoch;
+  an insider mounting an online dictionary attack is throttled to the
+  bucket rate, and an outsider cannot derive keys at all (offline guesses
+  require the private exponent).
+
+The clock is injectable so tests and simulations control epoch roll-over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CryptoError, ReproError
+from repro.keyserver.rsa import RSAKeyPair, generate_keypair
+
+__all__ = ["KeyServer", "RateLimitError"]
+
+
+class RateLimitError(ReproError):
+    """The client exhausted its key-derivation budget for this epoch."""
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    updated: float = field(default=0.0)
+
+
+class KeyServer:
+    """Blind-signing key server with per-client token buckets.
+
+    Parameters
+    ----------
+    keypair:
+        RSA keypair; generated fresh when omitted.
+    rate_per_second:
+        Token refill rate per client.  DupLESS throttles bursts while
+        keeping legitimate backup throughput unharmed; defaults here are
+        sized for tests.
+    burst:
+        Bucket capacity (maximum burst of derivations).
+    clock:
+        Time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        keypair: RSAKeyPair | None = None,
+        rate_per_second: float = 100.0,
+        burst: int = 200,
+        clock=time.monotonic,
+    ) -> None:
+        self.keypair = keypair if keypair is not None else generate_keypair()
+        self.rate = float(rate_per_second)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, _Bucket] = {}
+        self.requests_served = 0
+        self.requests_throttled = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def public_key(self) -> tuple[int, int]:
+        """The (n, e) clients blind against."""
+        return self.keypair.public
+
+    def _take_token(self, client_id: str) -> bool:
+        now = self._clock()
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = _Bucket(tokens=self.burst, updated=now)
+            self._buckets[client_id] = bucket
+        bucket.tokens = min(self.burst, bucket.tokens + (now - bucket.updated) * self.rate)
+        bucket.updated = now
+        if bucket.tokens < 1.0:
+            return False
+        bucket.tokens -= 1.0
+        return True
+
+    def sign_blinded(self, client_id: str, blinded: int) -> int:
+        """Sign a blinded value for ``client_id`` (one token).
+
+        Raises :class:`RateLimitError` when the bucket is dry — the
+        defence against online brute force.
+        """
+        if not self._take_token(client_id):
+            self.requests_throttled += 1
+            raise RateLimitError(
+                f"client {client_id!r} exceeded the key-derivation rate"
+            )
+        if not 0 < blinded < self.keypair.n:
+            raise CryptoError("blinded value outside modulus range")
+        self.requests_served += 1
+        return self.keypair.sign_raw(blinded)
+
+    def remaining_budget(self, client_id: str) -> float:
+        """Tokens currently available to ``client_id`` (diagnostics)."""
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            return self.burst
+        now = self._clock()
+        return min(self.burst, bucket.tokens + (now - bucket.updated) * self.rate)

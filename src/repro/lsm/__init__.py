@@ -1,0 +1,25 @@
+"""LSM-tree key-value store — the LevelDB [26] substitute of §4.4.
+
+CDStore servers keep their file and share indices in LevelDB, which
+"maintains key-value pairs in a log-structured merge (LSM) tree [44],
+supports fast random inserts, updates, and deletes, and uses a Bloom filter
+[18] and a block cache to speed up lookups".  This package implements that
+structure from scratch:
+
+* :mod:`repro.lsm.wal` — write-ahead log for crash durability;
+* :mod:`repro.lsm.memtable` — the in-memory sorted buffer;
+* :mod:`repro.lsm.sstable` — immutable sorted-string-table files with
+  per-table bloom filters and block index;
+* :mod:`repro.lsm.bloom` — the bloom filter;
+* :mod:`repro.lsm.cache` — an LRU block cache;
+* :mod:`repro.lsm.db` — the :class:`LSMStore` façade tying them together
+  (get/put/delete/scan, flush, compaction, snapshots, reopen-recovery).
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import LRUCache
+from repro.lsm.db import LSMStore
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import SSTable
+
+__all__ = ["BloomFilter", "LRUCache", "LSMStore", "MemTable", "SSTable"]

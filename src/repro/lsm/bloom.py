@@ -1,0 +1,95 @@
+"""Bloom filter [18] used by SSTables to short-circuit lookups.
+
+A standard k-hash bloom filter over a bit array, with the double-hashing
+technique (two SHA-256-derived base hashes combined as ``h1 + i * h2``)
+that provably preserves the asymptotic false-positive rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Bloom filter sized for ``capacity`` items at ``fp_rate`` error.
+
+    Supports serialisation so SSTables can persist their filters.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity <= 0:
+            raise ParameterError(f"capacity must be positive, got {capacity}")
+        if not 0 < fp_rate < 1:
+            raise ParameterError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        nbits = max(8, int(-capacity * math.log(fp_rate) / math.log(2) ** 2))
+        self.num_bits = nbits
+        self.num_hashes = max(1, round(nbits / capacity * math.log(2)))
+        self._bits = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _positions(self, key: bytes) -> list[int]:
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] >> (pos & 7) & 1 for pos in self._positions(key)
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise (header + bit array)."""
+        header = struct.pack(
+            ">QQdQ", self.capacity, self.num_bits, self.fp_rate, self._count
+        )
+        return header + self._bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        """Deserialise a filter produced by :meth:`to_bytes`.
+
+        All header fields are validated *before* any allocation, so a
+        forged header cannot trigger a huge-memory construction.
+        """
+        if len(blob) < 32:
+            raise ParameterError("bloom blob too short")
+        capacity, num_bits, fp_rate, count = struct.unpack(">QQdQ", blob[:32])
+        if not 0 < capacity <= 1 << 40:
+            raise ParameterError(f"bloom capacity {capacity} out of range")
+        if not 0 < fp_rate < 1:
+            raise ParameterError(f"bloom fp_rate {fp_rate!r} out of range")
+        # The bit array length is fully determined by the blob size; the
+        # header's num_bits must be consistent with it, and the sizing
+        # formula must agree with (capacity, fp_rate) — all checked before
+        # constructing, so no forged header can force a huge allocation.
+        if (num_bits + 7) // 8 != len(blob) - 32:
+            raise ParameterError("bloom blob length inconsistent with header")
+        expected_bits = max(8, int(-capacity * math.log(fp_rate) / math.log(2) ** 2))
+        if expected_bits != num_bits:
+            raise ParameterError("bloom blob header inconsistent with sizing")
+        bf = cls(capacity, fp_rate)
+        bf._bits = np.frombuffer(blob[32:], dtype=np.uint8).copy()
+        bf._count = count
+        return bf

@@ -1,0 +1,106 @@
+"""Merkle hash trees.
+
+Substrate for the proof-of-ownership protocol of Halevi et al. [27]
+(:mod:`repro.pow`): a binary hash tree over fixed-size blocks of a file,
+with authentication-path generation and verification.
+
+Domain separation: leaf hashes are ``H(0x00 || block)`` and interior
+hashes ``H(0x01 || left || right)``, preventing the classic second-
+preimage confusion between leaves and nodes.  Odd nodes are promoted (no
+duplication), so the tree is well-defined for any leaf count >= 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import IntegrityError, ParameterError
+
+__all__ = ["MerkleTree", "verify_path"]
+
+_LEAF = b"\x00"
+_NODE = b"\x01"
+
+
+def _leaf_hash(block: bytes) -> bytes:
+    return hashlib.sha256(_LEAF + block).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE + left + right).digest()
+
+
+class MerkleTree:
+    """Merkle tree over ``block_size``-byte blocks of one buffer."""
+
+    def __init__(self, data: bytes, block_size: int = 4096) -> None:
+        if block_size <= 0:
+            raise ParameterError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self.blocks = [
+            data[i : i + block_size] for i in range(0, len(data), block_size)
+        ] or [b""]
+        # levels[0] = leaf hashes; levels[-1] = [root].
+        level = [_leaf_hash(block) for block in self.blocks]
+        self.levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])  # promote the odd node
+            level = nxt
+            self.levels.append(level)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self.blocks)
+
+    def auth_path(self, index: int) -> list[tuple[bool, bytes]]:
+        """Sibling hashes from leaf ``index`` to the root.
+
+        Each element is ``(sibling_is_right, sibling_hash)``; promoted odd
+        nodes contribute no element at their level.
+        """
+        if not 0 <= index < self.leaf_count:
+            raise ParameterError(f"leaf index {index} outside [0, {self.leaf_count})")
+        path: list[tuple[bool, bytes]] = []
+        pos = index
+        for level in self.levels[:-1]:
+            if pos % 2 == 0:
+                if pos + 1 < len(level):
+                    path.append((True, level[pos + 1]))
+            else:
+                path.append((False, level[pos - 1]))
+            pos //= 2
+        return path
+
+    def prove(self, index: int) -> tuple[bytes, list[tuple[bool, bytes]]]:
+        """(block, auth path) for a challenged leaf."""
+        return self.blocks[index], self.auth_path(index)
+
+
+def verify_path(
+    root: bytes,
+    block: bytes,
+    path: list[tuple[bool, bytes]],
+) -> bool:
+    """Check a (block, auth path) proof against a Merkle root."""
+    node = _leaf_hash(block)
+    for sibling_is_right, sibling in path:
+        if sibling_is_right:
+            node = _node_hash(node, sibling)
+        else:
+            node = _node_hash(sibling, node)
+    return node == root
+
+
+def require_valid_path(root: bytes, block: bytes, path) -> None:
+    """Raise :class:`IntegrityError` unless the proof verifies."""
+    if not verify_path(root, block, path):
+        raise IntegrityError("Merkle proof failed verification")

@@ -1,0 +1,136 @@
+"""Proof of ownership (PoW) — Halevi et al. [27].
+
+The ownership side channel of §3.3 (convince the cloud you own a file by
+presenting its fingerprint) has two known fixes:
+
+* CDStore's **two-stage deduplication** — never grant cross-user dedup on
+  a client-supplied identifier (what the system implements); or
+* **proof of ownership** — before linking a user to an existing file, the
+  server challenges it to prove possession of the *content*, not just an
+  identifier.  This module implements that protocol over the Merkle
+  substrate, so the two defences can be compared experimentally (see
+  ``tests/test_pow.py``).
+
+Protocol:
+
+1. the first uploader's file is summarised by a Merkle root (kept
+   server-side with the stored object);
+2. a claimant announces the file identifier; the server draws ``spot_checks``
+   random leaf indices (server-chosen randomness — the claimant cannot
+   precompute);
+3. the claimant answers with the challenged blocks + authentication paths;
+4. the server verifies each path against the stored root.
+
+A claimant holding only a fingerprint answers with probability ≤
+``(known_fraction)^spot_checks``; one holding the full file always passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DRBG, system_random_bytes
+from repro.errors import NotFoundError, ParameterError
+from repro.merkle import MerkleTree, verify_path
+
+__all__ = ["PowChallenge", "PowResponse", "PowServer", "PowProver"]
+
+
+@dataclass(frozen=True)
+class PowChallenge:
+    """Server → claimant: prove possession of these blocks."""
+
+    file_id: bytes
+    indices: tuple[int, ...]
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class PowResponse:
+    """Claimant → server: challenged blocks with Merkle paths."""
+
+    file_id: bytes
+    nonce: bytes
+    proofs: tuple[tuple[bytes, tuple[tuple[bool, bytes], ...]], ...]
+
+
+class PowServer:
+    """Holds Merkle roots of stored files; challenges and verifies claims."""
+
+    def __init__(self, spot_checks: int = 8, block_size: int = 4096, rng: DRBG | None = None) -> None:
+        if spot_checks < 1:
+            raise ParameterError("need at least one spot check")
+        self.spot_checks = spot_checks
+        self.block_size = block_size
+        self._rng = rng
+        self._files: dict[bytes, tuple[bytes, int]] = {}  # id -> (root, leaves)
+        self._pending: dict[bytes, PowChallenge] = {}
+
+    def _random_bytes(self, length: int) -> bytes:
+        if self._rng is not None:
+            return self._rng.random_bytes(length)
+        return system_random_bytes(length)
+
+    def _randint(self, low: int, high: int) -> int:
+        if self._rng is not None:
+            return self._rng.randint(low, high)
+        span = high - low + 1
+        return low + int.from_bytes(system_random_bytes(8), "big") % span
+
+    # ------------------------------------------------------------------
+    def register(self, file_id: bytes, data: bytes) -> None:
+        """First upload: store the file's Merkle root."""
+        tree = MerkleTree(data, block_size=self.block_size)
+        self._files[file_id] = (tree.root, tree.leaf_count)
+
+    def knows(self, file_id: bytes) -> bool:
+        return file_id in self._files
+
+    def challenge(self, file_id: bytes) -> PowChallenge:
+        """Issue a fresh challenge for a dedup claim on ``file_id``."""
+        if file_id not in self._files:
+            raise NotFoundError("unknown file id; upload normally")
+        _, leaves = self._files[file_id]
+        indices = tuple(
+            self._randint(0, leaves - 1) for _ in range(min(self.spot_checks, leaves))
+        )
+        challenge = PowChallenge(
+            file_id=file_id, indices=indices, nonce=self._random_bytes(16)
+        )
+        self._pending[challenge.nonce] = challenge
+        return challenge
+
+    def verify(self, response: PowResponse) -> bool:
+        """Check a claimant's response; one-shot per challenge nonce."""
+        challenge = self._pending.pop(response.nonce, None)
+        if challenge is None or challenge.file_id != response.file_id:
+            return False
+        if len(response.proofs) != len(challenge.indices):
+            return False
+        root, _ = self._files[challenge.file_id]
+        return all(
+            verify_path(root, block, list(path))
+            for block, path in response.proofs
+        )
+
+
+class PowProver:
+    """Claimant side: answers challenges from the file content."""
+
+    def __init__(self, data: bytes, block_size: int = 4096) -> None:
+        self._tree = MerkleTree(data, block_size=block_size)
+
+    def respond(self, challenge: PowChallenge) -> PowResponse:
+        proofs = []
+        for index in challenge.indices:
+            if index >= self._tree.leaf_count:
+                block, path = b"", ()
+            else:
+                block, raw_path = self._tree.prove(index)
+                path = tuple(raw_path)
+            proofs.append((block, path))
+        return PowResponse(
+            file_id=challenge.file_id,
+            nonce=challenge.nonce,
+            proofs=tuple(proofs),
+        )

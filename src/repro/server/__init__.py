@@ -1,0 +1,22 @@
+"""The CDStore server (§4.1, §4.3-4.5).
+
+One server runs in each cloud's co-locating VM.  It performs inter-user
+deduplication on incoming shares, maintains the file and share indices
+(backed by the LSM store, the LevelDB stand-in), manages containers at the
+cloud's storage backend, and serves restores.
+"""
+
+from repro.server.index import DictIndex, IndexBackend, LSMIndex
+from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
+from repro.server.server import CDStoreServer
+
+__all__ = [
+    "CDStoreServer",
+    "DictIndex",
+    "FileManifest",
+    "IndexBackend",
+    "LSMIndex",
+    "RecipeEntry",
+    "ShareMeta",
+    "ShareUpload",
+]

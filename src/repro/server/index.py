@@ -1,0 +1,221 @@
+"""Index backends for the CDStore server (§4.4).
+
+The server keeps three logical indices:
+
+* the **file index** — lookup key → file entry (recipe container ref);
+* the **share index** — server fingerprint → share entry (container ref,
+  share size, per-user reference counts);
+* the **intra-user index** — (user, client fingerprint) → server
+  fingerprint, which answers the client's intra-user dedup queries without
+  ever comparing across users (the side-channel defence of §3.3).
+
+All three live in one key-value namespace with a one-byte prefix.  Two
+backends implement that namespace: :class:`LSMIndex` on the from-scratch
+LSM store (the LevelDB analogue the paper uses) and :class:`DictIndex`
+(in-memory, for large simulated runs and tests).
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ProtocolError
+from repro.lsm.db import LSMStore
+from repro.storage.container import ContainerRef
+
+__all__ = [
+    "IndexBackend",
+    "DictIndex",
+    "LSMIndex",
+    "ShareEntry",
+    "FileEntry",
+    "PREFIX_FILE",
+    "PREFIX_SHARE",
+    "PREFIX_INTRA",
+]
+
+PREFIX_FILE = b"f"
+PREFIX_SHARE = b"s"
+PREFIX_INTRA = b"u"
+
+
+class IndexBackend(abc.ABC):
+    """Minimal key-value API the server index needs."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes | None: ...
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def items(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]: ...
+
+    def close(self) -> None:  # pragma: no cover - optional
+        """Release resources (default: nothing)."""
+
+
+class DictIndex(IndexBackend):
+    """In-memory index for simulations and tests."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._data.pop(key, None)
+
+    def items(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        for key in sorted(self._data):
+            if key.startswith(prefix):
+                yield key, self._data[key]
+
+
+class LSMIndex(IndexBackend):
+    """LSM-store-backed index (the paper's LevelDB role)."""
+
+    def __init__(self, directory: str | Path, **lsm_kwargs) -> None:
+        self._db = LSMStore(directory, **lsm_kwargs)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._db.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._db.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._db.delete(key)
+
+    def items(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        for key, value in self._db.items():
+            if key.startswith(prefix):
+                yield key, value
+
+    def close(self) -> None:
+        self._db.close()
+
+    @property
+    def store(self) -> LSMStore:
+        """The underlying LSM store (for snapshots and stats)."""
+        return self._db
+
+
+# ---------------------------------------------------------------------------
+# entry codecs
+# ---------------------------------------------------------------------------
+
+
+class ShareEntry:
+    """Share-index entry: container location + per-user refcounts (§4.4)."""
+
+    def __init__(
+        self,
+        ref: ContainerRef,
+        share_size: int,
+        owners: dict[str, int] | None = None,
+    ) -> None:
+        self.ref = ref
+        self.share_size = share_size
+        self.owners = owners or {}
+
+    # ------------------------------------------------------------------
+    def add_owner(self, user_id: str) -> None:
+        self.owners[user_id] = self.owners.get(user_id, 0) + 1
+
+    def drop_owner(self, user_id: str) -> None:
+        count = self.owners.get(user_id, 0)
+        if count <= 1:
+            self.owners.pop(user_id, None)
+        else:
+            self.owners[user_id] = count - 1
+
+    @property
+    def orphaned(self) -> bool:
+        """True when no user references the share (GC candidate)."""
+        return not self.owners
+
+    # ------------------------------------------------------------------
+    def pack(self) -> bytes:
+        ref_blob = self.ref.pack()
+        parts = [struct.pack(">IH", self.share_size, len(ref_blob)), ref_blob]
+        parts.append(struct.pack(">I", len(self.owners)))
+        for user, count in sorted(self.owners.items()):
+            ub = user.encode("utf-8")
+            parts.append(struct.pack(">HI", len(ub), count) + ub)
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "ShareEntry":
+        from repro.errors import StorageError
+
+        try:
+            share_size, ref_len = struct.unpack_from(">IH", blob, 0)
+            pos = 6
+            ref = ContainerRef.unpack(blob[pos : pos + ref_len])
+            pos += ref_len
+            (count,) = struct.unpack_from(">I", blob, pos)
+            pos += 4
+            owners = {}
+            for _ in range(count):
+                ulen, refcount = struct.unpack_from(">HI", blob, pos)
+                pos += 6
+                owners[blob[pos : pos + ulen].decode("utf-8")] = refcount
+                pos += ulen
+        except (struct.error, UnicodeDecodeError, StorageError) as exc:
+            raise ProtocolError(f"bad ShareEntry: {exc}") from exc
+        return cls(ref=ref, share_size=share_size, owners=owners)
+
+
+class FileEntry:
+    """File-index entry: a reference to the file recipe (§4.4)."""
+
+    def __init__(
+        self,
+        recipe_ref: ContainerRef,
+        path_share: bytes,
+        file_size: int,
+        secret_count: int,
+    ) -> None:
+        self.recipe_ref = recipe_ref
+        self.path_share = path_share
+        self.file_size = file_size
+        self.secret_count = secret_count
+
+    def pack(self) -> bytes:
+        ref_blob = self.recipe_ref.pack()
+        return (
+            struct.pack(">H", len(ref_blob))
+            + ref_blob
+            + struct.pack(">I", len(self.path_share))
+            + self.path_share
+            + struct.pack(">QQ", self.file_size, self.secret_count)
+        )
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "FileEntry":
+        from repro.errors import StorageError
+
+        try:
+            (ref_len,) = struct.unpack_from(">H", blob, 0)
+            pos = 2
+            ref = ContainerRef.unpack(blob[pos : pos + ref_len])
+            pos += ref_len
+            (share_len,) = struct.unpack_from(">I", blob, pos)
+            pos += 4
+            path_share = blob[pos : pos + share_len]
+            pos += share_len
+            file_size, secret_count = struct.unpack_from(">QQ", blob, pos)
+        except (struct.error, StorageError) as exc:
+            raise ProtocolError(f"bad FileEntry: {exc}") from exc
+        return cls(ref, path_share, file_size, secret_count)

@@ -1,0 +1,39 @@
+"""Secret-sharing algorithms surveyed in §2 / Table 1 of the paper.
+
+Every scheme implements the :class:`~repro.sharing.base.SecretSharingScheme`
+interface: an ``(n, k, r)`` algorithm splits a secret into ``n`` shares such
+that any ``k`` reconstruct it and no ``r`` reveal anything about it.
+
+==========  =====================  ==============================
+scheme      confidentiality ``r``  storage blowup
+==========  =====================  ==============================
+SSSS [54]   k - 1                  n
+IDA  [50]   0                      n / k
+RSSS [16]   configurable           n / (k - r)
+SSMS [34]   k - 1 (computational)  n/k + n * keysize/secretsize
+AONT-RS     k - 1 (computational)  (n/k) * (1 + keysize/secretsize)
+==========  =====================  ==============================
+
+AONT-RS and the convergent variants live in :mod:`repro.core` (they are the
+paper's focus); this package holds the classical baselines plus the shared
+interface and registry.
+"""
+
+from repro.sharing.base import SecretSharingScheme, ShareSet
+from repro.sharing.ida_scheme import IDAScheme
+from repro.sharing.registry import available_schemes, create_scheme, register_scheme
+from repro.sharing.rsss import RSSS
+from repro.sharing.ssms import SSMS
+from repro.sharing.ssss import SSSS
+
+__all__ = [
+    "SecretSharingScheme",
+    "ShareSet",
+    "SSSS",
+    "IDAScheme",
+    "RSSS",
+    "SSMS",
+    "available_schemes",
+    "create_scheme",
+    "register_scheme",
+]

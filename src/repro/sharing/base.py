@@ -1,0 +1,128 @@
+"""Common interface for all (n, k, r) secret-sharing schemes.
+
+The paper defines a secret sharing algorithm by three parameters
+``(n, k, r)`` with ``n > k > r >= 0``: the secret is dispersed into ``n``
+shares, reconstructible from any ``k``, and not inferable (even partially)
+from any ``r`` (§2).  This module captures that contract as an abstract base
+class plus a small value object for a produced share set.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import CodingError, ParameterError
+
+__all__ = ["SecretSharingScheme", "ShareSet"]
+
+
+@dataclass(frozen=True)
+class ShareSet:
+    """The ``n`` shares produced for one secret.
+
+    Attributes
+    ----------
+    shares:
+        Share ``i`` is destined for cloud ``i`` (the paper pins share index
+        to cloud index so identical secrets deduplicate per cloud, §3.2).
+    secret_size:
+        Original secret length in bytes; needed to strip padding at decode.
+    scheme:
+        Name of the producing scheme, for diagnostics.
+    """
+
+    shares: tuple[bytes, ...]
+    secret_size: int
+    scheme: str = ""
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.shares)
+
+    @property
+    def share_size(self) -> int:
+        return len(self.shares[0]) if self.shares else 0
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(s) for s in self.shares)
+
+    @property
+    def storage_blowup(self) -> float:
+        """Ratio of total share bytes to secret bytes (Table 1 metric)."""
+        if self.secret_size == 0:
+            return float("inf")
+        return self.total_size / self.secret_size
+
+    def subset(self, indices: list[int]) -> dict[int, bytes]:
+        """Pick the shares at ``indices`` as a decode input mapping."""
+        return {i: self.shares[i] for i in indices}
+
+
+class SecretSharingScheme(abc.ABC):
+    """Abstract (n, k, r) secret-sharing scheme.
+
+    Concrete schemes are constructed with their parameters (and, for the
+    randomised ones, an optional deterministic RNG for reproducibility) and
+    expose :meth:`split` / :meth:`recover`.
+    """
+
+    #: Human-readable scheme name (set by subclasses).
+    name: str = "abstract"
+
+    #: Whether identical secrets always yield identical shares (the property
+    #: convergent dispersal adds; False for every classical scheme).
+    deterministic: bool = False
+
+    def __init__(self, n: int, k: int, r: int) -> None:
+        if not (n >= k >= 1):
+            raise ParameterError(f"require n >= k >= 1, got (n={n}, k={k})")
+        if not (0 <= r < k):
+            raise ParameterError(f"require 0 <= r < k, got (k={k}, r={r})")
+        if n > 255:
+            raise ParameterError(f"GF(256) limits n to 255, got {n}")
+        self.n = n
+        self.k = k
+        self.r = r
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def split(self, secret: bytes) -> ShareSet:
+        """Disperse ``secret`` into ``n`` shares."""
+
+    @abc.abstractmethod
+    def recover(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        """Reconstruct the secret from any ``k`` shares.
+
+        ``shares`` maps share index to share bytes; ``secret_size`` is the
+        original length (shares carry padding).
+        """
+
+    # ------------------------------------------------------------------
+    def expected_blowup(self, secret_size: int) -> float:
+        """Analytic storage blowup for a secret of ``secret_size`` bytes.
+
+        Default is the measured blowup of an actual split; subclasses with a
+        closed form override this (Table 1 column).
+        """
+        probe = self.split(bytes(secret_size))
+        return probe.storage_blowup
+
+    def _check_recover_args(
+        self, shares: dict[int, bytes], secret_size: int
+    ) -> dict[int, bytes]:
+        if len(shares) < self.k:
+            raise CodingError(
+                f"{self.name}: need k={self.k} shares, got {len(shares)}"
+            )
+        if secret_size < 0:
+            raise ParameterError(f"negative secret_size {secret_size}")
+        for idx in shares:
+            if not 0 <= idx < self.n:
+                raise ParameterError(f"share index {idx} outside [0, {self.n})")
+        return shares
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n}, k={self.k}, r={self.r})"

@@ -1,0 +1,43 @@
+"""Rabin's IDA wrapped in the secret-sharing interface (Table 1 row 2).
+
+IDA offers the minimum storage blowup ``n/k`` with confidentiality degree
+r = 0: any single share reveals linear combinations of the secret.  It is
+listed here so the Table 1 benchmark can measure all schemes uniformly; the
+underlying codec lives in :mod:`repro.erasure.ida`.
+"""
+
+from __future__ import annotations
+
+from repro.erasure.ida import InformationDispersal
+from repro.sharing.base import SecretSharingScheme, ShareSet
+
+__all__ = ["IDAScheme"]
+
+
+class IDAScheme(SecretSharingScheme):
+    """(n, k) information dispersal; r = 0, blowup n/k."""
+
+    name = "ida"
+    # IDA has no randomness at all, so identical secrets do give identical
+    # shares — but it provides no confidentiality, which is why CDStore does
+    # not use it directly.
+    deterministic = True
+
+    def __init__(self, n: int, k: int) -> None:
+        super().__init__(n, k, r=0)
+        self._ida = InformationDispersal(n, k)
+
+    def split(self, secret: bytes) -> ShareSet:
+        shares = tuple(self._ida.disperse(secret))
+        return ShareSet(shares=shares, secret_size=len(secret), scheme=self.name)
+
+    def recover(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        self._check_recover_args(shares, secret_size)
+        return self._ida.reconstruct(shares, secret_size)
+
+    def expected_blowup(self, secret_size: int) -> float:
+        """Blowup n/k, up to per-share padding to a multiple of k."""
+        if secret_size == 0:
+            return float("inf")
+        share = self._ida.share_size(secret_size)
+        return self.n * share / secret_size

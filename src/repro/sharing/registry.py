@@ -1,0 +1,56 @@
+"""Name-based registry of secret-sharing schemes.
+
+The Table 1 benchmark and the CDStore system construct schemes by name, so
+new instantiations (including the convergent codecs registered by
+:mod:`repro.core`) plug in without touching call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.sharing.base import SecretSharingScheme
+
+__all__ = ["register_scheme", "create_scheme", "available_schemes"]
+
+_REGISTRY: dict[str, Callable[..., SecretSharingScheme]] = {}
+
+
+def register_scheme(name: str, factory: Callable[..., SecretSharingScheme]) -> None:
+    """Register ``factory`` under ``name`` (idempotent for same factory)."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise ParameterError(f"scheme {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create_scheme(name: str, *args, **kwargs) -> SecretSharingScheme:
+    """Instantiate the scheme registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def available_schemes() -> list[str]:
+    """Sorted names of all registered schemes."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from repro.sharing.ida_scheme import IDAScheme
+    from repro.sharing.rsss import RSSS
+    from repro.sharing.ssms import SSMS
+    from repro.sharing.ssss import SSSS
+
+    register_scheme("ssss", SSSS)
+    register_scheme("ida", IDAScheme)
+    register_scheme("rsss", RSSS)
+    register_scheme("ssms", SSMS)
+
+
+_register_builtins()

@@ -1,0 +1,95 @@
+"""Ramp secret sharing scheme (RSSS) [16].
+
+RSSS generalises SSSS and IDA (§2): the secret is divided into ``k - r``
+pieces, ``r`` random pieces of the same size are appended, and the ``k``
+pieces are dispersed into ``n`` shares with an IDA whose generator matrix is
+*non-systematic* (every share mixes all ``k`` pieces).  Any ``k`` shares
+reconstruct; any ``r`` shares are statistically independent of the secret
+because the ``r`` random pieces act as one-time pads in the ``r`` linear
+equations an attacker can observe.  Storage blowup: ``n / (k - r)``.
+
+Setting ``r = 0`` recovers IDA; ``r = k - 1`` recovers an SSSS-equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.drbg import DRBG, system_random_bytes
+from repro.errors import CodingError, ParameterError
+from repro.gf.matrix import gf_mat_inv, gf_mat_vec, vandermonde_matrix
+from repro.sharing.base import SecretSharingScheme, ShareSet
+
+__all__ = ["RSSS"]
+
+
+class RSSS(SecretSharingScheme):
+    """(n, k, r) ramp scheme with blowup n / (k - r)."""
+
+    name = "rsss"
+    deterministic = False
+
+    def __init__(self, n: int, k: int, r: int, rng: DRBG | None = None) -> None:
+        super().__init__(n, k, r)
+        if n + 1 > 255:
+            raise ParameterError(f"n={n} too large for GF(256) Vandermonde")
+        self._rng = rng
+        # Non-systematic dispersal matrix: rows are Vandermonde evaluations
+        # at x = 1..n (skipping x = 0, whose row would expose piece 0
+        # directly: Vandermonde row at 0 is the unit vector e_0).
+        full = vandermonde_matrix(n + 1, k)
+        self._matrix = full[1:]
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    def _random_bytes(self, length: int) -> bytes:
+        if self._rng is not None:
+            return self._rng.random_bytes(length)
+        return system_random_bytes(length)
+
+    # ------------------------------------------------------------------
+    def _piece_size(self, secret_size: int) -> int:
+        data_pieces = self.k - self.r
+        return -(-secret_size // data_pieces) if secret_size else 1
+
+    def split(self, secret: bytes) -> ShareSet:
+        data_pieces = self.k - self.r
+        size = self._piece_size(len(secret))
+        buf = np.zeros((self.k, size), dtype=np.uint8)
+        padded = np.zeros(data_pieces * size, dtype=np.uint8)
+        padded[: len(secret)] = np.frombuffer(secret, dtype=np.uint8)
+        buf[:data_pieces] = padded.reshape(data_pieces, size)
+        if self.r:
+            rand = self._random_bytes(self.r * size)
+            buf[data_pieces:] = np.frombuffer(rand, dtype=np.uint8).reshape(
+                self.r, size
+            )
+        coded = gf_mat_vec(self._matrix, buf)
+        shares = tuple(row.tobytes() for row in coded)
+        return ShareSet(shares=shares, secret_size=len(secret), scheme=self.name)
+
+    def recover(self, shares: dict[int, bytes], secret_size: int) -> bytes:
+        self._check_recover_args(shares, secret_size)
+        chosen = tuple(sorted(shares)[: self.k])
+        sizes = {len(shares[idx]) for idx in chosen}
+        if len(sizes) != 1:
+            raise CodingError(f"shares have inconsistent sizes: {sorted(sizes)}")
+        matrix = self._decode_cache.get(chosen)
+        if matrix is None:
+            matrix = gf_mat_inv(self._matrix[list(chosen)])
+            self._decode_cache[chosen] = matrix
+        stacked = np.stack(
+            [np.frombuffer(shares[idx], dtype=np.uint8) for idx in chosen]
+        )
+        pieces = gf_mat_vec(matrix, stacked)
+        data = pieces[: self.k - self.r].reshape(-1).tobytes()
+        if secret_size > len(data):
+            raise CodingError(
+                f"secret_size {secret_size} exceeds recovered size {len(data)}"
+            )
+        return data[:secret_size]
+
+    def expected_blowup(self, secret_size: int) -> float:
+        """Blowup n / (k - r), up to padding (Table 1)."""
+        if secret_size == 0:
+            return float("inf")
+        return self.n * self._piece_size(secret_size) / secret_size

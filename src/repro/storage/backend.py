@@ -1,0 +1,172 @@
+"""Object-storage backends.
+
+The storage backend plays the role of S3/Google Cloud Storage/Azure Blob in
+the paper's architecture (Figure 1): a flat keyspace of immutable objects
+(containers, index snapshots).  Two implementations:
+
+* :class:`MemoryBackend` — dict-backed; used by the simulated clouds and
+  most tests.  Supports failure injection (see
+  :meth:`MemoryBackend.corrupt`) for integrity experiments.
+* :class:`LocalDirBackend` — one file per object under a directory; the
+  LAN-testbed equivalent ("each CDStore server mounts the storage backend
+  on a local hard disk", §5.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+
+from repro.errors import NotFoundError, StorageError
+
+__all__ = ["StorageBackend", "MemoryBackend", "LocalDirBackend"]
+
+
+class StorageBackend(abc.ABC):
+    """Flat immutable-object store with byte-counting for cost analysis."""
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_ops = 0
+        self.get_ops = 0
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _put(self, key: str, data: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def _get(self, key: str) -> bytes: ...
+
+    @abc.abstractmethod
+    def _delete(self, key: str) -> None: ...
+
+    @abc.abstractmethod
+    def _exists(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All object keys beginning with ``prefix``, sorted."""
+
+    # ------------------------------------------------------------------
+    def put_object(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key`` (overwriting any prior object)."""
+        self._put(key, bytes(data))
+        self.bytes_written += len(data)
+        self.put_ops += 1
+
+    def get_object(self, key: str) -> bytes:
+        """Fetch the object at ``key``; raises :class:`NotFoundError`."""
+        data = self._get(key)
+        self.bytes_read += len(data)
+        self.get_ops += 1
+        return data
+
+    def delete_object(self, key: str) -> None:
+        """Delete the object at ``key``; raises :class:`NotFoundError`."""
+        self._delete(key)
+
+    def exists(self, key: str) -> bool:
+        return self._exists(key)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes currently stored (for cost/saving accounting)."""
+        return sum(self.object_size(key) for key in self.list_keys())
+
+    @abc.abstractmethod
+    def object_size(self, key: str) -> int:
+        """Size in bytes of one stored object."""
+
+
+class MemoryBackend(StorageBackend):
+    """Dict-backed object store with corruption injection for tests."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._objects: dict[str, bytes] = {}
+
+    def _put(self, key: str, data: bytes) -> None:
+        self._objects[key] = data
+
+    def _get(self, key: str) -> bytes:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise NotFoundError(f"object {key!r} not found") from None
+
+    def _delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise NotFoundError(f"object {key!r} not found")
+        del self._objects[key]
+
+    def _exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def object_size(self, key: str) -> int:
+        try:
+            return len(self._objects[key])
+        except KeyError:
+            raise NotFoundError(f"object {key!r} not found") from None
+
+    # ------------------------------------------------------------------
+    def corrupt(self, key: str, offset: int = 0, flips: int = 1) -> None:
+        """Flip bits inside a stored object (failure injection)."""
+        data = bytearray(self._get(key))
+        if not data:
+            raise StorageError(f"object {key!r} is empty; nothing to corrupt")
+        for i in range(flips):
+            pos = (offset + i) % len(data)
+            data[pos] ^= 0xFF
+        self._objects[key] = bytes(data)
+
+
+class LocalDirBackend(StorageBackend):
+    """One file per object under ``root`` (keys are sanitised to paths)."""
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        safe = key.replace("/", "_")
+        if not safe or safe.startswith("."):
+            raise StorageError(f"invalid object key {key!r}")
+        return self.root / safe
+
+    def _put(self, key: str, data: bytes) -> None:
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_bytes(data)
+        tmp.replace(self._path(key))
+
+    def _get(self, key: str) -> bytes:
+        path = self._path(key)
+        if not path.exists():
+            raise NotFoundError(f"object {key!r} not found")
+        return path.read_bytes()
+
+    def _delete(self, key: str) -> None:
+        path = self._path(key)
+        if not path.exists():
+            raise NotFoundError(f"object {key!r} not found")
+        path.unlink()
+
+    def _exists(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        safe_prefix = prefix.replace("/", "_")
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_file() and not p.suffix == ".tmp" and p.name.startswith(safe_prefix)
+        )
+
+    def object_size(self, key: str) -> int:
+        path = self._path(key)
+        if not path.exists():
+            raise NotFoundError(f"object {key!r} not found")
+        return path.stat().st_size

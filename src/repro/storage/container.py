@@ -1,0 +1,253 @@
+"""Container management (§4.5).
+
+The container module maintains two kinds of containers at the storage
+backend: *share containers* holding globally-unique shares and *recipe
+containers* holding file recipes.  Containers are capped at 4 MB — except
+that an oversized file recipe is kept whole in its own container rather
+than split, "to reduce I/Os".
+
+Two I/O optimisations from the paper are implemented:
+
+* **per-user write buffers** — shares/recipes are buffered per user so
+  "each container contains only the data of a single user", retaining the
+  spatial locality deduplicated restores rely on [62];
+* an **LRU container cache** holding the most recently accessed containers
+  to cut backend reads.
+
+Container wire format::
+
+    u32 magic | u8 kind | u32 count | count * (u32 keylen | u32 len | key | payload)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import NotFoundError, ParameterError, StorageError
+from repro.lsm.cache import LRUCache
+from repro.storage.backend import StorageBackend
+
+__all__ = ["CONTAINER_CAP", "Container", "ContainerManager", "ContainerRef"]
+
+#: Maximum container payload (4 MB, §4.5).
+CONTAINER_CAP = 4 << 20
+
+_MAGIC = 0xCD57043E
+_HEADER = struct.Struct(">IBI")
+_ENTRY = struct.Struct(">II")
+
+KIND_SHARE = 1
+KIND_RECIPE = 2
+_KINDS = {KIND_SHARE, KIND_RECIPE}
+
+
+@dataclass(frozen=True)
+class ContainerRef:
+    """Location of one entry inside a container.
+
+    The share index stores one of these per unique share (§4.4: each entry
+    "stores the reference to the container that holds the share").
+    """
+
+    container_id: str
+    entry_index: int
+
+    def pack(self) -> bytes:
+        cid = self.container_id.encode("ascii")
+        return struct.pack(">HI", len(cid), self.entry_index) + cid
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "ContainerRef":
+        if len(blob) < 6:
+            raise StorageError("ContainerRef blob truncated")
+        cid_len, entry = struct.unpack_from(">HI", blob)
+        if len(blob) < 6 + cid_len:
+            raise StorageError("ContainerRef id truncated")
+        try:
+            cid = blob[6 : 6 + cid_len].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise StorageError(f"ContainerRef id not ASCII: {exc}") from exc
+        return cls(container_id=cid, entry_index=entry)
+
+
+class Container:
+    """An in-memory container: an ordered list of (key, payload) entries."""
+
+    def __init__(self, kind: int) -> None:
+        if kind not in _KINDS:
+            raise ParameterError(f"unknown container kind {kind}")
+        self.kind = kind
+        self.entries: list[tuple[bytes, bytes]] = []
+        self.payload_bytes = 0
+
+    def add(self, key: bytes, payload: bytes) -> int:
+        """Append an entry; returns its index within the container."""
+        self.entries.append((key, payload))
+        self.payload_bytes += len(key) + len(payload)
+        return len(self.entries) - 1
+
+    @property
+    def full(self) -> bool:
+        return self.payload_bytes >= CONTAINER_CAP
+
+    def serialize(self) -> bytes:
+        parts = [_HEADER.pack(_MAGIC, self.kind, len(self.entries))]
+        for key, payload in self.entries:
+            parts.append(_ENTRY.pack(len(key), len(payload)))
+            parts.append(key)
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Container":
+        if len(blob) < _HEADER.size:
+            raise StorageError("container blob truncated")
+        magic, kind, count = _HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise StorageError("bad container magic")
+        container = cls(kind)
+        pos = _HEADER.size
+        for _ in range(count):
+            if pos + _ENTRY.size > len(blob):
+                raise StorageError("container entry header truncated")
+            keylen, paylen = _ENTRY.unpack_from(blob, pos)
+            pos += _ENTRY.size
+            if pos + keylen + paylen > len(blob):
+                raise StorageError("container entry body truncated")
+            key = blob[pos : pos + keylen]
+            pos += keylen
+            payload = blob[pos : pos + paylen]
+            pos += paylen
+            container.add(key, payload)
+        return container
+
+
+class ContainerManager:
+    """Buffers, writes, caches and reads containers at one backend.
+
+    Parameters
+    ----------
+    backend:
+        The cloud's object store.
+    cache_bytes:
+        Capacity of the LRU container cache (default 32 MB).
+    """
+
+    def __init__(self, backend: StorageBackend, cache_bytes: int = 32 << 20) -> None:
+        self.backend = backend
+        self._cache = LRUCache(cache_bytes, size_of=len)
+        # Per-(user, kind) open write buffers: single-user containers (§4.5).
+        self._buffers: dict[tuple[str, int], Container] = {}
+        self._buffer_ids: dict[tuple[str, int], str] = {}
+        self._next_id = 0
+        self._restore_next_id()
+
+    def _restore_next_id(self) -> None:
+        keys = self.backend.list_keys("container-")
+        for key in keys:
+            try:
+                self._next_id = max(self._next_id, int(key.split("-")[1]) + 1)
+            except (IndexError, ValueError):
+                continue
+
+    def _new_container_id(self) -> str:
+        cid = f"container-{self._next_id:010d}"
+        self._next_id += 1
+        return cid
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, user_id: str, kind: int, key: bytes, payload: bytes) -> ContainerRef:
+        """Buffer one entry for ``user_id``; returns its future location.
+
+        The entry lands in the user's open container, which is sealed and
+        written to the backend once it reaches the 4 MB cap.  An oversized
+        recipe bypasses the cap and is written alone in its own container
+        (§4.5 "we keep the file recipe in a single container and allow the
+        container to go beyond 4MB").
+        """
+        if kind not in _KINDS:
+            raise ParameterError(f"unknown container kind {kind}")
+        if kind == KIND_RECIPE and len(payload) >= CONTAINER_CAP:
+            solo = Container(kind)
+            solo.add(key, payload)
+            cid = self._seal(solo)
+            return ContainerRef(container_id=cid, entry_index=0)
+        buf_key = (user_id, kind)
+        container = self._buffers.get(buf_key)
+        if container is None:
+            container = Container(kind)
+            self._buffers[buf_key] = container
+            self._buffer_ids[buf_key] = self._new_container_id()
+        entry = container.add(key, payload)
+        ref = ContainerRef(
+            container_id=self._buffer_ids[buf_key], entry_index=entry
+        )
+        if container.full:
+            self._seal(container, self._buffer_ids[buf_key])
+            del self._buffers[buf_key]
+            del self._buffer_ids[buf_key]
+        return ref
+
+    def _seal(self, container: Container, cid: str | None = None) -> str:
+        cid = cid or self._new_container_id()
+        blob = container.serialize()
+        self.backend.put_object(cid, blob)
+        self._cache.put(cid, blob)
+        return cid
+
+    def flush(self) -> None:
+        """Seal and write every open buffer (end of an upload session)."""
+        for buf_key, container in list(self._buffers.items()):
+            self._seal(container, self._buffer_ids[buf_key])
+            del self._buffers[buf_key]
+            del self._buffer_ids[buf_key]
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _load(self, container_id: str) -> bytes:
+        blob = self._cache.get(container_id)
+        if blob is None:
+            try:
+                blob = self.backend.get_object(container_id)
+            except NotFoundError:
+                # The entry may still sit in an unflushed buffer.
+                for buf_key, cid in self._buffer_ids.items():
+                    if cid == container_id:
+                        return self._buffers[buf_key].serialize()
+                raise
+            self._cache.put(container_id, blob)
+        return blob
+
+    def read_entry(
+        self, ref: ContainerRef, bypass_cache: bool = False
+    ) -> tuple[bytes, bytes]:
+        """Fetch one ``(key, payload)`` entry by reference."""
+        container = self.read_container(ref.container_id, bypass_cache=bypass_cache)
+        try:
+            return container.entries[ref.entry_index]
+        except IndexError:
+            raise NotFoundError(
+                f"entry {ref.entry_index} not in container {ref.container_id}"
+            ) from None
+
+    def read_container(self, container_id: str, bypass_cache: bool = False) -> Container:
+        """Fetch a whole container (restore path: spatial locality).
+
+        ``bypass_cache=True`` forces a backend read and refreshes the
+        cache — integrity scrubbing must see the bytes actually stored,
+        not a cached pre-corruption copy.
+        """
+        if bypass_cache:
+            blob = self.backend.get_object(container_id)
+            self._cache.put(container_id, blob)
+            return Container.deserialize(blob)
+        return Container.deserialize(self._load(container_id))
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the container cache."""
+        return self._cache.hits, self._cache.misses

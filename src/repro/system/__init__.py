@@ -1,0 +1,12 @@
+"""System façade: a whole CDStore deployment in one object.
+
+:class:`CDStoreSystem` wires ``n`` simulated clouds, one CDStore server per
+cloud, and any number of per-user clients (Figure 1), and adds the
+operations that span the fleet: failure injection, share repair after a
+cloud loss (§3.1), global deduplication accounting (Figure 6), and stored-
+byte queries for the cost analysis.
+"""
+
+from repro.system.cdstore import CDStoreSystem
+
+__all__ = ["CDStoreSystem"]

@@ -1,0 +1,355 @@
+"""The CDStore deployment façade.
+
+Typical use::
+
+    system = CDStoreSystem(n=4, k=3)
+    alice = system.client("alice")
+    alice.upload("/backup/home.tar", data)
+    system.fail_cloud(0)                  # outage
+    restored = alice.download("/backup/home.tar")   # k=3 survivors suffice
+    system.recover_cloud(0)
+    system.repair_cloud(0)                # rebuild lost shares (§3.1)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chunking.base import Chunker
+from repro.cloud.network import Link
+from repro.cloud.provider import CloudProvider
+from repro.client.client import CDStoreClient
+from repro.crypto.hashing import fingerprint
+from repro.dedup.stats import DedupStats
+from repro.errors import InsufficientCloudsError, ParameterError
+from repro.server.index import LSMIndex
+from repro.server.messages import ShareMeta, ShareUpload
+from repro.server.server import CDStoreServer
+
+__all__ = ["CDStoreSystem"]
+
+
+class CDStoreSystem:
+    """``n`` clouds + servers + clients of one organisation.
+
+    Parameters
+    ----------
+    n, k:
+        Dispersal parameters; ``n`` clouds are created unless ``clouds`` is
+        supplied.
+    salt:
+        Organisation-wide convergent salt shared by every client, so data
+        deduplicates across the organisation's users but not with
+        outsiders.
+    clouds:
+        Optional pre-built providers (e.g. from a
+        :class:`~repro.cloud.testbed.Testbed`).
+    index_root:
+        If given, servers use durable LSM indices under this directory;
+        otherwise in-memory indices.
+    """
+
+    def __init__(
+        self,
+        n: int = 4,
+        k: int = 3,
+        salt: bytes = b"",
+        clouds: list[CloudProvider] | None = None,
+        index_root: str | Path | None = None,
+        scheme: str = "caont-rs",
+        key_server=None,
+    ) -> None:
+        if clouds is not None and len(clouds) != n:
+            raise ParameterError(f"got {len(clouds)} clouds for n={n}")
+        if not 0 < k <= n:
+            raise ParameterError(f"require 0 < k <= n, got (n={n}, k={k})")
+        self.n = n
+        self.k = k
+        self.salt = salt
+        self.scheme = scheme
+        #: Optional DupLESS-style key server (§3.2 remarks): when set,
+        #: clients encode with server-aided CAONT-RS instead of plain
+        #: hash keys, hardening small-message-space data against offline
+        #: brute force at the cost of the key-management dependency.
+        self.key_server = key_server
+        self.clouds = clouds or [
+            CloudProvider(
+                name=f"cloud-{i}", uplink=Link(100.0), downlink=Link(100.0)
+            )
+            for i in range(n)
+        ]
+        self.servers: list[CDStoreServer] = []
+        for i, cloud in enumerate(self.clouds):
+            index = (
+                LSMIndex(Path(index_root) / f"server-{i}")
+                if index_root is not None
+                else None
+            )
+            self.servers.append(CDStoreServer(server_id=i, cloud=cloud, index=index))
+        self._clients: dict[str, CDStoreClient] = {}
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def client(
+        self,
+        user_id: str,
+        chunker: Chunker | None = None,
+        threads: int = 1,
+    ) -> CDStoreClient:
+        """Get (or create) the CDStore client for ``user_id``."""
+        if user_id not in self._clients:
+            codec = None
+            if self.key_server is not None:
+                from repro.keyserver.client import KeyClient
+                from repro.keyserver.codec import ServerAidedCAONTRS
+
+                codec = ServerAidedCAONTRS(
+                    self.n,
+                    self.k,
+                    key_client=KeyClient(user_id, self.key_server, salt=self.salt),
+                )
+            self._clients[user_id] = CDStoreClient(
+                user_id=user_id,
+                servers=self.servers,
+                k=self.k,
+                salt=self.salt,
+                chunker=chunker,
+                scheme=self.scheme,
+                threads=threads,
+                codec=codec,
+            )
+        return self._clients[user_id]
+
+    # ------------------------------------------------------------------
+    # failure injection & repair (§3.1)
+    # ------------------------------------------------------------------
+    def fail_cloud(self, index: int) -> None:
+        """Take cloud ``index`` offline."""
+        self.clouds[index].fail()
+
+    def recover_cloud(self, index: int) -> None:
+        """Bring cloud ``index`` back online (its data may be stale/lost)."""
+        self.clouds[index].recover()
+
+    def wipe_cloud(self, index: int) -> None:
+        """Permanently destroy cloud ``index``'s data and its server state.
+
+        Models vendor termination (§1): the backend is emptied and the
+        co-locating server is replaced with a fresh one (its VM-local index
+        is gone too).  Follow with :meth:`repair_cloud` to rebuild.
+        """
+        self.clouds[index].wipe()
+        self.servers[index] = CDStoreServer(
+            server_id=index, cloud=self.clouds[index]
+        )
+        # Existing clients hold server references; refresh them.
+        for client in self._clients.values():
+            client.servers[index] = self.servers[index]
+
+    def repair_cloud(self, index: int) -> int:
+        """Rebuild cloud ``index``'s shares from the surviving clouds.
+
+        CDStore "reconstructs original secrets and then rebuilds the lost
+        shares as in Reed-Solomon codes" (§3.1).  Every user file is
+        re-read from ``k`` healthy clouds, each secret decoded, share
+        ``index`` regenerated and re-ingested at the repaired server.
+        Returns the number of shares rebuilt.
+        """
+        target = self.servers[index]
+        target.cloud.check_available()
+        healthy = [
+            server
+            for server in self.servers
+            if server.server_id != index and server.cloud.available
+        ]
+        if len(healthy) < self.k:
+            raise InsufficientCloudsError(
+                f"repair needs k={self.k} healthy clouds, found {len(healthy)}"
+            )
+        donors = healthy[: self.k]
+        rebuilt = 0
+        # Walk every (user, file) recorded on the first donor.
+        from repro.server.index import PREFIX_FILE
+
+        for key, _ in donors[0].index.items(PREFIX_FILE):
+            user_id, _, lookup_key = key[len(PREFIX_FILE):].partition(b"\x00")
+            user = user_id.decode("utf-8")
+            client = self.client(user)
+            recipes = {
+                server.server_id: server.get_recipe(user, lookup_key)
+                for server in donors
+            }
+            entry0 = donors[0].get_file_entry(user, lookup_key)
+            shares_by_server = {
+                server.server_id: server.fetch_shares(
+                    [e.fingerprint for e in recipes[server.server_id]]
+                )
+                for server in donors
+            }
+            metas: list[ShareMeta] = []
+            for seq in range(entry0.secret_count):
+                secret_size = recipes[donors[0].server_id][seq].secret_size
+                shares = {
+                    server.server_id: shares_by_server[server.server_id][
+                        recipes[server.server_id][seq].fingerprint
+                    ]
+                    for server in donors
+                }
+                secret = client.dispersal.decode(shares, secret_size)
+                new_shares = client.dispersal.encode(secret)
+                lost = new_shares.shares[index]
+                meta = ShareMeta(
+                    fingerprint=fingerprint(lost, domain="client"),
+                    share_size=len(lost),
+                    secret_seq=seq,
+                    secret_size=secret_size,
+                )
+                known = target.query_duplicates(user, [meta.fingerprint])[0]
+                if not known:
+                    target.upload_shares(
+                        user, [ShareUpload(meta=meta, data=lost)]
+                    )
+                    rebuilt += 1
+                metas.append(meta)
+            manifest_entry = donors[0].get_file_entry(user, lookup_key)
+            from repro.server.messages import FileManifest
+
+            # The repaired server needs its own file entry + recipe; the
+            # pathname share for cloud `index` is regenerated from donors'
+            # shares via the client's path sharer.
+            path_shares = {
+                server.server_id: server.get_file_entry(user, lookup_key).path_share
+                for server in donors
+            }
+            path = client._path_sharer.recover(
+                path_shares, secret_size=self._path_len(path_shares)
+            )
+            new_path_shares = client._path_sharer.split(path)
+            manifest = FileManifest(
+                lookup_key=lookup_key,
+                path_share=new_path_shares.shares[index],
+                file_size=manifest_entry.file_size,
+                secret_count=manifest_entry.secret_count,
+            )
+            target.finalize_file(user, manifest, metas)
+        target.flush()
+        return rebuilt
+
+    @staticmethod
+    def _path_len(path_shares: dict[int, bytes]) -> int:
+        # Shamir shares are exactly as long as the secret.
+        return len(next(iter(path_shares.values())))
+
+    def scrub_and_repair(self, index: int) -> int:
+        """Audit cloud ``index`` for silent corruption and heal it.
+
+        Runs the server's scrub, then regenerates every corrupt share by
+        decoding its secret from the healthy clouds and re-encoding —
+        the same Reed-Solomon repair as :meth:`repair_cloud`, applied
+        surgically.  Returns the number of shares healed.
+        """
+        target = self.servers[index]
+        corrupt = set(target.scrub())
+        donors = [
+            server
+            for server in self.servers
+            if server.server_id != index and server.cloud.available
+        ][: self.k]
+        if len(donors) < self.k:
+            raise InsufficientCloudsError(
+                f"scrub repair needs k={self.k} healthy clouds"
+            )
+        from repro.crypto.hashing import fingerprint as _fingerprint
+        from repro.errors import ReproError
+        from repro.server.index import PREFIX_FILE
+        from repro.server.messages import RecipeEntry
+
+        healed: set[bytes] = set()
+        recipes_rebuilt = 0
+        for key, _ in target.index.items(PREFIX_FILE):
+            user_id, _, lookup_key = key[len(PREFIX_FILE):].partition(b"\x00")
+            user = user_id.decode("utf-8")
+            client = self.client(user)
+            donor_recipes = {
+                server.server_id: server.get_recipe(user, lookup_key)
+                for server in donors
+            }
+            secret_count = len(donor_recipes[donors[0].server_id])
+
+            def _regenerate(seq: int) -> tuple[bytes, int]:
+                """Decode secret ``seq`` from donors; return (share, size)."""
+                shares = {
+                    server.server_id: server.fetch_shares(
+                        [donor_recipes[server.server_id][seq].fingerprint]
+                    )[donor_recipes[server.server_id][seq].fingerprint]
+                    for server in donors
+                }
+                secret_size = donor_recipes[donors[0].server_id][seq].secret_size
+                secret = client.dispersal.decode(shares, secret_size)
+                return client.dispersal.encode(secret).shares[index], secret_size
+
+            try:
+                target_recipe = target.get_recipe(user, lookup_key, bypass_cache=True)
+            except ReproError:
+                # The recipe container itself is corrupt: rebuild the whole
+                # recipe from donor data.
+                entries = []
+                for seq in range(secret_count):
+                    share, secret_size = _regenerate(seq)
+                    server_fp = _fingerprint(share, domain="server")
+                    if server_fp in corrupt and server_fp not in healed:
+                        target.replace_share(server_fp, share)
+                        healed.add(server_fp)
+                    entries.append(
+                        RecipeEntry(fingerprint=server_fp, secret_size=secret_size)
+                    )
+                target.rebuild_recipe(user, lookup_key, entries)
+                recipes_rebuilt += 1
+                continue
+
+            for seq, entry in enumerate(target_recipe):
+                if entry.fingerprint in corrupt and entry.fingerprint not in healed:
+                    share, _ = _regenerate(seq)
+                    target.replace_share(entry.fingerprint, share)
+                    healed.add(entry.fingerprint)
+        target.flush()
+        return len(healed) + recipes_rebuilt
+
+    # ------------------------------------------------------------------
+    # accounting (Figures 6 and 9)
+    # ------------------------------------------------------------------
+    def global_stats(self) -> DedupStats:
+        """Fleet-wide deduplication stats.
+
+        Logical/ transferred counters come from the clients; physical
+        counters from the servers (inter-user dedup happens there).
+        """
+        stats = DedupStats()
+        for client in self._clients.values():
+            stats.logical_data += client.stats.logical_data
+            stats.logical_shares += client.stats.logical_shares
+            stats.transferred_shares += client.stats.transferred_shares
+            stats.secrets_total += client.stats.secrets_total
+            stats.shares_total += client.stats.shares_total
+            stats.shares_transferred += client.stats.shares_transferred
+        for server in self.servers:
+            stats.physical_shares += server.stats.physical_shares
+            stats.shares_stored += server.stats.shares_stored
+        return stats
+
+    def stored_bytes(self) -> int:
+        """Total bytes stored across all cloud backends (incl. metadata)."""
+        for server in self.servers:
+            server.flush()
+        return sum(cloud.stored_bytes for cloud in self.clouds)
+
+    def flush(self) -> None:
+        """Seal every server's open containers."""
+        for server in self.servers:
+            server.flush()
+
+    def close(self) -> None:
+        """Close durable indices (no-op for in-memory)."""
+        for server in self.servers:
+            server.index.close()

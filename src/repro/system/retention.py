@@ -1,0 +1,125 @@
+"""Backup series and retention management.
+
+The paper's cost scenario assumes "weekly backups ... for a retention time
+of half a year (26 weeks)" (§5.6) and defers expiry ("garbage collection
+can reclaim space of expired backups", §4.7) to future work.  This module
+implements that operational layer:
+
+* :class:`BackupSeries` — a named, ordered series of backups of one
+  logical dataset (e.g. ``/home`` week after week), with labelled
+  versions, restore-by-label, and expiry;
+* :class:`RetentionPolicy` — keep-last-N policies applied to a series;
+  expired versions are deleted on every cloud and space reclaimed by the
+  servers' garbage collectors.
+
+Because deduplication shares chunks *across* versions, expiring an old
+version only frees the chunks no retained version references — the
+refcounting in the share index (§4.4) provides exactly that semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.client import CDStoreClient
+from repro.errors import NotFoundError, ParameterError
+
+__all__ = ["BackupSeries", "RetentionPolicy"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Keep the most recent ``keep_last`` versions of a series."""
+
+    keep_last: int
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 1:
+            raise ParameterError(
+                f"retention must keep at least one version, got {self.keep_last}"
+            )
+
+    def expired(self, labels: list[str]) -> list[str]:
+        """The labels to expire, oldest first (input is version order)."""
+        if len(labels) <= self.keep_last:
+            return []
+        return labels[: len(labels) - self.keep_last]
+
+
+class BackupSeries:
+    """An ordered series of backups of one dataset for one user.
+
+    Versions are stored as ``<prefix>/<label>`` paths on the normal
+    CDStore namespace, so everything (dedup, restore under failure,
+    repair) applies unchanged; the series only adds ordering and expiry.
+    """
+
+    def __init__(self, client: CDStoreClient, name: str) -> None:
+        if not name or "/" in name:
+            raise ParameterError(f"series name must be a single segment, got {name!r}")
+        self.client = client
+        self.name = name
+        self._labels: list[str] = []
+        self._recover_labels()
+
+    # ------------------------------------------------------------------
+    def _prefix(self) -> str:
+        return f"/series/{self.name}/"
+
+    def _path(self, label: str) -> str:
+        return self._prefix() + label
+
+    def _recover_labels(self) -> None:
+        """Rebuild version order from the stored namespace (metadata is
+        server-side, so a fresh client sees existing versions)."""
+        try:
+            paths = self.client.list_files()
+        except Exception:
+            return
+        prefix = self._prefix()
+        self._labels = sorted(
+            path[len(prefix):] for path in paths if path.startswith(prefix)
+        )
+
+    # ------------------------------------------------------------------
+    def backup(self, label: str, data: bytes):
+        """Store a new version under ``label`` (must sort after priors)."""
+        if "/" in label or not label:
+            raise ParameterError(f"invalid version label {label!r}")
+        if label in self._labels:
+            raise ParameterError(f"version {label!r} already exists")
+        receipt = self.client.upload(self._path(label), data)
+        self._labels.append(label)
+        self._labels.sort()
+        return receipt
+
+    def restore(self, label: str | None = None) -> bytes:
+        """Restore a version (latest when ``label`` is omitted)."""
+        if not self._labels:
+            raise NotFoundError(f"series {self.name!r} has no versions")
+        chosen = label if label is not None else self._labels[-1]
+        if chosen not in self._labels:
+            raise NotFoundError(f"series {self.name!r} has no version {chosen!r}")
+        return self.client.download(self._path(chosen))
+
+    def labels(self) -> list[str]:
+        """Version labels in order, oldest first."""
+        return list(self._labels)
+
+    # ------------------------------------------------------------------
+    def apply_retention(self, policy: RetentionPolicy, collect: bool = True) -> int:
+        """Expire versions beyond the policy; returns bytes reclaimed.
+
+        With ``collect=True`` every server garbage-collects after the
+        deletions, so the return value reflects space actually freed (only
+        chunks unreferenced by retained versions are reclaimable).
+        """
+        expired = policy.expired(self._labels)
+        for label in expired:
+            self.client.delete(self._path(label))
+            self._labels.remove(label)
+        freed = 0
+        if collect and expired:
+            for server in self.client.servers:
+                freed += server.collect_garbage()
+        return freed

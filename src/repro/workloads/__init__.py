@@ -1,0 +1,37 @@
+"""Synthetic backup workloads standing in for the paper's datasets (§5.2).
+
+The paper evaluates deduplication on two private datasets: the FSL
+Fslhomes-2013 home-directory snapshots (9 users, 16 weekly backups,
+8.11 TB) and a self-collected VM-image dataset (156 students' weekly image
+snapshots cloned from one master image, 11.12 TB after zero-chunk removal).
+Neither dataset ships with the paper, so this package generates *chunk-level
+traces* with the same statistical structure:
+
+* :class:`~repro.workloads.fsl.FSLWorkload` — per-user populations with
+  small weekly modifications (intra-user savings ≥ 94 % after week 1) and
+  limited cross-user overlap (inter-user savings ≤ ~13 %);
+* :class:`~repro.workloads.vm.VMWorkload` — images cloned from a master
+  (week-1 inter-user saving ≈ 93 %) with *correlated* weekly edits
+  ("students make similar changes when doing programming assignments"),
+  keeping later inter-user savings in the paper's 12-47 % band.
+
+Traces are sequences of ``(fingerprint, size)`` chunk records — the same
+representation the published FSL dataset uses — so they scale to terabyte
+logical sizes as metadata.  :func:`materialize` turns a record into bytes
+exactly the way §5.5 reconstructs chunks for its trace-driven runs:
+"writing the fingerprint value repeatedly to a chunk with the specified
+size", preserving content similarity for end-to-end runs.
+"""
+
+from repro.workloads.base import BackupSnapshot, ChunkRecord, Workload, materialize
+from repro.workloads.fsl import FSLWorkload
+from repro.workloads.vm import VMWorkload
+
+__all__ = [
+    "BackupSnapshot",
+    "ChunkRecord",
+    "FSLWorkload",
+    "materialize",
+    "VMWorkload",
+    "Workload",
+]

@@ -1,0 +1,77 @@
+"""Chunk-trace value objects shared by the workload generators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+
+__all__ = ["ChunkRecord", "BackupSnapshot", "Workload", "materialize"]
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One chunk of a backup: its fingerprint and size.
+
+    This mirrors the published FSL trace format ("48-bit chunk fingerprints
+    and corresponding chunk sizes"); we carry full 32-byte fingerprints.
+    """
+
+    fingerprint: bytes
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"chunk size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True)
+class BackupSnapshot:
+    """One user's weekly backup as an ordered chunk trace."""
+
+    user: str
+    week: int
+    chunks: tuple[ChunkRecord, ...]
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(chunk.size for chunk in self.chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+
+def materialize(record: ChunkRecord) -> bytes:
+    """Reconstruct chunk content from its fingerprint, as §5.5 does.
+
+    "We reconstruct a chunk by writing the fingerprint value repeatedly to
+    a chunk with the specified size, so as to preserve content similarity."
+    Identical records therefore produce identical bytes (deduplicable) and
+    distinct records produce distinct bytes.
+    """
+    reps = -(-record.size // len(record.fingerprint))
+    return (record.fingerprint * reps)[: record.size]
+
+
+class Workload(abc.ABC):
+    """A generator of weekly backup snapshots for a set of users."""
+
+    users: list[str]
+    weeks: int
+
+    @abc.abstractmethod
+    def snapshot(self, user: str, week: int) -> BackupSnapshot:
+        """The given user's backup for the given week (1-based)."""
+
+    def week_snapshots(self, week: int) -> Iterator[BackupSnapshot]:
+        """All users' snapshots for one week."""
+        for user in self.users:
+            yield self.snapshot(user, week)
+
+    def all_snapshots(self) -> Iterator[BackupSnapshot]:
+        """Every snapshot, week-major (the order backups are taken)."""
+        for week in range(1, self.weeks + 1):
+            yield from self.week_snapshots(week)

@@ -1,0 +1,145 @@
+"""Synthetic FSL-like home-directory backup workload (§5.2 dataset (i)).
+
+Structure calibrated to the paper's measurements (Figure 6):
+
+* nine users, sixteen weekly backups, variable-size chunks averaging 8 KB
+  (2-16 KB bounds);
+* week 1 contains internal duplicates (so intra-user dedup already saves
+  ~20 %, explaining the faster first-backup upload of §5.5) and a small
+  cross-user shared fraction (inter-user savings stay ≤ ~13 %);
+* every later week modifies/adds only a few percent of each user's data,
+  so intra-user savings for subsequent backups are ≥ 94 %.
+
+All randomness flows from one :class:`~repro.crypto.drbg.DRBG` seed, so a
+given configuration regenerates the identical trace.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import DRBG
+from repro.errors import WorkloadError
+from repro.workloads.base import BackupSnapshot, ChunkRecord, Workload
+
+__all__ = ["FSLWorkload"]
+
+
+class FSLWorkload(Workload):
+    """Generator of FSL-like weekly backup chunk traces.
+
+    Parameters
+    ----------
+    users:
+        Number of users (paper: 9).
+    weeks:
+        Number of weekly backups (paper: 16).
+    chunks_per_user:
+        Week-1 chunk count per user; scales the logical size (the paper's
+        8.11 TB over 9 users ≈ millions of chunks — default is laptop
+        scale, raise it for bigger runs).
+    modify_rate / append_rate:
+        Fraction of a user's chunks replaced / appended each week.
+    internal_dup:
+        Fraction of week-1 chunks duplicated from the user's own data.
+    shared_frac:
+        Fraction of new chunks drawn from the organisation-shared pool
+        (drives the small inter-user savings).
+    """
+
+    def __init__(
+        self,
+        users: int = 9,
+        weeks: int = 16,
+        chunks_per_user: int = 1200,
+        avg_chunk: int = 8192,
+        min_chunk: int = 2048,
+        max_chunk: int = 16384,
+        modify_rate: float = 0.018,
+        append_rate: float = 0.008,
+        internal_dup: float = 0.40,
+        shared_frac: float = 0.16,
+        seed: bytes | str = "fsl-workload",
+    ) -> None:
+        if users <= 0 or weeks <= 0 or chunks_per_user <= 0:
+            raise WorkloadError("users, weeks and chunks_per_user must be positive")
+        if not 0 <= modify_rate < 1 or not 0 <= append_rate < 1:
+            raise WorkloadError("rates must be in [0, 1)")
+        self.users = [f"user{i:02d}" for i in range(users)]
+        self.weeks = weeks
+        self.chunks_per_user = chunks_per_user
+        self.avg_chunk = avg_chunk
+        self.min_chunk = min_chunk
+        self.max_chunk = max_chunk
+        self.modify_rate = modify_rate
+        self.append_rate = append_rate
+        self.internal_dup = internal_dup
+        self.shared_frac = shared_frac
+        self._root = DRBG(seed)
+        # Shared-pool chunks are lazily minted, one DRBG stream for all users.
+        self._shared_rng = self._root.fork("shared-pool")
+        self._shared_pool: list[ChunkRecord] = []
+        # Cache: user -> list of weekly chunk lists (index 0 = week 1).
+        self._history: dict[str, list[list[ChunkRecord]]] = {}
+
+    # ------------------------------------------------------------------
+    # chunk minting
+    # ------------------------------------------------------------------
+    def _chunk_size(self, rng: DRBG) -> int:
+        return rng.randint(self.min_chunk, self.max_chunk)
+
+    def _new_chunk(self, rng: DRBG) -> ChunkRecord:
+        return ChunkRecord(fingerprint=rng.random_bytes(32), size=self._chunk_size(rng))
+
+    def _shared_chunk(self, rng: DRBG) -> ChunkRecord:
+        """Draw from (and lazily grow) the organisation-shared pool."""
+        grow = not self._shared_pool or rng.random() < 0.5
+        if grow:
+            self._shared_pool.append(self._new_chunk(self._shared_rng))
+        return self._shared_pool[rng.randint(0, len(self._shared_pool) - 1)]
+
+    def _mint(self, rng: DRBG) -> ChunkRecord:
+        """A 'new' chunk: mostly unique, sometimes from the shared pool."""
+        if rng.random() < self.shared_frac:
+            return self._shared_chunk(rng)
+        return self._new_chunk(rng)
+
+    # ------------------------------------------------------------------
+    # weekly evolution
+    # ------------------------------------------------------------------
+    def _initial(self, user: str) -> list[ChunkRecord]:
+        rng = self._root.fork(f"{user}/w1")
+        chunks: list[ChunkRecord] = []
+        for _ in range(self.chunks_per_user):
+            if chunks and rng.random() < self.internal_dup:
+                chunks.append(chunks[rng.randint(0, len(chunks) - 1)])
+            else:
+                chunks.append(self._mint(rng))
+        return chunks
+
+    def _evolve(self, user: str, week: int, prev: list[ChunkRecord]) -> list[ChunkRecord]:
+        rng = self._root.fork(f"{user}/w{week}")
+        chunks = list(prev)
+        n_modify = max(1, int(len(chunks) * self.modify_rate))
+        for _ in range(n_modify):
+            chunks[rng.randint(0, len(chunks) - 1)] = self._mint(rng)
+        n_append = int(len(chunks) * self.append_rate)
+        for _ in range(n_append):
+            chunks.append(self._mint(rng))
+        return chunks
+
+    def _user_history(self, user: str, upto_week: int) -> list[list[ChunkRecord]]:
+        if user not in self.users:
+            raise WorkloadError(f"unknown user {user!r}")
+        history = self._history.setdefault(user, [])
+        if not history:
+            history.append(self._initial(user))
+        while len(history) < upto_week:
+            week = len(history) + 1
+            history.append(self._evolve(user, week, history[-1]))
+        return history
+
+    # ------------------------------------------------------------------
+    def snapshot(self, user: str, week: int) -> BackupSnapshot:
+        if not 1 <= week <= self.weeks:
+            raise WorkloadError(f"week {week} outside [1, {self.weeks}]")
+        history = self._user_history(user, week)
+        return BackupSnapshot(user=user, week=week, chunks=tuple(history[week - 1]))

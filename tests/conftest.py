@@ -1,0 +1,31 @@
+"""Shared fixtures for the CDStore reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chunking.fixed import FixedChunker
+from repro.crypto.drbg import DRBG
+from repro.system.cdstore import CDStoreSystem
+
+
+@pytest.fixture
+def drbg() -> DRBG:
+    """A deterministic RNG; each test gets the same stream."""
+    return DRBG("test-fixture")
+
+
+@pytest.fixture
+def small_system() -> CDStoreSystem:
+    """A (4, 3) in-memory CDStore deployment with fast fixed chunking."""
+    return CDStoreSystem(n=4, k=3, salt=b"test-org")
+
+
+@pytest.fixture
+def fixed_chunker() -> FixedChunker:
+    return FixedChunker(4096)
+
+
+def make_data(size: int, seed: str = "data") -> bytes:
+    """Deterministic pseudo-random payload for tests."""
+    return DRBG(seed).random_bytes(size)

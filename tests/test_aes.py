@@ -1,0 +1,84 @@
+"""AES against FIPS-197 / NIST vectors, plus roundtrip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.errors import CryptoError
+
+# FIPS-197 Appendix C example vectors (plaintext 00112233...ff).
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_VECTORS = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),  # AES-128
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),  # AES-192
+    ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "8ea2b7ca516745bfeafc49904b496089"),  # AES-256
+]
+
+
+class TestSbox:
+    def test_sbox_known_entries(self):
+        # FIPS-197 Figure 7 spot checks.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert len(set(SBOX.tolist())) == 256
+
+    def test_inverse_sbox(self):
+        assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+
+class TestKnownVectors:
+    @pytest.mark.parametrize("key_hex,ct_hex", _VECTORS)
+    def test_fips197_encrypt(self, key_hex, ct_hex):
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(_PLAINTEXT).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", _VECTORS)
+    def test_fips197_decrypt(self, key_hex, ct_hex):
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == _PLAINTEXT
+
+
+class TestRoundtrip:
+    @settings(max_examples=20)
+    @given(st.binary(min_size=32, max_size=32), st.integers(min_value=1, max_value=16))
+    def test_bulk_roundtrip(self, key, nblocks):
+        cipher = AES(key)
+        blocks = np.arange(nblocks * 16, dtype=np.uint64).astype(np.uint8).reshape(nblocks, 16)
+        ct = cipher.encrypt_blocks(blocks)
+        assert np.array_equal(cipher.decrypt_blocks(ct), blocks)
+
+    def test_bulk_matches_single(self):
+        key = bytes(range(32))
+        cipher = AES(key)
+        blocks = np.frombuffer(bytes(range(64)), dtype=np.uint8).reshape(4, 16)
+        bulk = cipher.encrypt_blocks(blocks)
+        for i in range(4):
+            assert bulk[i].tobytes() == cipher.encrypt_block(blocks[i].tobytes())
+
+    def test_different_keys_differ(self):
+        a = AES(b"a" * 32).encrypt_block(_PLAINTEXT)
+        b = AES(b"b" * 32).encrypt_block(_PLAINTEXT)
+        assert a != b
+
+
+class TestErrors:
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            AES(b"short")
+
+    def test_bad_block_size(self):
+        cipher = AES(b"k" * 16)
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(b"not 16 bytes!")
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(b"xx")
+
+    def test_rounds_by_key_size(self):
+        assert AES(b"k" * 16).rounds == 10
+        assert AES(b"k" * 24).rounds == 12
+        assert AES(b"k" * 32).rounds == 14

@@ -1,0 +1,131 @@
+"""Deterministic archiver: pack/unpack, determinism, safety."""
+
+import pytest
+
+from repro.archive import list_archive, pack_tree, unpack_tree
+from repro.errors import ParameterError, StorageError
+
+
+def build_tree(root):
+    (root / "docs").mkdir()
+    (root / "docs" / "readme.txt").write_bytes(b"hello")
+    (root / "docs" / "nested").mkdir()
+    (root / "docs" / "nested" / "deep.bin").write_bytes(bytes(range(256)))
+    (root / "empty-dir").mkdir()
+    (root / "top.dat").write_bytes(b"x" * 1000)
+
+
+class TestRoundtrip:
+    def test_pack_unpack(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        build_tree(src)
+        blob = pack_tree(src)
+        out = tmp_path / "out"
+        assert unpack_tree(blob, out) == 3  # three files
+        assert (out / "docs" / "readme.txt").read_bytes() == b"hello"
+        assert (out / "docs" / "nested" / "deep.bin").read_bytes() == bytes(range(256))
+        assert (out / "top.dat").read_bytes() == b"x" * 1000
+        assert (out / "empty-dir").is_dir()
+
+    def test_determinism(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        build_tree(a)
+        build_tree(b)
+        assert pack_tree(a) == pack_tree(b)
+
+    def test_small_change_is_local(self, tmp_path):
+        """A one-file change must leave most archive bytes identical —
+        the property chunk-level dedup relies on."""
+        src = tmp_path / "src"
+        src.mkdir()
+        build_tree(src)
+        before = pack_tree(src)
+        (src / "top.dat").write_bytes(b"y" * 1000)
+        after = pack_tree(before and src)
+        assert before[: len(before) - 1100] == after[: len(after) - 1100]
+
+    def test_empty_tree(self, tmp_path):
+        src = tmp_path / "empty"
+        src.mkdir()
+        blob = pack_tree(src)
+        out = tmp_path / "out"
+        assert unpack_tree(blob, out) == 0
+
+    def test_unicode_names(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "ünïcodé.txt").write_bytes(b"data")
+        blob = pack_tree(src)
+        out = tmp_path / "out"
+        unpack_tree(blob, out)
+        assert (out / "ünïcodé.txt").read_bytes() == b"data"
+
+    def test_list_archive(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        build_tree(src)
+        listing = dict(list_archive(pack_tree(src)))
+        assert listing["docs/readme.txt"] == 5
+        assert listing["empty-dir"] == -1
+
+
+class TestSafety:
+    def test_not_a_directory(self, tmp_path):
+        f = tmp_path / "file"
+        f.write_bytes(b"x")
+        with pytest.raises(ParameterError):
+            pack_tree(f)
+
+    def test_bad_magic(self, tmp_path):
+        with pytest.raises(StorageError):
+            unpack_tree(b"NOTMAGIC" + b"\x00" * 10, tmp_path / "o")
+
+    def test_truncated_archive(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "f").write_bytes(b"0123456789")
+        blob = pack_tree(src)
+        with pytest.raises(StorageError):
+            unpack_tree(blob[:-4], tmp_path / "o")
+
+    def test_escape_paths_rejected(self, tmp_path):
+        import struct
+
+        evil = b"CDARCH01" + struct.pack(">BH", 1, 9) + b"../escape" + struct.pack(">IQ", 0o644, 2) + b"hi"
+        with pytest.raises(StorageError):
+            unpack_tree(evil, tmp_path / "o")
+        evil2 = b"CDARCH01" + struct.pack(">BH", 1, 8) + b"/abs/pth" + struct.pack(">IQ", 0o644, 0)
+        with pytest.raises(StorageError):
+            unpack_tree(evil2, tmp_path / "o")
+
+
+class TestEndToEndWithCDStore:
+    def test_directory_backup_through_the_system(self, tmp_path):
+        from repro.chunking import FixedChunker
+        from repro.system import CDStoreSystem
+
+        src = tmp_path / "homedir"
+        src.mkdir()
+        build_tree(src)
+        system = CDStoreSystem(n=4, k=3)
+        client = system.client("alice", chunker=FixedChunker(2048))
+        client.upload("/home.arch", pack_tree(src))
+        restored_blob = client.download("/home.arch")
+        out = tmp_path / "restored"
+        unpack_tree(restored_blob, out)
+        assert (out / "docs" / "readme.txt").read_bytes() == b"hello"
+
+    def test_unchanged_tree_deduplicates_fully(self, tmp_path):
+        from repro.chunking import FixedChunker
+        from repro.system import CDStoreSystem
+
+        src = tmp_path / "tree"
+        src.mkdir()
+        build_tree(src)
+        system = CDStoreSystem(n=4, k=3)
+        client = system.client("alice", chunker=FixedChunker(2048))
+        client.upload("/snap1", pack_tree(src))
+        receipt = client.upload("/snap2", pack_tree(src))
+        assert receipt.intra_user_saving == 1.0

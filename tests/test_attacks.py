@@ -1,0 +1,76 @@
+"""Side-channel attacks: succeed against the strawman, fail against CDStore."""
+
+import pytest
+
+from repro.attacks import (
+    NaiveGlobalDedupServer,
+    run_confirmation_attack,
+    run_ownership_attack,
+)
+from repro.cloud.network import Link
+from repro.cloud.provider import CloudProvider
+from repro.server.server import CDStoreServer
+
+VICTIM_DATA = b"salary-spreadsheet-2015.xlsx contents" * 30
+
+
+def make_cdstore_server() -> CDStoreServer:
+    return CDStoreServer(0, CloudProvider("c", Link(10), Link(10)))
+
+
+class TestConfirmationAttack:
+    def test_succeeds_against_naive_global_dedup(self):
+        result = run_confirmation_attack(NaiveGlobalDedupServer(), VICTIM_DATA)
+        assert result.succeeded
+
+    def test_fails_against_cdstore(self):
+        result = run_confirmation_attack(make_cdstore_server(), VICTIM_DATA)
+        assert not result.succeeded
+
+    def test_cdstore_attacker_sees_own_uploads_only(self):
+        """The attacker still gets correct dedup for its *own* data, so the
+        defence does not break legitimate intra-user dedup."""
+        from repro.crypto.hashing import fingerprint
+        from repro.server.messages import ShareMeta, ShareUpload
+
+        server = make_cdstore_server()
+        own = b"attacker's own data" * 20
+        fp = fingerprint(own, domain="client")
+        meta = ShareMeta(fp, len(own), 0, len(own))
+        server.upload_shares("attacker", [ShareUpload(meta=meta, data=own)])
+        assert server.query_duplicates("attacker", [fp]) == [True]
+
+
+class TestOwnershipAttack:
+    def test_succeeds_against_naive_server(self):
+        result = run_ownership_attack(NaiveGlobalDedupServer(), VICTIM_DATA)
+        assert result.succeeded
+
+    def test_fails_against_cdstore(self):
+        result = run_ownership_attack(make_cdstore_server(), VICTIM_DATA)
+        assert not result.succeeded
+        assert "rejected" in result.detail
+
+
+class TestNaiveServerSemantics:
+    """The strawman must behave as §3.3 describes, or the contrast is moot."""
+
+    def test_global_dedup_answers(self):
+        server = NaiveGlobalDedupServer()
+        server.upload("alice", b"fp1", b"data")
+        assert server.query_duplicates("bob", [b"fp1", b"fp2"]) == [True, False]
+
+    def test_unknown_fingerprint_needs_data(self):
+        from repro.errors import NotFoundError
+
+        server = NaiveGlobalDedupServer()
+        with pytest.raises(NotFoundError):
+            server.upload("alice", b"fp", None)
+
+    def test_download_requires_registered_ownership(self):
+        from repro.errors import NotFoundError
+
+        server = NaiveGlobalDedupServer()
+        server.upload("alice", b"fp", b"data")
+        with pytest.raises(NotFoundError):
+            server.download("mallory", b"fp")

@@ -1,0 +1,58 @@
+"""Bloom filter: no false negatives, bounded false positives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import DRBG
+from repro.errors import ParameterError
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBloom:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(0)
+        with pytest.raises(ParameterError):
+            BloomFilter(10, fp_rate=1.5)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=50, unique=True))
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter(len(keys))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_bounded(self):
+        rng = DRBG("bloom")
+        bloom = BloomFilter(1000, fp_rate=0.01)
+        members = [rng.random_bytes(16) for _ in range(1000)]
+        for key in members:
+            bloom.add(key)
+        probes = [rng.random_bytes(16) for _ in range(5000)]
+        fps = sum(1 for p in probes if p in bloom and p not in members)
+        assert fps / 5000 < 0.05  # 5x slack over the 1% design point
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(10)
+        bloom.add(b"a")
+        bloom.add(b"b")
+        assert len(bloom) == 2
+
+    def test_serialisation_roundtrip(self):
+        bloom = BloomFilter(100, fp_rate=0.02)
+        keys = [f"key{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert all(key in restored for key in keys)
+        assert len(restored) == 100
+        assert restored.num_bits == bloom.num_bits
+
+    def test_truncated_blob_raises(self):
+        bloom = BloomFilter(10)
+        with pytest.raises(ParameterError):
+            BloomFilter.from_bytes(bloom.to_bytes()[:-4])
+        with pytest.raises(ParameterError):
+            BloomFilter.from_bytes(b"x" * 8)

@@ -1,0 +1,134 @@
+"""Chunkers: fixed-size and Rabin content-defined."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.rabin import RabinChunker
+from repro.crypto.drbg import DRBG
+from repro.errors import ParameterError
+
+
+class TestFixedChunker:
+    def test_reconstruction(self):
+        data = DRBG("fixed").random_bytes(10000)
+        chunks = list(FixedChunker(4096).chunk_bytes(data))
+        assert b"".join(c.data for c in chunks) == data
+        assert [c.size for c in chunks] == [4096, 4096, 1808]
+
+    def test_offsets_and_seqs(self):
+        chunks = list(FixedChunker(100).chunk_bytes(b"z" * 250))
+        assert [(c.offset, c.seq) for c in chunks] == [(0, 0), (100, 1), (200, 2)]
+
+    def test_empty_input(self):
+        assert list(FixedChunker(100).chunk_bytes(b"")) == []
+
+    def test_bad_size(self):
+        with pytest.raises(ParameterError):
+            FixedChunker(0)
+
+    def test_stream_equivalence(self):
+        data = DRBG("stream").random_bytes(5000)
+        chunker = FixedChunker(512)
+        direct = [c.data for c in chunker.chunk_bytes(data)]
+        streamed = [c.data for c in chunker.chunk_stream([data[:1000], data[1000:]])]
+        assert direct == streamed
+
+
+class TestRabinParameters:
+    def test_avg_must_be_power_of_two(self):
+        with pytest.raises(ParameterError):
+            RabinChunker(avg_size=1000)
+
+    def test_ordering_constraints(self):
+        with pytest.raises(ParameterError):
+            RabinChunker(avg_size=1024, min_size=2048, max_size=4096)
+        with pytest.raises(ParameterError):
+            RabinChunker(avg_size=1024, min_size=256, max_size=512)
+
+    def test_window_constraints(self):
+        with pytest.raises(ParameterError):
+            RabinChunker(window=1)
+        with pytest.raises(ParameterError):
+            RabinChunker(avg_size=64, min_size=16, max_size=128, window=48)
+
+
+class TestRabinFingerprints:
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_vectorised_equals_rolling(self, data):
+        chunker = RabinChunker(avg_size=256, min_size=64, max_size=1024, window=48)
+        assert np.array_equal(
+            chunker.window_fingerprints(data), chunker.rolling_fingerprints(data)
+        )
+
+    def test_short_input_has_no_fingerprints(self):
+        chunker = RabinChunker()
+        assert chunker.window_fingerprints(b"short").size == 0
+
+
+class TestRabinChunking:
+    @pytest.fixture
+    def chunker(self):
+        return RabinChunker(avg_size=1024, min_size=256, max_size=4096, window=48)
+
+    def test_reconstruction(self, chunker):
+        data = DRBG("rabin").random_bytes(50000)
+        chunks = list(chunker.chunk_bytes(data))
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_size_bounds(self, chunker):
+        data = DRBG("bounds").random_bytes(100000)
+        chunks = list(chunker.chunk_bytes(data))
+        sizes = [c.size for c in chunks]
+        assert max(sizes) <= chunker.max_size
+        assert all(s >= chunker.min_size for s in sizes[:-1])
+
+    def test_average_in_expected_range(self, chunker):
+        data = DRBG("avg").random_bytes(300000)
+        sizes = [c.size for c in chunker.chunk_bytes(data)]
+        avg = sum(sizes) / len(sizes)
+        # Content-defined chunking with min/max clamps lands near the target.
+        assert chunker.avg_size * 0.5 < avg < chunker.avg_size * 2.5
+
+    def test_determinism(self, chunker):
+        data = DRBG("det").random_bytes(30000)
+        a = [c.data for c in chunker.chunk_bytes(data)]
+        b = [c.data for c in chunker.chunk_bytes(data)]
+        assert a == b
+
+    def test_shift_resilience(self, chunker):
+        """Prepending bytes must leave most chunk boundaries unchanged —
+        the property fixed-size chunking lacks (§3.3)."""
+        data = DRBG("shift").random_bytes(60000)
+        original = {c.data for c in chunker.chunk_bytes(data)}
+        shifted = list(chunker.chunk_bytes(DRBG("prefix").random_bytes(137) + data))
+        shared = sum(1 for c in shifted if c.data in original)
+        assert shared / len(shifted) > 0.6
+
+    def test_fixed_chunking_is_not_shift_resilient(self):
+        """Contrast case motivating variable-size chunking."""
+        data = DRBG("contrast").random_bytes(60000)
+        fixed = FixedChunker(1024)
+        original = {c.data for c in fixed.chunk_bytes(data)}
+        shifted = list(fixed.chunk_bytes(b"x" * 137 + data))
+        shared = sum(1 for c in shifted if c.data in original)
+        assert shared / len(shifted) < 0.1
+
+    def test_empty_input(self, chunker):
+        assert list(chunker.chunk_bytes(b"")) == []
+
+    def test_tiny_input_single_chunk(self, chunker):
+        chunks = list(chunker.chunk_bytes(b"tiny"))
+        assert len(chunks) == 1
+        assert chunks[0].data == b"tiny"
+
+    def test_paper_default_configuration(self):
+        chunker = RabinChunker()
+        assert (chunker.avg_size, chunker.min_size, chunker.max_size) == (
+            8192,
+            2048,
+            16384,
+        )

@@ -1,0 +1,109 @@
+"""CTR keystreams: backend agreement, offsets, the word-stream API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ciphers import (
+    AesCtr,
+    aes_backend_name,
+    available_aes_backends,
+    ctr_keystream,
+    mask_block,
+    set_aes_backend,
+)
+from repro.errors import CryptoError, ParameterError
+
+KEY = bytes(range(32))
+
+
+class TestBackends:
+    def test_pure_always_available(self):
+        assert "pure" in available_aes_backends()
+
+    def test_set_unknown_backend_raises(self):
+        with pytest.raises(ParameterError):
+            set_aes_backend("quantum")
+
+    def test_set_and_restore(self):
+        original = aes_backend_name()
+        try:
+            set_aes_backend("pure")
+            assert aes_backend_name() == "pure"
+        finally:
+            set_aes_backend(original)
+
+    @pytest.mark.skipif(
+        "openssl" not in available_aes_backends(), reason="no OpenSSL wheel"
+    )
+    @settings(max_examples=20)
+    @given(
+        st.binary(min_size=32, max_size=32),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_backends_produce_identical_bytes(self, key, length, offset):
+        pure = AesCtr(key, backend="pure").keystream(length, offset)
+        fast = AesCtr(key, backend="openssl").keystream(length, offset)
+        assert pure == fast
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert ctr_keystream(KEY, 100) == ctr_keystream(KEY, 100)
+
+    def test_offset_slices_the_same_stream(self):
+        whole = ctr_keystream(KEY, 160)
+        assert ctr_keystream(KEY, 32, block_offset=2) == whole[32:64]
+
+    def test_zero_length(self):
+        assert ctr_keystream(KEY, 0) == b""
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ParameterError):
+            ctr_keystream(KEY, -1)
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(ParameterError):
+            AesCtr(KEY).keystream(16, block_offset=-1)
+
+    def test_bad_key_raises(self):
+        with pytest.raises(CryptoError):
+            AesCtr(b"tiny")
+
+    def test_key_separation(self):
+        assert ctr_keystream(b"a" * 32, 64) != ctr_keystream(b"b" * 32, 64)
+
+
+class TestWordStream:
+    def test_word_stream_equals_bulk(self):
+        ctr = AesCtr(KEY)
+        words = list(ctr.word_stream(10))
+        assert b"".join(words) == ctr.keystream(160)
+
+    def test_block_accessor(self):
+        ctr = AesCtr(KEY)
+        stream = ctr.keystream(160)
+        for i in range(10):
+            assert ctr.block(i) == stream[16 * i : 16 * (i + 1)]
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ParameterError):
+            list(AesCtr(KEY).word_stream(-1))
+
+    @pytest.mark.skipif(
+        "openssl" not in available_aes_backends(), reason="no OpenSSL wheel"
+    )
+    def test_word_stream_backend_agreement(self):
+        pure = b"".join(AesCtr(KEY, backend="pure").word_stream(8))
+        fast = b"".join(AesCtr(KEY, backend="openssl").word_stream(8))
+        assert pure == fast
+
+
+class TestMaskBlock:
+    def test_mask_is_deterministic_in_key_and_length(self):
+        assert mask_block(KEY, 1000) == mask_block(KEY, 1000)
+        assert mask_block(KEY, 1000)[:500] == mask_block(KEY, 500)
+
+    def test_mask_differs_by_key(self):
+        assert mask_block(b"x" * 32, 64) != mask_block(b"y" * 32, 64)

@@ -1,0 +1,123 @@
+"""Command-line interface: a persistent deployment across invocations."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    root = tmp_path / "store"
+    assert main(["init", "--root", str(root), "--n", "4", "--k", "3", "--salt", "org"]) == 0
+    return root
+
+
+def write_file(tmp_path, name: str, size: int = 30_000) -> str:
+    path = tmp_path / name
+    path.write_bytes(os.urandom(size))
+    return str(path)
+
+
+class TestInit:
+    def test_creates_layout(self, tmp_path):
+        root = tmp_path / "s"
+        assert main(["init", "--root", str(root)]) == 0
+        assert (root / "cdstore.json").exists()
+        assert (root / "cloud-0").is_dir()
+
+    def test_double_init_fails(self, deployment):
+        assert main(["init", "--root", str(deployment)]) == 1
+
+    def test_missing_deployment_errors(self, tmp_path, capsys):
+        assert main(["stats", "--root", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBackupRestore:
+    def test_roundtrip_across_invocations(self, deployment, tmp_path):
+        src = write_file(tmp_path, "data.bin")
+        assert main(["backup", "--root", str(deployment), "--user", "alice", src]) == 0
+        out = tmp_path / "restored.bin"
+        assert main([
+            "restore", "--root", str(deployment), "--user", "alice", src,
+            "-o", str(out),
+        ]) == 0
+        assert out.read_bytes() == open(src, "rb").read()
+
+    def test_custom_name(self, deployment, tmp_path):
+        src = write_file(tmp_path, "x.bin", 5_000)
+        assert main([
+            "backup", "--root", str(deployment), "--user", "alice", src,
+            "--name", "/backups/monday.tar",
+        ]) == 0
+        out = tmp_path / "y.bin"
+        assert main([
+            "restore", "--root", str(deployment), "--user", "alice",
+            "/backups/monday.tar", "-o", str(out),
+        ]) == 0
+        assert out.read_bytes() == open(src, "rb").read()
+
+    def test_dedup_persists_across_invocations(self, deployment, tmp_path, capsys):
+        src = write_file(tmp_path, "dup.bin")
+        main(["backup", "--root", str(deployment), "--user", "alice", src,
+              "--name", "/v1"])
+        capsys.readouterr()
+        main(["backup", "--root", str(deployment), "--user", "alice", src,
+              "--name", "/v2"])
+        out = capsys.readouterr().out
+        assert "0 share bytes transferred" in out
+        assert "100.0%" in out
+
+
+class TestLsDeleteStats:
+    def test_ls_lists_secret_shared_names(self, deployment, tmp_path, capsys):
+        src = write_file(tmp_path, "a.bin", 4_000)
+        main(["backup", "--root", str(deployment), "--user", "alice", src,
+              "--name", "/backups/a.tar"])
+        capsys.readouterr()
+        assert main(["ls", "--root", str(deployment), "--user", "alice"]) == 0
+        assert "/backups/a.tar" in capsys.readouterr().out
+
+    def test_ls_is_per_user(self, deployment, tmp_path, capsys):
+        src = write_file(tmp_path, "a.bin", 4_000)
+        main(["backup", "--root", str(deployment), "--user", "alice", src,
+              "--name", "/private"])
+        capsys.readouterr()
+        main(["ls", "--root", str(deployment), "--user", "bob"])
+        assert "/private" not in capsys.readouterr().out
+
+    def test_delete_with_gc(self, deployment, tmp_path, capsys):
+        src = write_file(tmp_path, "d.bin", 20_000)
+        main(["backup", "--root", str(deployment), "--user", "alice", src,
+              "--name", "/doomed"])
+        capsys.readouterr()
+        assert main([
+            "delete", "--root", str(deployment), "--user", "alice", "/doomed",
+            "--gc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GC reclaimed" in out
+        # Restore must now fail.
+        assert main([
+            "restore", "--root", str(deployment), "--user", "alice", "/doomed",
+            "-o", str(tmp_path / "no.bin"),
+        ]) == 1
+
+    def test_stats(self, deployment, tmp_path, capsys):
+        src = write_file(tmp_path, "s.bin", 10_000)
+        main(["backup", "--root", str(deployment), "--user", "alice", src])
+        capsys.readouterr()
+        assert main(["stats", "--root", str(deployment)]) == 0
+        out = capsys.readouterr().out
+        assert "clouds: 4 (k = 3)" in out
+        assert "cloud-0" in out
+
+
+class TestCost:
+    def test_cost_summary(self, capsys):
+        assert main(["cost", "--weekly-tb", "16", "--dedup", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "CDStore" in out
+        assert "saving vs AONT-RS" in out

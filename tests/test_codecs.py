@@ -1,0 +1,134 @@
+"""The AONT-RS codec family: AONT-RS, CAONT-RS-Rivest, CAONT-RS."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aont_rs import AONTRS
+from repro.core.caont_rs import CAONTRS
+from repro.core.caont_rs_rivest import CAONTRSRivest
+from repro.crypto.drbg import DRBG
+from repro.errors import CodingError, IntegrityError
+
+ALL_CODECS = [CAONTRS, CAONTRSRivest, AONTRS]
+CONVERGENT_CODECS = [CAONTRS, CAONTRSRivest]
+
+
+@pytest.mark.parametrize("codec_cls", ALL_CODECS)
+class TestRoundtrip:
+    @pytest.mark.parametrize("n,k", [(4, 3), (5, 2), (6, 6), (8, 5)])
+    def test_every_k_subset(self, codec_cls, n, k):
+        codec = codec_cls(n, k)
+        secret = DRBG("subset").random_bytes(5000)
+        share_set = codec.split(secret)
+        assert share_set.n == n
+        for subset in combinations(range(n), k):
+            assert codec.recover(share_set.subset(list(subset)), len(secret)) == secret
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 31, 32, 33, 100, 8191, 8192])
+    def test_boundary_sizes(self, codec_cls, size):
+        codec = codec_cls(4, 3)
+        secret = DRBG(f"size{size}").random_bytes(size)
+        share_set = codec.split(secret)
+        assert codec.recover(share_set.subset([0, 1, 2]), size) == secret
+
+    def test_too_few_shares(self, codec_cls):
+        codec = codec_cls(4, 3)
+        share_set = codec.split(b"data" * 100)
+        with pytest.raises(CodingError):
+            codec.recover(share_set.subset([0, 1]), 400)
+
+    def test_equal_share_sizes(self, codec_cls):
+        codec = codec_cls(4, 3)
+        share_set = codec.split(b"q" * 1000)
+        assert len({len(s) for s in share_set.shares}) == 1
+        assert share_set.share_size == codec.share_size(1000)
+
+
+@pytest.mark.parametrize("codec_cls", CONVERGENT_CODECS)
+class TestConvergence:
+    def test_identical_secrets_identical_shares(self, codec_cls):
+        codec = codec_cls(4, 3)
+        secret = b"the same backup chunk" * 50
+        assert codec.split(secret).shares == codec.split(secret).shares
+
+    def test_two_instances_converge(self, codec_cls):
+        secret = b"cross-client chunk" * 40
+        assert codec_cls(4, 3).split(secret).shares == codec_cls(4, 3).split(secret).shares
+
+    def test_salt_scopes_deduplication(self, codec_cls):
+        secret = b"salted" * 100
+        org_a = codec_cls(4, 3, salt=b"org-a").split(secret)
+        org_b = codec_cls(4, 3, salt=b"org-b").split(secret)
+        assert org_a.shares != org_b.shares
+
+    def test_integrity_check_on_corrupt_shares(self, codec_cls):
+        codec = codec_cls(4, 3)
+        secret = b"integrity" * 100
+        share_set = codec.split(secret)
+        bad = bytearray(share_set.shares[0])
+        bad[5] ^= 0xFF
+        shares = {0: bytes(bad), 1: share_set.shares[1], 2: share_set.shares[2]}
+        with pytest.raises(IntegrityError):
+            codec.recover(shares, len(secret))
+
+    def test_deterministic_flag(self, codec_cls):
+        assert codec_cls(4, 3).deterministic is True
+
+
+class TestAontRsRandomness:
+    def test_identical_secrets_differ(self):
+        codec = AONTRS(4, 3)
+        secret = b"not deduplicable" * 30
+        assert codec.split(secret).shares != codec.split(secret).shares
+
+    def test_seeded_rng_reproducible(self):
+        secret = b"seeded" * 50
+        a = AONTRS(4, 3, rng=DRBG("seed")).split(secret)
+        b = AONTRS(4, 3, rng=DRBG("seed")).split(secret)
+        assert a.shares == b.shares
+
+    def test_not_deterministic_flag(self):
+        assert AONTRS(4, 3).deterministic is False
+
+
+class TestStorageBlowup:
+    @pytest.mark.parametrize("codec_cls", ALL_CODECS)
+    def test_blowup_close_to_table1(self, codec_cls):
+        """Table 1: AONT-RS-family blowup = (n/k)(1 + Skey/Ssec)."""
+        n, k, size = 4, 3, 8192
+        codec = codec_cls(n, k)
+        share_set = codec.split(DRBG("blowup").random_bytes(size))
+        expected = (n / k) * (1 + 32 / size)
+        assert abs(share_set.storage_blowup - expected) < 0.02
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_share_size_prediction_matches(self, size):
+        codec = CAONTRS(4, 3)
+        secret = b"\x42" * size
+        share_set = codec.split(secret)
+        assert share_set.share_size == codec.share_size(size)
+
+
+class TestCaontRsInternals:
+    def test_hash_key_exposed(self):
+        codec = CAONTRS(4, 3, salt=b"s")
+        from repro.crypto.hashing import hash_key
+
+        assert codec.hash_key_of(b"x") == hash_key(b"x", b"s")
+
+    def test_package_divides_by_k(self):
+        for k in (2, 3, 5, 7):
+            codec = CAONTRS(k + 1, k)
+            for size in (0, 1, 100, 8192):
+                assert codec._package_size(size) % k == 0
+
+    @settings(max_examples=10)
+    @given(st.binary(min_size=1, max_size=2000))
+    def test_rivest_variant_agrees_with_aont_rs_format(self, secret):
+        """CAONT-RS-Rivest and AONT-RS share the same package geometry."""
+        a = CAONTRSRivest(4, 3).split(secret)
+        b = AONTRS(4, 3).split(secret)
+        assert a.share_size == b.share_size

@@ -1,0 +1,139 @@
+"""Container format and the ContainerManager (§4.5)."""
+
+import pytest
+
+from repro.errors import NotFoundError, ParameterError, StorageError
+from repro.storage.backend import MemoryBackend
+from repro.storage.container import (
+    CONTAINER_CAP,
+    Container,
+    ContainerManager,
+    ContainerRef,
+)
+from repro.storage.container import KIND_RECIPE, KIND_SHARE
+
+
+class TestContainerFormat:
+    def test_serialise_roundtrip(self):
+        container = Container(KIND_SHARE)
+        container.add(b"fp1", b"payload-one")
+        container.add(b"fp2", b"payload-two" * 100)
+        restored = Container.deserialize(container.serialize())
+        assert restored.kind == KIND_SHARE
+        assert restored.entries == container.entries
+
+    def test_empty_container(self):
+        container = Container(KIND_RECIPE)
+        restored = Container.deserialize(container.serialize())
+        assert restored.entries == []
+
+    def test_bad_kind_raises(self):
+        with pytest.raises(ParameterError):
+            Container(99)
+
+    def test_truncated_blob_raises(self):
+        container = Container(KIND_SHARE)
+        container.add(b"k", b"v" * 50)
+        blob = container.serialize()
+        with pytest.raises(StorageError):
+            Container.deserialize(blob[:-10])
+        with pytest.raises(StorageError):
+            Container.deserialize(b"xx")
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(StorageError):
+            Container.deserialize(b"\x00" * 64)
+
+    def test_full_flag(self):
+        container = Container(KIND_SHARE)
+        container.add(b"k", b"x" * CONTAINER_CAP)
+        assert container.full
+
+
+class TestContainerRef:
+    def test_pack_roundtrip(self):
+        ref = ContainerRef(container_id="container-0000000042", entry_index=7)
+        assert ContainerRef.unpack(ref.pack()) == ref
+
+
+class TestContainerManager:
+    @pytest.fixture
+    def manager(self):
+        return ContainerManager(MemoryBackend())
+
+    def test_append_and_read(self, manager):
+        ref = manager.append("alice", KIND_SHARE, b"fp", b"share-bytes")
+        manager.flush()
+        key, payload = manager.read_entry(ref)
+        assert key == b"fp"
+        assert payload == b"share-bytes"
+
+    def test_unflushed_entries_readable(self, manager):
+        """Entries still in write buffers must be readable (restore can
+        race a backup session)."""
+        ref = manager.append("alice", KIND_SHARE, b"fp", b"pending")
+        _, payload = manager.read_entry(ref)
+        assert payload == b"pending"
+
+    def test_container_seals_at_cap(self, manager):
+        chunk = b"x" * (1 << 20)
+        refs = [manager.append("u", KIND_SHARE, f"fp{i}".encode(), chunk) for i in range(5)]
+        # 5 MB of payload must have sealed at least one 4 MB container.
+        assert manager.backend.list_keys("container-")
+        manager.flush()
+        for ref in refs:
+            _, payload = manager.read_entry(ref)
+            assert payload == chunk
+
+    def test_per_user_isolation(self, manager):
+        """Containers contain data of a single user (§4.5 locality)."""
+        ra = manager.append("alice", KIND_SHARE, b"a", b"1")
+        rb = manager.append("bob", KIND_SHARE, b"b", b"2")
+        assert ra.container_id != rb.container_id
+
+    def test_share_and_recipe_buffers_separate(self, manager):
+        rs = manager.append("u", KIND_SHARE, b"s", b"1")
+        rr = manager.append("u", KIND_RECIPE, b"r", b"2")
+        assert rs.container_id != rr.container_id
+
+    def test_oversized_recipe_gets_own_container(self, manager):
+        big = b"r" * (CONTAINER_CAP + 100)
+        ref = manager.append("u", KIND_RECIPE, b"big", big)
+        assert ref.entry_index == 0
+        _, payload = manager.read_entry(ref)
+        assert payload == big
+
+    def test_bad_kind_raises(self, manager):
+        with pytest.raises(ParameterError):
+            manager.append("u", 42, b"k", b"v")
+
+    def test_missing_container_raises(self, manager):
+        with pytest.raises(NotFoundError):
+            manager.read_entry(ContainerRef("container-9999999999", 0))
+
+    def test_missing_entry_raises(self, manager):
+        ref = manager.append("u", KIND_SHARE, b"k", b"v")
+        manager.flush()
+        with pytest.raises(NotFoundError):
+            manager.read_entry(ContainerRef(ref.container_id, 99))
+
+    def test_cache_hits_on_reread(self, manager):
+        ref = manager.append("u", KIND_SHARE, b"k", b"v")
+        manager.flush()
+        manager.read_entry(ref)
+        hits_before, _ = manager.cache_stats
+        manager.read_entry(ref)
+        hits_after, _ = manager.cache_stats
+        assert hits_after > hits_before
+
+    def test_ids_restored_after_reopen(self):
+        backend = MemoryBackend()
+        m1 = ContainerManager(backend)
+        m1.append("u", KIND_SHARE, b"k", b"v")
+        m1.flush()
+        m2 = ContainerManager(backend)
+        ref2 = m2.append("u", KIND_SHARE, b"k2", b"v2")
+        m2.flush()
+        ids = backend.list_keys("container-")
+        assert len(ids) == len(set(ids)) == 2
+        assert ref2.container_id in ids

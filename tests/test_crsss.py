@@ -1,0 +1,105 @@
+"""CRSSS: the convergent ramp-scheme instantiation of [37]."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crsss import CRSSS
+from repro.crypto.drbg import DRBG
+from repro.errors import IntegrityError, ParameterError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n,k,r", [(4, 3, 1), (4, 3, 2), (6, 4, 2), (5, 2, 1)])
+    def test_every_k_subset(self, n, k, r):
+        scheme = CRSSS(n, k, r)
+        secret = DRBG("crsss").random_bytes(3000)
+        shares = scheme.split(secret)
+        for subset in combinations(range(n), k):
+            assert scheme.recover(shares.subset(list(subset)), len(secret)) == secret
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 33, 1000])
+    def test_odd_sizes(self, size):
+        scheme = CRSSS(4, 3, 1)
+        secret = DRBG(f"s{size}").random_bytes(size)
+        shares = scheme.split(secret)
+        assert scheme.recover(shares.subset([1, 2, 3]), size) == secret
+
+    @settings(max_examples=25)
+    @given(st.binary(min_size=0, max_size=500))
+    def test_property_roundtrip(self, secret):
+        scheme = CRSSS(4, 3, 2)
+        shares = scheme.split(secret)
+        assert scheme.recover(shares.subset([0, 2, 3]), len(secret)) == secret
+
+
+class TestConvergence:
+    def test_identical_secrets_identical_shares(self):
+        scheme = CRSSS(4, 3, 1, salt=b"org")
+        secret = b"dedup me" * 100
+        assert scheme.split(secret).shares == scheme.split(secret).shares
+
+    def test_cross_instance_convergence(self):
+        secret = b"chunk" * 200
+        a = CRSSS(4, 3, 1, salt=b"org").split(secret)
+        b = CRSSS(4, 3, 1, salt=b"org").split(secret)
+        assert a.shares == b.shares
+
+    def test_salt_scopes(self):
+        secret = b"chunk" * 200
+        assert (
+            CRSSS(4, 3, 1, salt=b"a").split(secret).shares
+            != CRSSS(4, 3, 1, salt=b"b").split(secret).shares
+        )
+
+    def test_default_r_is_k_minus_1(self):
+        assert CRSSS(4, 3).r == 2
+
+
+class TestIntegrityAndErrors:
+    def test_corrupt_share_detected(self):
+        scheme = CRSSS(4, 3, 1)
+        secret = b"integrity" * 100
+        shares = scheme.split(secret)
+        bad = bytearray(shares.shares[0])
+        bad[10] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            scheme.recover(
+                {0: bytes(bad), 1: shares.shares[1], 2: shares.shares[2]},
+                len(secret),
+            )
+
+    def test_r_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            CRSSS(4, 3, 0)
+
+    def test_registry_and_facade(self):
+        from repro.core.convergent import ConvergentDispersal
+        from repro.sharing.registry import create_scheme
+
+        scheme = create_scheme("crsss", 4, 3, salt=b"org")
+        assert isinstance(scheme, CRSSS)
+        cd = ConvergentDispersal(4, 3, scheme="crsss", salt=b"org")
+        secret = b"facade" * 50
+        shares = cd.encode(secret)
+        assert cd.decode(shares.subset([0, 1, 3]), len(secret)) == secret
+
+
+class TestBlowupTradeoff:
+    def test_blowup_matches_rsss_formula(self):
+        # n / (k - r), the ramp-scheme row of Table 1.
+        secret = DRBG("b").random_bytes(9000)
+        assert CRSSS(4, 3, 1).split(secret).storage_blowup == pytest.approx(2.0)
+        assert CRSSS(4, 3, 2).split(secret).storage_blowup == pytest.approx(4.0)
+
+    def test_caont_rs_wins_at_equal_confidentiality(self):
+        """The reason CDStore builds on AONT-RS rather than RSSS: at
+        r = k - 1, CAONT-RS's blowup ≈ n/k while CRSSS's is n."""
+        from repro.core.caont_rs import CAONTRS
+
+        secret = DRBG("w").random_bytes(8192)
+        crsss = CRSSS(4, 3, 2).split(secret).storage_blowup
+        caont = CAONTRS(4, 3).split(secret).storage_blowup
+        assert caont < crsss / 2

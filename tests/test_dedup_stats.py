@@ -1,0 +1,80 @@
+"""DedupStats arithmetic: the accounting behind Figure 6."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dedup.stats import DedupStats
+
+sizes = st.integers(min_value=0, max_value=10**12)
+
+
+class TestSavingsMetrics:
+    def test_paper_definitions(self):
+        """§5.4: intra = 1 - transferred/logical-shares;
+        inter = 1 - physical/transferred."""
+        stats = DedupStats(
+            logical_data=100,
+            logical_shares=400,
+            transferred_shares=100,
+            physical_shares=50,
+        )
+        assert stats.intra_user_saving == 0.75
+        assert stats.inter_user_saving == 0.5
+        assert stats.overall_saving == 0.875
+        assert stats.dedup_ratio == 8.0
+
+    def test_zero_denominators(self):
+        empty = DedupStats()
+        assert empty.intra_user_saving == 0.0
+        assert empty.inter_user_saving == 0.0
+        assert empty.overall_saving == 0.0
+        assert empty.dedup_ratio == 1.0
+        only_logical = DedupStats(logical_shares=100)
+        assert only_logical.dedup_ratio == float("inf")
+
+    @given(sizes, sizes, sizes)
+    def test_savings_bounded(self, logical, transferred, physical):
+        # Physically meaningful orderings only.
+        logical_shares = logical
+        transferred = min(transferred, logical_shares)
+        physical = min(physical, transferred)
+        stats = DedupStats(
+            logical_shares=logical_shares,
+            transferred_shares=transferred,
+            physical_shares=physical,
+        )
+        assert 0.0 <= stats.intra_user_saving <= 1.0
+        assert 0.0 <= stats.inter_user_saving <= 1.0
+        assert 0.0 <= stats.overall_saving <= 1.0
+
+
+class TestMergeAndDelta:
+    def test_merge_accumulates(self):
+        a = DedupStats(logical_data=10, logical_shares=40, transferred_shares=20, physical_shares=5)
+        b = DedupStats(logical_data=1, logical_shares=4, transferred_shares=2, physical_shares=1)
+        a.merge(b)
+        assert a.logical_data == 11
+        assert a.physical_shares == 6
+
+    def test_delta_is_inverse_of_accumulation(self):
+        stats = DedupStats(logical_data=100, logical_shares=400)
+        before = stats.snapshot()
+        stats.logical_data += 7
+        stats.logical_shares += 28
+        weekly = stats.delta(before)
+        assert weekly.logical_data == 7
+        assert weekly.logical_shares == 28
+
+    def test_snapshot_is_independent(self):
+        stats = DedupStats(logical_data=5)
+        snap = stats.snapshot()
+        stats.logical_data = 99
+        assert snap.logical_data == 5
+
+    @given(sizes, sizes)
+    def test_delta_of_self_is_zero(self, a, b):
+        stats = DedupStats(logical_data=a, physical_shares=b)
+        zero = stats.delta(stats.snapshot())
+        assert zero.logical_data == 0
+        assert zero.physical_shares == 0

@@ -1,0 +1,39 @@
+"""Smoke-run every example script: the deliverables must stay runnable."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES}
+    expected = {
+        "quickstart.py",
+        "disaster_recovery.py",
+        "weekly_backup_campaign.py",
+        "cost_planner.py",
+        "secret_sharing_tour.py",
+        "brute_force_defense.py",
+    }
+    assert expected <= names

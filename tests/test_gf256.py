@@ -1,0 +1,148 @@
+"""Field axioms and kernel correctness for GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.gf.gf256 import (
+    FIELD_SIZE,
+    GF256,
+    gf_add,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_mul,
+    gf_mul_bytes,
+    gf_mul_bytes_into,
+    gf_poly_eval,
+    gf_poly_eval_bytes,
+    gf_pow,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutes(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutes(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associates(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+
+class TestScalarOps:
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_log_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_log(0)
+
+    @given(nonzero)
+    def test_exp_log_roundtrip(self, a):
+        assert gf_exp(gf_log(a)) == a
+
+    @given(nonzero, st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_multiplication(self, a, e):
+        if e >= 0:
+            expected = 1
+            for _ in range(e):
+                expected = gf_mul(expected, a)
+        else:
+            expected = 1
+            inv = gf_inv(a)
+            for _ in range(-e):
+                expected = gf_mul(expected, inv)
+        assert gf_pow(a, e) == expected
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+    def test_generator_has_full_order(self):
+        seen = set()
+        for i in range(FIELD_SIZE - 1):
+            seen.add(gf_exp(i))
+        assert len(seen) == FIELD_SIZE - 1
+
+
+class TestBulkKernels:
+    @given(elements, st.binary(min_size=0, max_size=300))
+    def test_mul_bytes_matches_scalar(self, coeff, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        out = gf_mul_bytes(coeff, arr)
+        for i, byte in enumerate(data):
+            assert out[i] == gf_mul(coeff, byte)
+
+    def test_mul_bytes_rejects_bad_coeff(self):
+        with pytest.raises(ParameterError):
+            gf_mul_bytes(256, np.zeros(4, dtype=np.uint8))
+
+    @given(elements, st.binary(min_size=1, max_size=100))
+    def test_mul_bytes_into_accumulates(self, coeff, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        out = np.zeros(len(data), dtype=np.uint8)
+        gf_mul_bytes_into(coeff, arr, out)
+        gf_mul_bytes_into(coeff, arr, out)
+        assert not out.any(), "adding the same product twice must cancel"
+
+    @given(st.lists(elements, min_size=1, max_size=6), elements)
+    def test_poly_eval_horner(self, coeffs, x):
+        expected = 0
+        for degree, coeff in enumerate(coeffs):
+            expected ^= gf_mul(coeff, gf_pow(x, degree))
+        assert gf_poly_eval(coeffs, x) == expected
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=32), elements)
+    def test_poly_eval_bytes_matches_scalar(self, degree, width, x):
+        rows = np.arange(degree * width, dtype=np.uint64) % 251
+        rows = rows.astype(np.uint8).reshape(degree, width)
+        out = gf_poly_eval_bytes(rows, x)
+        for col in range(width):
+            assert out[col] == gf_poly_eval([int(rows[d, col]) for d in range(degree)], x)
+
+    def test_namespace_object(self):
+        assert GF256.mul(3, 7) == gf_mul(3, 7)
+        assert GF256.add(3, 7) == 3 ^ 7
+        assert GF256.order == 256

@@ -1,0 +1,124 @@
+"""GF(256) matrix algebra: inversion, MDS constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError, ParameterError
+from repro.gf.gf256 import gf_mul
+from repro.gf.matrix import (
+    cauchy_matrix,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mat_vec,
+    identity_matrix,
+    systematic_cauchy_matrix,
+    systematic_vandermonde_matrix,
+    vandermonde_matrix,
+)
+
+
+def random_matrix(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestMatMul:
+    def test_identity_is_neutral(self):
+        rng = np.random.default_rng(1)
+        m = random_matrix(rng, 5, 5)
+        assert np.array_equal(gf_mat_mul(identity_matrix(5), m), m)
+        assert np.array_equal(gf_mat_mul(m, identity_matrix(5)), m)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            gf_mat_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    def test_single_entry(self):
+        a = np.array([[7]], dtype=np.uint8)
+        b = np.array([[9]], dtype=np.uint8)
+        assert gf_mat_mul(a, b)[0, 0] == gf_mul(7, 9)
+
+
+class TestMatVec:
+    def test_matches_mat_mul(self):
+        rng = np.random.default_rng(2)
+        m = random_matrix(rng, 4, 3)
+        data = random_matrix(rng, 3, 10)
+        out = gf_mat_vec(m, data)
+        expected = gf_mat_mul(m, data)
+        assert np.array_equal(out, expected)
+
+    def test_shape_check(self):
+        with pytest.raises(ParameterError):
+            gf_mat_vec(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 5), dtype=np.uint8))
+
+
+class TestInversion:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_inverse_roundtrip(self, size, seed):
+        rng = np.random.default_rng(seed)
+        # Random matrices over GF(256) are overwhelmingly invertible; retry
+        # a few seeds until one is.
+        for attempt in range(10):
+            m = random_matrix(rng, size, size)
+            try:
+                inv = gf_mat_inv(m)
+            except CodingError:
+                continue
+            assert np.array_equal(gf_mat_mul(inv, m), identity_matrix(size))
+            assert np.array_equal(gf_mat_mul(m, inv), identity_matrix(size))
+            return
+        pytest.skip("no invertible matrix found (astronomically unlikely)")
+
+    def test_singular_raises(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(CodingError):
+            gf_mat_inv(m)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ParameterError):
+            gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestConstructions:
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12))
+    def test_vandermonde_entries(self, rows, cols):
+        from repro.gf.gf256 import gf_pow
+
+        v = vandermonde_matrix(rows, cols)
+        for i in range(rows):
+            for j in range(cols):
+                expected = gf_pow(i, j) if i else (1 if j == 0 else 0)
+                assert v[i, j] == expected
+
+    @pytest.mark.parametrize("builder", [systematic_vandermonde_matrix, systematic_cauchy_matrix])
+    @pytest.mark.parametrize("n,k", [(4, 3), (6, 4), (10, 7), (20, 15), (5, 5)])
+    def test_systematic_top_is_identity(self, builder, n, k):
+        g = builder(n, k)
+        assert g.shape == (n, k)
+        assert np.array_equal(g[:k], identity_matrix(k))
+
+    @pytest.mark.parametrize("builder", [systematic_vandermonde_matrix, systematic_cauchy_matrix])
+    def test_mds_every_k_rows_invertible(self, builder):
+        from itertools import combinations
+
+        n, k = 6, 3
+        g = builder(n, k)
+        for rows in combinations(range(n), k):
+            gf_mat_inv(g[list(rows)])  # must not raise
+
+    def test_cauchy_rejects_overlapping_points(self):
+        with pytest.raises(ParameterError):
+            cauchy_matrix([1, 2], [2, 3])
+
+    def test_cauchy_rejects_duplicates(self):
+        with pytest.raises(ParameterError):
+            cauchy_matrix([1, 1], [2, 3])
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            systematic_vandermonde_matrix(3, 0)
+        with pytest.raises(ParameterError):
+            vandermonde_matrix(300, 2)

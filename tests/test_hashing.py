@@ -1,0 +1,61 @@
+"""Hashing helpers: convergent keys, fingerprint domains."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import HASH_SIZE, fingerprint, hash_key, hmac_sha256, sha256
+from repro.errors import ParameterError
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_size_constant(self):
+        assert len(sha256(b"")) == HASH_SIZE == 32
+
+
+class TestHashKey:
+    @given(st.binary(max_size=100))
+    def test_unsalted_is_plain_sha256(self, data):
+        assert hash_key(data) == sha256(data)
+
+    @given(st.binary(max_size=100), st.binary(min_size=1, max_size=16))
+    def test_salt_changes_key(self, data, salt):
+        assert hash_key(data, salt) != hash_key(data)
+
+    def test_deterministic(self):
+        assert hash_key(b"secret", b"org") == hash_key(b"secret", b"org")
+
+
+class TestFingerprint:
+    def test_domains_are_independent(self):
+        data = b"share bytes"
+        assert fingerprint(data, "client") != fingerprint(data, "server")
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ParameterError):
+            fingerprint(b"x", "attacker")
+
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    def test_no_trivial_collisions(self, a, b):
+        if a != b:
+            assert fingerprint(a) != fingerprint(b)
+
+    def test_fingerprint_not_plain_hash(self):
+        # Knowing SHA-256(data) must not reveal the fingerprint (replay
+        # defence): the fingerprint is domain-prefixed.
+        data = b"some chunk"
+        assert fingerprint(data, "client") != sha256(data)
+        assert fingerprint(data, "server") != sha256(data)
+
+
+class TestHmac:
+    def test_hmac_vector(self):
+        import hmac as stdlib_hmac
+
+        key, msg = b"key", b"message"
+        assert hmac_sha256(key, msg) == stdlib_hmac.new(key, msg, hashlib.sha256).digest()

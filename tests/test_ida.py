@@ -1,0 +1,37 @@
+"""Rabin's information dispersal algorithm."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.ida import InformationDispersal
+from repro.errors import ParameterError
+
+
+class TestIDA:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            InformationDispersal(2, 3)
+
+    @given(st.binary(min_size=0, max_size=600))
+    def test_roundtrip_all_subsets(self, data):
+        ida = InformationDispersal(5, 3)
+        shares = ida.disperse(data)
+        assert len(shares) == 5
+        for subset in combinations(range(5), 3):
+            got = ida.reconstruct({i: shares[i] for i in subset}, len(data))
+            assert got == data
+
+    def test_share_size_is_minimal(self):
+        ida = InformationDispersal(4, 3)
+        shares = ida.disperse(b"x" * 999)
+        assert len(shares[0]) == ida.share_size(999) == 333
+
+    def test_storage_blowup_close_to_n_over_k(self):
+        ida = InformationDispersal(4, 3)
+        data = b"y" * 9000
+        shares = ida.disperse(data)
+        blowup = sum(len(s) for s in shares) / len(data)
+        assert abs(blowup - 4 / 3) < 0.01

@@ -1,0 +1,222 @@
+"""Server-aided key generation: RSA, blinding, rate limits, codec."""
+
+import pytest
+
+from repro.crypto.drbg import DRBG
+from repro.errors import CryptoError, IntegrityError, ParameterError
+from repro.keyserver.client import KeyClient
+from repro.keyserver.codec import ServerAidedCAONTRS
+from repro.keyserver.rsa import RSAKeyPair, full_domain_hash, generate_keypair
+from repro.keyserver.server import KeyServer, RateLimitError
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RSAKeyPair:
+    return generate_keypair(1024, rng=DRBG("test-rsa"))
+
+
+class FrozenClock:
+    """Manual clock so rate-limit tests are deterministic."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRSA:
+    def test_keypair_shape(self, keypair):
+        assert keypair.n.bit_length() == 1024
+        assert keypair.e == 65537
+        # d is a working inverse: sign/verify round-trips.
+        value = 123456789
+        assert keypair.verify_raw(value, keypair.sign_raw(value))
+
+    def test_keygen_determinism_with_rng(self):
+        a = generate_keypair(512, rng=DRBG("same"))
+        b = generate_keypair(512, rng=DRBG("same"))
+        assert a.n == b.n and a.d == b.d
+
+    def test_bad_bits_raises(self):
+        with pytest.raises(ParameterError):
+            generate_keypair(100)
+        with pytest.raises(ParameterError):
+            generate_keypair(513)
+
+    def test_sign_range_checked(self, keypair):
+        with pytest.raises(CryptoError):
+            keypair.sign_raw(0)
+        with pytest.raises(CryptoError):
+            keypair.sign_raw(keypair.n + 5)
+
+    def test_fdh_in_range_and_deterministic(self, keypair):
+        x = full_domain_hash(b"chunk", keypair.n)
+        assert 1 <= x < keypair.n
+        assert x == full_domain_hash(b"chunk", keypair.n)
+        assert x != full_domain_hash(b"chunk2", keypair.n)
+
+
+class TestKeyServer:
+    def test_rate_limit_enforced(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=1, burst=5, clock=clock)
+        for _ in range(5):
+            server.sign_blinded("attacker", 12345)
+        with pytest.raises(RateLimitError):
+            server.sign_blinded("attacker", 12345)
+        assert server.requests_throttled == 1
+
+    def test_bucket_refills_over_time(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=2, burst=2, clock=clock)
+        server.sign_blinded("u", 7)
+        server.sign_blinded("u", 7)
+        with pytest.raises(RateLimitError):
+            server.sign_blinded("u", 7)
+        clock.advance(1.0)  # 2 tokens refill
+        server.sign_blinded("u", 7)
+        server.sign_blinded("u", 7)
+
+    def test_buckets_are_per_client(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=1, burst=1, clock=clock)
+        server.sign_blinded("a", 9)
+        server.sign_blinded("b", 9)  # b unaffected by a's spending
+        with pytest.raises(RateLimitError):
+            server.sign_blinded("a", 9)
+
+    def test_remaining_budget(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=1, burst=10, clock=clock)
+        assert server.remaining_budget("x") == 10
+        server.sign_blinded("x", 5)
+        assert server.remaining_budget("x") == pytest.approx(9)
+
+    def test_blinded_range_checked(self, keypair):
+        server = KeyServer(keypair=keypair)
+        with pytest.raises(CryptoError):
+            server.sign_blinded("u", 0)
+
+
+class TestKeyClient:
+    def test_keys_converge_across_clients(self, keypair):
+        server = KeyServer(keypair=keypair)
+        alice = KeyClient("alice", server, salt=b"org", rng=DRBG("a"))
+        bob = KeyClient("bob", server, salt=b"org", rng=DRBG("b"))
+        chunk = b"common content" * 50
+        assert alice.derive_key(chunk) == bob.derive_key(chunk)
+
+    def test_salt_scopes_keys(self, keypair):
+        server = KeyServer(keypair=keypair)
+        a = KeyClient("a", server, salt=b"org-a", rng=DRBG("a"))
+        b = KeyClient("b", server, salt=b"org-b", rng=DRBG("b"))
+        assert a.derive_key(b"chunk") != b.derive_key(b"chunk")
+
+    def test_key_is_32_bytes_and_content_bound(self, keypair):
+        server = KeyServer(keypair=keypair)
+        client = KeyClient("c", server, rng=DRBG("c"))
+        key = client.derive_key(b"chunk-1")
+        assert len(key) == 32
+        assert key != client.derive_key(b"chunk-2")
+
+    def test_cache_spends_no_budget_on_reupload(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=0.001, burst=1, clock=clock)
+        client = KeyClient("c", server, rng=DRBG("c"))
+        key1 = client.derive_key(b"chunk")
+        key2 = client.derive_key(b"chunk")  # cached: no server call
+        assert key1 == key2
+        assert server.requests_served == 1
+
+    def test_server_never_sees_the_hash(self, keypair):
+        """Blinding: the value reaching the server differs from FDH(chunk)
+        and differs between two derivations of the same chunk."""
+        seen = []
+        server = KeyServer(keypair=keypair)
+        original = server.sign_blinded
+
+        def spy(client_id, blinded):
+            seen.append(blinded)
+            return original(client_id, blinded)
+
+        server.sign_blinded = spy
+        a = KeyClient("a", server, rng=DRBG("a"))
+        b = KeyClient("b", server, rng=DRBG("b"))
+        chunk = b"secret chunk"
+        a.derive_key(chunk)
+        b.derive_key(chunk)
+        x = full_domain_hash(chunk, keypair.n)
+        assert x not in seen
+        assert seen[0] != seen[1]
+
+    def test_misbehaving_server_detected(self, keypair):
+        server = KeyServer(keypair=keypair)
+        server.sign_blinded = lambda client_id, blinded: 12345  # bogus
+        client = KeyClient("c", server, rng=DRBG("c"))
+        with pytest.raises(CryptoError):
+            client.derive_key(b"chunk")
+
+
+class TestServerAidedCodec:
+    @pytest.fixture
+    def codec(self, keypair):
+        server = KeyServer(keypair=keypair)
+        client = KeyClient("alice", server, salt=b"org", rng=DRBG("a"))
+        return ServerAidedCAONTRS(4, 3, key_client=client)
+
+    def test_roundtrip(self, codec):
+        secret = DRBG("sa").random_bytes(5000)
+        shares = codec.split(secret)
+        assert codec.recover(shares.subset([1, 2, 3]), len(secret)) == secret
+
+    @pytest.mark.parametrize("size", [0, 1, 31, 32, 100, 8192])
+    def test_boundary_sizes(self, codec, size):
+        secret = DRBG(f"sz{size}").random_bytes(size)
+        shares = codec.split(secret)
+        assert codec.recover(shares.subset([0, 1, 2]), size) == secret
+
+    def test_deterministic_for_dedup(self, codec):
+        secret = b"dedupable" * 100
+        assert codec.split(secret).shares == codec.split(secret).shares
+
+    def test_converges_across_clients(self, keypair):
+        server = KeyServer(keypair=keypair)
+        a = ServerAidedCAONTRS(4, 3, KeyClient("a", server, salt=b"o", rng=DRBG("a")))
+        b = ServerAidedCAONTRS(4, 3, KeyClient("b", server, salt=b"o", rng=DRBG("b")))
+        secret = b"cross-user chunk" * 40
+        assert a.split(secret).shares == b.split(secret).shares
+
+    def test_integrity_canary(self, codec):
+        secret = b"integrity" * 50
+        shares = codec.split(secret)
+        bad = bytearray(shares.shares[1])
+        bad[7] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            codec.recover({0: shares.shares[0], 1: bytes(bad), 2: shares.shares[2]}, len(secret))
+
+    def test_restore_works_with_key_server_down(self, codec):
+        """Keys travel inside the AONT package: decode never contacts the
+        server (availability argument of DESIGN/keyserver docs)."""
+        secret = b"offline restore" * 30
+        shares = codec.split(secret)
+        codec.key_client.server.sign_blinded = None  # server "down"
+        assert codec.recover(shares.subset([0, 1, 2]), len(secret)) == secret
+
+    def test_dictionary_attack_throttled(self, keypair):
+        clock = FrozenClock()
+        server = KeyServer(keypair=keypair, rate_per_second=0.1, burst=20, clock=clock)
+        attacker = KeyClient("attacker", server, salt=b"org", rng=DRBG("x"))
+        confirmed = 0
+        throttled = 0
+        for i in range(100):
+            try:
+                attacker.derive_key(f"password-guess-{i}".encode())
+                confirmed += 1
+            except RateLimitError:
+                throttled += 1
+        assert confirmed <= 20  # burst only
+        assert throttled >= 80

@@ -1,0 +1,69 @@
+"""LRU cache used for LSM blocks and containers."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lsm.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ParameterError):
+            LRUCache(0)
+
+    def test_basic_get_put(self):
+        cache = LRUCache(10)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_overwrite_updates_size(self):
+        cache = LRUCache(10, size_of=len)
+        cache.put("k", b"xxxx")
+        cache.put("k", b"yy")
+        assert cache.size == 2
+
+    def test_byte_bounded_capacity(self):
+        cache = LRUCache(100, size_of=len)
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"y" * 60)  # exceeds 100 -> evicts a
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_eviction_callback(self):
+        evicted = []
+        cache = LRUCache(1, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert evicted == [("a", 1)]
+
+    def test_hit_rate_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.size == 0
+
+    def test_oversized_value_evicts_itself_gracefully(self):
+        cache = LRUCache(4, size_of=len)
+        cache.put("big", b"x" * 100)
+        assert len(cache) == 0  # cannot retain something over capacity

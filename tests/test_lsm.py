@@ -1,0 +1,165 @@
+"""LSM store: dict-equivalence, flush/compaction, recovery, snapshots."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.lsm.db import LSMStore
+from repro.lsm.memtable import TOMBSTONE, MemTable
+
+
+class TestMemTable:
+    def test_put_get_delete(self):
+        mem = MemTable()
+        mem.put(b"a", b"1")
+        assert mem.get(b"a") == b"1"
+        mem.delete(b"a")
+        assert mem.get(b"a") is TOMBSTONE
+        assert mem.get(b"other") is None
+
+    def test_byte_accounting(self):
+        mem = MemTable()
+        mem.put(b"key", b"value")
+        assert mem.approximate_bytes == 8
+        mem.put(b"key", b"v")
+        assert mem.approximate_bytes == 4
+        mem.delete(b"key")
+        assert mem.approximate_bytes == 3
+
+    def test_sorted_items(self):
+        mem = MemTable()
+        for key in (b"c", b"a", b"b"):
+            mem.put(key, key)
+        assert [k for k, _ in mem.sorted_items()] == [b"a", b"b", b"c"]
+
+
+class TestLSMStore:
+    def test_basic_crud(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            db.put(b"k", b"v")
+            assert db.get(b"k") == b"v"
+            assert b"k" in db
+            db.delete(b"k")
+            assert db.get(b"k") is None
+            assert b"k" not in db
+
+    @settings(max_examples=15, suppress_health_check=[HealthCheck.function_scoped_fixture], deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([b"put", b"del"]),
+                st.binary(min_size=1, max_size=8),
+                st.binary(max_size=16),
+            ),
+            max_size=60,
+        )
+    )
+    def test_dict_equivalence(self, tmp_path, ops):
+        """Random op sequences must match a plain dict, across flushes."""
+        import shutil, uuid
+
+        directory = tmp_path / uuid.uuid4().hex
+        reference: dict[bytes, bytes] = {}
+        with LSMStore(directory, memtable_bytes=200) as db:
+            for op, key, value in ops:
+                if op == b"put":
+                    db.put(key, value)
+                    reference[key] = value
+                else:
+                    db.delete(key)
+                    reference.pop(key, None)
+            for key, value in reference.items():
+                assert db.get(key) == value
+            assert dict(db.items()) == reference
+        shutil.rmtree(directory)
+
+    def test_flush_creates_sstables(self, tmp_path):
+        with LSMStore(tmp_path, memtable_bytes=1 << 20) as db:
+            for i in range(100):
+                db.put(f"k{i}".encode(), b"v" * 10)
+            assert db.table_count == 0
+            db.flush()
+            assert db.table_count == 1
+            assert db.get(b"k42") == b"v" * 10
+
+    def test_automatic_flush_on_threshold(self, tmp_path):
+        with LSMStore(tmp_path, memtable_bytes=500) as db:
+            for i in range(100):
+                db.put(f"key{i:04d}".encode(), b"x" * 20)
+            assert db.table_count >= 1
+
+    def test_newest_table_wins(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            db.put(b"k", b"old")
+            db.flush()
+            db.put(b"k", b"new")
+            db.flush()
+            assert db.get(b"k") == b"new"
+
+    def test_tombstone_masks_older_sstable(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            db.put(b"k", b"v")
+            db.flush()
+            db.delete(b"k")
+            db.flush()
+            assert db.get(b"k") is None
+            assert b"k" not in dict(db.items())
+
+    def test_compaction_drops_tombstones(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            for i in range(20):
+                db.put(f"k{i}".encode(), b"v")
+            db.flush()
+            for i in range(0, 20, 2):
+                db.delete(f"k{i}".encode())
+            db.flush()
+            db.compact()
+            assert db.table_count == 1
+            expected = {f"k{i}".encode(): b"v" for i in range(1, 20, 2)}
+            assert dict(db.items()) == expected
+
+    def test_auto_compaction_at_threshold(self, tmp_path):
+        with LSMStore(tmp_path, memtable_bytes=100, compact_at=3) as db:
+            for i in range(200):
+                db.put(f"key{i:05d}".encode(), b"x" * 10)
+            assert db.table_count < 8
+
+    def test_reopen_recovers_everything(self, tmp_path):
+        with LSMStore(tmp_path, memtable_bytes=300) as db:
+            for i in range(50):
+                db.put(f"k{i}".encode(), f"v{i}".encode())
+        with LSMStore(tmp_path) as db2:
+            for i in range(50):
+                assert db2.get(f"k{i}".encode()) == f"v{i}".encode()
+
+    def test_crash_recovery_via_wal(self, tmp_path):
+        db = LSMStore(tmp_path)
+        db.put(b"durable", b"yes")
+        db._wal.close()  # crash before flush
+        recovered = LSMStore(tmp_path)
+        assert recovered.get(b"durable") == b"yes"
+        recovered.close()
+
+    def test_snapshot(self, tmp_path):
+        with LSMStore(tmp_path / "db") as db:
+            db.put(b"a", b"1")
+            db.snapshot(tmp_path / "snap")
+            db.put(b"b", b"2")
+        files = list((tmp_path / "snap").glob("sst-*.db"))
+        assert files, "snapshot must contain SSTables"
+
+    def test_operations_after_close_raise(self, tmp_path):
+        db = LSMStore(tmp_path)
+        db.close()
+        with pytest.raises(StorageError):
+            db.put(b"k", b"v")
+        with pytest.raises(StorageError):
+            db.get(b"k")
+
+    def test_len(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            db.put(b"a", b"1")
+            db.put(b"b", b"2")
+            db.delete(b"a")
+            assert len(db) == 1

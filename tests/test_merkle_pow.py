@@ -1,0 +1,141 @@
+"""Merkle trees and the proof-of-ownership protocol [27]."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import DRBG
+from repro.errors import IntegrityError, NotFoundError, ParameterError
+from repro.merkle import MerkleTree, require_valid_path, verify_path
+from repro.pow import PowProver, PowServer
+
+
+class TestMerkleTree:
+    @settings(max_examples=30)
+    @given(st.binary(min_size=0, max_size=3000), st.sampled_from([64, 256, 1024]))
+    def test_every_leaf_proves(self, data, block_size):
+        tree = MerkleTree(data, block_size=block_size)
+        for index in range(tree.leaf_count):
+            block, path = tree.prove(index)
+            assert verify_path(tree.root, block, path)
+
+    def test_single_block(self):
+        tree = MerkleTree(b"tiny")
+        assert tree.leaf_count == 1
+        block, path = tree.prove(0)
+        assert path == []
+        assert verify_path(tree.root, block, path)
+
+    def test_odd_leaf_counts(self):
+        for blocks in (1, 2, 3, 5, 7, 9):
+            data = bytes(range(blocks)) * 64
+            tree = MerkleTree(data, block_size=64)
+            assert tree.leaf_count == blocks
+            for i in range(blocks):
+                block, path = tree.prove(i)
+                assert verify_path(tree.root, block, path)
+
+    def test_wrong_block_fails(self):
+        tree = MerkleTree(b"A" * 4096 + b"B" * 4096, block_size=4096)
+        _, path = tree.prove(0)
+        assert not verify_path(tree.root, b"C" * 4096, path)
+
+    def test_path_for_wrong_index_fails(self):
+        tree = MerkleTree(b"A" * 4096 + b"B" * 4096, block_size=4096)
+        block0, _ = tree.prove(0)
+        _, path1 = tree.prove(1)
+        assert not verify_path(tree.root, block0, path1)
+
+    def test_roots_differ_by_content(self):
+        assert MerkleTree(b"x" * 5000).root != MerkleTree(b"y" * 5000).root
+
+    def test_leaf_node_domain_separation(self):
+        """A two-leaf tree's root must differ from the leaf hash of the
+        concatenated children (the classic confusion attack)."""
+        import hashlib
+
+        data = b"L" * 64 + b"R" * 64
+        tree = MerkleTree(data, block_size=64)
+        fake = hashlib.sha256(b"\x00" + tree.levels[0][0] + tree.levels[0][1]).digest()
+        assert tree.root != fake
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            MerkleTree(b"x", block_size=0)
+        tree = MerkleTree(b"x" * 100, block_size=10)
+        with pytest.raises(ParameterError):
+            tree.auth_path(99)
+
+    def test_require_valid_path(self):
+        tree = MerkleTree(b"data" * 100, block_size=16)
+        block, path = tree.prove(3)
+        require_valid_path(tree.root, block, path)
+        with pytest.raises(IntegrityError):
+            require_valid_path(tree.root, b"forged block....", path)
+
+
+class TestProofOfOwnership:
+    FILE = DRBG("pow-file").random_bytes(64 * 1024)
+    FILE_ID = b"file-id-123"
+
+    def _server(self) -> PowServer:
+        server = PowServer(spot_checks=8, block_size=4096, rng=DRBG("pow-server"))
+        server.register(self.FILE_ID, self.FILE)
+        return server
+
+    def test_owner_passes(self):
+        server = self._server()
+        prover = PowProver(self.FILE, block_size=4096)
+        challenge = server.challenge(self.FILE_ID)
+        assert server.verify(prover.respond(challenge))
+
+    def test_fingerprint_only_attacker_fails(self):
+        """Knowing the identifier (fingerprint) without content fails."""
+        server = self._server()
+        impostor = PowProver(b"\x00" * len(self.FILE), block_size=4096)
+        challenge = server.challenge(self.FILE_ID)
+        assert not server.verify(impostor.respond(challenge))
+
+    def test_partial_knowledge_usually_fails(self):
+        """An attacker holding half the file fails with high probability
+        (8 spot checks: pass chance ~0.4%)."""
+        server = PowServer(spot_checks=8, block_size=4096, rng=DRBG("partial"))
+        server.register(self.FILE_ID, self.FILE)
+        half = self.FILE[: len(self.FILE) // 2] + b"\x00" * (len(self.FILE) // 2)
+        impostor = PowProver(half, block_size=4096)
+        passes = 0
+        for _ in range(10):
+            challenge = server.challenge(self.FILE_ID)
+            passes += server.verify(impostor.respond(challenge))
+        assert passes <= 1
+
+    def test_challenge_is_one_shot(self):
+        server = self._server()
+        prover = PowProver(self.FILE, block_size=4096)
+        challenge = server.challenge(self.FILE_ID)
+        response = prover.respond(challenge)
+        assert server.verify(response)
+        assert not server.verify(response)  # replay rejected
+
+    def test_unknown_file_needs_upload(self):
+        server = self._server()
+        assert not server.knows(b"new-file")
+        with pytest.raises(NotFoundError):
+            server.challenge(b"new-file")
+
+    def test_response_for_wrong_file_rejected(self):
+        server = self._server()
+        other_id = b"other-file"
+        server.register(other_id, b"Z" * 8192)
+        prover = PowProver(self.FILE, block_size=4096)
+        challenge = server.challenge(self.FILE_ID)
+        from repro.pow import PowResponse
+
+        forged = PowResponse(
+            file_id=other_id, nonce=challenge.nonce, proofs=prover.respond(challenge).proofs
+        )
+        assert not server.verify(forged)
+
+    def test_spot_check_validation(self):
+        with pytest.raises(ParameterError):
+            PowServer(spot_checks=0)

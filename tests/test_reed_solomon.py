@@ -1,0 +1,127 @@
+"""Systematic Reed-Solomon codec: MDS property, repair, error paths."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.errors import CodingError, ParameterError
+
+DATA = bytes(range(256)) * 3
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            ReedSolomon(3, 0)
+        with pytest.raises(ParameterError):
+            ReedSolomon(2, 3)
+        with pytest.raises(ParameterError):
+            ReedSolomon(300, 3)
+        with pytest.raises(ParameterError):
+            ReedSolomon(4, 3, matrix="nonsense")
+
+    @pytest.mark.parametrize("matrix", ["vandermonde", "cauchy"])
+    def test_matrix_choice(self, matrix):
+        rs = ReedSolomon(4, 3, matrix=matrix)
+        pieces = rs.encode(DATA)
+        assert rs.decode(dict(enumerate(pieces)), data_size=len(DATA)) == DATA
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        size = rs.piece_size(len(DATA))
+        padded = DATA + b"\0" * (3 * size - len(DATA))
+        assert b"".join(pieces[:3]) == padded
+
+    def test_piece_count_and_size(self):
+        rs = ReedSolomon(7, 4)
+        pieces = rs.encode(b"x" * 1001)
+        assert len(pieces) == 7
+        assert len({len(p) for p in pieces}) == 1
+        assert len(pieces[0]) == rs.piece_size(1001)
+
+    def test_empty_input(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(b"")
+        assert all(p == b"" for p in pieces)
+        assert rs.decode(dict(enumerate(pieces)), data_size=0) == b""
+
+    @given(st.binary(min_size=0, max_size=400))
+    def test_encode_is_deterministic(self, data):
+        rs = ReedSolomon(5, 3)
+        assert rs.encode(data) == rs.encode(data)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("n,k", [(4, 3), (5, 2), (6, 6), (10, 4)])
+    def test_any_k_subset_reconstructs(self, n, k):
+        rs = ReedSolomon(n, k)
+        pieces = rs.encode(DATA)
+        for subset in combinations(range(n), k):
+            got = rs.decode({i: pieces[i] for i in subset}, data_size=len(DATA))
+            assert got == DATA
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=1, max_size=500), st.sets(st.integers(0, 5), min_size=4, max_size=6))
+    def test_random_subsets(self, data, subset):
+        rs = ReedSolomon(6, 4)
+        pieces = rs.encode(data)
+        got = rs.decode({i: pieces[i] for i in subset}, data_size=len(data))
+        assert got == data
+
+    def test_too_few_pieces_raises(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        with pytest.raises(CodingError):
+            rs.decode({0: pieces[0], 1: pieces[1]})
+
+    def test_inconsistent_sizes_raise(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        with pytest.raises(CodingError):
+            rs.decode({0: pieces[0], 1: pieces[1], 2: pieces[2][:-1]})
+
+    def test_bad_index_raises(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        with pytest.raises(ParameterError):
+            rs.decode({0: pieces[0], 1: pieces[1], 9: pieces[2]})
+
+    def test_data_size_too_large_raises(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(b"abc")
+        with pytest.raises(CodingError):
+            rs.decode(dict(enumerate(pieces)), data_size=10**6)
+
+    def test_extra_pieces_ignored_deterministically(self):
+        rs = ReedSolomon(6, 3)
+        pieces = rs.encode(DATA)
+        all_of_them = dict(enumerate(pieces))
+        assert rs.decode(all_of_them, data_size=len(DATA)) == DATA
+
+
+class TestRepair:
+    def test_reconstruct_missing_pieces(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        rebuilt = rs.reconstruct_pieces({0: pieces[0], 2: pieces[2], 3: pieces[3]}, [1])
+        assert rebuilt == {1: pieces[1]}
+
+    def test_reconstruct_multiple(self):
+        rs = ReedSolomon(6, 3)
+        pieces = rs.encode(DATA)
+        survivors = {0: pieces[0], 4: pieces[4], 5: pieces[5]}
+        rebuilt = rs.reconstruct_pieces(survivors, [1, 2, 3])
+        for i in (1, 2, 3):
+            assert rebuilt[i] == pieces[i]
+
+    def test_repair_bad_index(self):
+        rs = ReedSolomon(4, 3)
+        pieces = rs.encode(DATA)
+        with pytest.raises(ParameterError):
+            rs.reconstruct_pieces(dict(enumerate(pieces[:3])), [7])

@@ -1,0 +1,89 @@
+"""Integrity scrubbing and surgical share repair."""
+
+import pytest
+
+from repro.chunking import FixedChunker
+from repro.crypto.drbg import DRBG
+from repro.errors import NotFoundError, ProtocolError
+from repro.system.cdstore import CDStoreSystem
+
+
+@pytest.fixture
+def loaded_system():
+    system = CDStoreSystem(n=4, k=3, salt=b"org")
+    client = system.client("alice", chunker=FixedChunker(4096))
+    data = DRBG("scrub-data").random_bytes(60_000)
+    client.upload("/backup.tar", data)
+    client.flush()
+    return system, client, data
+
+
+class TestScrub:
+    def test_clean_system_scrubs_clean(self, loaded_system):
+        system, _, _ = loaded_system
+        for server in system.servers:
+            assert server.scrub() == []
+
+    def test_scrub_detects_corruption(self, loaded_system):
+        system, _, _ = loaded_system
+        backend = system.clouds[2].backend
+        for key in backend.list_keys("container-"):
+            backend.corrupt(key, offset=50, flips=4)
+        corrupt = system.servers[2].scrub()
+        assert corrupt
+        # Other clouds unaffected.
+        assert system.servers[0].scrub() == []
+
+    def test_scrub_detects_destroyed_container(self, loaded_system):
+        system, _, _ = loaded_system
+        backend = system.clouds[1].backend
+        keys = backend.list_keys("container-")
+        backend.put_object(keys[0], b"not a container at all")
+        assert system.servers[1].scrub()
+
+
+class TestScrubAndRepair:
+    def test_heals_corruption(self, loaded_system):
+        system, client, data = loaded_system
+        backend = system.clouds[2].backend
+        for key in backend.list_keys("container-"):
+            backend.corrupt(key, offset=50, flips=4)
+        healed = system.scrub_and_repair(2)
+        assert healed > 0
+        # After healing, the cloud scrubs clean and can serve restores on
+        # its own quorum.
+        assert system.servers[2].scrub() == []
+        system.fail_cloud(0)
+        assert client.download("/backup.tar") == data
+
+    def test_noop_when_clean(self, loaded_system):
+        system, _, _ = loaded_system
+        assert system.scrub_and_repair(0) == 0
+
+    def test_gc_reclaims_replaced_copies(self, loaded_system):
+        system, client, data = loaded_system
+        backend = system.clouds[3].backend
+        for key in backend.list_keys("container-"):
+            backend.corrupt(key, offset=10, flips=2)
+        system.scrub_and_repair(3)
+        freed = system.servers[3].collect_garbage()
+        assert freed > 0  # the corrupted original copies are swept
+        system.fail_cloud(1)
+        assert client.download("/backup.tar") == data
+
+
+class TestReplaceShare:
+    def test_replace_validates_fingerprint(self, loaded_system):
+        system, _, _ = loaded_system
+        server = system.servers[0]
+        from repro.server.index import PREFIX_SHARE
+
+        key, _ = next(iter(server.index.items(PREFIX_SHARE)))
+        fp = key[len(PREFIX_SHARE):]
+        with pytest.raises(ProtocolError):
+            server.replace_share(fp, b"wrong bytes")
+
+    def test_replace_unknown_share_raises(self, loaded_system):
+        system, _, _ = loaded_system
+        with pytest.raises(NotFoundError):
+            system.servers[0].replace_share(b"f" * 32, b"data")

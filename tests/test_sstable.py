@@ -1,0 +1,80 @@
+"""SSTable files: write/read, tombstones, bloom and block index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.sstable import SSTable
+
+
+def write_table(tmp_path, items, **kwargs):
+    return SSTable.write(tmp_path / "t.db", iter(items), **kwargs)
+
+
+class TestSSTable:
+    def test_point_lookups(self, tmp_path):
+        items = [(f"key{i:03d}".encode(), f"val{i}".encode()) for i in range(200)]
+        table = write_table(tmp_path, items)
+        for key, value in items:
+            assert table.get(key) == value
+
+    def test_missing_key_returns_none(self, tmp_path):
+        table = write_table(tmp_path, [(b"a", b"1")])
+        assert table.get(b"zzz") is None
+        assert table.get(b"0") is None  # below first key
+
+    def test_tombstones_survive(self, tmp_path):
+        table = write_table(tmp_path, [(b"alive", b"1"), (b"dead", TOMBSTONE)])
+        assert table.get(b"alive") == b"1"
+        assert table.get(b"dead") is TOMBSTONE
+
+    def test_items_in_order(self, tmp_path):
+        items = [(f"{i:04d}".encode(), b"v") for i in range(50)]
+        table = write_table(tmp_path, items)
+        assert [k for k, _ in table.items()] == [k for k, _ in items]
+
+    def test_multiple_blocks(self, tmp_path):
+        items = [(f"key{i:05d}".encode(), b"x" * 100) for i in range(100)]
+        table = write_table(tmp_path, items, block_size=512)
+        assert len(table._index) > 1
+        for key, value in items:
+            assert table.get(key) == value
+
+    def test_block_cache_used(self, tmp_path):
+        from repro.lsm.cache import LRUCache
+
+        items = [(f"key{i:03d}".encode(), b"v") for i in range(100)]
+        table = write_table(tmp_path, items, block_size=256)
+        cache = LRUCache(1 << 20, size_of=len)
+        table.get(b"key000", block_cache=cache)
+        table.get(b"key000", block_cache=cache)
+        assert cache.hits >= 1
+
+    def test_bloom_short_circuits(self, tmp_path):
+        table = write_table(tmp_path, [(b"present", b"1")])
+        # A key not in the bloom must return None without block reads.
+        assert table.get(b"definitely-absent-key") is None
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(StorageError):
+            SSTable(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "tiny.db"
+        path.write_bytes(b"ab")
+        with pytest.raises(StorageError):
+            SSTable(path)
+
+    def test_empty_table(self, tmp_path):
+        table = write_table(tmp_path, [])
+        assert table.get(b"anything") is None
+        assert list(table.items()) == []
+
+    def test_reopen_from_disk(self, tmp_path):
+        items = [(b"k1", b"v1"), (b"k2", b"v2")]
+        write_table(tmp_path, items)
+        reopened = SSTable(tmp_path / "t.db")
+        assert reopened.get(b"k1") == b"v1"
+        assert reopened.get(b"k2") == b"v2"

@@ -1,0 +1,64 @@
+"""Write-ahead log: replay, torn-tail recovery."""
+
+from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+class TestWal:
+    def test_replay_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"k1", b"v1")
+            wal.append_delete(b"k2")
+            wal.append_put(b"k3", b"v3" * 100)
+        records = list(WriteAheadLog(path).replay())
+        assert records == [
+            (OP_PUT, b"k1", b"v1"),
+            (OP_DELETE, b"k2", b""),
+            (OP_PUT, b"k3", b"v3" * 100),
+        ]
+
+    def test_missing_file_replays_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "new.log")
+        wal.close()
+        (tmp_path / "new.log").unlink()
+        assert list(wal.replay()) == []
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"good", b"1")
+            wal.append_put(b"torn", b"2")
+        # Truncate mid-record: crash during the second write.
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])
+        records = list(WriteAheadLog(path).replay())
+        assert records == [(OP_PUT, b"good", b"1")]
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"a", b"1")
+            wal.append_put(b"b", b"2")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # corrupt last record's payload
+        path.write_bytes(bytes(blob))
+        records = list(WriteAheadLog(path).replay())
+        assert records == [(OP_PUT, b"a", b"1")]
+
+    def test_reset_truncates(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_put(b"x", b"y")
+        wal.reset()
+        wal.append_put(b"z", b"w")
+        wal.close()
+        assert list(WriteAheadLog(path).replay()) == [(OP_PUT, b"z", b"w")]
+
+    def test_append_after_close_raises(self, tmp_path):
+        from repro.errors import StorageError
+        import pytest
+
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(StorageError):
+            wal.append_put(b"k", b"v")
