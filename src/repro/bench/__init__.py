@@ -20,6 +20,7 @@ from repro.bench.table1 import scheme_comparison
 from repro.bench.transfer import (
     aggregate_upload_speeds,
     baseline_transfer_speeds,
+    client_upload_walltime,
     cloud_speed_table,
     trace_transfer_speeds,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "WeeklyDedupRow",
     "aggregate_upload_speeds",
     "baseline_transfer_speeds",
+    "client_upload_walltime",
     "cloud_speed_table",
     "encoding_speed",
     "format_table",

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.dedup import TwoStageSimulator
-from repro.cloud.network import MB
+from repro.cloud.network import MB, batch_count, makespan
+from repro.cloud.provider import CloudProvider
 from repro.cloud.testbed import Testbed
 from repro.crypto.hashing import HASH_SIZE
 from repro.server.messages import ShareMeta
@@ -33,6 +34,7 @@ __all__ = [
     "TraceSpeeds",
     "aggregate_upload_speeds",
     "baseline_transfer_speeds",
+    "client_upload_walltime",
     "cloud_speed_table",
     "trace_transfer_speeds",
 ]
@@ -40,6 +42,27 @@ __all__ = [
 #: Wire size of one share's dedup metadata (fingerprint + sizes, §4.3).
 _META_BYTES = ShareMeta.packed_size()
 _AVG_SECRET = 8192
+
+
+def client_upload_walltime(
+    clouds: list[CloudProvider],
+    wire_bytes_per_cloud: list[float],
+    threads: int = 1,
+) -> float:
+    """Simulated wall-clock seconds for one client-side upload (§4.6).
+
+    A multi-threaded client drives all cloud connections concurrently, so
+    the wall-clock is the *makespan* over per-cloud transfer times; a
+    single-threaded client visits the clouds one after another, so it pays
+    their sum.  Each cloud's bytes move in 4 MB units (§4.1) over its
+    uplink.  This mirrors the accounting the
+    :class:`~repro.client.comm.CommEngine` charges to its clock.
+    """
+    times = [
+        cloud.uplink.transfer_time(int(nbytes), batches=batch_count(nbytes))
+        for cloud, nbytes in zip(clouds, wire_bytes_per_cloud)
+    ]
+    return makespan(times) if threads > 1 else sum(times)
 
 
 @dataclass(frozen=True)

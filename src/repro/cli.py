@@ -89,7 +89,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
         source = Path(args.path)
         data = source.read_bytes()
         name = args.name or str(source)
-        client = system.client(args.user)
+        client = system.client(args.user, threads=args.threads)
         receipt = client.upload(name, data)
         client.flush()
         print(
@@ -106,7 +106,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
 def cmd_restore(args: argparse.Namespace) -> int:
     system = _load_system(Path(args.root))
     try:
-        client = system.client(args.user)
+        client = system.client(args.user, threads=args.threads)
         data = client.download(args.name)
         Path(args.output).write_bytes(data)
         print(f"restored {len(data)} bytes to {args.output}")
@@ -193,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--user", required=True)
     p.add_argument("path")
     p.add_argument("--name", help="stored name (defaults to the path)")
+    p.add_argument(
+        "--threads", type=int, default=1,
+        help="encode/transfer threads; >1 uploads to all clouds "
+             "concurrently (§4.6)",
+    )
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a file")
@@ -200,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--user", required=True)
     p.add_argument("name")
     p.add_argument("-o", "--output", required=True)
+    p.add_argument(
+        "--threads", type=int, default=1,
+        help="transfer threads; >1 fetches from the k clouds concurrently",
+    )
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("ls", help="list a user's backups")

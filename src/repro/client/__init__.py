@@ -9,5 +9,6 @@ loses nothing.
 """
 
 from repro.client.client import CDStoreClient, UploadReceipt
+from repro.client.comm import CommEngine
 
-__all__ = ["CDStoreClient", "UploadReceipt"]
+__all__ = ["CDStoreClient", "CommEngine", "UploadReceipt"]

@@ -5,26 +5,32 @@ Upload pipeline (Figure 4a):
 1. **chunking module** — variable-size (Rabin) chunking into ~8 KB secrets;
 2. **coding module** — CAONT-RS encoding of each secret into ``n`` shares,
    parallelisable across secrets with a thread pool (§4.6);
-3. **intra-user deduplication** — one fingerprint query per cloud; only
+3. **intra-user deduplication** — fingerprint queries per cloud; only
    shares this user never uploaded travel further (§3.3 stage 1);
-4. **comm module** — unique shares batched per cloud (4 MB units, §4.1);
+4. **comm module** — unique shares batched per cloud (4 MB units, §4.1)
+   and pushed over all cloud connections *concurrently* by the
+   :class:`~repro.client.comm.CommEngine`, with encoding overlapping
+   transfer (§4.6);
 5. **metadata offloading** — per-share metadata and the file manifest
    (with the pathname dispersed via Shamir sharing, §4.3) finalise the
    upload on every server.
 
-Download reverses the pipeline from any ``k`` reachable clouds, with the
-brute-force subset retry of §3.2 on integrity failure.
+Download reverses the pipeline from any ``k`` reachable clouds — fetched
+concurrently, with automatic failover to spare reachable clouds on
+mid-restore failures — plus the brute-force subset retry of §3.2 on
+integrity failure.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.chunking.base import Chunk, Chunker
+from repro.chunking.base import Chunker
 from repro.chunking.rabin import RabinChunker
+from repro.client.comm import FETCH_ERRORS, UPLOAD_BATCH_BYTES, CommEngine
+from repro.cloud.network import SimClock
 from repro.core.convergent import ConvergentDispersal
-from repro.crypto.hashing import fingerprint, sha256
+from repro.crypto.hashing import sha256
 from repro.dedup.stats import DedupStats
 from repro.errors import (
     CloudUnavailableError,
@@ -32,15 +38,11 @@ from repro.errors import (
     IntegrityError,
     ParameterError,
 )
-from repro.server.messages import FileManifest, ShareMeta, ShareUpload
+from repro.server.messages import FileManifest, RecipeEntry
 from repro.server.server import CDStoreServer
 from repro.sharing.ssss import SSSS
 
-__all__ = ["CDStoreClient", "UploadReceipt"]
-
-#: Client-side upload batch size (§4.1: "batch the shares ... in a 4MB
-#: buffer and upload the buffer when it is full").
-UPLOAD_BATCH_BYTES = 4 << 20
+__all__ = ["CDStoreClient", "UploadReceipt", "UPLOAD_BATCH_BYTES"]
 
 
 @dataclass
@@ -54,6 +56,11 @@ class UploadReceipt:
     transferred_share_bytes: int
     #: Wire bytes sent to each cloud (drives the simulated transfer times).
     wire_bytes_per_cloud: list[int] = field(default_factory=list)
+    #: Simulated transfer time per cloud connection (seconds).
+    seconds_per_cloud: list[float] = field(default_factory=list)
+    #: Simulated wall-clock transfer span: makespan over the per-cloud
+    #: times when the client is multi-threaded (§4.6), their sum when not.
+    sim_seconds: float = 0.0
 
     @property
     def intra_user_saving(self) -> float:
@@ -81,7 +88,11 @@ class CDStoreClient:
     scheme:
         Convergent codec name (default ``"caont-rs"``).
     threads:
-        Encoding thread count (§4.6); 1 disables the pool.
+        Encoding/comm thread count (§4.6); 1 disables all pools and the
+        client talks to the clouds sequentially.
+    clock:
+        Optional :class:`~repro.cloud.network.SimClock` accumulating
+        simulated transfer wall-clock time.
     """
 
     def __init__(
@@ -94,6 +105,7 @@ class CDStoreClient:
         scheme: str = "caont-rs",
         threads: int = 1,
         codec=None,
+        clock: SimClock | None = None,
     ) -> None:
         if not servers:
             raise ParameterError("need at least one server")
@@ -110,6 +122,13 @@ class CDStoreClient:
         self.chunker = chunker if chunker is not None else RabinChunker()
         self._path_sharer = SSSS(self.n, k)
         self.stats = DedupStats()
+        #: The parallel multi-cloud comm engine; shares ``self.servers`` so
+        #: server replacements (cloud repair) are picked up live.
+        self.comm = CommEngine(self.servers, threads=threads, clock=clock)
+
+    def close(self) -> None:
+        """Shut down the comm engine's worker pools."""
+        self.comm.close()
 
     # ------------------------------------------------------------------
     # helpers
@@ -117,13 +136,6 @@ class CDStoreClient:
     def _lookup_key(self, path: str) -> bytes:
         """File-index key: hash of pathname + user identifier (§4.4)."""
         return sha256(self.user_id.encode("utf-8") + b"\x00" + path.encode("utf-8"))
-
-    def _encode_chunks(self, chunks: list[Chunk]):
-        """Encode secrets into share sets, optionally with a thread pool."""
-        if self.threads == 1 or len(chunks) < 2:
-            return [self.dispersal.encode(chunk.data) for chunk in chunks]
-        with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            return list(pool.map(lambda c: self.dispersal.encode(c.data), chunks))
 
     # ------------------------------------------------------------------
     # upload (backup)
@@ -137,87 +149,54 @@ class CDStoreClient:
         for server in self.servers:
             server.cloud.check_available()
         chunks = list(self.chunker.chunk_bytes(data))
-        share_sets = self._encode_chunks(chunks)
+
+        results, span = self.comm.upload_file(self.user_id, self.dispersal, chunks)
 
         self.stats.logical_data += len(data)
         self.stats.secrets_total += len(chunks)
-
-        # Per-cloud share streams with client-domain fingerprints.
-        metas: list[list[ShareMeta]] = [[] for _ in range(self.n)]
-        payloads: list[list[bytes]] = [[] for _ in range(self.n)]
-        for chunk, share_set in zip(chunks, share_sets):
-            for cloud_idx, share in enumerate(share_set.shares):
-                metas[cloud_idx].append(
-                    ShareMeta(
-                        fingerprint=fingerprint(share, domain="client"),
-                        share_size=len(share),
-                        secret_seq=chunk.seq,
-                        secret_size=chunk.size,
-                    )
-                )
-                payloads[cloud_idx].append(share)
-                self.stats.logical_shares += len(share)
-                self.stats.shares_total += 1
-
-        # Stage 1: intra-user deduplication, one query per cloud (§3.3).
         transferred_total = 0
-        transferred_count = 0
-        wire_per_cloud: list[int] = []
-        for cloud_idx, server in enumerate(self.servers):
-            cloud_metas = metas[cloud_idx]
-            known = server.query_duplicates(
-                self.user_id, [meta.fingerprint for meta in cloud_metas]
-            )
-            seen_in_batch: set[bytes] = set()
-            batch: list[ShareUpload] = []
-            batch_bytes = 0
-            wire_bytes = 0
-
-            def flush_batch() -> None:
-                nonlocal batch, batch_bytes
-                if batch:
-                    server.upload_shares(self.user_id, batch)
-                    batch = []
-                    batch_bytes = 0
-
-            for meta, payload, is_known in zip(cloud_metas, payloads[cloud_idx], known):
-                if is_known or meta.fingerprint in seen_in_batch:
-                    continue
-                seen_in_batch.add(meta.fingerprint)
-                batch.append(ShareUpload(meta=meta, data=payload))
-                batch_bytes += len(payload)
-                wire_bytes += len(payload)
-                transferred_count += 1
-                if batch_bytes >= UPLOAD_BATCH_BYTES:
-                    flush_batch()
-            flush_batch()
-            transferred_total += wire_bytes
-            wire_per_cloud.append(wire_bytes)
-
+        for result in results:
+            self.stats.logical_shares += sum(m.share_size for m in result.metas)
+            self.stats.shares_total += len(result.metas)
+            self.stats.shares_transferred += result.transferred
+            transferred_total += result.wire_bytes
         self.stats.transferred_shares += transferred_total
-        self.stats.shares_transferred += transferred_count
 
-        # Metadata offloading: manifest + full share metadata (§4.3).
+        # Metadata offloading: manifest + full share metadata (§4.3),
+        # finalised on every server concurrently.
         lookup_key = self._lookup_key(path)
         path_shares = self._path_sharer.split(path.encode("utf-8")).shares
-        for cloud_idx, server in enumerate(self.servers):
-            manifest = FileManifest(
+        manifests = {
+            server.server_id: FileManifest(
                 lookup_key=lookup_key,
                 path_share=path_shares[cloud_idx],
                 file_size=len(data),
                 secret_count=len(chunks),
             )
-            server.finalize_file(self.user_id, manifest, metas[cloud_idx])
+            for cloud_idx, server in enumerate(self.servers)
+        }
+        metas_by_id = {
+            server.server_id: results[cloud_idx].metas
+            for cloud_idx, server in enumerate(self.servers)
+        }
+        self.comm.map_servers(
+            lambda server: server.finalize_file(
+                self.user_id, manifests[server.server_id], metas_by_id[server.server_id]
+            ),
+            self.servers,
+        )
 
         return UploadReceipt(
             path=path,
             file_size=len(data),
             secret_count=len(chunks),
             logical_share_bytes=sum(
-                meta.share_size for cloud_metas in metas for meta in cloud_metas
+                meta.share_size for result in results for meta in result.metas
             ),
             transferred_share_bytes=transferred_total,
-            wire_bytes_per_cloud=wire_per_cloud,
+            wire_bytes_per_cloud=[result.wire_bytes for result in results],
+            seconds_per_cloud=[result.seconds for result in results],
+            sim_seconds=span,
         )
 
     # ------------------------------------------------------------------
@@ -227,7 +206,14 @@ class CDStoreClient:
         return [server for server in self.servers if server.cloud.available]
 
     def download(self, path: str) -> bytes:
-        """Restore the file stored under ``path`` from any ``k`` clouds."""
+        """Restore the file stored under ``path`` from any ``k`` clouds.
+
+        The ``k`` per-server fetches run concurrently; a chosen server
+        failing mid-restore is transparently replaced by a spare reachable
+        cloud (§3.1 availability).  All ``k`` file entries are
+        cross-checked before decoding — a lying minority cannot spoof the
+        file size or secret count unnoticed.
+        """
         reachable = self._reachable_servers()
         if len(reachable) < self.k:
             raise InsufficientCloudsError(
@@ -236,50 +222,68 @@ class CDStoreClient:
             )
         lookup_key = self._lookup_key(path)
         chosen = reachable[: self.k]
-        spare = reachable[self.k :]
+        spare_pool = reachable[self.k :]
 
-        recipes = {}
-        file_size = None
-        secret_count = None
-        for server in chosen:
-            entry = server.get_file_entry(self.user_id, lookup_key)
-            recipes[server.server_id] = server.get_recipe(self.user_id, lookup_key)
-            file_size = entry.file_size
-            secret_count = entry.secret_count
-        lengths = {len(r) for r in recipes.values()}
+        fetches, _ = self.comm.fetch_file(
+            self.user_id, lookup_key, chosen, spare_pool
+        )
+
+        # Cross-check the replicated (non-sensitive) metadata across all k
+        # servers instead of trusting whichever answered last.
+        sizes = {fetch.entry.file_size for fetch in fetches}
+        counts = {fetch.entry.secret_count for fetch in fetches}
+        if len(sizes) != 1 or len(counts) != 1:
+            raise IntegrityError(
+                "servers disagree on file entry (file size / secret count)"
+            )
+        file_size = sizes.pop()
+        secret_count = counts.pop()
+        lengths = {len(fetch.recipe) for fetch in fetches}
         if len(lengths) != 1 or lengths.pop() != secret_count:
             raise IntegrityError("servers disagree on recipe length")
 
-        # Fetch all shares per server in one locality-friendly call.
-        shares_by_server: dict[int, dict[bytes, bytes]] = {}
-        for server in chosen:
-            recipe = recipes[server.server_id]
-            shares_by_server[server.server_id] = server.fetch_shares(
-                [entry.fingerprint for entry in recipe]
-            )
+        # Spares not consumed by failover remain eligible for the §3.2
+        # brute-force fallback; their recipes are fetched at most once.
+        used_ids = {fetch.server.server_id for fetch in fetches}
+        spares_left = [
+            server
+            for server in spare_pool
+            if server.server_id not in used_ids and server.cloud.available
+        ]
+        spare_recipes: dict[int, list[RecipeEntry]] = {}
 
         parts: list[bytes] = []
         for seq in range(secret_count):
-            secret_size = recipes[chosen[0].server_id][seq].secret_size
+            secret_size = fetches[0].recipe[seq].secret_size
             shares = {
-                server.server_id: shares_by_server[server.server_id][
-                    recipes[server.server_id][seq].fingerprint
-                ]
-                for server in chosen
+                fetch.server.server_id: fetch.shares[fetch.recipe[seq].fingerprint]
+                for fetch in fetches
             }
             try:
                 parts.append(self.dispersal.decode(shares, secret_size))
             except IntegrityError:
                 # Brute-force fallback (§3.2): widen the share pool with the
-                # remaining reachable clouds and retry all k-subsets.
+                # remaining reachable clouds and retry all k-subsets.  A
+                # spare that fails is skipped (and not retried for later
+                # secrets) — one bad spare must not abort a restore that
+                # the remaining shares can still satisfy.
                 widened = dict(shares)
-                for server in spare:
-                    recipe = server.get_recipe(self.user_id, lookup_key)
-                    fetched = server.fetch_shares([recipe[seq].fingerprint])
+                for server in list(spares_left):
+                    try:
+                        recipe = spare_recipes.get(server.server_id)
+                        if recipe is None:
+                            recipe = server.get_recipe(self.user_id, lookup_key)
+                            spare_recipes[server.server_id] = recipe
+                        fetched = server.fetch_shares([recipe[seq].fingerprint])
+                    except (*FETCH_ERRORS, IndexError):
+                        # IndexError: the spare's recipe is shorter than
+                        # the agreed secret count — as unusable as corrupt.
+                        spares_left.remove(server)
+                        continue
                     widened[server.server_id] = fetched[recipe[seq].fingerprint]
                 parts.append(self.dispersal.decode(widened, secret_size))
         result = b"".join(parts)
-        if file_size is not None and len(result) != file_size:
+        if len(result) != file_size:
             raise IntegrityError(
                 f"restored size {len(result)} != recorded size {file_size}"
             )
@@ -300,8 +304,13 @@ class CDStoreClient:
             )
         chosen = reachable[: self.k]
         listings = {
-            server.server_id: dict(server.list_files(self.user_id))
-            for server in chosen
+            server.server_id: dict(listing)
+            for server, listing in zip(
+                chosen,
+                self.comm.map_servers(
+                    lambda server: server.list_files(self.user_id), chosen
+                ),
+            )
         }
         keys = set.intersection(*(set(l) for l in listings.values()))
         paths = []
@@ -328,10 +337,11 @@ class CDStoreClient:
                     f"cloud {server.cloud.name!r} is down; deletion must "
                     "reach all clouds"
                 )
-        for server in self.servers:
-            server.delete_file(self.user_id, lookup_key)
+        self.comm.map_servers(
+            lambda server: server.delete_file(self.user_id, lookup_key),
+            self.servers,
+        )
 
     def flush(self) -> None:
         """Seal open containers on every server (end of a session)."""
-        for server in self.servers:
-            server.flush()
+        self.comm.map_servers(lambda server: server.flush(), self.servers)

@@ -1,0 +1,398 @@
+"""Parallel multi-cloud communication engine (the "comm module", §4.6).
+
+The paper's client "uploads to all clouds concurrently via multi-threading",
+so wall-clock transfer cost is the per-cloud *maximum*, not the sum.  This
+module gives the client that concurrency:
+
+* a persistent **per-cloud worker** (one thread per cloud connection) that
+  owns all traffic to its server, so operations against different clouds
+  overlap while traffic to one cloud stays ordered;
+* an **encode pool** (``threads`` workers) that CAONT-RS-encodes secrets
+  while earlier secrets are already in flight — encoding overlaps transfer
+  within one upload, the pipelining of Figure 4(a);
+* a windowed upload path per cloud: shares accumulate into 4 MB windows
+  (§4.1 batching), each window is intra-user-dedup-queried (§3.3 stage 1)
+  and its unique shares uploaded, while later secrets are still encoding;
+* a parallel restore path that fetches each chosen server's file entry,
+  recipe and shares concurrently, **failing over** to a spare reachable
+  cloud when a chosen server throws mid-restore instead of aborting the
+  whole download;
+* simulated wall-clock accounting: with an attached
+  :class:`~repro.cloud.network.SimClock`, a parallel engine advances by the
+  makespan over per-cloud transfer times and a serial engine (``threads=1``)
+  by their sum, reproducing the §4.6 speedup in simulated time.
+
+With ``threads=1`` every operation runs inline on the caller's thread with
+byte-identical wire behaviour, so single-threaded uses stay deterministic
+and pool-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+from repro.chunking.base import Chunk
+from repro.cloud.network import SimClock, batch_count, makespan
+from repro.core.convergent import ConvergentDispersal
+from repro.crypto.hashing import fingerprint
+from repro.errors import (
+    CloudUnavailableError,
+    ParameterError,
+    ProtocolError,
+    StorageError,
+)
+from repro.server.index import FileEntry
+from repro.server.messages import RecipeEntry, ShareMeta, ShareUpload
+from repro.server.server import CDStoreServer
+
+__all__ = [
+    "CommEngine",
+    "CloudUploadResult",
+    "FETCH_ERRORS",
+    "FileFetch",
+    "UPLOAD_BATCH_BYTES",
+]
+
+#: Client-side upload batch size (§4.1: "batch the shares ... in a 4MB
+#: buffer and upload the buffer when it is full").
+UPLOAD_BATCH_BYTES = 4 << 20
+
+#: Errors meaning "this server cannot currently supply usable data" — an
+#: outage, missing objects (NotFoundError is a StorageError), a corrupt
+#: container, or a malformed recipe.  The restore path fails over to a
+#: spare cloud or skips the source rather than aborting the download.
+FETCH_ERRORS = (CloudUnavailableError, ProtocolError, StorageError)
+
+T = TypeVar("T")
+
+
+@dataclass
+class CloudUploadResult:
+    """Outcome of one file upload on one cloud connection."""
+
+    #: Per-secret share metadata in sequence order (drives finalisation).
+    metas: list[ShareMeta] = field(default_factory=list)
+    #: Share bytes that actually crossed the wire after intra-user dedup.
+    wire_bytes: int = 0
+    #: Number of shares transferred (non-duplicates).
+    transferred: int = 0
+    #: Upload RPCs actually issued (diagnostic; the simulated clock
+    #: charges the canonical 4 MB-unit count from ``batch_count``).
+    batches: int = 0
+    #: Simulated seconds on this cloud's uplink.
+    seconds: float = 0.0
+
+
+@dataclass
+class FileFetch:
+    """One server's contribution to a restore (entry + recipe + shares)."""
+
+    #: The server that actually answered (after any failover).
+    server: CDStoreServer
+    entry: FileEntry
+    recipe: list[RecipeEntry]
+    #: Server fingerprint → share bytes for every recipe entry.
+    shares: dict[bytes, bytes]
+    #: Simulated seconds on this cloud's downlink.
+    seconds: float = 0.0
+
+
+class CommEngine:
+    """Persistent per-cloud worker pool driving all client ⇄ server traffic.
+
+    Parameters
+    ----------
+    servers:
+        The client's server list.  The *list object* is shared (not copied)
+        so in-place replacements — e.g. after
+        :meth:`~repro.system.cdstore.CDStoreSystem.wipe_cloud` — are seen
+        by the engine immediately.
+    threads:
+        Encode-pool width; ``1`` disables all pools and runs inline.
+    clock:
+        Optional simulated clock advanced by transfer times (makespan when
+        parallel, sum when serial).
+    """
+
+    def __init__(
+        self,
+        servers: list[CDStoreServer],
+        threads: int = 1,
+        clock: SimClock | None = None,
+    ) -> None:
+        if threads < 1:
+            raise ParameterError(f"threads must be >= 1, got {threads}")
+        self.servers = servers
+        self.threads = threads
+        self.clock = clock
+        self._encode_pool: ThreadPoolExecutor | None = None
+        self._cloud_workers: list[ThreadPoolExecutor] | None = None
+        self._init_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.threads > 1
+
+    def _ensure_workers(self) -> None:
+        with self._init_lock:  # engines may be shared across caller threads
+            if self._cloud_workers is None:
+                self._encode_pool = ThreadPoolExecutor(
+                    max_workers=self.threads, thread_name_prefix="cdstore-encode"
+                )
+                self._cloud_workers = [
+                    ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix=f"cdstore-cloud-{i}"
+                    )
+                    for i in range(len(self.servers))
+                ]
+
+    def close(self) -> None:
+        """Shut the worker pools down (idempotent)."""
+        with self._init_lock:  # must not race a concurrent _ensure_workers
+            if self._encode_pool is not None:
+                self._encode_pool.shutdown(wait=True)
+                self._encode_pool = None
+            if self._cloud_workers is not None:
+                for pool in self._cloud_workers:
+                    pool.shutdown(wait=True)
+                self._cloud_workers = None
+
+    def __enter__(self) -> "CommEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # generic fan-out
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gather(futures: list[Future]) -> list:
+        """Await *every* future, then re-raise the first failure.
+
+        Waiting for all of them before raising means no background worker
+        is still mutating server state when the caller sees the error, and
+        no sibling exception goes unretrieved.
+        """
+        results = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _slot(self, server: CDStoreServer) -> int | None:
+        for i, candidate in enumerate(self.servers):
+            if candidate is server:
+                return i
+        return None
+
+    def map_servers(
+        self,
+        fn: Callable[[CDStoreServer], T],
+        servers: Sequence[CDStoreServer],
+    ) -> list[T]:
+        """Apply ``fn`` to each server, concurrently when parallel.
+
+        Each call runs on the target server's dedicated cloud worker, so
+        concurrent ``map_servers`` traffic to one cloud stays ordered.
+        Results come back in ``servers`` order; all calls complete before
+        the first exception (in that order) propagates.
+        """
+        if not self.parallel or len(servers) < 2:
+            return [fn(server) for server in servers]
+        self._ensure_workers()
+        assert self._cloud_workers is not None
+        futures: list[Future] = []
+        for server in servers:
+            slot = self._slot(server)
+            pool = self._cloud_workers[slot] if slot is not None else self._encode_pool
+            assert pool is not None
+            futures.append(pool.submit(fn, server))
+        return self._gather(futures)
+
+    def _advance_clock(self, durations: list[float]) -> float:
+        """Charge transfer times to the clock; returns the elapsed span."""
+        span = makespan(durations) if self.parallel else sum(durations)
+        if self.clock is not None:
+            self.clock.advance(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # upload path (backup)
+    # ------------------------------------------------------------------
+    def upload_file(
+        self,
+        user_id: str,
+        dispersal: ConvergentDispersal,
+        chunks: list[Chunk],
+    ) -> tuple[list[CloudUploadResult], float]:
+        """Pipeline one file's shares onto every cloud.
+
+        Returns per-cloud results (index ``i`` ↔ cloud ``i``) plus the
+        simulated wall-clock span of the transfer stage.
+        """
+        n = len(self.servers)
+        if self.parallel and len(chunks) > 1:
+            self._ensure_workers()
+            assert self._encode_pool is not None and self._cloud_workers is not None
+            encoded: list[Future] = [
+                self._encode_pool.submit(dispersal.encode, chunk.data)
+                for chunk in chunks
+            ]
+            futures = [
+                self._cloud_workers[idx].submit(
+                    self._upload_to_cloud, idx, user_id, chunks, encoded
+                )
+                for idx in range(n)
+            ]
+            results = self._gather(futures)
+        else:
+            share_sets = [dispersal.encode(chunk.data) for chunk in chunks]
+            results = [
+                self._upload_to_cloud(idx, user_id, chunks, share_sets)
+                for idx in range(n)
+            ]
+        span = self._advance_clock([result.seconds for result in results])
+        return results, span
+
+    def _upload_to_cloud(
+        self,
+        cloud_idx: int,
+        user_id: str,
+        chunks: list[Chunk],
+        share_sets: list,
+    ) -> CloudUploadResult:
+        """One cloud connection's upload: dedup-query + batch + transfer.
+
+        ``share_sets`` entries are either concrete
+        :class:`~repro.sharing.base.ShareSet` objects or futures resolving
+        to them; waiting on a future is what overlaps encoding with the
+        transfer of already-encoded windows.
+        """
+        server = self.servers[cloud_idx]
+        result = CloudUploadResult()
+        seen: set[bytes] = set()
+        window: list[tuple[ShareMeta, bytes]] = []
+        window_bytes = 0
+        # The 4 MB upload buffer persists across query windows (§4.1: the
+        # buffer holds *unique* shares and is uploaded only when full).
+        batch: list[ShareUpload] = []
+        batch_bytes = 0
+
+        def send_batch() -> None:
+            nonlocal batch, batch_bytes
+            if batch:
+                server.upload_shares(user_id, batch)
+                result.batches += 1
+                batch = []
+                batch_bytes = 0
+
+        def flush_window() -> None:
+            nonlocal window, window_bytes, batch_bytes
+            if not window:
+                return
+            known = server.query_duplicates(
+                user_id, [meta.fingerprint for meta, _ in window]
+            )
+            for (meta, payload), is_known in zip(window, known):
+                if is_known or meta.fingerprint in seen:
+                    continue
+                seen.add(meta.fingerprint)
+                batch.append(ShareUpload(meta=meta, data=payload))
+                batch_bytes += len(payload)
+                result.wire_bytes += len(payload)
+                result.transferred += 1
+                if batch_bytes >= UPLOAD_BATCH_BYTES:
+                    send_batch()
+            window = []
+            window_bytes = 0
+
+        for chunk, share_set in zip(chunks, share_sets):
+            if isinstance(share_set, Future):
+                share_set = share_set.result()
+            share = share_set.shares[cloud_idx]
+            meta = ShareMeta(
+                fingerprint=fingerprint(share, domain="client"),
+                share_size=len(share),
+                secret_seq=chunk.seq,
+                secret_size=chunk.size,
+            )
+            result.metas.append(meta)
+            window.append((meta, share))
+            window_bytes += len(share)
+            if window_bytes >= UPLOAD_BATCH_BYTES:
+                flush_window()
+        flush_window()
+        send_batch()
+
+        # Charge simulated time with the canonical 4 MB-unit batch count
+        # so the clock matches repro.bench.transfer.client_upload_walltime
+        # exactly, including for heavily-deduplicated multi-window files.
+        result.seconds = server.cloud.uplink.transfer_time(
+            result.wire_bytes, batches=batch_count(result.wire_bytes)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # restore path (download)
+    # ------------------------------------------------------------------
+    def fetch_file(
+        self,
+        user_id: str,
+        lookup_key: bytes,
+        chosen: Sequence[CDStoreServer],
+        spares: Sequence[CDStoreServer],
+    ) -> tuple[list[FileFetch], float]:
+        """Fetch entry + recipe + shares from each chosen server.
+
+        Fetches run concurrently (one per cloud worker).  When a chosen
+        server throws one of :data:`FETCH_ERRORS` mid-restore (outage,
+        missing share, corrupt container or recipe), the fetch fails over
+        to the next unused spare reachable server; only when the spares
+        are exhausted does the original error propagate.
+        """
+        pool = list(spares)
+        pool_lock = threading.Lock()
+
+        def fetch_one(server: CDStoreServer) -> FileFetch:
+            while True:
+                try:
+                    entry = server.get_file_entry(user_id, lookup_key)
+                    recipe = server.get_recipe(user_id, lookup_key)
+                    shares = server.fetch_shares(
+                        [item.fingerprint for item in recipe]
+                    )
+                except FETCH_ERRORS:
+                    with pool_lock:
+                        if not pool:
+                            raise
+                        server = pool.pop(0)
+                    continue
+                nbytes = sum(len(payload) for payload in shares.values())
+                seconds = server.cloud.downlink.transfer_time(
+                    nbytes, batches=batch_count(nbytes)
+                )
+                return FileFetch(
+                    server=server,
+                    entry=entry,
+                    recipe=recipe,
+                    shares=shares,
+                    seconds=seconds,
+                )
+
+        fetches = self.map_servers(fetch_one, chosen)
+        span = self._advance_clock([fetch.seconds for fetch in fetches])
+        return fetches, span

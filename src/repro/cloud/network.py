@@ -9,13 +9,34 @@ bounded by the client's shared physical uplink).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
 
-__all__ = ["Link", "SimClock"]
+__all__ = ["Link", "SimClock", "batch_count", "makespan"]
 
 MB = 1_000_000.0
+
+
+def makespan(durations: list[float], shared_floor: float = 0.0) -> float:
+    """Wall-clock span of concurrent activities (§4.6).
+
+    A multi-threaded client drives all cloud connections at once, so the
+    elapsed time is the *maximum* over per-connection durations, bounded
+    below by any shared resource (e.g. the client's physical uplink).
+    """
+    return max(durations + [shared_floor]) if durations else shared_floor
+
+
+def batch_count(nbytes: float, unit: int = 4 << 20) -> int:
+    """Number of 4 MB transfer units for ``nbytes`` (§4.1 batching).
+
+    The single source of truth for batch-latency accounting: the comm
+    engine, the testbed model and the bench helpers all charge one link
+    round trip per unit returned here.
+    """
+    return max(1, int(-(-nbytes // unit)))
 
 
 @dataclass(frozen=True)
@@ -51,16 +72,25 @@ class Link:
 
 
 class SimClock:
-    """Accumulates simulated seconds, with a parallel-section helper."""
+    """Accumulates simulated seconds, with a parallel-section helper.
+
+    Thread-safe: advances from concurrent callers are serialised so none
+    is lost.  Note the accounting is *additive* — a clock shared by
+    clients whose operations overlap in real time records the sum of
+    their spans (total transfer work), not their combined makespan; model
+    cross-client concurrency with :meth:`advance_parallel` instead.
+    """
 
     def __init__(self) -> None:
         self.now = 0.0
+        self._lock = threading.Lock()
 
     def advance(self, seconds: float) -> None:
         """Advance the clock by a serial cost."""
         if seconds < 0:
             raise ParameterError(f"cannot advance clock by {seconds}")
-        self.now += seconds
+        with self._lock:
+            self.now += seconds
 
     def advance_parallel(self, durations: list[float], shared_floor: float = 0.0) -> float:
         """Advance by the makespan of concurrent activities.
@@ -69,6 +99,6 @@ class SimClock:
         bound imposed by a shared resource (e.g. total bytes over the
         client's physical uplink).  Returns the elapsed span.
         """
-        span = max(durations + [shared_floor]) if durations else shared_floor
+        span = makespan(durations, shared_floor)
         self.advance(span)
         return span

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cloud.network import MB, Link
+from repro.cloud.network import MB, Link, batch_count as _batches
 from repro.cloud.provider import CloudProvider
 from repro.errors import ParameterError
 
@@ -216,11 +216,6 @@ class Testbed:
             # batch (fetch container, then reply), hence the sum.
             per_cloud.append(link_t + disk_t)
         return max([compute, shared_downlink] + per_cloud)
-
-
-def _batches(nbytes: float, unit: int = 4 << 20) -> int:
-    """Number of 4 MB upload units (§4.1 batching)."""
-    return max(1, int(-(-nbytes // unit)))
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,19 @@ from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import SSTable
 from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
 
-__all__ = ["LSMStore"]
+__all__ = ["LSMStore", "prefix_upper_bound"]
+
+
+def prefix_upper_bound(prefix: bytes) -> bytes | None:
+    """Smallest key greater than every key starting with ``prefix``.
+
+    Returns None when no such bound exists (empty or all-0xFF prefix),
+    meaning the scan must run to the end of the keyspace.
+    """
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != 0xFF:
+            return prefix[:i] + bytes([prefix[i] + 1])
+    return None
 
 DEFAULT_MEMTABLE_BYTES = 4 << 20
 DEFAULT_BLOCK_CACHE_BYTES = 8 << 20
@@ -135,15 +147,29 @@ class LSMStore:
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None
 
-    def items(self) -> Iterator[tuple[bytes, bytes]]:
-        """Iterate all live key-value pairs in key order (merged view)."""
+    def items(
+        self, lower: bytes | None = None, upper: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate live key-value pairs in key order (merged view).
+
+        ``lower``/``upper`` bound the scan to ``lower <= key < upper``;
+        SSTables skip blocks outside the range via their sparse indices,
+        so bounded scans never touch the whole keyspace.
+        """
         self._check_open()
+
+        def in_range(key: bytes) -> bool:
+            if lower is not None and key < lower:
+                return False
+            return upper is None or key < upper
+
         merged: dict[bytes, bytes | object] = {}
         for table in self._tables:  # oldest first; later wins
-            for key, value in table.items():
+            for key, value in table.items_range(lower, upper):
                 merged[key] = value
         for key, value in self._mem.sorted_items():
-            merged[key] = value
+            if in_range(key):
+                merged[key] = value
         for key in sorted(merged):
             value = merged[key]
             if value is not TOMBSTONE:

@@ -190,5 +190,28 @@ class SSTable:
 
     def items(self) -> Iterator[tuple[bytes, bytes | object]]:
         """Iterate every record in key order (compaction/scan path)."""
-        for _, off, length in self._index:
-            yield from self.scan_block(self.read_block(off, length))
+        return self.items_range()
+
+    def items_range(
+        self, lower: bytes | None = None, upper: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes | object]]:
+        """Iterate records with ``lower <= key < upper``, in key order.
+
+        Uses the sparse block index to skip whole blocks outside the
+        range, so a prefix scan reads only the blocks that can hold it.
+        """
+        for i, (first_key, off, length) in enumerate(self._index):
+            if upper is not None and first_key >= upper:
+                break  # blocks are sorted; nothing further can match
+            if (
+                lower is not None
+                and i + 1 < len(self._index)
+                and self._index[i + 1][0] <= lower
+            ):
+                continue  # block ends before the range starts
+            for key, value in self.scan_block(self.read_block(off, length)):
+                if lower is not None and key < lower:
+                    continue
+                if upper is not None and key >= upper:
+                    return
+                yield key, value

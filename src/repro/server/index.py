@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.errors import ProtocolError
-from repro.lsm.db import LSMStore
+from repro.lsm.db import LSMStore, prefix_upper_bound
 from repro.storage.container import ContainerRef
 
 __all__ = [
@@ -98,9 +98,13 @@ class LSMIndex(IndexBackend):
         self._db.delete(key)
 
     def items(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
-        for key, value in self._db.items():
-            if key.startswith(prefix):
-                yield key, value
+        # Push the prefix bounds into the LSM iterator so prefix scans
+        # (repair, scrub, listings) touch only the matching key range
+        # instead of filtering a full-store scan in Python.
+        if not prefix:
+            yield from self._db.items()
+            return
+        yield from self._db.items(lower=prefix, upper=prefix_upper_bound(prefix))
 
     def close(self) -> None:
         self._db.close()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.chunking.base import Chunker
-from repro.cloud.network import Link
+from repro.cloud.network import Link, SimClock
 from repro.cloud.provider import CloudProvider
 from repro.client.client import CDStoreClient
 from repro.crypto.hashing import fingerprint
@@ -47,6 +47,14 @@ class CDStoreSystem:
     index_root:
         If given, servers use durable LSM indices under this directory;
         otherwise in-memory indices.
+    threads:
+        Default comm/encode thread count for clients this system creates
+        (§4.6); individual :meth:`client` calls may override it.
+    clock:
+        Optional simulated clock shared by all clients.  Each operation
+        adds its own span (per-cloud makespan when the client is
+        parallel); overlapping operations from different clients
+        accumulate additively, i.e. total transfer work.
     """
 
     def __init__(
@@ -58,6 +66,8 @@ class CDStoreSystem:
         index_root: str | Path | None = None,
         scheme: str = "caont-rs",
         key_server=None,
+        threads: int = 1,
+        clock: SimClock | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
             raise ParameterError(f"got {len(clouds)} clouds for n={n}")
@@ -67,6 +77,8 @@ class CDStoreSystem:
         self.k = k
         self.salt = salt
         self.scheme = scheme
+        self.threads = threads
+        self.clock = clock
         #: Optional DupLESS-style key server (§3.2 remarks): when set,
         #: clients encode with server-aided CAONT-RS instead of plain
         #: hash keys, hardening small-message-space data against offline
@@ -95,9 +107,14 @@ class CDStoreSystem:
         self,
         user_id: str,
         chunker: Chunker | None = None,
-        threads: int = 1,
+        threads: int | None = None,
     ) -> CDStoreClient:
-        """Get (or create) the CDStore client for ``user_id``."""
+        """Get (or create) the CDStore client for ``user_id``.
+
+        ``threads`` defaults to the system-wide setting; pass an explicit
+        value to override for this client (first call wins — clients are
+        cached per user).
+        """
         if user_id not in self._clients:
             codec = None
             if self.key_server is not None:
@@ -116,8 +133,9 @@ class CDStoreSystem:
                 salt=self.salt,
                 chunker=chunker,
                 scheme=self.scheme,
-                threads=threads,
+                threads=self.threads if threads is None else threads,
                 codec=codec,
+                clock=self.clock,
             )
         return self._clients[user_id]
 
@@ -176,16 +194,30 @@ class CDStoreSystem:
             user_id, _, lookup_key = key[len(PREFIX_FILE):].partition(b"\x00")
             user = user_id.decode("utf-8")
             client = self.client(user)
+            # Donor reads go through the client's comm engine so recipe and
+            # share fetches overlap across the k donor clouds (§4.6).
             recipes = {
-                server.server_id: server.get_recipe(user, lookup_key)
-                for server in donors
+                server.server_id: recipe
+                for server, recipe in zip(
+                    donors,
+                    client.comm.map_servers(
+                        lambda server: server.get_recipe(user, lookup_key),
+                        donors,
+                    ),
+                )
             }
             entry0 = donors[0].get_file_entry(user, lookup_key)
             shares_by_server = {
-                server.server_id: server.fetch_shares(
-                    [e.fingerprint for e in recipes[server.server_id]]
+                server.server_id: shares
+                for server, shares in zip(
+                    donors,
+                    client.comm.map_servers(
+                        lambda server: server.fetch_shares(
+                            [e.fingerprint for e in recipes[server.server_id]]
+                        ),
+                        donors,
+                    ),
                 )
-                for server in donors
             }
             metas: list[ShareMeta] = []
             for seq in range(entry0.secret_count):
@@ -272,8 +304,14 @@ class CDStoreSystem:
             user = user_id.decode("utf-8")
             client = self.client(user)
             donor_recipes = {
-                server.server_id: server.get_recipe(user, lookup_key)
-                for server in donors
+                server.server_id: recipe
+                for server, recipe in zip(
+                    donors,
+                    client.comm.map_servers(
+                        lambda server: server.get_recipe(user, lookup_key),
+                        donors,
+                    ),
+                )
             }
             secret_count = len(donor_recipes[donors[0].server_id])
 
@@ -350,6 +388,8 @@ class CDStoreSystem:
             server.flush()
 
     def close(self) -> None:
-        """Close durable indices (no-op for in-memory)."""
+        """Shut down client comm engines and close durable indices."""
+        for client in self._clients.values():
+            client.close()
         for server in self.servers:
             server.index.close()

@@ -163,3 +163,79 @@ class TestLSMStore:
             db.put(b"b", b"2")
             db.delete(b"a")
             assert len(db) == 1
+
+
+class TestRangeScan:
+    """Bounded items() scans: prefix bounds pushed into the LSM iterator."""
+
+    def test_prefix_upper_bound(self):
+        from repro.lsm.db import prefix_upper_bound
+
+        assert prefix_upper_bound(b"abc") == b"abd"
+        assert prefix_upper_bound(b"a\xff") == b"b"
+        assert prefix_upper_bound(b"\xff\xff") is None
+        assert prefix_upper_bound(b"") is None
+
+    def test_bounded_scan_merges_memtable_and_sstables(self, tmp_path):
+        with LSMStore(tmp_path) as db:
+            for i in range(50):
+                db.put(f"a{i:03d}".encode(), b"old")
+            db.flush()
+            for i in range(0, 50, 2):
+                db.put(f"a{i:03d}".encode(), b"new")  # overwrite in memtable
+            db.delete(b"a001")
+            db.put(b"b000", b"other-prefix")
+            got = dict(db.items(lower=b"a", upper=b"b"))
+            assert b"b000" not in got
+            assert b"a001" not in got
+            assert got[b"a000"] == b"new"
+            assert got[b"a003"] == b"old"
+            assert len(got) == 49
+            # Unbounded scan still sees everything.
+            assert len(dict(db.items())) == 50
+
+    def test_bounded_scan_matches_filtered_full_scan(self, tmp_path):
+        with LSMStore(tmp_path, memtable_bytes=1 << 10) as db:
+            for i in range(300):
+                db.put(f"k{i:04d}".encode(), bytes([i % 256]) * 8)
+            lower, upper = b"k0100", b"k0200"
+            expect = [
+                (k, v) for k, v in db.items() if lower <= k < upper
+            ]
+            assert list(db.items(lower=lower, upper=upper)) == expect
+            assert len(expect) == 100
+
+    def test_bounded_scan_skips_blocks(self, tmp_path, monkeypatch):
+        from repro.lsm.sstable import SSTable
+
+        with LSMStore(tmp_path, memtable_bytes=1 << 30) as db:
+            for i in range(2000):
+                db.put(f"k{i:05d}".encode(), b"v" * 40)
+            db.flush()
+            reads = []
+            original = SSTable.read_block
+
+            def counting(self, off, length):
+                reads.append((off, length))
+                return original(self, off, length)
+
+            monkeypatch.setattr(SSTable, "read_block", counting)
+            list(db.items())
+            full_reads = len(reads)
+            reads.clear()
+            narrow = list(db.items(lower=b"k00100", upper=b"k00200"))
+            assert len(narrow) == 100
+            assert len(reads) < full_reads / 4
+
+    def test_lsm_index_prefix_scan(self, tmp_path):
+        from repro.server.index import LSMIndex
+
+        index = LSMIndex(tmp_path / "idx")
+        index.put(b"f:one", b"1")
+        index.put(b"f:two", b"2")
+        index.put(b"s:xyz", b"3")
+        index.put(b"u:abc", b"4")
+        assert dict(index.items(b"f:")) == {b"f:one": b"1", b"f:two": b"2"}
+        assert dict(index.items(b"s:")) == {b"s:xyz": b"3"}
+        assert len(dict(index.items())) == 4
+        index.close()
