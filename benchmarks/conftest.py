@@ -8,13 +8,52 @@ pytest's output capture.  Run with::
     pytest benchmarks/ --benchmark-only
 
 Add ``-s`` to watch the tables print live.
+
+Scaling knob
+------------
+
+``REPRO_BENCH_SCALE`` (float, default ``1``) multiplies the data sizes of
+the heavyweight benchmarks via :func:`scaled`.  CI's bench-smoke job sets
+it below 1 so every figure still regenerates (and uploads as an artifact)
+within a PR-feedback budget; the asserted claims are all relative
+orderings, which survive scaling.  Values above 1 work too, for
+higher-fidelity local runs.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
+import pytest
+
 OUT_DIR = Path(__file__).parent / "out"
+
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark counts as ``slow``: ``-m "not slow"`` skips the lot.
+
+    The hook fires with the whole session's items, so scope the marker to
+    tests that actually live under ``benchmarks/``.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+#: Multiplier applied by :func:`scaled`; see the module docstring.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1") or "1")
+
+
+def scaled(nbytes: int, floor: int = 64 << 10) -> int:
+    """Scale a benchmark working-set size by ``REPRO_BENCH_SCALE``.
+
+    ``floor`` guards the statistical validity of tiny runs: below a few
+    chunker windows most figures degenerate to noise.
+    """
+    return max(int(nbytes * BENCH_SCALE), floor)
 
 
 def emit(name: str, text: str) -> None:

@@ -1,27 +1,39 @@
-"""Figure 5(a) — encoding speed vs number of threads, (n, k) = (4, 3).
+"""Figure 5(a) — encoding speed vs number of workers, (n, k) = (4, 3).
 
-Paper: all three codecs speed up with threads; CAONT-RS (OAEP-based AONT)
-is the fastest, beating CAONT-RS-Rivest by 40-61 % and AONT-RS by 12-35 %
-on the authors' machines.
+Paper: all three codecs speed up near-linearly to 4 threads; CAONT-RS
+(OAEP-based AONT) is the fastest, beating CAONT-RS-Rivest by 40-61 % and
+AONT-RS by 12-35 % on the authors' machines.
 
-Two documented deviations in pure Python (see EXPERIMENTS.md):
+This harness drives the same process pool the client's comm engine uses
+(``workers="process"``, §4.6): slabs of secrets encode in worker processes
+with the batched codec kernels, so encoding escapes the GIL.  Two columns
+are reported per configuration (see :mod:`repro.bench.encoding`):
 
-* the per-word overhead of the Rivest transforms is amplified, so
-  CAONT-RS's lead is *larger* than the paper's and the two Rivest-based
-  codecs are nearly tied;
-* CPython's GIL makes secret-level multi-threading counterproductive, so
-  the thread sweep is printed for transparency but the asserted claim is
-  the hardware-independent one: CAONT-RS is the fastest codec at every
-  thread count.
+* ``MB/s`` — the scheduled-makespan figure: slab CPU times list-scheduled
+  onto the worker count.  On a host with enough free cores this equals
+  wall clock; on starved CI/container hosts it is the hardware-independent
+  rendering of the paper's scaling claim (the same makespan accounting the
+  transfer experiments use via SimClock).
+* ``wall MB/s`` — the measured wall clock of this very run, printed so
+  core starvation is visible rather than hidden.
+
+Asserted claims: CAONT-RS stays the fastest codec at every worker count,
+and its 4-worker throughput is at least twice its 1-worker throughput —
+the Figure 5(a) scaling trend.
+
+One documented deviation remains: the per-word overhead of the Rivest
+transforms is amplified in pure Python, so CAONT-RS's lead is *larger*
+than the paper's and the two Rivest-based codecs are nearly tied (see
+EXPERIMENTS.md).
 """
 
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.bench.encoding import FIGURE5_SCHEMES, _make_secrets, encoding_speed
 from repro.bench.reporting import format_table
 
-DATA_BYTES = 1 << 20  # scaled from the paper's 2 GB (pure-Python speeds)
-THREADS = (1, 2, 3, 4)
+DATA_BYTES = scaled(1 << 20, floor=256 << 10)  # from the paper's 2 GB
+WORKERS = (1, 2, 3, 4)
 
 
 def test_fig5a(benchmark):
@@ -29,22 +41,26 @@ def test_fig5a(benchmark):
 
     def run():
         return [
-            encoding_speed(scheme, threads=t, secrets=secrets)
+            encoding_speed(
+                scheme, threads=w, secrets=secrets, workers="process", repeats=3
+            )
             for scheme in FIGURE5_SCHEMES
-            for t in THREADS
+            for w in WORKERS
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     table = format_table(
-        ["scheme", "threads", "MB/s"],
-        [[r.scheme, r.threads, r.mbps] for r in results],
-        title="Figure 5(a): encoding speed vs #threads, (n, k)=(4, 3)",
+        ["scheme", "workers", "MB/s", "wall MB/s"],
+        [[r.scheme, r.threads, r.mbps, r.wall_mbps] for r in results],
+        title="Figure 5(a): encoding speed vs #workers (process pool), (n, k)=(4, 3)",
     )
     emit("fig5a", table)
 
     speed = {(r.scheme, r.threads): r.mbps for r in results}
-    # CAONT-RS is the fastest codec at every thread count.
-    for t in THREADS:
-        assert speed[("caont-rs", t)] > speed[("aont-rs", t)]
-        assert speed[("caont-rs", t)] > speed[("caont-rs-rivest", t)]
+    # CAONT-RS is the fastest codec at every worker count.
+    for w in WORKERS:
+        assert speed[("caont-rs", w)] > speed[("aont-rs", w)]
+        assert speed[("caont-rs", w)] > speed[("caont-rs-rivest", w)]
+    # The paper's scaling trend: 4 workers buy at least 2x one worker.
+    assert speed[("caont-rs", 4)] >= 2.0 * speed[("caont-rs", 1)]

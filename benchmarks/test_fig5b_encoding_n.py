@@ -5,12 +5,12 @@ CAONT-RS) because Reed-Solomon parity generation is cheap next to the
 AONT's cryptographic work.
 """
 
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.bench.encoding import FIGURE5_SCHEMES, _make_secrets, encoding_speed, figure5b_k
 from repro.bench.reporting import format_table
 
-DATA_BYTES = 1 << 20
+DATA_BYTES = scaled(1 << 20, floor=256 << 10)
 N_LIST = (4, 8, 12, 16, 20)
 
 

@@ -24,7 +24,6 @@ from repro.bench.dedup import TwoStageSimulator
 from repro.cloud.network import MB, batch_count, makespan
 from repro.cloud.provider import CloudProvider
 from repro.cloud.testbed import Testbed
-from repro.crypto.hashing import HASH_SIZE
 from repro.server.messages import ShareMeta
 from repro.workloads.base import Workload
 

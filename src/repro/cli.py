@@ -89,7 +89,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
         source = Path(args.path)
         data = source.read_bytes()
         name = args.name or str(source)
-        client = system.client(args.user, threads=args.threads)
+        client = system.client(args.user, threads=args.threads, workers=args.workers)
         receipt = client.upload(name, data)
         client.flush()
         print(
@@ -106,7 +106,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
 def cmd_restore(args: argparse.Namespace) -> int:
     system = _load_system(Path(args.root))
     try:
-        client = system.client(args.user, threads=args.threads)
+        client = system.client(args.user, threads=args.threads, workers=args.workers)
         data = client.download(args.name)
         Path(args.output).write_bytes(data)
         print(f"restored {len(data)} bytes to {args.output}")
@@ -198,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="encode/transfer threads; >1 uploads to all clouds "
              "concurrently (§4.6)",
     )
+    p.add_argument(
+        "--workers", choices=["thread", "process"], default="thread",
+        help="encode-pool flavour: 'process' escapes the GIL and scales "
+             "encoding with cores; 'thread' avoids fork/pickling overhead",
+    )
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a file")
@@ -208,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--threads", type=int, default=1,
         help="transfer threads; >1 fetches from the k clouds concurrently",
+    )
+    p.add_argument(
+        "--workers", choices=["thread", "process"], default="thread",
+        help="encode-pool flavour for re-encoding paths (see backup)",
     )
     p.set_defaults(func=cmd_restore)
 

@@ -90,6 +90,9 @@ class CDStoreClient:
     threads:
         Encoding/comm thread count (§4.6); 1 disables all pools and the
         client talks to the clouds sequentially.
+    workers:
+        Encode-pool flavour, ``"thread"`` (default) or ``"process"``; see
+        :mod:`repro.client.comm` for the trade-off.
     clock:
         Optional :class:`~repro.cloud.network.SimClock` accumulating
         simulated transfer wall-clock time.
@@ -104,6 +107,7 @@ class CDStoreClient:
         chunker: Chunker | None = None,
         scheme: str = "caont-rs",
         threads: int = 1,
+        workers: str = "thread",
         codec=None,
         clock: SimClock | None = None,
     ) -> None:
@@ -116,6 +120,7 @@ class CDStoreClient:
         self.n = len(servers)
         self.k = k
         self.threads = threads
+        self.workers = workers
         self.dispersal = ConvergentDispersal(
             self.n, k, scheme=scheme, salt=salt, codec=codec
         )
@@ -124,7 +129,9 @@ class CDStoreClient:
         self.stats = DedupStats()
         #: The parallel multi-cloud comm engine; shares ``self.servers`` so
         #: server replacements (cloud repair) are picked up live.
-        self.comm = CommEngine(self.servers, threads=threads, clock=clock)
+        self.comm = CommEngine(
+            self.servers, threads=threads, workers=workers, clock=clock
+        )
 
     def close(self) -> None:
         """Shut down the comm engine's worker pools."""
@@ -252,36 +259,47 @@ class CDStoreClient:
         ]
         spare_recipes: dict[int, list[RecipeEntry]] = {}
 
-        parts: list[bytes] = []
+        requests: list[tuple[dict[int, bytes], int]] = []
         for seq in range(secret_count):
             secret_size = fetches[0].recipe[seq].secret_size
             shares = {
                 fetch.server.server_id: fetch.shares[fetch.recipe[seq].fingerprint]
                 for fetch in fetches
             }
-            try:
-                parts.append(self.dispersal.decode(shares, secret_size))
-            except IntegrityError:
-                # Brute-force fallback (§3.2): widen the share pool with the
-                # remaining reachable clouds and retry all k-subsets.  A
-                # spare that fails is skipped (and not retried for later
-                # secrets) — one bad spare must not abort a restore that
-                # the remaining shares can still satisfy.
-                widened = dict(shares)
-                for server in list(spares_left):
-                    try:
-                        recipe = spare_recipes.get(server.server_id)
-                        if recipe is None:
-                            recipe = server.get_recipe(self.user_id, lookup_key)
-                            spare_recipes[server.server_id] = recipe
-                        fetched = server.fetch_shares([recipe[seq].fingerprint])
-                    except (*FETCH_ERRORS, IndexError):
-                        # IndexError: the spare's recipe is shorter than
-                        # the agreed secret count — as unusable as corrupt.
-                        spares_left.remove(server)
-                        continue
-                    widened[server.server_id] = fetched[recipe[seq].fingerprint]
-                parts.append(self.dispersal.decode(widened, secret_size))
+            requests.append((shares, secret_size))
+
+        def widen_with_spares(
+            seq: int, shares: dict[int, bytes], secret_size: int
+        ) -> bytes:
+            """Last resort for one secret: widen its share pool (§3.2).
+
+            The fetched shares could not decode even with the k-subset
+            brute force, so pull this secret's share from each remaining
+            reachable spare cloud and retry.  A spare that fails is
+            skipped (and not retried for later secrets) — one bad spare
+            must not abort a restore that the remaining shares can still
+            satisfy.
+            """
+            widened = dict(shares)
+            for server in list(spares_left):
+                try:
+                    recipe = spare_recipes.get(server.server_id)
+                    if recipe is None:
+                        recipe = server.get_recipe(self.user_id, lookup_key)
+                        spare_recipes[server.server_id] = recipe
+                    fetched = server.fetch_shares([recipe[seq].fingerprint])
+                except (*FETCH_ERRORS, IndexError):
+                    # IndexError: the spare's recipe is shorter than the
+                    # agreed secret count — as unusable as corrupt.
+                    spares_left.remove(server)
+                    continue
+                widened[server.server_id] = fetched[recipe[seq].fingerprint]
+            return self.dispersal.decode(widened, secret_size)
+
+        # Batched happy path: secrets decoded from the same k-subset share
+        # one inverse-matrix multiply; on integrity failure the dispersal
+        # retries per secret and widens only the ones that still fail.
+        parts = self.dispersal.decode_batch(requests, fallback=widen_with_spares)
         result = b"".join(parts)
         if len(result) != file_size:
             raise IntegrityError(
@@ -312,7 +330,7 @@ class CDStoreClient:
                 ),
             )
         }
-        keys = set.intersection(*(set(l) for l in listings.values()))
+        keys = set.intersection(*(set(entries) for entries in listings.values()))
         paths = []
         for lookup_key in keys:
             shares = {

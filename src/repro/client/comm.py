@@ -7,9 +7,10 @@ module gives the client that concurrency:
 * a persistent **per-cloud worker** (one thread per cloud connection) that
   owns all traffic to its server, so operations against different clouds
   overlap while traffic to one cloud stays ordered;
-* an **encode pool** (``threads`` workers) that CAONT-RS-encodes secrets
-  while earlier secrets are already in flight — encoding overlaps transfer
-  within one upload, the pipelining of Figure 4(a);
+* a pluggable **encode pool** (``threads`` workers, ``workers`` flavour)
+  that encodes *slabs* of secrets with the batched codec kernels while
+  earlier slabs are already in flight — encoding overlaps transfer within
+  one upload, the pipelining of Figure 4(a);
 * a windowed upload path per cloud: shares accumulate into 4 MB windows
   (§4.1 batching), each window is intra-user-dedup-queried (§3.3 stage 1)
   and its unique shares uploaded, while later secrets are still encoding;
@@ -25,6 +26,31 @@ module gives the client that concurrency:
 With ``threads=1`` every operation runs inline on the caller's thread with
 byte-identical wire behaviour, so single-threaded uses stay deterministic
 and pool-free.
+
+Thread pool vs process pool
+---------------------------
+
+``workers="thread"`` (default) encodes slabs on a
+:class:`~concurrent.futures.ThreadPoolExecutor`.  Threads share the
+client's address space, so there is no pickling cost and pre-built codecs
+(e.g. the server-aided CAONT-RS bound to a live key server) work
+unchanged — but CPython's GIL serialises the Python-level bookkeeping
+between the GIL-releasing hashlib/OpenSSL calls, so throughput plateaus
+near single-thread speed.  Threads win for small uploads, for codecs
+without a picklable spec, and when encoding merely needs to overlap
+*transfer* (the §4.6 pipelining) rather than scale with cores.
+
+``workers="process"`` encodes slabs on a
+:class:`~repro.client.workers.ProcessEncodePool`: each worker process
+rebuilds the codec once from the dispersal's picklable spec, caches it,
+and encodes whole slabs with the vectorised batch kernels, so encoding
+escapes the GIL and scales with cores like the paper's C++ prototype
+(Figure 5a).  The price is one fork per worker and one pickling
+round-trip per slab (secrets out, shares back) — noise for multi-megabyte
+backups, overhead for tiny ones.  Processes win for bulk encoding on
+multi-core hosts.  A dispersal whose ``spec()`` is None (pre-built codec
+objects) silently falls back to the thread pool, keeping behaviour
+correct everywhere.
 """
 
 from __future__ import annotations
@@ -35,6 +61,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
 from repro.chunking.base import Chunk
+from repro.client.workers import (
+    ProcessEncodePool,
+    SlabbedShareSets,
+    WORKER_MODES,
+    slab_spans,
+)
 from repro.cloud.network import SimClock, batch_count, makespan
 from repro.core.convergent import ConvergentDispersal
 from repro.crypto.hashing import fingerprint
@@ -112,6 +144,10 @@ class CommEngine:
         by the engine immediately.
     threads:
         Encode-pool width; ``1`` disables all pools and runs inline.
+    workers:
+        Encode-pool flavour: ``"thread"`` (default) or ``"process"``.  See
+        the module docstring for when each wins.  Ignored when
+        ``threads == 1``.
     clock:
         Optional simulated clock advanced by transfer times (makespan when
         parallel, sum when serial).
@@ -121,14 +157,21 @@ class CommEngine:
         self,
         servers: list[CDStoreServer],
         threads: int = 1,
+        workers: str = "thread",
         clock: SimClock | None = None,
     ) -> None:
         if threads < 1:
             raise ParameterError(f"threads must be >= 1, got {threads}")
+        if workers not in WORKER_MODES:
+            raise ParameterError(
+                f"unknown workers mode {workers!r}; expected one of {WORKER_MODES}"
+            )
         self.servers = servers
         self.threads = threads
+        self.workers = workers
         self.clock = clock
         self._encode_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessEncodePool | None = None
         self._cloud_workers: list[ThreadPoolExecutor] | None = None
         self._init_lock = threading.Lock()
 
@@ -152,12 +195,30 @@ class CommEngine:
                     for i in range(len(self.servers))
                 ]
 
+    def _ensure_process_pool(self) -> ProcessEncodePool:
+        """Create (and eagerly fork) the encode processes on first use.
+
+        Deferred to the first process-encoded upload so download-only and
+        metadata traffic never pays the forks; the pool is warmed before
+        this upload's cloud-worker submissions go out, while the engine
+        threads are idle.
+        """
+        with self._init_lock:
+            if self._process_pool is None:
+                pool = ProcessEncodePool(self.threads)
+                pool.warm()
+                self._process_pool = pool
+            return self._process_pool
+
     def close(self) -> None:
         """Shut the worker pools down (idempotent)."""
         with self._init_lock:  # must not race a concurrent _ensure_workers
             if self._encode_pool is not None:
                 self._encode_pool.shutdown(wait=True)
                 self._encode_pool = None
+            if self._process_pool is not None:
+                self._process_pool.close()
+                self._process_pool = None
             if self._cloud_workers is not None:
                 for pool in self._cloud_workers:
                     pool.shutdown(wait=True)
@@ -233,6 +294,33 @@ class CommEngine:
     # ------------------------------------------------------------------
     # upload path (backup)
     # ------------------------------------------------------------------
+    def _submit_encode_slabs(
+        self, dispersal: ConvergentDispersal, chunks: list[Chunk]
+    ) -> SlabbedShareSets:
+        """Fan chunker output into encode slabs on the configured pool.
+
+        Chunks are grouped into contiguous slabs sized for the pool (see
+        :func:`repro.client.workers.slab_spans`); each slab encodes with
+        the batched codec kernels.  Process workers are used when
+        configured *and* the dispersal has a picklable spec; otherwise the
+        slab runs on the thread pool.
+        """
+        assert self._encode_pool is not None
+        spans = slab_spans([chunk.size for chunk in chunks], self.threads)
+        pool = None
+        if self.workers == "process" and dispersal.spec() is not None:
+            pool = self._ensure_process_pool()
+        futures: list[Future] = []
+        for start, end in spans:
+            secrets = [chunk.data for chunk in chunks[start:end]]
+            if pool is not None:
+                futures.append(pool.submit(dispersal, secrets))
+            else:
+                futures.append(
+                    self._encode_pool.submit(dispersal.encode_batch, secrets)
+                )
+        return SlabbedShareSets(futures, spans)
+
     def upload_file(
         self,
         user_id: str,
@@ -247,11 +335,8 @@ class CommEngine:
         n = len(self.servers)
         if self.parallel and len(chunks) > 1:
             self._ensure_workers()
-            assert self._encode_pool is not None and self._cloud_workers is not None
-            encoded: list[Future] = [
-                self._encode_pool.submit(dispersal.encode, chunk.data)
-                for chunk in chunks
-            ]
+            assert self._cloud_workers is not None
+            encoded = self._submit_encode_slabs(dispersal, chunks)
             futures = [
                 self._cloud_workers[idx].submit(
                     self._upload_to_cloud, idx, user_id, chunks, encoded
@@ -260,7 +345,7 @@ class CommEngine:
             ]
             results = self._gather(futures)
         else:
-            share_sets = [dispersal.encode(chunk.data) for chunk in chunks]
+            share_sets = dispersal.encode_batch([chunk.data for chunk in chunks])
             results = [
                 self._upload_to_cloud(idx, user_id, chunks, share_sets)
                 for idx in range(n)
@@ -273,14 +358,16 @@ class CommEngine:
         cloud_idx: int,
         user_id: str,
         chunks: list[Chunk],
-        share_sets: list,
+        share_sets,
     ) -> CloudUploadResult:
         """One cloud connection's upload: dedup-query + batch + transfer.
 
-        ``share_sets`` entries are either concrete
-        :class:`~repro.sharing.base.ShareSet` objects or futures resolving
-        to them; waiting on a future is what overlaps encoding with the
-        transfer of already-encoded windows.
+        ``share_sets`` is any indexable of
+        :class:`~repro.sharing.base.ShareSet` — a plain list on the serial
+        path, a :class:`~repro.client.workers.SlabbedShareSets` view over
+        in-flight encode futures on the parallel path.  Blocking on a
+        not-yet-encoded slab is what overlaps encoding with the transfer
+        of already-encoded windows.
         """
         server = self.servers[cloud_idx]
         result = CloudUploadResult()
@@ -320,10 +407,8 @@ class CommEngine:
             window = []
             window_bytes = 0
 
-        for chunk, share_set in zip(chunks, share_sets):
-            if isinstance(share_set, Future):
-                share_set = share_set.result()
-            share = share_set.shares[cloud_idx]
+        for seq, chunk in enumerate(chunks):
+            share = share_sets[seq].shares[cloud_idx]
             meta = ShareMeta(
                 fingerprint=fingerprint(share, domain="client"),
                 share_size=len(share),

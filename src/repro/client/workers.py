@@ -1,0 +1,185 @@
+"""Process-parallel encode workers for the comm engine (§4.6 scaling).
+
+CPython's GIL serialises the Python-level share bookkeeping between the
+GIL-releasing hashlib/OpenSSL calls, so a thread pool cannot reproduce the
+paper's near-linear encoding speedup (Figure 5a).  This module supplies the
+pool that can: slabs of secrets are shipped to worker *processes*, each of
+which rebuilds the client's codec once from a picklable **codec spec**
+(:meth:`repro.core.convergent.ConvergentDispersal.spec`), caches it for the
+life of the worker, and encodes the whole slab with the batched kernels
+(:meth:`~repro.core.convergent.ConvergentDispersal.encode_batch`).
+
+Design notes:
+
+* **Per-worker codec cache** — generator matrices and decode caches are
+  rebuilt once per (spec, worker) pair, not once per slab; repeated uploads
+  reuse the warm codec.
+* **Slabs, not secrets** — one IPC round-trip per ~1 MB slab instead of per
+  8 KB secret keeps pickling overhead well under the encode cost and gives
+  each worker a batch large enough for the vectorised kernels to pay off.
+* **Warm-up before threads** — the pool forks its workers eagerly (see
+  :meth:`ProcessEncodePool.warm`) so no worker inherits a transiently held
+  lock from the comm engine's cloud-worker threads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Sequence
+
+from repro.core.convergent import ConvergentDispersal
+from repro.errors import ParameterError
+from repro.sharing.base import ShareSet
+
+__all__ = [
+    "ENCODE_SLAB_BYTES",
+    "WORKER_MODES",
+    "ProcessEncodePool",
+    "SlabbedShareSets",
+    "encode_slab_in_worker",
+    "slab_spans",
+]
+
+#: Supported encode-pool flavours (``CommEngine(workers=...)``).
+WORKER_MODES = ("thread", "process")
+
+#: Target bytes of secrets per encode slab.  Big enough that pickling and
+#: scheduling are noise next to the encode work; small enough that a file
+#: splits into several slabs and encoding overlaps transfer per §4.6.
+ENCODE_SLAB_BYTES = 1 << 20
+
+#: Worker-process codec cache: spec tuple -> live dispersal.  Populated
+#: lazily inside each worker; never shared across processes.
+_WORKER_CODECS: dict[tuple, ConvergentDispersal] = {}
+
+
+def _codec_for(spec: tuple) -> ConvergentDispersal:
+    codec = _WORKER_CODECS.get(spec)
+    if codec is None:
+        codec = ConvergentDispersal.from_spec(spec)
+        _WORKER_CODECS[spec] = codec
+    return codec
+
+
+def encode_slab_in_worker(spec: tuple, secrets: list[bytes]) -> list[ShareSet]:
+    """Encode one slab inside a worker process (top level, so picklable)."""
+    return _codec_for(spec).encode_batch(secrets)
+
+
+def _worker_warmup() -> None:
+    """No-op task used to fork pool workers eagerly."""
+
+
+def slab_spans(
+    sizes: Sequence[int],
+    width: int,
+    slab_bytes: int = ENCODE_SLAB_BYTES,
+) -> list[tuple[int, int]]:
+    """Split ``len(sizes)`` secrets into contiguous ``[start, end)`` slabs.
+
+    Aims for ``slab_bytes`` per slab but always produces at least
+    ``2 * width`` slabs (when there are that many secrets) so a pool of
+    ``width`` workers load-balances even when one slab runs long.
+    """
+    count = len(sizes)
+    if count == 0:
+        return []
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    total = sum(sizes)
+    wanted = max(2 * width, -(-total // slab_bytes)) if width > 1 else max(
+        1, -(-total // slab_bytes)
+    )
+    wanted = min(wanted, count)
+    target = -(-total // wanted)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for i, size in enumerate(sizes):
+        acc += size
+        if acc >= target:
+            spans.append((start, i + 1))
+            start = i + 1
+            acc = 0
+    if start < count:
+        spans.append((start, count))
+    return spans
+
+
+class SlabbedShareSets:
+    """Ordered view over the ShareSets of in-flight encode slabs.
+
+    Indexing by global secret sequence blocks only on the slab that holds
+    that secret, so each cloud worker drains slabs in order while later
+    slabs are still encoding — the Figure 4(a) pipelining at slab
+    granularity.  Safe for concurrent readers: :meth:`Future.result` is
+    thread-safe and caches its value.
+    """
+
+    def __init__(self, futures: Sequence[Future], spans: Sequence[tuple[int, int]]) -> None:
+        if len(futures) != len(spans):
+            raise ParameterError(
+                f"got {len(futures)} futures for {len(spans)} spans"
+            )
+        self._futures = list(futures)
+        self._starts = [start for start, _ in spans]
+        self._count = spans[-1][1] if spans else 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, seq: int) -> ShareSet:
+        if not 0 <= seq < self._count:
+            raise IndexError(f"secret sequence {seq} outside [0, {self._count})")
+        slab = bisect_right(self._starts, seq) - 1
+        return self._futures[slab].result()[seq - self._starts[slab]]
+
+
+class ProcessEncodePool:
+    """A :class:`ProcessPoolExecutor` that encodes slabs via codec specs.
+
+    The pool is constructed lazily but forked eagerly (:meth:`warm`), and
+    every submission ships ``(spec, secrets)`` — never live codec objects —
+    so the only requirement on the dispersal is a non-None
+    :meth:`~repro.core.convergent.ConvergentDispersal.spec`.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ParameterError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._pool: ProcessPoolExecutor | None = None
+
+    def warm(self) -> None:
+        """Start the pool and fork all workers now.
+
+        Forking before the comm engine's cloud-worker threads get busy
+        means no child can inherit a lock held mid-operation by a sibling
+        thread.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.width)
+            for future in [
+                self._pool.submit(_worker_warmup) for _ in range(self.width)
+            ]:
+                future.result()
+
+    def submit(
+        self, dispersal: ConvergentDispersal, secrets: list[bytes]
+    ) -> Future:
+        """Encode ``secrets`` on a worker; resolves to a ShareSet list."""
+        spec = dispersal.spec()
+        if spec is None:
+            raise ParameterError(
+                f"dispersal for scheme {dispersal.scheme!r} has no picklable "
+                "spec; process workers cannot encode it"
+            )
+        self.warm()
+        assert self._pool is not None
+        return self._pool.submit(encode_slab_in_worker, spec, secrets)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

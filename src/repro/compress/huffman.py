@@ -58,13 +58,13 @@ def _limit_lengths(lengths: list[int]) -> list[int]:
     if max(lengths) <= _MAX_BITS:
         return lengths
     # Clamp, then repair the Kraft sum by lengthening the shortest codes.
-    lengths = [min(l, _MAX_BITS) if l else 0 for l in lengths]
-    kraft = sum(1 << (_MAX_BITS - l) for l in lengths if l)
+    lengths = [min(length, _MAX_BITS) if length else 0 for length in lengths]
+    kraft = sum(1 << (_MAX_BITS - length) for length in lengths if length)
     budget = 1 << _MAX_BITS
-    symbols = sorted((l, i) for i, l in enumerate(lengths) if l)
+    symbols = sorted((length, i) for i, length in enumerate(lengths) if length)
     idx = 0
     while kraft > budget:
-        l, i = symbols[idx % len(symbols)]
+        _, i = symbols[idx % len(symbols)]
         if lengths[i] < _MAX_BITS:
             kraft -= 1 << (_MAX_BITS - lengths[i])
             lengths[i] += 1
@@ -75,7 +75,7 @@ def _limit_lengths(lengths: list[int]) -> list[int]:
 
 def _canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
     """Map symbol -> (code, length) in canonical order."""
-    symbols = sorted((l, s) for s, l in enumerate(lengths) if l)
+    symbols = sorted((length, s) for s, length in enumerate(lengths) if length)
     codes: dict[int, tuple[int, int]] = {}
     code = 0
     prev_len = 0

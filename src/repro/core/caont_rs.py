@@ -21,8 +21,14 @@ the property that enables CDStore's two-stage deduplication.
 
 from __future__ import annotations
 
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
 from repro.core.aont import oaep_aont_decode, oaep_aont_encode
 from repro.core.package_codec import PackageRSCodec
+from repro.crypto.ciphers import mask_block
 from repro.crypto.hashing import HASH_SIZE, hash_key
 from repro.errors import IntegrityError
 
@@ -64,6 +70,40 @@ class CAONTRS(PackageRSCodec):
         key = hash_key(secret, self.salt)
         padded = secret + b"\0" * (self._padded_secret_size(len(secret)) - len(secret))
         return oaep_aont_encode(padded, key)
+
+    def _make_packages(
+        self, secrets: Sequence[bytes], keys: Sequence[bytes] | None = None
+    ) -> np.ndarray:
+        """Vectorised Eq. 1-4 over a stack of equal-length secrets.
+
+        The hash keys and CTR masks are necessarily per-secret (each secret
+        keys its own stream), but the AONT XOR ``Y = X' ^ G(h)`` runs once
+        over the whole ``(B, padded)`` block, and the caller batches the
+        Reed-Solomon stage behind it.  Byte-identical to looping
+        :meth:`_make_package`.
+        """
+        if not secrets:
+            return np.zeros((0, self._package_size(0)), dtype=np.uint8)
+        size = len(secrets[0])
+        padded_size = self._padded_secret_size(size)
+        batch = len(secrets)
+        out = np.zeros((batch, padded_size + HASH_SIZE), dtype=np.uint8)
+        heads = out[:, :padded_size]
+        for row, secret in enumerate(secrets):
+            key = hash_key(secret, self.salt)
+            head = heads[row]
+            head[:size] = np.frombuffer(secret, dtype=np.uint8)
+            np.bitwise_xor(  # Y = X' ^ G(h), in place
+                head,
+                np.frombuffer(mask_block(key, padded_size), dtype=np.uint8),
+                out=head,
+            )
+            digest = hashlib.sha256(head).digest()  # H(Y), no copy
+            tail = int.from_bytes(key, "big") ^ int.from_bytes(digest, "big")
+            out[row, padded_size:] = np.frombuffer(
+                tail.to_bytes(HASH_SIZE, "big"), dtype=np.uint8
+            )
+        return out
 
     def _open_package(self, package: bytes, secret_size: int) -> bytes:
         padded, key = oaep_aont_decode(package)

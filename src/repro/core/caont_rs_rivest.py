@@ -9,9 +9,14 @@ is why the paper's new OAEP-based CAONT-RS outperforms it by 40-61 %
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.core.aont import (
     rivest_aont_decode,
     rivest_aont_encode,
+    rivest_aont_encode_batch,
     rivest_package_size,
 )
 from repro.core.package_codec import PackageRSCodec
@@ -46,6 +51,17 @@ class CAONTRSRivest(PackageRSCodec):
     def _make_package(self, secret: bytes) -> bytes:
         key = hash_key(secret, self.salt)
         return rivest_aont_encode(secret, key, per_word=self._per_word)
+
+    def _make_packages(
+        self, secrets: Sequence[bytes], keys: Sequence[bytes] | None = None
+    ) -> np.ndarray:
+        """Batch path: bulk masking only when the per-word cost model is off
+        (see :meth:`repro.core.aont_rs.AONTRS._make_packages`).  Keys are
+        convergent hashes, so no draw-order concern applies."""
+        if self._per_word:
+            return super()._make_packages(secrets)
+        hash_keys = [hash_key(secret, self.salt) for secret in secrets]
+        return rivest_aont_encode_batch(secrets, hash_keys)
 
     def _package_size(self, secret_size: int) -> int:
         return rivest_package_size(secret_size)

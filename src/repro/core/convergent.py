@@ -67,6 +67,10 @@ class ConvergentDispersal:
             self.k = k
             self.scheme = codec.name
             self.codec = codec
+            #: Pre-built codecs (e.g. bound to a live key-server client)
+            #: cannot be shipped to worker processes; spec() returns None
+            #: and the comm engine falls back to in-process encoding.
+            self._spec = None
             return
         if scheme not in _CONVERGENT_SCHEMES:
             raise ParameterError(
@@ -76,11 +80,38 @@ class ConvergentDispersal:
         self.k = k
         self.scheme = scheme
         self.codec = create_codec(scheme, n, k, salt=salt, **kwargs)
+        # Registry-built codecs can be reconstructed in another process
+        # from this picklable description (process-pool encoding).
+        self._spec = (scheme, n, k, bytes(salt), tuple(sorted(kwargs.items())))
+
+    # ------------------------------------------------------------------
+    def spec(self) -> tuple | None:
+        """Picklable ``(scheme, n, k, salt, kwargs)`` description, or None.
+
+        A non-None spec reconstructs an equivalent dispersal in another
+        process via :meth:`from_spec` — how the process-pool encode workers
+        build (and cache) their own codec without pickling live objects.
+        """
+        return self._spec
+
+    @classmethod
+    def from_spec(cls, spec: tuple) -> "ConvergentDispersal":
+        """Rebuild a dispersal from a :meth:`spec` tuple."""
+        scheme, n, k, salt, kwargs = spec
+        return cls(n, k, scheme=scheme, salt=salt, **dict(kwargs))
 
     # ------------------------------------------------------------------
     def encode(self, secret: bytes) -> ShareSet:
         """Disperse ``secret`` into ``n`` shares (share i → cloud i)."""
         return self.codec.split(secret)
+
+    def encode_batch(self, secrets: list[bytes]) -> list[ShareSet]:
+        """Disperse a slab of secrets; element ``i`` equals ``encode(secrets[i])``.
+
+        Delegates to the codec's vectorised batch path (one generator-matrix
+        multiply and one bulk AONT XOR per group of same-length secrets).
+        """
+        return self.codec.encode_batch(secrets)
 
     def decode(self, shares: dict[int, bytes], secret_size: int) -> bytes:
         """Reconstruct a secret from any ``k`` of its shares.
@@ -105,6 +136,36 @@ class ConvergentDispersal:
         raise IntegrityError(
             f"no {self.k}-subset of {len(indices)} shares decoded cleanly"
         ) from first_error
+
+    def decode_batch(
+        self,
+        requests: list[tuple[dict[int, bytes], int]],
+        fallback=None,
+    ) -> list[bytes]:
+        """Reconstruct a slab of secrets; falls back per-secret on failure.
+
+        The happy path runs the codec's batched decode (one inverse-matrix
+        multiply per shared ``k``-subset).  If *any* secret in the slab
+        fails integrity/coding checks, each request is retried through
+        :meth:`decode` (the §3.2 brute-force subset retry) — and a request
+        that *still* fails is handed to ``fallback(index, shares,
+        secret_size)`` when one is given, so callers widen the share pool
+        only for the secrets that actually need it (the client's
+        spare-cloud path) instead of re-decoding the whole slab again.
+        """
+        try:
+            return self.codec.decode_batch(requests)
+        except (IntegrityError, CodingError):
+            pass
+        parts: list[bytes] = []
+        for index, (shares, size) in enumerate(requests):
+            try:
+                parts.append(self.decode(shares, size))
+            except IntegrityError:
+                if fallback is None:
+                    raise
+                parts.append(fallback(index, shares, size))
+        return parts
 
     def share_size(self, secret_size: int) -> int:
         """Per-share size for a secret of ``secret_size`` bytes."""

@@ -14,8 +14,12 @@ steps 2-3 and the share bookkeeping; subclasses provide the AONT.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
+
+import numpy as np
 
 from repro.erasure.reed_solomon import ReedSolomon
+from repro.errors import CodingError
 from repro.sharing.base import SecretSharingScheme, ShareSet
 
 __all__ = ["PackageRSCodec"]
@@ -47,6 +51,33 @@ class PackageRSCodec(SecretSharingScheme):
     def _open_package(self, package: bytes, secret_size: int) -> bytes:
         """Invert the AONT and verify integrity where supported."""
 
+    def _draw_keys(self, secrets: Sequence[bytes]) -> list[bytes] | None:
+        """Pre-draw per-secret randomness in *sequence* order, or None.
+
+        Called once per batch before secrets are regrouped by length, so a
+        seeded RNG produces the same key stream whether the caller loops
+        :meth:`split` or calls :meth:`encode_batch` — even for ragged
+        batches.  Content-keyed (convergent) codecs return None.
+        """
+        return None
+
+    def _make_packages(
+        self, secrets: Sequence[bytes], keys: Sequence[bytes] | None = None
+    ) -> np.ndarray:
+        """Transform equal-length secrets into a ``(B, package)`` stack.
+
+        ``keys`` is the :meth:`_draw_keys` slice for this group (None for
+        convergent codecs).  The default loops over :meth:`_make_package`;
+        vectorised subclasses override to mask the whole stack in bulk.
+        """
+        assert keys is None, "subclasses drawing keys must override _make_packages"
+        return np.stack(
+            [
+                np.frombuffer(self._make_package(secret), dtype=np.uint8)
+                for secret in secrets
+            ]
+        )
+
     # ------------------------------------------------------------------
     # SecretSharingScheme implementation
     # ------------------------------------------------------------------
@@ -60,6 +91,79 @@ class PackageRSCodec(SecretSharingScheme):
         package_size = self._package_size(secret_size)
         package = self._rs.decode(shares, data_size=package_size)
         return self._open_package(package, secret_size)
+
+    # ------------------------------------------------------------------
+    # batch interface (vectorised across same-length secrets)
+    # ------------------------------------------------------------------
+    def encode_batch(self, secrets: Sequence[bytes]) -> list[ShareSet]:
+        """Disperse a whole slab of secrets with batched kernels.
+
+        Secrets of equal length are stacked so the AONT mask and the
+        Reed-Solomon generator multiply each run once over a 2-D array
+        instead of once per secret; ragged batches cost one stack pass per
+        distinct length.  Output is element-wise identical to
+        :meth:`split`.
+        """
+        secrets = list(secrets)
+        out: list[ShareSet | None] = [None] * len(secrets)
+        keys = self._draw_keys(secrets)
+        groups: dict[int, list[int]] = {}
+        for i, secret in enumerate(secrets):
+            groups.setdefault(len(secret), []).append(i)
+        for length, members in groups.items():
+            packages = self._make_packages(
+                [secrets[i] for i in members],
+                [keys[i] for i in members] if keys is not None else None,
+            )
+            coded = self._rs.encode_stack(packages)
+            for row, i in enumerate(members):
+                shares = tuple(coded[row, j].tobytes() for j in range(self.n))
+                out[i] = ShareSet(
+                    shares=shares, secret_size=length, scheme=self.name
+                )
+        return out  # type: ignore[return-value]
+
+    def decode_batch(
+        self, requests: Sequence[tuple[dict[int, bytes], int]]
+    ) -> list[bytes]:
+        """Recover a whole slab of secrets with batched kernels.
+
+        Requests recovered from the same ``k``-subset at the same share
+        size decode with one inverse-matrix multiply; the AONT is opened
+        (and integrity-checked) per secret.  Element-wise identical to
+        :meth:`recover`, including which shares win when extras are given
+        (lowest ``k`` indices).
+        """
+        requests = list(requests)
+        out: list[bytes | None] = [None] * len(requests)
+        groups: dict[tuple[tuple[int, ...], int], list[int]] = {}
+        for i, (shares, secret_size) in enumerate(requests):
+            self._check_recover_args(shares, secret_size)
+            chosen = tuple(sorted(shares)[: self.k])
+            sizes = {len(shares[idx]) for idx in chosen}
+            if len(sizes) != 1:
+                raise CodingError(
+                    f"shares have inconsistent sizes: {sorted(sizes)}"
+                )
+            groups.setdefault((chosen, sizes.pop()), []).append(i)
+        for (chosen, share_size), members in groups.items():
+            stack = np.empty((len(members), self.k, share_size), dtype=np.uint8)
+            for row, i in enumerate(members):
+                shares = requests[i][0]
+                for j, idx in enumerate(chosen):
+                    stack[row, j] = np.frombuffer(shares[idx], dtype=np.uint8)
+            data = self._rs.decode_stack(chosen, stack)
+            for row, i in enumerate(members):
+                secret_size = requests[i][1]
+                package_size = self._package_size(secret_size)
+                if package_size > data.shape[1]:
+                    raise CodingError(
+                        f"package size {package_size} exceeds decoded "
+                        f"size {data.shape[1]}"
+                    )
+                package = data[row, :package_size].tobytes()
+                out[i] = self._open_package(package, secret_size)
+        return out  # type: ignore[return-value]
 
     def share_size(self, secret_size: int) -> int:
         """Size in bytes of each share for a ``secret_size``-byte secret."""

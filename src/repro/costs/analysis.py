@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.costs.pricing import EC2Instance, cheapest_instance_for, s3_monthly_cost
+from repro.costs.pricing import cheapest_instance_for, s3_monthly_cost
 from repro.errors import ParameterError
 from repro.server.messages import RecipeEntry
 

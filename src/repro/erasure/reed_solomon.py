@@ -15,12 +15,15 @@ agree.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import CodingError, ParameterError
 from repro.gf.matrix import (
     gf_mat_inv,
     gf_mat_vec,
+    gf_mat_vec_stack,
     systematic_cauchy_matrix,
     systematic_vandermonde_matrix,
 )
@@ -108,6 +111,98 @@ class ReedSolomon:
         if self.n > self.k:
             out[self.k :] = gf_mat_vec(self.generator[self.k :], pieces)
         return out
+
+    # ------------------------------------------------------------------
+    # batched encoding/decoding (stack kernels)
+    # ------------------------------------------------------------------
+    def encode_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Encode ``B`` equal-length inputs with one matrix multiply.
+
+        ``stack`` has shape ``(B, L)`` (uint8, one input per row; rows are
+        zero-padded here if ``L`` is not a multiple of ``k``).  Returns a
+        ``(B, n, piece)`` array whose slice ``[b]`` equals
+        ``encode_array(stack[b])``.  All ``B`` parity computations run
+        through one generator-matrix application whose multiply-accumulate
+        kernels each span the entire batch — the GF-Complete-style bulk
+        shape that amortises numpy dispatch overhead across the slab.
+        """
+        stack = np.ascontiguousarray(stack, dtype=np.uint8)
+        if stack.ndim != 2:
+            raise ParameterError(f"expected a (B, L) stack, got shape {stack.shape}")
+        batch, length = stack.shape
+        size = self.piece_size(length) if length else 0
+        if size == 0:
+            return np.zeros((batch, self.n, 0), dtype=np.uint8)
+        if size * self.k != length:
+            padded = np.zeros((batch, size * self.k), dtype=np.uint8)
+            padded[:, :length] = stack
+            stack = padded
+        pieces = stack.reshape(batch, self.k, size)
+        out = np.zeros((batch, self.n, size), dtype=np.uint8)
+        out[:, : self.k] = pieces
+        if self.n > self.k:
+            gf_mat_vec_stack(
+                self.generator[self.k :], pieces, out[:, self.k :, :]
+            )
+        return out
+
+    def decode_stack(
+        self, indices: Sequence[int], stack: np.ndarray
+    ) -> np.ndarray:
+        """Decode ``B`` codewords that all survive on the same ``k`` pieces.
+
+        ``indices`` names the ``k`` piece indices present (sorted,
+        duplicates rejected); ``stack`` has shape ``(B, k, piece)`` with
+        ``stack[b][j]`` holding piece ``indices[j]`` of codeword ``b``.
+        Returns a ``(B, k * piece)`` array of reconstructed data (padding
+        included); one inverse-matrix multiply covers the whole batch.
+        """
+        chosen = list(indices)
+        if len(chosen) != self.k or len(set(chosen)) != self.k:
+            raise CodingError(
+                f"need exactly k={self.k} distinct piece indices, got {chosen}"
+            )
+        for idx in chosen:
+            if not 0 <= idx < self.n:
+                raise ParameterError(f"piece index {idx} outside [0, {self.n})")
+        stack = np.ascontiguousarray(stack, dtype=np.uint8)
+        if stack.ndim != 3 or stack.shape[1] != self.k:
+            raise ParameterError(
+                f"expected a (B, k={self.k}, piece) stack, got shape {stack.shape}"
+            )
+        batch, _, size = stack.shape
+        if chosen == list(range(self.k)):  # systematic fast path
+            return stack.reshape(batch, self.k * size)
+        matrix = self._decode_matrix(tuple(chosen))
+        out = np.zeros((batch, self.k, size), dtype=np.uint8)
+        gf_mat_vec_stack(matrix, stack, out)
+        return out.reshape(batch, self.k * size)
+
+    def encode_batch(self, datas: Sequence[bytes | np.ndarray]) -> list[list[bytes]]:
+        """Encode many inputs; element ``i`` equals ``encode(datas[i])``.
+
+        Inputs are grouped by length so each group runs through
+        :meth:`encode_stack`; mixed-length batches (ragged tails) work at
+        the cost of one stack call per distinct length.
+        """
+        buffers = [
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray, memoryview))
+            else np.asarray(data, dtype=np.uint8)
+            for data in datas
+        ]
+        out: list[list[bytes] | None] = [None] * len(buffers)
+        groups: dict[int, list[int]] = {}
+        for i, buf in enumerate(buffers):
+            groups.setdefault(buf.size, []).append(i)
+        for length, members in groups.items():
+            stack = np.empty((len(members), length), dtype=np.uint8)
+            for row, i in enumerate(members):
+                stack[row] = buffers[i]
+            coded = self.encode_stack(stack)
+            for row, i in enumerate(members):
+                out[i] = [coded[row, j].tobytes() for j in range(self.n)]
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # decoding

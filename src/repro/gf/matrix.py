@@ -20,6 +20,7 @@ __all__ = [
     "identity_matrix",
     "gf_mat_mul",
     "gf_mat_vec",
+    "gf_mat_vec_stack",
     "gf_mat_inv",
     "vandermonde_matrix",
     "systematic_vandermonde_matrix",
@@ -75,6 +76,35 @@ def gf_mat_vec(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
     for i in range(rows):
         for t in range(matrix.shape[1]):
             gf_mul_bytes_into(int(matrix[i, t]), data[t], out[i])
+    return out
+
+
+def gf_mat_vec_stack(
+    matrix: np.ndarray, stack: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Apply ``matrix`` to every codeword of a ``(B, k, width)`` stack.
+
+    ``stack[b]`` holds one codeword's ``k`` input pieces; ``out`` must be a
+    zeroed ``(B, rows, width)`` uint8 array and receives matrix row ``i``
+    applied to each codeword at ``out[:, i, :]``.  Each multiply-accumulate
+    spans the whole batch (one table gather over ``B * width`` bytes), so
+    the per-call numpy overhead of :func:`gf_mat_vec` is amortised across
+    all ``B`` codewords without transposing the stack into a flat layout.
+    """
+    from repro.gf.gf256 import gf_mul_bytes_into
+
+    if matrix.shape[1] != stack.shape[1]:
+        raise ParameterError(
+            f"matrix cols {matrix.shape[1]} != stack pieces {stack.shape[1]}"
+        )
+    if out.shape != (stack.shape[0], matrix.shape[0], stack.shape[2]):
+        raise ParameterError(
+            f"out shape {out.shape} does not match "
+            f"({stack.shape[0]}, {matrix.shape[0]}, {stack.shape[2]})"
+        )
+    for i in range(matrix.shape[0]):
+        for t in range(matrix.shape[1]):
+            gf_mul_bytes_into(int(matrix[i, t]), stack[:, t, :], out[:, i, :])
     return out
 
 

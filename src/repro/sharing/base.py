@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import CodingError, ParameterError
 
@@ -99,6 +100,33 @@ class SecretSharingScheme(abc.ABC):
         ``shares`` maps share index to share bytes; ``secret_size`` is the
         original length (shares carry padding).
         """
+
+    # ------------------------------------------------------------------
+    # batch interface
+    # ------------------------------------------------------------------
+    def encode_batch(self, secrets: Sequence[bytes]) -> list[ShareSet]:
+        """Disperse many secrets at once; element ``i`` equals ``split(secrets[i])``.
+
+        The generic fallback simply loops; vectorised schemes override it to
+        amortise per-call overhead (stacking same-length secrets into 2-D
+        arrays so one generator-matrix multiply covers the whole batch).
+        Randomised schemes draw per-secret randomness in batch order, so a
+        seeded RNG yields byte-identical output either way.
+        """
+        return [self.split(secret) for secret in secrets]
+
+    def decode_batch(
+        self, requests: Sequence[tuple[dict[int, bytes], int]]
+    ) -> list[bytes]:
+        """Reconstruct many secrets at once.
+
+        ``requests`` is a sequence of ``(shares, secret_size)`` pairs as
+        accepted by :meth:`recover`; element ``i`` of the result equals
+        ``recover(*requests[i])``.  The generic fallback loops; vectorised
+        schemes group requests decoded from the same ``k``-subset and invert
+        once for the whole group.
+        """
+        return [self.recover(shares, size) for shares, size in requests]
 
     # ------------------------------------------------------------------
     def expected_blowup(self, secret_size: int) -> float:

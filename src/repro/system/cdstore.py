@@ -50,6 +50,10 @@ class CDStoreSystem:
     threads:
         Default comm/encode thread count for clients this system creates
         (§4.6); individual :meth:`client` calls may override it.
+    workers:
+        Default encode-pool flavour for clients, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.client.comm` for when each wins);
+        individual :meth:`client` calls may override it.
     clock:
         Optional simulated clock shared by all clients.  Each operation
         adds its own span (per-cloud makespan when the client is
@@ -67,6 +71,7 @@ class CDStoreSystem:
         scheme: str = "caont-rs",
         key_server=None,
         threads: int = 1,
+        workers: str = "thread",
         clock: SimClock | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
@@ -78,6 +83,7 @@ class CDStoreSystem:
         self.salt = salt
         self.scheme = scheme
         self.threads = threads
+        self.workers = workers
         self.clock = clock
         #: Optional DupLESS-style key server (§3.2 remarks): when set,
         #: clients encode with server-aided CAONT-RS instead of plain
@@ -108,12 +114,13 @@ class CDStoreSystem:
         user_id: str,
         chunker: Chunker | None = None,
         threads: int | None = None,
+        workers: str | None = None,
     ) -> CDStoreClient:
         """Get (or create) the CDStore client for ``user_id``.
 
-        ``threads`` defaults to the system-wide setting; pass an explicit
-        value to override for this client (first call wins — clients are
-        cached per user).
+        ``threads`` and ``workers`` default to the system-wide settings;
+        pass explicit values to override for this client (first call wins —
+        clients are cached per user).
         """
         if user_id not in self._clients:
             codec = None
@@ -134,6 +141,7 @@ class CDStoreSystem:
                 chunker=chunker,
                 scheme=self.scheme,
                 threads=self.threads if threads is None else threads,
+                workers=self.workers if workers is None else workers,
                 codec=codec,
                 clock=self.clock,
             )

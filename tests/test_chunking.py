@@ -56,6 +56,7 @@ class TestRabinParameters:
 
 
 class TestRabinFingerprints:
+    @pytest.mark.slow
     @settings(max_examples=10, deadline=None)
     @given(st.binary(min_size=0, max_size=400))
     def test_vectorised_equals_rolling(self, data):

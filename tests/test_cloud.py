@@ -8,7 +8,6 @@ from repro.cloud.testbed import (
     CLOUD_LINKS,
     LOCAL_I5,
     LOCAL_XEON,
-    PerformanceModel,
     cloud_testbed,
     lan_testbed,
 )

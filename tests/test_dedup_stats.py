@@ -1,6 +1,5 @@
 """DedupStats arithmetic: the accounting behind Figure 6."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

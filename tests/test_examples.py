@@ -6,6 +6,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow  # spawns one interpreter per example script
+
 EXAMPLES = sorted(
     (Path(__file__).parent.parent / "examples").glob("*.py"),
     key=lambda p: p.name,

@@ -11,6 +11,8 @@ from hypothesis import strategies as st
 
 from repro.errors import ReproError
 
+pytestmark = pytest.mark.slow  # hypothesis-driven fuzz sweep
+
 # Acceptable outcomes for fuzzed deserialisation: a clean library error, or
 # a successfully-parsed (garbage) value — never a raw Python crash.
 _CLEAN = (ReproError,)

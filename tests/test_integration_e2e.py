@@ -12,6 +12,8 @@ from repro.storage.backend import LocalDirBackend
 from repro.system.cdstore import CDStoreSystem
 from repro.workloads import FSLWorkload, VMWorkload, materialize
 
+pytestmark = pytest.mark.slow  # deselect with -m "not slow" when iterating
+
 
 class TestDurableDeployment:
     """LocalDir backends + LSM indices: everything on disk, reopened."""
