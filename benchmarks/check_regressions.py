@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare benchmark metrics against baselines.
+
+Reads the machine-readable results the benchmark suite writes to
+``benchmarks/out/metrics.json`` (see ``conftest.emit_metrics``) and the
+committed reference numbers in ``benchmarks/baselines.json``, prints a
+comparison table (also appended to ``$GITHUB_STEP_SUMMARY`` when set, so
+the job summary shows it), and exits non-zero when any tracked metric
+regresses by more than the gate tolerance.
+
+Every tracked metric is "higher is better" — a model throughput (MB/s) or
+a machine-relative speedup ratio.  Deterministic model outputs travel
+between machines bit-for-bit; the timing-derived entries are committed as
+*ratios* (kernel vs legacy path, vectorised vs reference) precisely so a
+slower CI runner does not read as a regression.
+
+Environment:
+
+``REPRO_BENCH_GATE_TOLERANCE``
+    Maximum allowed fractional regression (default: the baseline file's
+    ``tolerance`` field, falling back to 0.30).
+
+Usage::
+
+    python benchmarks/check_regressions.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+BASELINES = BENCH_DIR / "baselines.json"
+METRICS = BENCH_DIR / "out" / "metrics.json"
+
+
+def load(path: Path) -> dict:
+    if not path.exists():
+        print(f"error: {path} not found", file=sys.stderr)
+        raise SystemExit(2)
+    return json.loads(path.read_text())
+
+
+def main() -> int:
+    baselines = load(BASELINES)
+    current = load(METRICS)
+    tolerance = float(
+        os.environ.get(
+            "REPRO_BENCH_GATE_TOLERANCE", baselines.get("tolerance", 0.30)
+        )
+    )
+
+    lines = [
+        "## Bench-smoke perf gate",
+        "",
+        f"Tolerance: {tolerance:.0%} regression vs committed baselines "
+        f"(baseline scale {baselines.get('scale')}, "
+        f"run scale {current.get('scale')}).",
+        "",
+        "| metric | baseline | current | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    failures = []
+    measured = current.get("metrics", {})
+    for key, base_value in sorted(baselines.get("metrics", {}).items()):
+        got = measured.get(key)
+        if got is None:
+            status = "MISSING"
+            failures.append(f"{key}: not measured (baseline {base_value:g})")
+            lines.append(f"| `{key}` | {base_value:g} | — | — | {status} |")
+            continue
+        delta = (got - base_value) / base_value if base_value else 0.0
+        if got < base_value * (1.0 - tolerance):
+            status = "REGRESSED"
+            failures.append(
+                f"{key}: {got:g} vs baseline {base_value:g} ({delta:+.1%})"
+            )
+        else:
+            status = "ok"
+        lines.append(
+            f"| `{key}` | {base_value:g} | {got:g} | {delta:+.1%} | {status} |"
+        )
+    untracked = sorted(set(measured) - set(baselines.get("metrics", {})))
+    if untracked:
+        lines += [
+            "",
+            "New metrics without baselines (informational): "
+            + ", ".join(f"`{key}`" for key in untracked),
+        ]
+
+    report = "\n".join(lines)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write(report + "\n")
+
+    if failures:
+        print(
+            f"\nperf gate FAILED ({len(failures)} metric(s)):", file=sys.stderr
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

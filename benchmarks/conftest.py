@@ -22,12 +22,17 @@ higher-fidelity local runs.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Machine-readable results for the CI perf-regression gate (compared
+#: against ``benchmarks/baselines.json`` by ``benchmarks/check_regressions.py``).
+METRICS_PATH = OUT_DIR / "metrics.json"
 
 
 _BENCH_DIR = Path(__file__).parent
@@ -46,6 +51,15 @@ def pytest_collection_modifyitems(items) -> None:
 #: Multiplier applied by :func:`scaled`; see the module docstring.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1") or "1")
 
+#: Whether this pytest session has wiped the stale metrics file yet.
+#: The wipe happens lazily, on the first *actual* metric emission — not at
+#: collection time — so a fully-deselected run (``-m "not slow"``) leaves
+#: a previous run's valid metrics.json untouched, while any run that
+#: measures something starts from a clean slate (merging into stale
+#: metrics would let old values satisfy the perf gate for benchmarks that
+#: never ran, and would defeat its MISSING detection).
+_METRICS_RESET = False
+
 
 def scaled(nbytes: int, floor: int = 64 << 10) -> int:
     """Scale a benchmark working-set size by ``REPRO_BENCH_SCALE``.
@@ -62,3 +76,26 @@ def emit(name: str, text: str) -> None:
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_metrics(metrics: dict[str, float]) -> None:
+    """Merge tracked metrics into ``benchmarks/out/metrics.json``.
+
+    Every value is "higher is better" (a throughput or a speedup ratio);
+    the CI bench-smoke job fails when any tracked metric regresses more
+    than the gate tolerance against ``benchmarks/baselines.json``.  Prefer
+    deterministic model outputs and machine-relative *ratios* over raw
+    wall-clock throughputs — the baselines are committed from a different
+    machine than the CI runners, and absolute MB/s does not travel.
+    """
+    global _METRICS_RESET
+    OUT_DIR.mkdir(exist_ok=True)
+    data: dict = {"scale": BENCH_SCALE, "metrics": {}}
+    if _METRICS_RESET and METRICS_PATH.exists():
+        data = json.loads(METRICS_PATH.read_text())
+        data["scale"] = BENCH_SCALE
+    _METRICS_RESET = True
+    data.setdefault("metrics", {}).update(
+        {key: float(value) for key, value in metrics.items()}
+    )
+    METRICS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

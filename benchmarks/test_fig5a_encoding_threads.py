@@ -27,7 +27,7 @@ than the paper's and the two Rivest-based codecs are nearly tied (see
 EXPERIMENTS.md).
 """
 
-from conftest import emit, scaled
+from conftest import emit, emit_metrics, scaled
 
 from repro.bench.encoding import FIGURE5_SCHEMES, _make_secrets, encoding_speed
 from repro.bench.reporting import format_table
@@ -64,3 +64,17 @@ def test_fig5a(benchmark):
         assert speed[("caont-rs", w)] > speed[("caont-rs-rivest", w)]
     # The paper's scaling trend: 4 workers buy at least 2x one worker.
     assert speed[("caont-rs", 4)] >= 2.0 * speed[("caont-rs", 1)]
+
+    # Machine-relative ratios for the CI perf gate: the codec ordering and
+    # the worker-scaling trend (scheduled makespans, so core starvation on
+    # small runners does not distort them).
+    emit_metrics(
+        {
+            "fig5a.caont_rs_over_aont_rs.workers1": (
+                speed[("caont-rs", 1)] / speed[("aont-rs", 1)]
+            ),
+            "fig5a.caont_rs_scaling_4_over_1": (
+                speed[("caont-rs", 4)] / speed[("caont-rs", 1)]
+            ),
+        }
+    )

@@ -4,12 +4,17 @@ Paper (MB/s): LAN 77.5 (uniq) / 149.9 (dup) / 99.2 (down); cloud testbed
 6.2 / 57.1 / 12.3.  Shape claims: unique uploads are bounded by k/n of the
 network; duplicate uploads are compute-bound (LAN) or dedup-round-trip
 bound (cloud) and far faster; downloads sit just under the link speed.
+
+Also reports the streaming transfer stage's schedule comparison at one
+encode thread: the serial encode-then-upload sum versus the overlapped
+windowed-pipeline makespan (4 MB encode windows flowing into the per-cloud
+upload queues, ``pipeline_depth > 1``) — the overlap must be a strict win.
 """
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 from repro.bench.reporting import format_table
-from repro.bench.transfer import baseline_transfer_speeds
+from repro.bench.transfer import baseline_transfer_speeds, upload_makespans
 from repro.cloud.testbed import cloud_testbed, lan_testbed
 
 PAPER = {
@@ -40,6 +45,37 @@ def test_fig7a(benchmark):
     )
     emit("fig7a", table)
 
+    testbeds = (lan_testbed(), cloud_testbed())
+    comparisons = [upload_makespans(tb) for tb in testbeds]
+    pipeline_table = format_table(
+        ["testbed", "windows", "serial s", "overlapped s", "speedup"],
+        [
+            [c.testbed, c.windows, c.serial_s, c.overlapped_s, c.speedup]
+            for c in comparisons
+        ],
+        title="Figure 7(a) addendum: serial vs streamed upload schedule "
+        "(threads=1, unique data)",
+    )
+    emit("fig7a_pipeline", pipeline_table)
+
+    emit_metrics(
+        {
+            **{
+                f"fig7a.{s.testbed}.{field}": getattr(s, field)
+                for s in results
+                for field in (
+                    "upload_unique_mbps",
+                    "upload_duplicate_mbps",
+                    "download_mbps",
+                )
+            },
+            **{
+                f"fig7a.{c.testbed}.pipeline_speedup": c.speedup
+                for c in comparisons
+            },
+        }
+    )
+
     for s in results:
         paper_uniq, paper_dup, paper_down = PAPER[s.testbed]
         assert abs(s.upload_unique_mbps - paper_uniq) / paper_uniq < 0.20
@@ -47,3 +83,10 @@ def test_fig7a(benchmark):
         assert abs(s.download_mbps - paper_down) / paper_down < 0.20
         # Structural claims.
         assert s.upload_duplicate_mbps > s.download_mbps > s.upload_unique_mbps
+    for c, tb in zip(comparisons, testbeds):
+        # The overlapped makespan must sit strictly below the serial
+        # encode + upload sum — the streaming transfer stage's claim.
+        assert c.overlapped_s < c.serial_s
+        # Sanity bound: overlap can at most hide the encode stage plus the
+        # serialisation of that testbed's own n cloud visits.
+        assert c.speedup <= tb.n + 1

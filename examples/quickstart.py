@@ -46,8 +46,13 @@ def system_walkthrough() -> None:
     print("=== 2. The CDStore system ===")
     # threads=2: the client encodes with two workers and drives all four
     # cloud connections concurrently (§4.6), so transfer wall-clock is the
-    # per-cloud maximum instead of the sum.
-    system = CDStoreSystem(n=4, k=3, salt=b"acme-corp", threads=2)
+    # per-cloud maximum instead of the sum.  pipeline_depth=4: encode slabs
+    # stream into the per-cloud upload queues as they finish (and restores
+    # decode window by window), so wire time hides behind encoding with at
+    # most four slabs of shares in memory.
+    system = CDStoreSystem(
+        n=4, k=3, salt=b"acme-corp", threads=2, pipeline_depth=4
+    )
     alice = system.client("alice", chunker=FixedChunker(4096))
     bob = system.client("bob", chunker=FixedChunker(4096))
 

@@ -89,7 +89,12 @@ def cmd_backup(args: argparse.Namespace) -> int:
         source = Path(args.path)
         data = source.read_bytes()
         name = args.name or str(source)
-        client = system.client(args.user, threads=args.threads, workers=args.workers)
+        client = system.client(
+            args.user,
+            threads=args.threads,
+            workers=args.workers,
+            pipeline_depth=args.pipeline_depth,
+        )
         receipt = client.upload(name, data)
         client.flush()
         print(
@@ -106,7 +111,12 @@ def cmd_backup(args: argparse.Namespace) -> int:
 def cmd_restore(args: argparse.Namespace) -> int:
     system = _load_system(Path(args.root))
     try:
-        client = system.client(args.user, threads=args.threads, workers=args.workers)
+        client = system.client(
+            args.user,
+            threads=args.threads,
+            workers=args.workers,
+            pipeline_depth=args.pipeline_depth,
+        )
         data = client.download(args.name)
         Path(args.output).write_bytes(data)
         print(f"restored {len(data)} bytes to {args.output}")
@@ -203,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="encode-pool flavour: 'process' escapes the GIL and scales "
              "encoding with cores; 'thread' avoids fork/pickling overhead",
     )
+    p.add_argument(
+        "--pipeline-depth", type=int, default=4, dest="pipeline_depth",
+        help="streaming transfer-stage depth: max encode slabs in flight "
+             "between encoding and the per-cloud upload queues; 1 runs the "
+             "stages serially (encode everything, then upload)",
+    )
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a file")
@@ -217,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", choices=["thread", "process"], default="thread",
         help="encode-pool flavour for re-encoding paths (see backup)",
+    )
+    p.add_argument(
+        "--pipeline-depth", type=int, default=4, dest="pipeline_depth",
+        help="streaming restore depth: max 4 MB share windows in flight "
+             "between the per-cloud fetch queues and decoding; 1 fetches "
+             "the whole file before the first decode",
     )
     p.set_defaults(func=cmd_restore)
 

@@ -18,7 +18,9 @@ Upload pipeline (Figure 4a):
 Download reverses the pipeline from any ``k`` reachable clouds — fetched
 concurrently, with automatic failover to spare reachable clouds on
 mid-restore failures — plus the brute-force subset retry of §3.2 on
-integrity failure.
+integrity failure.  With ``pipeline_depth > 1`` the restore is *windowed*:
+per-window share maps stream through a bounded queue so decoding starts
+before the last share arrives, and failover happens at window granularity.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.chunking.base import Chunker
 from repro.chunking.rabin import RabinChunker
 from repro.client.comm import FETCH_ERRORS, UPLOAD_BATCH_BYTES, CommEngine
+from repro.client.workers import plan_windows
 from repro.cloud.network import SimClock
 from repro.core.convergent import ConvergentDispersal
 from repro.crypto.hashing import sha256
@@ -96,6 +99,10 @@ class CDStoreClient:
     clock:
         Optional :class:`~repro.cloud.network.SimClock` accumulating
         simulated transfer wall-clock time.
+    pipeline_depth:
+        Streaming transfer-stage depth (§4.6 pipelining): maximum encode
+        slabs / restore windows in flight between stages.  ``1`` (default)
+        keeps the serial-phase behaviour; see :mod:`repro.client.comm`.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class CDStoreClient:
         workers: str = "thread",
         codec=None,
         clock: SimClock | None = None,
+        pipeline_depth: int = 1,
     ) -> None:
         if not servers:
             raise ParameterError("need at least one server")
@@ -127,10 +135,18 @@ class CDStoreClient:
         self.chunker = chunker if chunker is not None else RabinChunker()
         self._path_sharer = SSSS(self.n, k)
         self.stats = DedupStats()
+        #: Per-cloud share bytes per restore window (streaming restores
+        #: fetch and decode one window at a time); tests shrink it to
+        #: exercise multi-window restores on small payloads.
+        self.restore_window_bytes = UPLOAD_BATCH_BYTES
         #: The parallel multi-cloud comm engine; shares ``self.servers`` so
         #: server replacements (cloud repair) are picked up live.
         self.comm = CommEngine(
-            self.servers, threads=threads, workers=workers, clock=clock
+            self.servers,
+            threads=threads,
+            workers=workers,
+            clock=clock,
+            pipeline_depth=pipeline_depth,
         )
 
     def close(self) -> None:
@@ -220,6 +236,14 @@ class CDStoreClient:
         cloud (§3.1 availability).  All ``k`` file entries are
         cross-checked before decoding — a lying minority cannot spoof the
         file size or secret count unnoticed.
+
+        With ``pipeline_depth > 1`` the shares stream in per-window maps
+        (``restore_window_bytes`` of per-cloud shares each): decoding of
+        window ``i`` overlaps the fetch of windows ``i+1 ..
+        i+pipeline_depth-1``, and a cloud failing in window ``i`` is
+        replaced by a spare for that window onward only.  ``pipeline_depth
+        == 1`` fetches the whole file as a single window — the
+        pre-streaming behaviour, byte-for-byte.
         """
         reachable = self._reachable_servers()
         if len(reachable) < self.k:
@@ -229,77 +253,121 @@ class CDStoreClient:
             )
         lookup_key = self._lookup_key(path)
         chosen = reachable[: self.k]
-        spare_pool = reachable[self.k :]
+        # Shared, mutable failover pool: the comm engine pops spares it
+        # promotes to chosen sources, so the §3.2 widening below never
+        # treats a promoted spare as extra decode material.
+        spare_pool = list(reachable[self.k :])
 
-        fetches, _ = self.comm.fetch_file(
+        sources = self.comm.fetch_sources(
             self.user_id, lookup_key, chosen, spare_pool
         )
 
         # Cross-check the replicated (non-sensitive) metadata across all k
         # servers instead of trusting whichever answered last.
-        sizes = {fetch.entry.file_size for fetch in fetches}
-        counts = {fetch.entry.secret_count for fetch in fetches}
+        sizes = {source.entry.file_size for source in sources}
+        counts = {source.entry.secret_count for source in sources}
         if len(sizes) != 1 or len(counts) != 1:
             raise IntegrityError(
                 "servers disagree on file entry (file size / secret count)"
             )
         file_size = sizes.pop()
         secret_count = counts.pop()
-        lengths = {len(fetch.recipe) for fetch in fetches}
+        lengths = {len(source.recipe) for source in sources}
         if len(lengths) != 1 or lengths.pop() != secret_count:
             raise IntegrityError("servers disagree on recipe length")
 
-        # Spares not consumed by failover remain eligible for the §3.2
-        # brute-force fallback; their recipes are fetched at most once.
-        used_ids = {fetch.server.server_id for fetch in fetches}
-        spares_left = [
-            server
-            for server in spare_pool
-            if server.server_id not in used_ids and server.cloud.available
-        ]
+        # Window plan: contiguous secret runs whose per-cloud share bytes
+        # stay within restore_window_bytes.  A non-streaming engine fetches
+        # everything as one window (the serial-phase degenerate case).
+        reference = sources[0].recipe
+        if self.comm.streaming:
+            windows = plan_windows(
+                [
+                    self.dispersal.share_size(entry.secret_size)
+                    for entry in reference
+                ],
+                self.restore_window_bytes,
+            )
+        else:
+            windows = [(0, secret_count)] if secret_count else []
+
+        #: §3.2 widening state, shared across windows: each spare's recipe
+        #: is fetched at most once per restore, and a spare that fails is
+        #: skipped for all later secrets in any window.
         spare_recipes: dict[int, list[RecipeEntry]] = {}
+        dead_spares: set[int] = set()
 
-        requests: list[tuple[dict[int, bytes], int]] = []
-        for seq in range(secret_count):
-            secret_size = fetches[0].recipe[seq].secret_size
-            shares = {
-                fetch.server.server_id: fetch.shares[fetch.recipe[seq].fingerprint]
-                for fetch in fetches
-            }
-            requests.append((shares, secret_size))
+        parts: list[bytes] = []
+        stream = self.comm.stream_share_windows(
+            self.user_id,
+            lookup_key,
+            sources,
+            windows,
+            spare_pool,
+            expect=(file_size, secret_count),
+        )
+        try:
+            for window in stream:
+                requests: list[tuple[dict[int, bytes], int]] = []
+                for seq in range(window.start, window.end):
+                    shares = {
+                        slot.server.server_id: slot.shares[
+                            slot.recipe[seq].fingerprint
+                        ]
+                        for slot in window.slots
+                    }
+                    requests.append((shares, reference[seq].secret_size))
 
-        def widen_with_spares(
-            seq: int, shares: dict[int, bytes], secret_size: int
-        ) -> bytes:
-            """Last resort for one secret: widen its share pool (§3.2).
+                used_ids = {slot.server.server_id for slot in window.slots}
 
-            The fetched shares could not decode even with the k-subset
-            brute force, so pull this secret's share from each remaining
-            reachable spare cloud and retry.  A spare that fails is
-            skipped (and not retried for later secrets) — one bad spare
-            must not abort a restore that the remaining shares can still
-            satisfy.
-            """
-            widened = dict(shares)
-            for server in list(spares_left):
-                try:
-                    recipe = spare_recipes.get(server.server_id)
-                    if recipe is None:
-                        recipe = server.get_recipe(self.user_id, lookup_key)
-                        spare_recipes[server.server_id] = recipe
-                    fetched = server.fetch_shares([recipe[seq].fingerprint])
-                except (*FETCH_ERRORS, IndexError):
-                    # IndexError: the spare's recipe is shorter than the
-                    # agreed secret count — as unusable as corrupt.
-                    spares_left.remove(server)
-                    continue
-                widened[server.server_id] = fetched[recipe[seq].fingerprint]
-            return self.dispersal.decode(widened, secret_size)
+                def widen_with_spares(
+                    index: int,
+                    shares: dict[int, bytes],
+                    secret_size: int,
+                    _window=window,
+                    _used=used_ids,
+                ) -> bytes:
+                    """Last resort for one secret: widen its share pool (§3.2).
 
-        # Batched happy path: secrets decoded from the same k-subset share
-        # one inverse-matrix multiply; on integrity failure the dispersal
-        # retries per secret and widens only the ones that still fail.
-        parts = self.dispersal.decode_batch(requests, fallback=widen_with_spares)
+                    The fetched shares could not decode even with the k-subset
+                    brute force, so pull this secret's share from each
+                    remaining reachable spare cloud and retry.  A spare that
+                    fails is skipped (and not retried for later secrets) — one
+                    bad spare must not abort a restore that the remaining
+                    shares can still satisfy.
+                    """
+                    seq = _window.start + index
+                    widened = dict(shares)
+                    for server in list(spare_pool):
+                        if (
+                            server.server_id in _used
+                            or server.server_id in dead_spares
+                            or not server.cloud.available
+                        ):
+                            continue
+                        try:
+                            recipe = spare_recipes.get(server.server_id)
+                            if recipe is None:
+                                recipe = server.get_recipe(self.user_id, lookup_key)
+                                spare_recipes[server.server_id] = recipe
+                            fetched = server.fetch_shares([recipe[seq].fingerprint])
+                        except (*FETCH_ERRORS, IndexError):
+                            # IndexError: the spare's recipe is shorter than
+                            # the agreed secret count — as unusable as corrupt.
+                            dead_spares.add(server.server_id)
+                            continue
+                        widened[server.server_id] = fetched[recipe[seq].fingerprint]
+                    return self.dispersal.decode(widened, secret_size)
+
+                # Batched happy path: secrets decoded from the same k-subset
+                # share one inverse-matrix multiply; on integrity failure the
+                # dispersal retries per secret and widens only the ones that
+                # still fail.
+                parts.extend(
+                    self.dispersal.decode_batch(requests, fallback=widen_with_spares)
+                )
+        finally:
+            stream.close()
         result = b"".join(parts)
         if len(result) != file_size:
             raise IntegrityError(

@@ -11,21 +11,30 @@ module gives the client that concurrency:
   that encodes *slabs* of secrets with the batched codec kernels while
   earlier slabs are already in flight — encoding overlaps transfer within
   one upload, the pipelining of Figure 4(a);
+* a **streaming transfer stage** (``pipeline_depth > 1``): encode slabs
+  flow into a bounded per-cloud upload queue the moment they finish, so
+  wire time hides behind encoding even with a single encode thread, and
+  at most ``pipeline_depth`` slabs of shares are ever materialised — a
+  slow cloud applies backpressure to the encode stage instead of letting
+  shares pile up unboundedly;
 * a windowed upload path per cloud: shares accumulate into 4 MB windows
   (§4.1 batching), each window is intra-user-dedup-queried (§3.3 stage 1)
   and its unique shares uploaded, while later secrets are still encoding;
-* a parallel restore path that fetches each chosen server's file entry,
-  recipe and shares concurrently, **failing over** to a spare reachable
-  cloud when a chosen server throws mid-restore instead of aborting the
-  whole download;
+* a **windowed restore path**: per-window share maps stream through the
+  same bounded queue (:meth:`stream_share_windows`), so the client's
+  batched decode starts before the last share arrives, with failover to a
+  spare reachable cloud at *per-window* granularity — a cloud that stalls
+  or corrupts mid-restore costs one window's retry, not the whole file;
 * simulated wall-clock accounting: with an attached
   :class:`~repro.cloud.network.SimClock`, a parallel engine advances by the
-  makespan over per-cloud transfer times and a serial engine (``threads=1``)
-  by their sum, reproducing the §4.6 speedup in simulated time.
+  makespan over per-cloud transfer times and a serial engine by their sum.
+  Streaming does not double-charge the clock: windows on one cloud
+  serialise on that cloud's link (their canonical 4 MB-unit sum equals the
+  whole-file charge), while the clouds overlap.
 
-With ``threads=1`` every operation runs inline on the caller's thread with
-byte-identical wire behaviour, so single-threaded uses stay deterministic
-and pool-free.
+With ``threads == 1`` and ``pipeline_depth == 1`` every operation runs
+inline on the caller's thread with byte-identical wire behaviour, so
+single-threaded uses stay deterministic and pool-free.
 
 Thread pool vs process pool
 ---------------------------
@@ -56,9 +65,10 @@ correct everywhere.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.chunking.base import Chunk
 from repro.client.workers import (
@@ -83,9 +93,12 @@ from repro.server.server import CDStoreServer
 __all__ = [
     "CommEngine",
     "CloudUploadResult",
+    "CloudUploader",
     "FETCH_ERRORS",
-    "FileFetch",
+    "FileSource",
+    "SlotShares",
     "UPLOAD_BATCH_BYTES",
+    "WindowShares",
 ]
 
 #: Client-side upload batch size (§4.1: "batch the shares ... in a 4MB
@@ -118,18 +131,118 @@ class CloudUploadResult:
     seconds: float = 0.0
 
 
-@dataclass
-class FileFetch:
-    """One server's contribution to a restore (entry + recipe + shares)."""
+class CloudUploader:
+    """Stateful per-cloud upload stage: dedup-query + batch + transfer.
 
-    #: The server that actually answered (after any failover).
+    One instance per cloud connection per file.  :meth:`feed` accepts the
+    next secret's share the moment it exists (streaming), accumulating 4 MB
+    query windows and the persistent §4.1 upload buffer exactly as the
+    pre-streaming whole-file pass did — the wire traffic is byte-identical
+    regardless of how the feed is sliced into slabs.  :meth:`finish`
+    flushes the tails and charges the canonical simulated transfer time.
+    """
+
+    def __init__(self, server: CDStoreServer, cloud_idx: int, user_id: str) -> None:
+        self.server = server
+        self.cloud_idx = cloud_idx
+        self.user_id = user_id
+        self.result = CloudUploadResult()
+        self._seen: set[bytes] = set()
+        self._window: list[tuple[ShareMeta, bytes]] = []
+        self._window_bytes = 0
+        # The 4 MB upload buffer persists across query windows (§4.1: the
+        # buffer holds *unique* shares and is uploaded only when full).
+        self._batch: list[ShareUpload] = []
+        self._batch_bytes = 0
+
+    def _send_batch(self) -> None:
+        if self._batch:
+            self.server.upload_shares(self.user_id, self._batch)
+            self.result.batches += 1
+            self._batch = []
+            self._batch_bytes = 0
+
+    def _flush_window(self) -> None:
+        if not self._window:
+            return
+        known = self.server.query_duplicates(
+            self.user_id, [meta.fingerprint for meta, _ in self._window]
+        )
+        for (meta, payload), is_known in zip(self._window, known):
+            if is_known or meta.fingerprint in self._seen:
+                continue
+            self._seen.add(meta.fingerprint)
+            self._batch.append(ShareUpload(meta=meta, data=payload))
+            self._batch_bytes += len(payload)
+            self.result.wire_bytes += len(payload)
+            self.result.transferred += 1
+            if self._batch_bytes >= UPLOAD_BATCH_BYTES:
+                self._send_batch()
+        self._window = []
+        self._window_bytes = 0
+
+    def feed(self, chunk: Chunk, share: bytes) -> None:
+        """Accept the share of the next secret in sequence order."""
+        meta = ShareMeta(
+            fingerprint=fingerprint(share, domain="client"),
+            share_size=len(share),
+            secret_seq=chunk.seq,
+            secret_size=chunk.size,
+        )
+        self.result.metas.append(meta)
+        self._window.append((meta, share))
+        self._window_bytes += len(share)
+        if self._window_bytes >= UPLOAD_BATCH_BYTES:
+            self._flush_window()
+
+    def finish(self) -> CloudUploadResult:
+        """Flush tails and charge simulated time for the whole upload.
+
+        The clock is charged with the canonical 4 MB-unit batch count so it
+        matches :func:`repro.bench.transfer.client_upload_walltime` exactly,
+        including for heavily-deduplicated multi-window files.
+        """
+        self._flush_window()
+        self._send_batch()
+        self.result.seconds = self.server.cloud.uplink.transfer_time(
+            self.result.wire_bytes, batches=batch_count(self.result.wire_bytes)
+        )
+        return self.result
+
+
+@dataclass
+class FileSource:
+    """One restore slot: the server currently serving it + its metadata.
+
+    Failover replaces all three fields in place (each server has its own
+    recipe — share fingerprints are per-cloud), so later windows read from
+    the promoted spare while earlier, already-decoded windows keep the
+    shares the original server supplied.
+    """
+
+    slot: int
     server: CDStoreServer
     entry: FileEntry
     recipe: list[RecipeEntry]
-    #: Server fingerprint → share bytes for every recipe entry.
+
+
+@dataclass
+class SlotShares:
+    """One slot's contribution to one restore window (a point-in-time
+    snapshot — failover in a later window does not mutate it)."""
+
+    server: CDStoreServer
+    recipe: list[RecipeEntry]
     shares: dict[bytes, bytes]
-    #: Simulated seconds on this cloud's downlink.
-    seconds: float = 0.0
+
+
+@dataclass
+class WindowShares:
+    """Shares of secrets ``[start, end)`` from every restore slot."""
+
+    start: int
+    end: int
+    slots: list[SlotShares]
 
 
 class CommEngine:
@@ -143,14 +256,21 @@ class CommEngine:
         :meth:`~repro.system.cdstore.CDStoreSystem.wipe_cloud` — are seen
         by the engine immediately.
     threads:
-        Encode-pool width; ``1`` disables all pools and runs inline.
+        Encode-pool width; with ``pipeline_depth == 1``, ``threads == 1``
+        disables all pools and runs inline.
     workers:
         Encode-pool flavour: ``"thread"`` (default) or ``"process"``.  See
-        the module docstring for when each wins.  Ignored when
-        ``threads == 1``.
+        the module docstring for when each wins.
     clock:
         Optional simulated clock advanced by transfer times (makespan when
         parallel, sum when serial).
+    pipeline_depth:
+        Maximum pipeline windows (encode slabs on upload, share windows on
+        restore) in flight between stages.  ``1`` (default) reproduces the
+        pre-streaming serial-phase behaviour byte-for-byte; values above 1
+        enable the streaming transfer stage — per-cloud workers overlap
+        wire time with encoding/decoding even at ``threads == 1``, with
+        memory bounded to ``pipeline_depth`` windows.
     """
 
     def __init__(
@@ -159,9 +279,14 @@ class CommEngine:
         threads: int = 1,
         workers: str = "thread",
         clock: SimClock | None = None,
+        pipeline_depth: int = 1,
     ) -> None:
         if threads < 1:
             raise ParameterError(f"threads must be >= 1, got {threads}")
+        if pipeline_depth < 1:
+            raise ParameterError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         if workers not in WORKER_MODES:
             raise ParameterError(
                 f"unknown workers mode {workers!r}; expected one of {WORKER_MODES}"
@@ -170,6 +295,7 @@ class CommEngine:
         self.threads = threads
         self.workers = workers
         self.clock = clock
+        self.pipeline_depth = pipeline_depth
         self._encode_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessEncodePool | None = None
         self._cloud_workers: list[ThreadPoolExecutor] | None = None
@@ -180,7 +306,13 @@ class CommEngine:
     # ------------------------------------------------------------------
     @property
     def parallel(self) -> bool:
-        return self.threads > 1
+        """Whether per-cloud workers drive transfers concurrently."""
+        return self.threads > 1 or self.pipeline_depth > 1
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the bounded streaming transfer stage is active."""
+        return self.pipeline_depth > 1
 
     def _ensure_workers(self) -> None:
         with self._init_lock:  # engines may be shared across caller threads
@@ -201,7 +333,8 @@ class CommEngine:
         Deferred to the first process-encoded upload so download-only and
         metadata traffic never pays the forks; the pool is warmed before
         this upload's cloud-worker submissions go out, while the engine
-        threads are idle.
+        threads are idle.  Lazy slab submissions from cloud-worker threads
+        are safe afterwards: submitting to a warm pool never forks.
         """
         with self._init_lock:
             if self._process_pool is None:
@@ -260,6 +393,12 @@ class CommEngine:
                 return i
         return None
 
+    def _pool_for(self, server: CDStoreServer) -> ThreadPoolExecutor:
+        """The dedicated worker of ``server``'s cloud (encode pool if none)."""
+        assert self._cloud_workers is not None and self._encode_pool is not None
+        slot = self._slot(server)
+        return self._cloud_workers[slot] if slot is not None else self._encode_pool
+
     def map_servers(
         self,
         fn: Callable[[CDStoreServer], T],
@@ -275,13 +414,7 @@ class CommEngine:
         if not self.parallel or len(servers) < 2:
             return [fn(server) for server in servers]
         self._ensure_workers()
-        assert self._cloud_workers is not None
-        futures: list[Future] = []
-        for server in servers:
-            slot = self._slot(server)
-            pool = self._cloud_workers[slot] if slot is not None else self._encode_pool
-            assert pool is not None
-            futures.append(pool.submit(fn, server))
+        futures = [self._pool_for(server).submit(fn, server) for server in servers]
         return self._gather(futures)
 
     def _advance_clock(self, durations: list[float]) -> float:
@@ -304,22 +437,33 @@ class CommEngine:
         the batched codec kernels.  Process workers are used when
         configured *and* the dispersal has a picklable spec; otherwise the
         slab runs on the thread pool.
+
+        When streaming, slabs are submitted lazily: at most
+        ``pipeline_depth`` beyond the slowest cloud worker, each dropped
+        from memory once every cloud has drained it.
         """
         assert self._encode_pool is not None
         spans = slab_spans([chunk.size for chunk in chunks], self.threads)
         pool = None
         if self.workers == "process" and dispersal.spec() is not None:
             pool = self._ensure_process_pool()
-        futures: list[Future] = []
-        for start, end in spans:
+
+        def submit(start: int, end: int) -> Future:
             secrets = [chunk.data for chunk in chunks[start:end]]
             if pool is not None:
-                futures.append(pool.submit(dispersal, secrets))
-            else:
-                futures.append(
-                    self._encode_pool.submit(dispersal.encode_batch, secrets)
-                )
-        return SlabbedShareSets(futures, spans)
+                return pool.submit(dispersal, secrets)
+            return self._encode_pool.submit(dispersal.encode_batch, secrets)
+
+        if self.streaming:
+            return SlabbedShareSets(
+                spans=spans,
+                submit=submit,
+                depth=self.pipeline_depth,
+                consumers=len(self.servers),
+            )
+        return SlabbedShareSets(
+            [submit(s, e) for s, e in spans], spans, consumers=len(self.servers)
+        )
 
     def upload_file(
         self,
@@ -345,11 +489,26 @@ class CommEngine:
             ]
             results = self._gather(futures)
         else:
-            share_sets = dispersal.encode_batch([chunk.data for chunk in chunks])
-            results = [
-                self._upload_to_cloud(idx, user_id, chunks, share_sets)
-                for idx in range(n)
+            uploaders = [
+                CloudUploader(self.servers[idx], idx, user_id) for idx in range(n)
             ]
+            # Inline path: encode one slab at a time and feed every cloud's
+            # uploader before encoding the next, so even the serial client
+            # holds at most one slab of shares (wire-identical to encoding
+            # the whole file up front — the 4 MB windows accumulate the
+            # same byte sequence either way).
+            spans = slab_spans([chunk.size for chunk in chunks], 1)
+            for start, end in spans:
+                share_sets = dispersal.encode_batch(
+                    [chunk.data for chunk in chunks[start:end]]
+                )
+                for uploader in uploaders:
+                    for seq in range(start, end):
+                        uploader.feed(
+                            chunks[seq],
+                            share_sets[seq - start].shares[uploader.cloud_idx],
+                        )
+            results = [uploader.finish() for uploader in uploaders]
         span = self._advance_clock([result.seconds for result in results])
         return results, span
 
@@ -358,126 +517,218 @@ class CommEngine:
         cloud_idx: int,
         user_id: str,
         chunks: list[Chunk],
-        share_sets,
+        share_sets: SlabbedShareSets,
     ) -> CloudUploadResult:
-        """One cloud connection's upload: dedup-query + batch + transfer.
+        """One cloud worker's upload: drain the slab stream into the wire.
 
-        ``share_sets`` is any indexable of
-        :class:`~repro.sharing.base.ShareSet` — a plain list on the serial
-        path, a :class:`~repro.client.workers.SlabbedShareSets` view over
-        in-flight encode futures on the parallel path.  Blocking on a
-        not-yet-encoded slab is what overlaps encoding with the transfer
-        of already-encoded windows.
+        Consuming through :meth:`SlabbedShareSets.stream` blocks only on
+        the slab being encoded right now — transfer of already-encoded
+        windows overlaps the encoding of later ones, and (when streaming)
+        draining a slab releases its memory and admits the next slab into
+        the bounded pipeline window.
         """
-        server = self.servers[cloud_idx]
-        result = CloudUploadResult()
-        seen: set[bytes] = set()
-        window: list[tuple[ShareMeta, bytes]] = []
-        window_bytes = 0
-        # The 4 MB upload buffer persists across query windows (§4.1: the
-        # buffer holds *unique* shares and is uploaded only when full).
-        batch: list[ShareUpload] = []
-        batch_bytes = 0
-
-        def send_batch() -> None:
-            nonlocal batch, batch_bytes
-            if batch:
-                server.upload_shares(user_id, batch)
-                result.batches += 1
-                batch = []
-                batch_bytes = 0
-
-        def flush_window() -> None:
-            nonlocal window, window_bytes, batch_bytes
-            if not window:
-                return
-            known = server.query_duplicates(
-                user_id, [meta.fingerprint for meta, _ in window]
-            )
-            for (meta, payload), is_known in zip(window, known):
-                if is_known or meta.fingerprint in seen:
-                    continue
-                seen.add(meta.fingerprint)
-                batch.append(ShareUpload(meta=meta, data=payload))
-                batch_bytes += len(payload)
-                result.wire_bytes += len(payload)
-                result.transferred += 1
-                if batch_bytes >= UPLOAD_BATCH_BYTES:
-                    send_batch()
-            window = []
-            window_bytes = 0
-
-        for seq, chunk in enumerate(chunks):
-            share = share_sets[seq].shares[cloud_idx]
-            meta = ShareMeta(
-                fingerprint=fingerprint(share, domain="client"),
-                share_size=len(share),
-                secret_seq=chunk.seq,
-                secret_size=chunk.size,
-            )
-            result.metas.append(meta)
-            window.append((meta, share))
-            window_bytes += len(share)
-            if window_bytes >= UPLOAD_BATCH_BYTES:
-                flush_window()
-        flush_window()
-        send_batch()
-
-        # Charge simulated time with the canonical 4 MB-unit batch count
-        # so the clock matches repro.bench.transfer.client_upload_walltime
-        # exactly, including for heavily-deduplicated multi-window files.
-        result.seconds = server.cloud.uplink.transfer_time(
-            result.wire_bytes, batches=batch_count(result.wire_bytes)
-        )
-        return result
+        uploader = CloudUploader(self.servers[cloud_idx], cloud_idx, user_id)
+        with share_sets.stream() as stream:
+            for seq, share_set in stream:
+                uploader.feed(chunks[seq], share_set.shares[cloud_idx])
+        return uploader.finish()
 
     # ------------------------------------------------------------------
     # restore path (download)
     # ------------------------------------------------------------------
-    def fetch_file(
+    def fetch_sources(
         self,
         user_id: str,
         lookup_key: bytes,
         chosen: Sequence[CDStoreServer],
-        spares: Sequence[CDStoreServer],
-    ) -> tuple[list[FileFetch], float]:
-        """Fetch entry + recipe + shares from each chosen server.
+        spares: list[CDStoreServer],
+    ) -> list[FileSource]:
+        """Fetch entry + recipe from each chosen server, with failover.
 
-        Fetches run concurrently (one per cloud worker).  When a chosen
-        server throws one of :data:`FETCH_ERRORS` mid-restore (outage,
-        missing share, corrupt container or recipe), the fetch fails over
-        to the next unused spare reachable server; only when the spares
-        are exhausted does the original error propagate.
+        ``spares`` is consumed *in place*: a spare promoted here is no
+        longer available to later failovers or to the caller's §3.2
+        share-widening fallback (it is now a chosen source).
         """
-        pool = list(spares)
         pool_lock = threading.Lock()
 
-        def fetch_one(server: CDStoreServer) -> FileFetch:
+        def fetch_one(server: CDStoreServer) -> tuple[CDStoreServer, FileEntry, list]:
             while True:
                 try:
                     entry = server.get_file_entry(user_id, lookup_key)
                     recipe = server.get_recipe(user_id, lookup_key)
-                    shares = server.fetch_shares(
-                        [item.fingerprint for item in recipe]
-                    )
                 except FETCH_ERRORS:
                     with pool_lock:
-                        if not pool:
+                        if not spares:
                             raise
-                        server = pool.pop(0)
+                        server = spares.pop(0)
                     continue
-                nbytes = sum(len(payload) for payload in shares.values())
-                seconds = server.cloud.downlink.transfer_time(
-                    nbytes, batches=batch_count(nbytes)
-                )
-                return FileFetch(
-                    server=server,
-                    entry=entry,
-                    recipe=recipe,
-                    shares=shares,
-                    seconds=seconds,
-                )
+                return server, entry, recipe
 
-        fetches = self.map_servers(fetch_one, chosen)
-        span = self._advance_clock([fetch.seconds for fetch in fetches])
-        return fetches, span
+        results = self.map_servers(fetch_one, chosen)
+        return [
+            FileSource(slot=slot, server=server, entry=entry, recipe=recipe)
+            for slot, (server, entry, recipe) in enumerate(results)
+        ]
+
+    def _promote_spare(
+        self,
+        user_id: str,
+        lookup_key: bytes,
+        source: FileSource,
+        spares: list[CDStoreServer],
+        pool_lock: threading.Lock,
+        expect: tuple[int, int] | None,
+    ) -> None:
+        """Replace ``source``'s server with the next usable spare.
+
+        The spare must supply a readable entry + recipe that agree with the
+        cross-checked ``expect = (file_size, secret_count)`` — a lying or
+        stale spare is skipped exactly like an unreachable one.  Raises the
+        in-flight fetch error when the spares are exhausted (bare ``raise``:
+        this runs inside the caller's except block).
+        """
+        with pool_lock:
+            # Held for the whole promotion: failover is rare, and holding
+            # the lock makes the (server, entry, recipe) swap atomic with
+            # respect to concurrent window fetches snapshotting the source.
+            while True:
+                if not spares:
+                    raise
+                candidate = spares.pop(0)
+                try:
+                    entry = candidate.get_file_entry(user_id, lookup_key)
+                    recipe = candidate.get_recipe(user_id, lookup_key)
+                except FETCH_ERRORS:
+                    continue
+                if expect is not None:
+                    file_size, secret_count = expect
+                    if (
+                        entry.file_size != file_size
+                        or entry.secret_count != secret_count
+                        or len(recipe) != secret_count
+                    ):
+                        continue
+                source.server, source.entry, source.recipe = candidate, entry, recipe
+                return
+
+    def _fetch_window_shares(
+        self,
+        user_id: str,
+        lookup_key: bytes,
+        source: FileSource,
+        start: int,
+        end: int | None,
+        spares: list[CDStoreServer],
+        pool_lock: threading.Lock,
+        expect: tuple[int, int] | None,
+    ) -> SlotShares:
+        """One slot's shares for secrets ``[start, end)`` (with failover).
+
+        ``end=None`` means the slot's whole recipe.  On a fetch error the
+        slot's server is replaced by a promoted spare and the *same window*
+        retried against the spare's own recipe — per-window granularity:
+        windows already decoded are unaffected, later windows go straight
+        to the replacement.
+        """
+        while True:
+            with pool_lock:  # consistent (server, recipe) snapshot
+                server, recipe = source.server, source.recipe
+            stop = len(recipe) if end is None else end
+            try:
+                fingerprints = [recipe[i].fingerprint for i in range(start, stop)]
+                shares = server.fetch_shares(fingerprints)
+            except (*FETCH_ERRORS, IndexError):
+                # IndexError: the recipe is shorter than the agreed window —
+                # as unusable as a corrupt one.
+                self._promote_spare(
+                    user_id, lookup_key, source, spares, pool_lock, expect
+                )
+                continue
+            return SlotShares(server=server, recipe=recipe, shares=shares)
+
+    def stream_share_windows(
+        self,
+        user_id: str,
+        lookup_key: bytes,
+        sources: list[FileSource],
+        windows: Sequence[tuple[int, int]],
+        spares: list[CDStoreServer],
+        expect: tuple[int, int] | None = None,
+    ) -> Iterator[WindowShares]:
+        """Stream per-window share maps from every restore slot.
+
+        Yields :class:`WindowShares` in window order.  When the engine is
+        parallel, up to ``pipeline_depth`` windows are in flight on the
+        per-cloud workers while the caller decodes the current one — the
+        restore mirror of the upload pipelining; otherwise windows are
+        fetched inline one at a time.  ``spares`` is shared, mutable state:
+        per-window failover consumes from it (see :meth:`fetch_sources`).
+
+        On exhaustion the engine charges its clock the canonical per-slot
+        transfer times (makespan when parallel, sum when serial) — the same
+        total a whole-file fetch would charge, because each slot's windows
+        serialise on that cloud's downlink.
+        """
+        pool_lock = threading.Lock()
+        totals = [0] * len(sources)
+
+        def fetch(source: FileSource, slot: int, start: int, end: int) -> SlotShares:
+            got = self._fetch_window_shares(
+                user_id, lookup_key, source, start, end, spares, pool_lock, expect
+            )
+            totals[slot] += sum(len(payload) for payload in got.shares.values())
+            return got
+
+        def charge() -> None:
+            durations = [
+                source.server.cloud.downlink.transfer_time(
+                    totals[slot], batches=batch_count(totals[slot])
+                )
+                for slot, source in enumerate(sources)
+            ]
+            self._advance_clock(durations)
+
+        if not self.parallel:
+            for start, end in windows:
+                slots = [
+                    fetch(source, slot, start, end)
+                    for slot, source in enumerate(sources)
+                ]
+                yield WindowShares(start=start, end=end, slots=slots)
+            charge()
+            return
+
+        self._ensure_workers()
+
+        def submit(window_idx: int) -> list[Future]:
+            start, end = windows[window_idx]
+            return [
+                self._pool_for(source.server).submit(fetch, source, slot, start, end)
+                for slot, source in enumerate(sources)
+            ]
+
+        pending: deque[list[Future]] = deque()
+        next_window = 0
+        try:
+            while next_window < min(self.pipeline_depth, len(windows)):
+                pending.append(submit(next_window))
+                next_window += 1
+            for start, end in windows:
+                slots = self._gather(pending.popleft())
+                if next_window < len(windows):
+                    pending.append(submit(next_window))
+                    next_window += 1
+                yield WindowShares(start=start, end=end, slots=slots)
+            charge()
+        finally:
+            # On error or early abandonment, drain in-flight fetches so no
+            # worker is left mutating shared state and no sibling exception
+            # goes unretrieved.
+            for futures in pending:
+                for future in futures:
+                    future.cancel()
+                    try:
+                        future.result()
+                    except BaseException:
+                        pass
+

@@ -1,4 +1,4 @@
-"""Process-parallel encode workers for the comm engine (§4.6 scaling).
+"""Encode workers and the streaming slab queue for the comm engine (§4.6).
 
 CPython's GIL serialises the Python-level share bookkeeping between the
 GIL-releasing hashlib/OpenSSL calls, so a thread pool cannot reproduce the
@@ -6,8 +6,16 @@ paper's near-linear encoding speedup (Figure 5a).  This module supplies the
 pool that can: slabs of secrets are shipped to worker *processes*, each of
 which rebuilds the client's codec once from a picklable **codec spec**
 (:meth:`repro.core.convergent.ConvergentDispersal.spec`), caches it for the
-life of the worker, and encodes the whole slab with the batched kernels
+life of the worker, and encodes whole slabs with the batched kernels
 (:meth:`~repro.core.convergent.ConvergentDispersal.encode_batch`).
+
+It also owns the **streaming slab queue** (:class:`SlabbedShareSets`): the
+ordered, bounded hand-off between the encode stage and the per-cloud upload
+workers.  Encode slabs are submitted lazily — at most ``depth`` slabs are
+in flight or materialised beyond the slowest consumer — and a slab's share
+sets are dropped the moment every cloud worker has drained it, so a
+multi-gigabyte backup never holds more than ``depth`` slabs of shares in
+memory while wire time hides behind encoding (Figure 4a's pipelining).
 
 Design notes:
 
@@ -20,13 +28,18 @@ Design notes:
 * **Warm-up before threads** — the pool forks its workers eagerly (see
   :meth:`ProcessEncodePool.warm`) so no worker inherits a transiently held
   lock from the comm engine's cloud-worker threads.
+* **Credit-based backpressure** — a new slab is submitted only when fewer
+  than ``depth`` slabs sit between the submission frontier and the slowest
+  consumer, so a slow cloud applies backpressure to the encode stage
+  instead of letting encoded shares pile up unboundedly.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.convergent import ConvergentDispersal
 from repro.errors import ParameterError
@@ -37,7 +50,9 @@ __all__ = [
     "WORKER_MODES",
     "ProcessEncodePool",
     "SlabbedShareSets",
+    "SlabStream",
     "encode_slab_in_worker",
+    "plan_windows",
     "slab_spans",
 ]
 
@@ -107,33 +122,183 @@ def slab_spans(
     return spans
 
 
-class SlabbedShareSets:
-    """Ordered view over the ShareSets of in-flight encode slabs.
+def plan_windows(
+    sizes: Sequence[int], window_bytes: int
+) -> list[tuple[int, int]]:
+    """Group ``len(sizes)`` items into contiguous ``[start, end)`` windows.
 
-    Indexing by global secret sequence blocks only on the slab that holds
-    that secret, so each cloud worker drains slabs in order while later
-    slabs are still encoding — the Figure 4(a) pipelining at slab
-    granularity.  Safe for concurrent readers: :meth:`Future.result` is
-    thread-safe and caches its value.
+    Each window accumulates items until it reaches ``window_bytes`` (every
+    window holds at least one item, so oversized items get a window of
+    their own).  This is the restore-side mirror of :func:`slab_spans`:
+    the client fetches and decodes one window of shares at a time instead
+    of materialising the whole file's share map before the first decode.
+    """
+    if window_bytes < 1:
+        raise ParameterError(f"window_bytes must be >= 1, got {window_bytes}")
+    windows: list[tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for i, size in enumerate(sizes):
+        acc += size
+        if acc >= window_bytes:
+            windows.append((start, i + 1))
+            start = i + 1
+            acc = 0
+    if start < len(sizes):
+        windows.append((start, len(sizes)))
+    return windows
+
+
+class SlabStream:
+    """One consumer's ordered view over a :class:`SlabbedShareSets`.
+
+    Iterating yields ``(seq, share_set)`` pairs in global sequence order,
+    blocking only on the slab that holds the next secret.  Use as a context
+    manager: on exit (normal or exceptional) the consumer's claims on all
+    remaining slabs are released, so a cloud worker that dies mid-upload
+    cannot deadlock the other consumers behind the backpressure window.
     """
 
-    def __init__(self, futures: Sequence[Future], spans: Sequence[tuple[int, int]]) -> None:
-        if len(futures) != len(spans):
+    def __init__(self, owner: "SlabbedShareSets") -> None:
+        self._owner = owner
+        self._next_slab = 0
+        self._closed = False
+
+    def __enter__(self) -> "SlabStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release this consumer's claim on every slab not yet drained."""
+        if not self._closed:
+            self._closed = True
+            self._owner._release_range(self._next_slab, len(self._owner._spans))
+
+    def __iter__(self):
+        for slab_idx, (start, _end) in enumerate(self._owner._spans):
+            shares = self._owner._result(slab_idx)
+            for offset, share_set in enumerate(shares):
+                yield start + offset, share_set
+            self._next_slab = slab_idx + 1
+            self._owner._release_range(slab_idx, slab_idx + 1)
+
+
+class SlabbedShareSets:
+    """Ordered, bounded view over the ShareSets of in-flight encode slabs.
+
+    Two construction modes:
+
+    * **eager** — ``SlabbedShareSets(futures, spans)``: every slab is
+      already submitted (the pre-streaming behaviour; also what
+      ``pipeline_depth == 1`` degenerates to).
+    * **lazy** — ``SlabbedShareSets(spans=spans, submit=fn, depth=d,
+      consumers=c)``: ``submit(start, end) -> Future`` is called for at
+      most ``depth`` slabs beyond the slowest consumer; when all ``c``
+      consumers have drained a slab its share sets are dropped and the
+      next pending slab is submitted.
+
+    Indexing by global secret sequence (``view[seq]``) blocks only on the
+    slab that holds that secret, so each cloud worker drains slabs in
+    order while later slabs are still encoding — the Figure 4(a)
+    pipelining at slab granularity.  Safe for concurrent readers:
+    :meth:`Future.result` is thread-safe and caches its value.
+    """
+
+    def __init__(
+        self,
+        futures: Sequence[Future] | None = None,
+        spans: Sequence[tuple[int, int]] = (),
+        *,
+        submit: Callable[[int, int], Future] | None = None,
+        depth: int = 0,
+        consumers: int = 1,
+    ) -> None:
+        if (futures is None) == (submit is None):
+            raise ParameterError("pass exactly one of futures= or submit=")
+        if futures is not None and len(futures) != len(spans):
             raise ParameterError(
                 f"got {len(futures)} futures for {len(spans)} spans"
             )
-        self._futures = list(futures)
-        self._starts = [start for start, _ in spans]
-        self._count = spans[-1][1] if spans else 0
+        if consumers < 1:
+            raise ParameterError(f"consumers must be >= 1, got {consumers}")
+        self._spans = list(spans)
+        self._starts = [start for start, _ in self._spans]
+        self._count = self._spans[-1][1] if self._spans else 0
+        self._consumers = consumers
+        self._submit = submit
+        self._depth = depth if depth > 0 else len(self._spans)
+        self._cond = threading.Condition()
+        self._futures: list[Future | None] = (
+            list(futures) if futures is not None else [None] * len(self._spans)
+        )
+        #: Per-slab count of consumers that have fully drained it.
+        self._drained = [0] * len(self._spans)
+        #: Number of slabs fully released by every consumer (prefix).
+        self._freed = 0
+        self._submitted = len(self._spans) if futures is not None else 0
+        if submit is not None:
+            with self._cond:
+                self._pump_locked()
 
     def __len__(self) -> int:
         return self._count
+
+    # ------------------------------------------------------------------
+    # submission / backpressure
+    # ------------------------------------------------------------------
+    def _pump_locked(self) -> None:
+        """Submit pending slabs while the backpressure window has room."""
+        while (
+            self._submit is not None
+            and self._submitted < len(self._spans)
+            and self._submitted - self._freed < self._depth
+        ):
+            start, end = self._spans[self._submitted]
+            self._futures[self._submitted] = self._submit(start, end)
+            self._submitted += 1
+            self._cond.notify_all()
+
+    def _release_range(self, first: int, last: int) -> None:
+        """Record one consumer's release of slabs ``[first, last)``."""
+        if first >= last:
+            return
+        with self._cond:
+            for slab in range(first, last):
+                self._drained[slab] += 1
+            while (
+                self._freed < len(self._spans)
+                and self._drained[self._freed] >= self._consumers
+            ):
+                # Every consumer is done with this slab: drop our reference
+                # so the Future (and its cached ShareSet list) can be
+                # collected, then let the next slab enter the window.
+                self._futures[self._freed] = None
+                self._freed += 1
+            self._pump_locked()
+
+    def _result(self, slab: int) -> list[ShareSet]:
+        """Share sets of ``slab``, waiting for its submission if lazy."""
+        with self._cond:
+            while self._futures[slab] is None:
+                if slab < self._freed:
+                    raise ParameterError(
+                        f"slab {slab} was already drained by all consumers"
+                    )
+                self._cond.wait()
+            future = self._futures[slab]
+        return future.result()
+
+    def stream(self) -> SlabStream:
+        """An ordered consumer over all slabs (one per cloud worker)."""
+        return SlabStream(self)
 
     def __getitem__(self, seq: int) -> ShareSet:
         if not 0 <= seq < self._count:
             raise IndexError(f"secret sequence {seq} outside [0, {self._count})")
         slab = bisect_right(self._starts, seq) - 1
-        return self._futures[slab].result()[seq - self._starts[slab]]
+        return self._result(slab)[seq - self._starts[slab]]
 
 
 class ProcessEncodePool:

@@ -132,20 +132,18 @@ class Testbed:
     # ------------------------------------------------------------------
     # transfer-time model (Figures 7-8)
     # ------------------------------------------------------------------
-    def upload_time(
+    def _upload_terms(
         self,
         logical_bytes: int,
         wire_bytes_per_cloud: list[float],
         clients: int = 1,
         k: int | None = None,
-    ) -> float:
-        """Wall-clock seconds to upload one client-batch of data.
+    ) -> tuple[float, float, list[float], list[float], list[float]]:
+        """The named stage times of one upload (see :meth:`upload_time`).
 
-        ``logical_bytes`` is the pre-dispersal data size (drives compute);
-        ``wire_bytes_per_cloud[i]`` is what actually crosses the Internet to
-        cloud ``i`` after intra-user deduplication.  With ``clients`` > 1,
-        per-server resources are shared (Figure 8); the return value is the
-        makespan for *one* client, assuming symmetric clients.
+        Returns ``(compute, shared_uplink, per_cloud, query_rtts,
+        server_terms)`` so the pipelined and serial schedules can combine
+        the same terms differently.
         """
         if len(wire_bytes_per_cloud) != self.n:
             raise ParameterError(
@@ -181,8 +179,54 @@ class Testbed:
             disk = clients * nbytes / (self.model.server_disk_write_mbps * MB)
             cpu = clients * logical_bytes / (self.model.server_cpu_mbps * MB)
             server_terms.append(max(disk, cpu))
+        return compute, shared_uplink, per_cloud, query_rtts, server_terms
+
+    def upload_time(
+        self,
+        logical_bytes: int,
+        wire_bytes_per_cloud: list[float],
+        clients: int = 1,
+        k: int | None = None,
+    ) -> float:
+        """Wall-clock seconds to upload one client-batch of data.
+
+        ``logical_bytes`` is the pre-dispersal data size (drives compute);
+        ``wire_bytes_per_cloud[i]`` is what actually crosses the Internet to
+        cloud ``i`` after intra-user deduplication.  With ``clients`` > 1,
+        per-server resources are shared (Figure 8); the return value is the
+        makespan for *one* client, assuming symmetric clients.
+        """
+        compute, shared_uplink, per_cloud, query_rtts, server_terms = (
+            self._upload_terms(logical_bytes, wire_bytes_per_cloud, clients, k)
+        )
         # Pipelined stages: the slowest stage dominates (§4.6 multi-threading).
         return max([compute, shared_uplink] + per_cloud + query_rtts + server_terms)
+
+    def upload_time_serial(
+        self,
+        logical_bytes: int,
+        wire_bytes_per_cloud: list[float],
+        clients: int = 1,
+        k: int | None = None,
+    ) -> float:
+        """Un-pipelined upload wall-clock: encode + upload as serial phases.
+
+        The schedule of a ``threads=1, pipeline_depth=1`` client: chunk and
+        encode the whole file first, then visit the cloud connections one
+        after another (each connection's dedup-query round trips ride with
+        its transfer; the server ingests while it receives, so each visit
+        costs ``max(wire, ingest)``).  The gap between this and
+        :meth:`upload_time` is exactly what the comm engine's streaming
+        transfer stage buys — wire time no longer hides behind encoding,
+        nor do the clouds overlap each other.
+        """
+        compute, _shared_uplink, per_cloud, query_rtts, server_terms = (
+            self._upload_terms(logical_bytes, wire_bytes_per_cloud, clients, k)
+        )
+        return compute + sum(
+            max(wire + query, server)
+            for wire, query, server in zip(per_cloud, query_rtts, server_terms)
+        )
 
     def download_time(
         self,

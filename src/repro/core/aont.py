@@ -33,7 +33,7 @@ import hashlib
 
 import numpy as np
 
-from repro.crypto.ciphers import AesCtr, mask_block
+from repro.crypto.ciphers import AesCtr, mask_block, mask_stack
 from repro.crypto.hashing import HASH_SIZE, sha256
 from repro.errors import CryptoError, IntegrityError
 
@@ -172,20 +172,19 @@ def rivest_aont_encode_batch(secrets, keys) -> np.ndarray:
     batch = len(secrets)
     canary = np.frombuffer(CANARY, dtype=np.uint8)
     out = np.zeros((batch, body_size + HASH_SIZE), dtype=np.uint8)
-    for row, (secret, key) in enumerate(zip(secrets, keys)):
+    bodies = out[:, :body_size]
+    for key in keys:
         if len(key) != HASH_SIZE:
             raise CryptoError(
                 f"AONT key must be {HASH_SIZE} bytes, got {len(key)}"
             )
-        masked = out[row, :body_size]
-        masked[:size] = np.frombuffer(secret, dtype=np.uint8)
-        masked[size : size + CANARY_SIZE] = canary
-        np.bitwise_xor(
-            masked,
-            np.frombuffer(AesCtr(key).keystream(body_size), dtype=np.uint8),
-            out=masked,
-        )
-        digest = hashlib.sha256(masked).digest()
+    for row, secret in enumerate(secrets):
+        bodies[row, :size] = np.frombuffer(secret, dtype=np.uint8)
+        bodies[row, size : size + CANARY_SIZE] = canary
+    # Per-secret masks via the batched ECB-of-counters kernel, one XOR pass.
+    np.bitwise_xor(bodies, mask_stack(list(keys), body_size), out=bodies)
+    for row, key in enumerate(keys):
+        digest = hashlib.sha256(bodies[row]).digest()
         tail = int.from_bytes(key, "big") ^ int.from_bytes(digest, "big")
         out[row, body_size:] = np.frombuffer(
             tail.to_bytes(HASH_SIZE, "big"), dtype=np.uint8

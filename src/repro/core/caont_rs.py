@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.aont import oaep_aont_decode, oaep_aont_encode
 from repro.core.package_codec import PackageRSCodec
-from repro.crypto.ciphers import mask_block
+from repro.crypto.ciphers import mask_stack
 from repro.crypto.hashing import HASH_SIZE, hash_key
 from repro.errors import IntegrityError
 
@@ -77,10 +77,12 @@ class CAONTRS(PackageRSCodec):
         """Vectorised Eq. 1-4 over a stack of equal-length secrets.
 
         The hash keys and CTR masks are necessarily per-secret (each secret
-        keys its own stream), but the AONT XOR ``Y = X' ^ G(h)`` runs once
-        over the whole ``(B, padded)`` block, and the caller batches the
-        Reed-Solomon stage behind it.  Byte-identical to looping
-        :meth:`_make_package`.
+        keys its own stream), but the masks come from the one-shot
+        AES-ECB-of-counters kernel (:func:`repro.crypto.ciphers.mask_stack`
+        — one cached counter buffer, one EVP setup per key and nothing
+        else) and the AONT XOR ``Y = X' ^ G(h)`` runs once over the whole
+        ``(B, padded)`` block, with the caller batching the Reed-Solomon
+        stage behind it.  Byte-identical to looping :meth:`_make_package`.
         """
         if not secrets:
             return np.zeros((0, self._package_size(0)), dtype=np.uint8)
@@ -89,16 +91,17 @@ class CAONTRS(PackageRSCodec):
         batch = len(secrets)
         out = np.zeros((batch, padded_size + HASH_SIZE), dtype=np.uint8)
         heads = out[:, :padded_size]
+        keys = (
+            [hash_key(secret, self.salt) for secret in secrets]
+            if keys is None
+            else list(keys)
+        )
         for row, secret in enumerate(secrets):
-            key = hash_key(secret, self.salt)
-            head = heads[row]
-            head[:size] = np.frombuffer(secret, dtype=np.uint8)
-            np.bitwise_xor(  # Y = X' ^ G(h), in place
-                head,
-                np.frombuffer(mask_block(key, padded_size), dtype=np.uint8),
-                out=head,
-            )
-            digest = hashlib.sha256(head).digest()  # H(Y), no copy
+            heads[row, :size] = np.frombuffer(secret, dtype=np.uint8)
+        # Y = X' ^ G(h): one batched kernel for the masks, one XOR pass.
+        np.bitwise_xor(heads, mask_stack(keys, padded_size), out=heads)
+        for row, key in enumerate(keys):
+            digest = hashlib.sha256(heads[row]).digest()  # H(Y), no copy
             tail = int.from_bytes(key, "big") ^ int.from_bytes(digest, "big")
             out[row, padded_size:] = np.frombuffer(
                 tail.to_bytes(HASH_SIZE, "big"), dtype=np.uint8

@@ -26,9 +26,25 @@ Backends
     otherwise dominated by interpreter overhead.
 
 Both backends produce identical bytes; a property test pins them together.
+
+The mask-generation ceiling
+---------------------------
+
+Convergent dispersal keys every secret's mask with its own hash, so one
+EVP key schedule per secret is irreducible — but the Python overhead
+around it is not.  The OpenSSL path therefore realises CTR as a
+**one-shot AES-ECB-of-counters kernel**: counter blocks are precomputed
+once and cached (they are key-independent), a single shared mode object
+serves every cipher, each :class:`AesCtr` keeps one reusable encryptor
+for its lifetime, and the batch kernel :func:`mask_stack` writes an
+entire slab's masks straight into a NumPy block via ``update_into`` —
+no per-secret zero buffers, IV packing, or output copies.  ECB of the
+counter block sequence is bit-identical to CTR keystream by definition.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -39,6 +55,7 @@ __all__ = [
     "AesCtr",
     "ctr_keystream",
     "mask_block",
+    "mask_stack",
     "set_aes_backend",
     "aes_backend_name",
     "available_aes_backends",
@@ -48,8 +65,12 @@ try:  # pragma: no cover - availability depends on host environment
     from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
 
     _HAVE_OPENSSL = True
+    #: Shared stateless mode object: ECB holds no per-cipher state, so one
+    #: instance serves every cipher and its construction cost is paid once.
+    _ECB = modes.ECB()
 except Exception:  # pragma: no cover
     _HAVE_OPENSSL = False
+    _ECB = None
 
 _BACKEND_NAMES = ["pure"] + (["openssl"] if _HAVE_OPENSSL else [])
 _active_backend = "openssl" if _HAVE_OPENSSL else "pure"
@@ -78,6 +99,40 @@ def set_aes_backend(name: str) -> None:
     _active_backend = name
 
 
+def _counter_block_array(start: int, count: int) -> np.ndarray:
+    """``count`` 16-byte big-endian counter blocks starting at ``start``."""
+    blocks = np.zeros((count, 16), dtype=np.uint8)
+    idx = np.arange(start, start + count, dtype=np.uint64)
+    for byte in range(8):
+        blocks[:, 15 - byte] = (idx >> np.uint64(8 * byte)).astype(np.uint8)
+    return blocks
+
+
+#: Requests up to this many blocks (128 KB of keystream) go through the
+#: cached ECB-of-counters kernel; anything larger uses hardware CTR over a
+#: zero buffer instead (building megabytes of counter plaintext loses).
+_COUNTER_CACHE_BLOCKS = 8192
+
+
+@lru_cache(maxsize=1)
+def _counter_buffer() -> bytes:
+    """The one shared counter-plaintext buffer (counters 0..8191).
+
+    Counter blocks are key- and *length*-independent: every request from
+    offset 0 is a prefix of this buffer, so one 128 KB build serves all
+    mask sizes.  (A per-(start, count) cache would thrash on variable-size
+    Rabin chunks — ~a hundred distinct secret sizes per megabyte.)
+    """
+    return _counter_block_array(0, _COUNTER_CACHE_BLOCKS).tobytes()
+
+
+def _counter_bytes(start: int, count: int) -> "bytes | memoryview":
+    """Counter-block plaintext for the ECB-of-counters kernel."""
+    if start == 0 and count <= _COUNTER_CACHE_BLOCKS:
+        return memoryview(_counter_buffer())[: count * 16]
+    return _counter_block_array(start, count).tobytes()
+
+
 class AesCtr:
     """AES in counter mode with a 16-byte big-endian block counter.
 
@@ -95,6 +150,7 @@ class AesCtr:
         if self.backend not in _BACKEND_NAMES:
             raise ParameterError(f"unknown AES backend {self.backend!r}")
         self._pure_cipher: AES | None = None
+        self._ecb_encryptor = None
 
     # ------------------------------------------------------------------
     def _pure(self) -> AES:
@@ -102,13 +158,21 @@ class AesCtr:
             self._pure_cipher = AES(self.key)
         return self._pure_cipher
 
+    def _ecb(self):
+        """The one reusable EVP context of this cipher (OpenSSL backend).
+
+        ECB applies the raw block cipher independently per block, so a
+        single encryptor serves every keystream request of this object —
+        one EVP setup per key instead of one per call (the ROADMAP's
+        mask-generation ceiling).
+        """
+        if self._ecb_encryptor is None:
+            self._ecb_encryptor = Cipher(algorithms.AES(self.key), _ECB).encryptor()
+        return self._ecb_encryptor
+
     @staticmethod
     def _counter_blocks(start: int, count: int) -> np.ndarray:
-        blocks = np.zeros((count, 16), dtype=np.uint8)
-        idx = np.arange(start, start + count, dtype=np.uint64)
-        for byte in range(8):
-            blocks[:, 15 - byte] = (idx >> np.uint64(8 * byte)).astype(np.uint8)
-        return blocks
+        return _counter_block_array(start, count)
 
     def keystream(self, length: int, block_offset: int = 0) -> bytes:
         """Return ``length`` keystream bytes starting at ``block_offset``.
@@ -125,9 +189,18 @@ class AesCtr:
             return b""
         nblocks = -(-length // 16)
         if self.backend == "openssl":
+            if nblocks <= _COUNTER_CACHE_BLOCKS:
+                # ECB over the explicit counter blocks == CTR keystream,
+                # with the counter plaintext cached instead of rebuilt per
+                # call — the fast path for per-secret masks.
+                return self._ecb().update(
+                    _counter_bytes(block_offset, nblocks)
+                )[:length]
+            # Bulk requests: hardware CTR over a zero buffer beats
+            # materialising megabytes of counter plaintext.
             iv = int(block_offset).to_bytes(16, "big")
             enc = Cipher(algorithms.AES(self.key), modes.CTR(iv)).encryptor()
-            return enc.update(b"\0" * (nblocks * 16))[:length]
+            return enc.update(bytes(nblocks * 16))[:length]
         stream = self._pure().encrypt_blocks(
             self._counter_blocks(block_offset, nblocks)
         )
@@ -148,6 +221,10 @@ class AesCtr:
         if count < 0:
             raise ParameterError(f"negative word count {count}")
         if self.backend == "openssl":
+            # Deliberately *not* the ECB-of-counters kernel: this stream is
+            # the faithful per-word cost model, and hardware CTR stepping a
+            # zero word is the cheapest honest rendering of "one encryption
+            # call per word" (mirroring what the pre-kernel code did).
             enc = Cipher(
                 algorithms.AES(self.key), modes.CTR(b"\0" * 16)
             ).encryptor()
@@ -173,3 +250,46 @@ def mask_block(key: bytes, length: int) -> bytes:
     length)``, which is what makes CAONT-RS convergent.
     """
     return ctr_keystream(key, length)
+
+
+def mask_stack(
+    keys: list[bytes], length: int, backend: str | None = None
+) -> np.ndarray:
+    """AONT masks ``G(key)`` for a slab of secrets, as a ``(B, length)`` stack.
+
+    Row ``b`` equals ``mask_block(keys[b], length)``.  The per-key EVP
+    setup is irreducible (each secret keys its own stream), but everything
+    around it is amortised over the batch: the counter plaintext is built
+    once, the shared ECB mode object is reused, and each mask is written
+    straight into its row of one NumPy block via ``update_into`` — the
+    one-shot AES-ECB-of-counters kernel that lifts the mask-generation
+    ceiling on the batched CAONT-RS encode path.
+    """
+    if length < 0:
+        raise ParameterError(f"negative mask length {length}")
+    batch = len(keys)
+    if batch == 0 or length == 0:
+        return np.zeros((batch, length), dtype=np.uint8)
+    nblocks = -(-length // 16)
+    padded = nblocks * 16
+    name = backend or _active_backend
+    if name == "openssl" and nblocks <= _COUNTER_CACHE_BLOCKS:
+        counters = _counter_bytes(0, nblocks)
+        # ``update_into`` demands block_size - 1 slack beyond the payload.
+        out = np.empty((batch, padded + 15), dtype=np.uint8)
+        for row, key in enumerate(keys):
+            if len(key) not in (16, 24, 32):
+                raise CryptoError(
+                    f"AES key must be 16/24/32 bytes, got {len(key)}"
+                )
+            enc = Cipher(algorithms.AES(key), _ECB).encryptor()
+            enc.update_into(counters, out[row])
+        return out[:, :length]
+    # Pure backend, or masks too large for the counter cache: one
+    # keystream call per key (which itself picks the best bulk path).
+    out = np.empty((batch, length), dtype=np.uint8)
+    for row, key in enumerate(keys):
+        out[row] = np.frombuffer(
+            AesCtr(key, backend=name).keystream(length), dtype=np.uint8
+        )
+    return out

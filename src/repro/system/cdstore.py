@@ -54,6 +54,12 @@ class CDStoreSystem:
         Default encode-pool flavour for clients, ``"thread"`` or
         ``"process"`` (see :mod:`repro.client.comm` for when each wins);
         individual :meth:`client` calls may override it.
+    pipeline_depth:
+        Default streaming transfer-stage depth for clients (§4.6
+        pipelining): maximum encode slabs / restore windows in flight
+        between stages.  ``1`` keeps the serial-phase behaviour; values
+        above 1 overlap wire time with encoding/decoding even at
+        ``threads=1``.  Individual :meth:`client` calls may override it.
     clock:
         Optional simulated clock shared by all clients.  Each operation
         adds its own span (per-cloud makespan when the client is
@@ -72,6 +78,7 @@ class CDStoreSystem:
         key_server=None,
         threads: int = 1,
         workers: str = "thread",
+        pipeline_depth: int = 1,
         clock: SimClock | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
@@ -84,6 +91,7 @@ class CDStoreSystem:
         self.scheme = scheme
         self.threads = threads
         self.workers = workers
+        self.pipeline_depth = pipeline_depth
         self.clock = clock
         #: Optional DupLESS-style key server (§3.2 remarks): when set,
         #: clients encode with server-aided CAONT-RS instead of plain
@@ -115,12 +123,13 @@ class CDStoreSystem:
         chunker: Chunker | None = None,
         threads: int | None = None,
         workers: str | None = None,
+        pipeline_depth: int | None = None,
     ) -> CDStoreClient:
         """Get (or create) the CDStore client for ``user_id``.
 
-        ``threads`` and ``workers`` default to the system-wide settings;
-        pass explicit values to override for this client (first call wins —
-        clients are cached per user).
+        ``threads``, ``workers`` and ``pipeline_depth`` default to the
+        system-wide settings; pass explicit values to override for this
+        client (first call wins — clients are cached per user).
         """
         if user_id not in self._clients:
             codec = None
@@ -142,6 +151,9 @@ class CDStoreSystem:
                 scheme=self.scheme,
                 threads=self.threads if threads is None else threads,
                 workers=self.workers if workers is None else workers,
+                pipeline_depth=(
+                    self.pipeline_depth if pipeline_depth is None else pipeline_depth
+                ),
                 codec=codec,
                 clock=self.clock,
             )
