@@ -14,6 +14,13 @@ between machines bit-for-bit; the timing-derived entries are committed as
 *ratios* (kernel vs legacy path, vectorised vs reference) precisely so a
 slower CI runner does not read as a regression.
 
+The bench-smoke job runs once per chunker matrix leg (``rabin``/``gear``;
+``metrics.json`` records which in its ``chunker`` field).  Baseline keys
+containing a chunker tag as a dotted segment (e.g.
+``ingest.gear.chunk_over_rolling_rabin``) are compared only on that leg
+and reported as skipped on the others; the tag vocabulary is the baseline
+file's ``chunkers`` list.
+
 Environment:
 
 ``REPRO_BENCH_GATE_TOLERANCE``
@@ -53,12 +60,20 @@ def main() -> int:
         )
     )
 
+    leg = current.get("chunker", "rabin")
+    tags = set(baselines.get("chunkers", []))
+
+    def other_leg(key: str) -> bool:
+        """True when ``key`` is scoped to a different chunker matrix leg."""
+        segments = set(key.split("."))
+        return bool(segments & tags) and leg not in segments
+
     lines = [
         "## Bench-smoke perf gate",
         "",
         f"Tolerance: {tolerance:.0%} regression vs committed baselines "
         f"(baseline scale {baselines.get('scale')}, "
-        f"run scale {current.get('scale')}).",
+        f"run scale {current.get('scale')}, chunker leg `{leg}`).",
         "",
         "| metric | baseline | current | delta | status |",
         "|---|---:|---:|---:|---|",
@@ -68,6 +83,11 @@ def main() -> int:
     for key, base_value in sorted(baselines.get("metrics", {}).items()):
         got = measured.get(key)
         if got is None:
+            if other_leg(key):
+                lines.append(
+                    f"| `{key}` | {base_value:g} | — | — | skipped (other leg) |"
+                )
+                continue
             status = "MISSING"
             failures.append(f"{key}: not measured (baseline {base_value:g})")
             lines.append(f"| `{key}` | {base_value:g} | — | — | {status} |")

@@ -51,6 +51,13 @@ def pytest_collection_modifyitems(items) -> None:
 #: Multiplier applied by :func:`scaled`; see the module docstring.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1") or "1")
 
+#: Which chunker leg of the CI matrix this run is (``rabin`` | ``gear``).
+#: Benchmarks that chunk real bytes pass this registry spec to their
+#: chunker-selecting entry points (e.g. ``_make_secrets``); the perf gate
+#: skips baseline metrics tagged with the *other* leg (see
+#: ``check_regressions.py``).
+BENCH_CHUNKER = os.environ.get("REPRO_BENCH_CHUNKER", "rabin") or "rabin"
+
 #: Whether this pytest session has wiped the stale metrics file yet.
 #: The wipe happens lazily, on the first *actual* metric emission — not at
 #: collection time — so a fully-deselected run (``-m "not slow"``) leaves
@@ -94,6 +101,7 @@ def emit_metrics(metrics: dict[str, float]) -> None:
     if _METRICS_RESET and METRICS_PATH.exists():
         data = json.loads(METRICS_PATH.read_text())
         data["scale"] = BENCH_SCALE
+    data["chunker"] = BENCH_CHUNKER
     _METRICS_RESET = True
     data.setdefault("metrics", {}).update(
         {key: float(value) for key, value in metrics.items()}

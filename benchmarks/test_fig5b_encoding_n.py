@@ -5,7 +5,7 @@ CAONT-RS) because Reed-Solomon parity generation is cheap next to the
 AONT's cryptographic work.
 """
 
-from conftest import emit, scaled
+from conftest import BENCH_CHUNKER, emit, scaled
 
 from repro.bench.encoding import FIGURE5_SCHEMES, _make_secrets, encoding_speed, figure5b_k
 from repro.bench.reporting import format_table
@@ -15,7 +15,7 @@ N_LIST = (4, 8, 12, 16, 20)
 
 
 def test_fig5b(benchmark):
-    secrets = _make_secrets(DATA_BYTES)
+    secrets = _make_secrets(DATA_BYTES, chunker=BENCH_CHUNKER)
 
     def run():
         return [

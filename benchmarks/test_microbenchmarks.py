@@ -9,7 +9,7 @@ Reed-Solomon encode, SHA-256 hashing, Rabin chunking, and the LSM store.
 import time
 
 import numpy as np
-from conftest import emit, emit_metrics
+from conftest import BENCH_CHUNKER, emit, emit_metrics
 
 from repro.bench.reporting import format_table
 from repro.crypto.ciphers import AesCtr, available_aes_backends, mask_stack
@@ -85,11 +85,13 @@ def test_microbenchmarks(benchmark):
         for off in range(0, len(data), 8192):
             rs.encode(data[off : off + 8192])
         rows.append(["reed-solomon encode (4,3)", _rate(len(data), time.perf_counter() - start)])
-        # Rabin fingerprints: the vectorised pair-table kernel the client's
-        # ingest path actually runs, the byte-at-a-time rolling reference
-        # (kept only as executable documentation / property-test anchor),
-        # and the end-to-end chunker on top of the vectorised kernel.
-        from repro.chunking import RabinChunker
+        # Chunkers: the vectorised Rabin pair-table kernel, its
+        # byte-at-a-time rolling reference (kept only as executable
+        # documentation / property-test anchor), the two-level gear kernel
+        # (FastCDC-style), and both end-to-end ingest paths.  Both
+        # chunkers are always measured — the gear/rabin ratio feeds the
+        # perf gate on every matrix leg.
+        from repro.chunking import GearChunker, RabinChunker
 
         chunker = RabinChunker()
         start = time.perf_counter()
@@ -108,6 +110,19 @@ def test_microbenchmarks(benchmark):
         list(chunker.chunk_bytes(data[: 512 << 10]))
         rows.append([
             "rabin chunking (ingest path)",
+            _rate(512 << 10, time.perf_counter() - start),
+        ])
+        gear = GearChunker()
+        start = time.perf_counter()
+        gear.window_hashes(data[: 512 << 10])
+        rows.append([
+            "gear hashes (dense kernel)",
+            _rate(512 << 10, time.perf_counter() - start),
+        ])
+        start = time.perf_counter()
+        list(gear.chunk_bytes(data[: 512 << 10]))
+        rows.append([
+            "gear chunking (ingest path)",
             _rate(512 << 10, time.perf_counter() - start),
         ])
         # LSM store put/get throughput.
@@ -145,6 +160,13 @@ def test_microbenchmarks(benchmark):
         named["rabin fingerprints (vectorized)"]
         > named["rabin fingerprints (rolling ref)"]
     )
+    # The FastCDC-style gear chunker is the fast ingest path: its two-level
+    # kernel must beat the vectorised Rabin ingest by >= 3x (it measures
+    # ~6-8x; the slack absorbs CI timer noise on a machine-relative ratio).
+    assert (
+        named["gear chunking (ingest path)"]
+        >= 3.0 * named["rabin chunking (ingest path)"]
+    )
     assert named["lsm puts/s"] > 1000
     assert named["lsm gets/s"] > 1000
     # The batched ECB-of-counters kernel must not lose to the legacy
@@ -155,16 +177,26 @@ def test_microbenchmarks(benchmark):
     )
 
     # Machine-relative ratios travel across hosts, unlike raw MB/s; these
-    # feed the CI perf-regression gate.
-    emit_metrics(
-        {
-            "micro.mask_kernel_over_legacy_ctr": (
-                named["aont mask (batched ecb kernel)"]
-                / named["aont mask (legacy ctr / secret)"]
-            ),
-            "micro.rabin_vectorized_over_rolling": (
-                named["rabin fingerprints (vectorized)"]
-                / named["rabin fingerprints (rolling ref)"]
-            ),
-        }
-    )
+    # feed the CI perf-regression gate.  The `ingest.<chunker>.` entry is
+    # tagged with this run's matrix leg — the gate skips the other leg's
+    # baseline (see check_regressions.py).
+    metrics = {
+        "micro.mask_kernel_over_legacy_ctr": (
+            named["aont mask (batched ecb kernel)"]
+            / named["aont mask (legacy ctr / secret)"]
+        ),
+        "micro.rabin_vectorized_over_rolling": (
+            named["rabin fingerprints (vectorized)"]
+            / named["rabin fingerprints (rolling ref)"]
+        ),
+        "micro.gear_over_rabin_ingest": (
+            named["gear chunking (ingest path)"]
+            / named["rabin chunking (ingest path)"]
+        ),
+    }
+    leg_row = f"{BENCH_CHUNKER} chunking (ingest path)"
+    if leg_row in named:
+        metrics[f"ingest.{BENCH_CHUNKER}.chunk_over_rolling_rabin"] = (
+            named[leg_row] / named["rabin fingerprints (rolling ref)"]
+        )
+    emit_metrics(metrics)

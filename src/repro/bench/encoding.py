@@ -38,7 +38,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.chunking.rabin import RabinChunker
+from repro.chunking.registry import create_chunker
 from repro.client.workers import WORKER_MODES, slab_spans
 from repro.crypto.drbg import DRBG
 from repro.errors import ParameterError
@@ -114,10 +114,16 @@ class EncodingResult:
         return self.data_bytes / 1e6 / self.seconds if self.seconds else float("inf")
 
 
-def _make_secrets(data_bytes: int, seed: str = "fig5") -> list[bytes]:
-    """Variable-size chunks of random data (8 KB average, §5.3)."""
+def _make_secrets(
+    data_bytes: int, seed: str = "fig5", chunker: str | None = None
+) -> list[bytes]:
+    """Variable-size chunks of random data (8 KB average, §5.3).
+
+    ``chunker`` is a registry spec (``"rabin"`` default, ``"gear"`` for
+    the FastCDC leg of the benchmark matrix).
+    """
     data = DRBG(seed).random_bytes(data_bytes)
-    return [chunk.data for chunk in RabinChunker().chunk_bytes(data)]
+    return [chunk.data for chunk in create_chunker(chunker).chunk_bytes(data)]
 
 
 def _greedy_makespan(durations: list[float], width: int) -> float:
@@ -170,6 +176,7 @@ def encoding_speed(
     secrets: list[bytes] | None = None,
     repeats: int = 1,
     workers: str = "thread",
+    chunker: str | None = None,
 ) -> EncodingResult:
     """Measure one scheme's encoding speed (best of ``repeats`` runs)."""
     if workers not in WORKER_MODES:
@@ -177,7 +184,7 @@ def encoding_speed(
             f"unknown workers mode {workers!r}; expected one of {WORKER_MODES}"
         )
     if secrets is None:
-        secrets = _make_secrets(data_bytes)
+        secrets = _make_secrets(data_bytes, chunker=chunker)
     total = sum(len(s) for s in secrets)
     spec = (scheme, n, k)
     if workers == "process":
@@ -213,9 +220,10 @@ def sweep_threads(
     data_bytes: int = 2 << 20,
     workers: str = "thread",
     repeats: int = 1,
+    chunker: str | None = None,
 ) -> list[EncodingResult]:
     """Figure 5(a): encoding speed vs pool width at (n, k)=(4, 3)."""
-    secrets = _make_secrets(data_bytes)
+    secrets = _make_secrets(data_bytes, chunker=chunker)
     return [
         encoding_speed(
             scheme, n=n, k=k, threads=t, secrets=secrets, workers=workers,
@@ -237,9 +245,10 @@ def sweep_n(
     threads: int = 2,
     data_bytes: int = 2 << 20,
     workers: str = "thread",
+    chunker: str | None = None,
 ) -> list[EncodingResult]:
     """Figure 5(b): encoding speed vs n with k = floor(3n/4), 2 threads."""
-    secrets = _make_secrets(data_bytes)
+    secrets = _make_secrets(data_bytes, chunker=chunker)
     return [
         encoding_speed(
             scheme, n=n, k=figure5b_k(n), threads=threads, secrets=secrets,

@@ -1,14 +1,44 @@
-"""Chunking substrate (§4.2): fixed-size and Rabin variable-size chunkers.
+"""Chunking substrate (§4.2): a registry of selectable chunkers.
 
 A CDStore client splits each backup file into *secrets* (chunks) before
 convergent dispersal.  Variable-size chunking — content-defined boundaries
-from a Rabin rolling fingerprint [49] — is the default because it is robust
-to content shifting; the paper configures average/min/max chunk sizes of
-8 KB / 2 KB / 16 KB.
+from a rolling fingerprint — is the default because it is robust to
+content shifting; the paper configures average/min/max chunk sizes of
+8 KB / 2 KB / 16 KB over a Rabin fingerprint [49].
+
+Three chunkers are registered (see :mod:`repro.chunking.registry` for the
+``name:key=value,...`` spec-string grammar used by the CLI and benchmarks):
+
+* ``rabin`` — the paper's Rabin-fingerprint chunker (default);
+* ``gear`` — FastCDC-style gear chunker: the same boundary robustness at
+  several times the ingest throughput (normalized masks, min-size
+  cut-point skipping, two-level vectorised kernel);
+* ``fixed`` — fixed-size chunks (§4.2's simpler alternative, used by the
+  VM dataset).
 """
 
 from repro.chunking.base import Chunk, Chunker
 from repro.chunking.fixed import FixedChunker
+from repro.chunking.gear import GEAR_WINDOW, GearChunker
 from repro.chunking.rabin import RabinChunker
+from repro.chunking.registry import (
+    DEFAULT_CHUNKER,
+    ChunkerSpec,
+    chunker_names,
+    create_chunker,
+    register_chunker,
+)
 
-__all__ = ["Chunk", "Chunker", "FixedChunker", "RabinChunker"]
+__all__ = [
+    "Chunk",
+    "Chunker",
+    "ChunkerSpec",
+    "DEFAULT_CHUNKER",
+    "FixedChunker",
+    "GEAR_WINDOW",
+    "GearChunker",
+    "RabinChunker",
+    "chunker_names",
+    "create_chunker",
+    "register_chunker",
+]

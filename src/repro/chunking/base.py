@@ -41,6 +41,12 @@ class Chunker(abc.ABC):
     survive insertions (variable-size chunking's whole point).
     """
 
+    def spec(self):
+        """The picklable :class:`~repro.chunking.registry.ChunkerSpec` this
+        chunker was built from, or None for hand-constructed instances —
+        the same contract as the codec specs of §4.6's process workers."""
+        return getattr(self, "_spec", None)
+
     @abc.abstractmethod
     def chunk_bytes(self, data: bytes) -> Iterator[Chunk]:
         """Yield the chunks of ``data`` in order."""

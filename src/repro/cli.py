@@ -25,6 +25,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.chunking import ChunkerSpec, chunker_names
 from repro.cloud.network import Link
 from repro.cloud.provider import CloudProvider
 from repro.errors import ReproError
@@ -34,6 +35,37 @@ from repro.system.cdstore import CDStoreSystem
 __all__ = ["main", "build_parser"]
 
 _CONFIG_NAME = "cdstore.json"
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer.
+
+    Validating here turns ``--pipeline-depth 0`` into a clear usage error
+    at parse time instead of a :class:`ParameterError` surfacing from deep
+    inside the comm engine mid-backup.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _chunker_arg(text: str) -> str:
+    """argparse type: a chunker spec string, validated eagerly.
+
+    Parses the spec *and* constructs the chunker once, so an unknown name,
+    a bad parameter or an out-of-range value (``gear:avg=1000``) fails as
+    an argparse usage error before any cloud is touched.  Returns the
+    original string (the system re-resolves it).
+    """
+    try:
+        ChunkerSpec.parse(text).create()
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def _load_system(root: Path) -> CDStoreSystem:
@@ -59,6 +91,7 @@ def _load_system(root: Path) -> CDStoreSystem:
         salt=config["salt"].encode("utf-8"),
         clouds=clouds,
         index_root=root / "indices",
+        chunker=config.get("chunker", "rabin"),
     )
 
 
@@ -74,12 +107,12 @@ def cmd_init(args: argparse.Namespace) -> int:
         print(f"error: {root} already initialised", file=sys.stderr)
         return 1
     root.mkdir(parents=True, exist_ok=True)
-    config = {"n": args.n, "k": args.k, "salt": args.salt}
+    config = {"n": args.n, "k": args.k, "salt": args.salt, "chunker": args.chunker}
     config_path.write_text(json.dumps(config, indent=2) + "\n")
     for i in range(args.n):
         (root / f"cloud-{i}").mkdir(exist_ok=True)
     print(f"initialised CDStore deployment at {root} "
-          f"(n={args.n}, k={args.k})")
+          f"(n={args.n}, k={args.k}, chunker={args.chunker})")
     return 0
 
 
@@ -91,6 +124,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
         name = args.name or str(source)
         client = system.client(
             args.user,
+            chunker=args.chunker,
             threads=args.threads,
             workers=args.workers,
             pipeline_depth=args.pipeline_depth,
@@ -191,11 +225,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    chunker_help = (
+        f"chunker spec: one of {{{', '.join(chunker_names())}}}, optionally "
+        "with parameters, e.g. 'gear:avg=8192,min=2048,max=16384'; 'gear' "
+        "(FastCDC-style) ingests several times faster than 'rabin' with "
+        "equivalent dedup; clients only deduplicate against backups made "
+        "with the same chunker"
+    )
+
     p = sub.add_parser("init", help="create a deployment directory")
     p.add_argument("--root", required=True)
     p.add_argument("--n", type=int, default=4)
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--salt", default="")
+    p.add_argument(
+        "--chunker", type=_chunker_arg, default="rabin",
+        help=f"deployment-wide default {chunker_help}",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("backup", help="back up a file")
@@ -204,7 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--name", help="stored name (defaults to the path)")
     p.add_argument(
-        "--threads", type=int, default=1,
+        "--chunker", type=_chunker_arg, default=None,
+        help=f"override the deployment's {chunker_help}",
+    )
+    p.add_argument(
+        "--threads", type=_positive_int, default=1,
         help="encode/transfer threads; >1 uploads to all clouds "
              "concurrently (§4.6)",
     )
@@ -214,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
              "encoding with cores; 'thread' avoids fork/pickling overhead",
     )
     p.add_argument(
-        "--pipeline-depth", type=int, default=4, dest="pipeline_depth",
+        "--pipeline-depth", type=_positive_int, default=4, dest="pipeline_depth",
         help="streaming transfer-stage depth: max encode slabs in flight "
              "between encoding and the per-cloud upload queues; 1 runs the "
              "stages serially (encode everything, then upload)",
@@ -227,7 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("-o", "--output", required=True)
     p.add_argument(
-        "--threads", type=int, default=1,
+        "--threads", type=_positive_int, default=1,
         help="transfer threads; >1 fetches from the k clouds concurrently",
     )
     p.add_argument(
@@ -235,7 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="encode-pool flavour for re-encoding paths (see backup)",
     )
     p.add_argument(
-        "--pipeline-depth", type=int, default=4, dest="pipeline_depth",
+        "--pipeline-depth", type=_positive_int, default=4, dest="pipeline_depth",
         help="streaming restore depth: max 4 MB share windows in flight "
              "between the per-cloud fetch queues and decoding; 1 fetches "
              "the whole file before the first decode",

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chunking.base import Chunker
-from repro.chunking.rabin import RabinChunker
+from repro.chunking.registry import ChunkerSpec, create_chunker
 from repro.client.comm import FETCH_ERRORS, UPLOAD_BATCH_BYTES, CommEngine
 from repro.client.workers import plan_windows
 from repro.cloud.network import SimClock
@@ -87,7 +87,11 @@ class CDStoreClient:
         Organisation-wide convergent salt (shared by all clients of the
         organisation so their data deduplicates against each other).
     chunker:
-        Defaults to the paper's 8 KB-average Rabin chunker.
+        A live :class:`~repro.chunking.base.Chunker`, a picklable
+        :class:`~repro.chunking.registry.ChunkerSpec`, or a spec string
+        like ``"gear:avg=8192"`` (see :mod:`repro.chunking.registry`).
+        Defaults to the paper's 8 KB-average Rabin chunker.  Clients only
+        deduplicate against each other when they chunk identically.
     scheme:
         Convergent codec name (default ``"caont-rs"``).
     threads:
@@ -111,7 +115,7 @@ class CDStoreClient:
         servers: list[CDStoreServer],
         k: int,
         salt: bytes = b"",
-        chunker: Chunker | None = None,
+        chunker: Chunker | ChunkerSpec | str | None = None,
         scheme: str = "caont-rs",
         threads: int = 1,
         workers: str = "thread",
@@ -132,7 +136,7 @@ class CDStoreClient:
         self.dispersal = ConvergentDispersal(
             self.n, k, scheme=scheme, salt=salt, codec=codec
         )
-        self.chunker = chunker if chunker is not None else RabinChunker()
+        self.chunker = create_chunker(chunker)
         self._path_sharer = SSSS(self.n, k)
         self.stats = DedupStats()
         #: Per-cloud share bytes per restore window (streaming restores

@@ -55,8 +55,12 @@ rebuilds the codec once from the dispersal's picklable spec, caches it,
 and encodes whole slabs with the vectorised batch kernels, so encoding
 escapes the GIL and scales with cores like the paper's C++ prototype
 (Figure 5a).  The price is one fork per worker and one pickling
-round-trip per slab (secrets out, shares back) — noise for multi-megabyte
-backups, overhead for tiny ones.  Processes win for bulk encoding on
+round-trip per slab — and on platforms with
+``multiprocessing.shared_memory`` only the *reply* (shares back) is
+pickled: slab payloads are written once into per-slab shared segments
+that workers read in place, unlinked by the slab-release hook the moment
+every cloud drained the slab.  Noise for multi-megabyte backups, overhead
+for tiny ones.  Processes win for bulk encoding on
 multi-core hosts.  A dispersal whose ``spec()`` is None (pre-built codec
 objects) silently falls back to the thread pool, keeping behaviour
 correct everywhere.
@@ -73,8 +77,10 @@ from typing import Callable, Iterator, Sequence, TypeVar
 from repro.chunking.base import Chunk
 from repro.client.workers import (
     ProcessEncodePool,
+    SharedSlabTransport,
     SlabbedShareSets,
     WORKER_MODES,
+    shared_slabs_available,
     slab_spans,
 )
 from repro.cloud.network import SimClock, batch_count, makespan
@@ -429,7 +435,7 @@ class CommEngine:
     # ------------------------------------------------------------------
     def _submit_encode_slabs(
         self, dispersal: ConvergentDispersal, chunks: list[Chunk]
-    ) -> SlabbedShareSets:
+    ) -> tuple[SlabbedShareSets, SharedSlabTransport | None]:
         """Fan chunker output into encode slabs on the configured pool.
 
         Chunks are grouped into contiguous slabs sized for the pool (see
@@ -438,32 +444,63 @@ class CommEngine:
         configured *and* the dispersal has a picklable spec; otherwise the
         slab runs on the thread pool.
 
+        Process-encoded slabs ship their payload through shared memory
+        when the platform allows: the secrets are written once into a
+        per-slab segment and the worker addresses ``(offset, length)``
+        spans, so the task pickle stays tiny.  The returned transport (or
+        None) owns those segments; the slab queue's release hook unlinks
+        each segment as soon as every cloud has drained its slab, and the
+        caller must :meth:`~SharedSlabTransport.close` the transport after
+        the upload to sweep error paths.
+
         When streaming, slabs are submitted lazily: at most
         ``pipeline_depth`` beyond the slowest cloud worker, each dropped
         from memory once every cloud has drained it.
         """
         assert self._encode_pool is not None
         spans = slab_spans([chunk.size for chunk in chunks], self.threads)
+        slab_of = {start: idx for idx, (start, _end) in enumerate(spans)}
         pool = None
+        transport = None
         if self.workers == "process" and dispersal.spec() is not None:
             pool = self._ensure_process_pool()
+            if shared_slabs_available():
+                transport = SharedSlabTransport()
 
         def submit(start: int, end: int) -> Future:
             secrets = [chunk.data for chunk in chunks[start:end]]
-            if pool is not None:
+            if pool is None:
+                return self._encode_pool.submit(dispersal.encode_batch, secrets)
+            if transport is None:
                 return pool.submit(dispersal, secrets)
-            return self._encode_pool.submit(dispersal.encode_batch, secrets)
+            name, layout = transport.publish(slab_of[start], secrets)
+            return pool.submit_shared(dispersal, name, layout)
 
-        if self.streaming:
-            return SlabbedShareSets(
-                spans=spans,
-                submit=submit,
-                depth=self.pipeline_depth,
-                consumers=len(self.servers),
-            )
-        return SlabbedShareSets(
-            [submit(s, e) for s, e in spans], spans, consumers=len(self.servers)
-        )
+        release = transport.release if transport is not None else None
+        try:
+            if self.streaming:
+                view = SlabbedShareSets(
+                    spans=spans,
+                    submit=submit,
+                    depth=self.pipeline_depth,
+                    consumers=len(self.servers),
+                    release=release,
+                )
+            else:
+                view = SlabbedShareSets(
+                    [submit(s, e) for s, e in spans],
+                    spans,
+                    consumers=len(self.servers),
+                    release=release,
+                )
+        except BaseException:
+            # An eager submit raised before the caller could own the
+            # transport: sweep the segments already published, or they
+            # stay linked until interpreter exit.
+            if transport is not None:
+                transport.close()
+            raise
+        return view, transport
 
     def upload_file(
         self,
@@ -480,14 +517,21 @@ class CommEngine:
         if self.parallel and len(chunks) > 1:
             self._ensure_workers()
             assert self._cloud_workers is not None
-            encoded = self._submit_encode_slabs(dispersal, chunks)
-            futures = [
-                self._cloud_workers[idx].submit(
-                    self._upload_to_cloud, idx, user_id, chunks, encoded
-                )
-                for idx in range(n)
-            ]
-            results = self._gather(futures)
+            encoded, transport = self._submit_encode_slabs(dispersal, chunks)
+            try:
+                futures = [
+                    self._cloud_workers[idx].submit(
+                        self._upload_to_cloud, idx, user_id, chunks, encoded
+                    )
+                    for idx in range(n)
+                ]
+                results = self._gather(futures)
+            finally:
+                # Normally every segment was already unlinked by the
+                # release hook; on error paths this sweeps the stragglers
+                # (their encodes were abandoned with the upload).
+                if transport is not None:
+                    transport.close()
         else:
             uploaders = [
                 CloudUploader(self.servers[idx], idx, user_id) for idx in range(n)

@@ -25,6 +25,14 @@ Design notes:
 * **Slabs, not secrets** — one IPC round-trip per ~1 MB slab instead of per
   8 KB secret keeps pickling overhead well under the encode cost and gives
   each worker a batch large enough for the vectorised kernels to pay off.
+* **Shared-memory payloads** — when the platform supports
+  ``multiprocessing.shared_memory`` (see :class:`SharedSlabTransport`),
+  a slab's secrets are written once into a shared segment and the task
+  pickle carries only ``(segment name, spans)``; the worker reads the
+  payload in place, so the request side of the IPC copy disappears at
+  large backup sizes.  Segments are unlinked by the slab-release hook the
+  moment every cloud has drained the slab, bounding shared memory to the
+  pipeline window.
 * **Warm-up before threads** — the pool forks its workers eagerly (see
   :meth:`ProcessEncodePool.warm`) so no worker inherits a transiently held
   lock from the comm engine's cloud-worker threads.
@@ -41,6 +49,12 @@ from bisect import bisect_right
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Sequence
 
+try:  # POSIX shared memory; absent on some minimal platforms.
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exercised only on such platforms
+    resource_tracker = None
+    shared_memory = None
+
 from repro.core.convergent import ConvergentDispersal
 from repro.errors import ParameterError
 from repro.sharing.base import ShareSet
@@ -49,10 +63,13 @@ __all__ = [
     "ENCODE_SLAB_BYTES",
     "WORKER_MODES",
     "ProcessEncodePool",
+    "SharedSlabTransport",
     "SlabbedShareSets",
     "SlabStream",
+    "encode_shm_slab_in_worker",
     "encode_slab_in_worker",
     "plan_windows",
+    "shared_slabs_available",
     "slab_spans",
 ]
 
@@ -80,6 +97,114 @@ def _codec_for(spec: tuple) -> ConvergentDispersal:
 def encode_slab_in_worker(spec: tuple, secrets: list[bytes]) -> list[ShareSet]:
     """Encode one slab inside a worker process (top level, so picklable)."""
     return _codec_for(spec).encode_batch(secrets)
+
+
+def shared_slabs_available() -> bool:
+    """Whether slab payloads can travel via POSIX shared memory."""
+    return shared_memory is not None
+
+
+def _attach_slab_segment(name: str):
+    """Attach to a parent-owned slab segment from a worker process.
+
+    The parent owns the segment's lifetime (it unlinks on slab release),
+    so the attaching side must not register it with its own
+    ``resource_tracker`` — otherwise every worker's tracker would try to
+    clean up (and warn about) segments it never owned.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    if resource_tracker is not None:
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return segment
+
+
+def encode_shm_slab_in_worker(
+    spec: tuple, segment_name: str, spans: list[tuple[int, int]]
+) -> list[ShareSet]:
+    """Encode one shared-memory slab inside a worker process.
+
+    The slab payload was written once into the segment by the parent's
+    :class:`SharedSlabTransport`; each secret is the ``(offset, length)``
+    span recorded in ``spans``, so the task pickle carries only the
+    segment name and span list — the per-secret byte copy through the IPC
+    pipe disappears.
+    """
+    codec = _codec_for(spec)
+    segment = _attach_slab_segment(segment_name)
+    try:
+        view = segment.buf
+        secrets = [bytes(view[offset : offset + length]) for offset, length in spans]
+    finally:
+        segment.close()
+    return codec.encode_batch(secrets)
+
+
+class SharedSlabTransport:
+    """Parent-side shared-memory arena for in-flight encode slabs.
+
+    One segment per slab: :meth:`publish` writes the slab's secrets once
+    and returns the ``(segment name, spans)`` address a worker resolves
+    with :func:`encode_shm_slab_in_worker`; :meth:`release` — wired to the
+    credit-based :class:`SlabbedShareSets` release hook — unlinks the
+    segment the moment every cloud worker has drained the slab, so shared
+    memory held never exceeds the pipeline window.  :meth:`close` sweeps
+    stragglers on error paths; a worker that loses the race and finds the
+    segment gone fails its (already abandoned) slab, nothing else.
+    """
+
+    def __init__(self) -> None:
+        if not shared_slabs_available():
+            raise ParameterError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        self._segments: dict[int, "shared_memory.SharedMemory"] = {}
+        self._lock = threading.Lock()
+
+    def publish(
+        self, slab: int, secrets: Sequence[bytes]
+    ) -> tuple[str, list[tuple[int, int]]]:
+        """Write one slab's secrets into a fresh segment; return its address."""
+        total = sum(len(secret) for secret in secrets)
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        spans: list[tuple[int, int]] = []
+        view = segment.buf
+        offset = 0
+        for secret in secrets:
+            view[offset : offset + len(secret)] = secret
+            spans.append((offset, len(secret)))
+            offset += len(secret)
+        with self._lock:
+            self._segments[slab] = segment
+        return segment.name, spans
+
+    def _destroy(self, segment) -> None:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+
+    def release(self, slab: int) -> None:
+        """Unlink ``slab``'s segment (idempotent)."""
+        with self._lock:
+            segment = self._segments.pop(slab, None)
+        if segment is not None:
+            self._destroy(segment)
+
+    def close(self) -> None:
+        """Unlink every remaining segment (error-path sweep)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for segment in segments:
+            self._destroy(segment)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
 
 
 def _worker_warmup() -> None:
@@ -204,6 +329,11 @@ class SlabbedShareSets:
     order while later slabs are still encoding — the Figure 4(a)
     pipelining at slab granularity.  Safe for concurrent readers:
     :meth:`Future.result` is thread-safe and caches its value.
+
+    ``release`` (optional) is called exactly once per slab index, in slab
+    order, the moment every consumer has drained that slab — the hook the
+    shared-memory transport uses to unlink a slab's segment as soon as its
+    shares are on the wire.
     """
 
     def __init__(
@@ -214,6 +344,7 @@ class SlabbedShareSets:
         submit: Callable[[int, int], Future] | None = None,
         depth: int = 0,
         consumers: int = 1,
+        release: Callable[[int], None] | None = None,
     ) -> None:
         if (futures is None) == (submit is None):
             raise ParameterError("pass exactly one of futures= or submit=")
@@ -228,6 +359,7 @@ class SlabbedShareSets:
         self._count = self._spans[-1][1] if self._spans else 0
         self._consumers = consumers
         self._submit = submit
+        self._release_hook = release
         self._depth = depth if depth > 0 else len(self._spans)
         self._cond = threading.Condition()
         self._futures: list[Future | None] = (
@@ -249,14 +381,28 @@ class SlabbedShareSets:
     # submission / backpressure
     # ------------------------------------------------------------------
     def _pump_locked(self) -> None:
-        """Submit pending slabs while the backpressure window has room."""
+        """Submit pending slabs while the backpressure window has room.
+
+        A submit that *raises* (a broken process pool, a full ``/dev/shm``
+        on the shared-memory publish) is captured as a failed future: the
+        consumers observe the error at ``result()`` and unwind through
+        their stream context managers.  Swallowing it into the slab slot —
+        rather than letting it escape whichever consumer happened to turn
+        the pump — is what keeps the other cloud workers from blocking
+        forever on a slot that would otherwise stay None.
+        """
         while (
             self._submit is not None
             and self._submitted < len(self._spans)
             and self._submitted - self._freed < self._depth
         ):
             start, end = self._spans[self._submitted]
-            self._futures[self._submitted] = self._submit(start, end)
+            try:
+                future = self._submit(start, end)
+            except BaseException as exc:
+                future = Future()
+                future.set_exception(exc)
+            self._futures[self._submitted] = future
             self._submitted += 1
             self._cond.notify_all()
 
@@ -273,8 +419,11 @@ class SlabbedShareSets:
             ):
                 # Every consumer is done with this slab: drop our reference
                 # so the Future (and its cached ShareSet list) can be
-                # collected, then let the next slab enter the window.
+                # collected, fire the release hook (shared-memory segments
+                # unlink here), then let the next slab enter the window.
                 self._futures[self._freed] = None
+                if self._release_hook is not None:
+                    self._release_hook(self._freed)
                 self._freed += 1
             self._pump_locked()
 
@@ -343,6 +492,28 @@ class ProcessEncodePool:
         self.warm()
         assert self._pool is not None
         return self._pool.submit(encode_slab_in_worker, spec, secrets)
+
+    def submit_shared(
+        self,
+        dispersal: ConvergentDispersal,
+        segment_name: str,
+        spans: list[tuple[int, int]],
+    ) -> Future:
+        """Encode a slab already published to shared memory.
+
+        The task pickle carries only the segment name and the per-secret
+        ``(offset, length)`` spans — the worker reads the payload straight
+        from the segment (see :class:`SharedSlabTransport`).
+        """
+        spec = dispersal.spec()
+        if spec is None:
+            raise ParameterError(
+                f"dispersal for scheme {dispersal.scheme!r} has no picklable "
+                "spec; process workers cannot encode it"
+            )
+        self.warm()
+        assert self._pool is not None
+        return self._pool.submit(encode_shm_slab_in_worker, spec, segment_name, spans)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.chunking.base import Chunker
+from repro.chunking.registry import ChunkerSpec
 from repro.cloud.network import Link, SimClock
 from repro.cloud.provider import CloudProvider
 from repro.client.client import CDStoreClient
@@ -47,6 +48,14 @@ class CDStoreSystem:
     index_root:
         If given, servers use durable LSM indices under this directory;
         otherwise in-memory indices.
+    chunker:
+        Default chunker for clients this system creates: a live
+        :class:`~repro.chunking.base.Chunker`, a
+        :class:`~repro.chunking.registry.ChunkerSpec` or a spec string
+        like ``"gear"`` (None = the paper's Rabin default).  Clients only
+        deduplicate against each other when they chunk identically, so an
+        organisation normally fixes this system-wide; individual
+        :meth:`client` calls may still override it.
     threads:
         Default comm/encode thread count for clients this system creates
         (§4.6); individual :meth:`client` calls may override it.
@@ -76,6 +85,7 @@ class CDStoreSystem:
         index_root: str | Path | None = None,
         scheme: str = "caont-rs",
         key_server=None,
+        chunker: Chunker | ChunkerSpec | str | None = None,
         threads: int = 1,
         workers: str = "thread",
         pipeline_depth: int = 1,
@@ -89,6 +99,7 @@ class CDStoreSystem:
         self.k = k
         self.salt = salt
         self.scheme = scheme
+        self.chunker = chunker
         self.threads = threads
         self.workers = workers
         self.pipeline_depth = pipeline_depth
@@ -120,16 +131,17 @@ class CDStoreSystem:
     def client(
         self,
         user_id: str,
-        chunker: Chunker | None = None,
+        chunker: Chunker | ChunkerSpec | str | None = None,
         threads: int | None = None,
         workers: str | None = None,
         pipeline_depth: int | None = None,
     ) -> CDStoreClient:
         """Get (or create) the CDStore client for ``user_id``.
 
-        ``threads``, ``workers`` and ``pipeline_depth`` default to the
-        system-wide settings; pass explicit values to override for this
-        client (first call wins — clients are cached per user).
+        ``chunker``, ``threads``, ``workers`` and ``pipeline_depth``
+        default to the system-wide settings; pass explicit values to
+        override for this client (first call wins — clients are cached
+        per user).
         """
         if user_id not in self._clients:
             codec = None
@@ -147,7 +159,7 @@ class CDStoreSystem:
                 servers=self.servers,
                 k=self.k,
                 salt=self.salt,
-                chunker=chunker,
+                chunker=self.chunker if chunker is None else chunker,
                 scheme=self.scheme,
                 threads=self.threads if threads is None else threads,
                 workers=self.workers if workers is None else workers,

@@ -121,3 +121,88 @@ class TestCost:
         out = capsys.readouterr().out
         assert "CDStore" in out
         assert "saving vs AONT-RS" in out
+
+
+class TestChunkerFlag:
+    def test_gear_backup_restore_roundtrip(self, deployment, tmp_path):
+        src = write_file(tmp_path, "g.bin")
+        assert main([
+            "backup", "--root", str(deployment), "--user", "alice", src,
+            "--chunker", "gear",
+        ]) == 0
+        out = tmp_path / "g-restored.bin"
+        assert main([
+            "restore", "--root", str(deployment), "--user", "alice", src,
+            "-o", str(out),
+        ]) == 0
+        assert out.read_bytes() == open(src, "rb").read()
+
+    def test_parameterised_spec_accepted(self, deployment, tmp_path):
+        src = write_file(tmp_path, "p.bin", 60_000)
+        assert main([
+            "backup", "--root", str(deployment), "--user", "alice", src,
+            "--chunker", "gear:avg=4096,min=1024,max=8192",
+        ]) == 0
+
+    def test_init_persists_deployment_chunker(self, tmp_path, capsys):
+        root = tmp_path / "gearstore"
+        assert main([
+            "init", "--root", str(root), "--chunker", "gear", "--salt", "org",
+        ]) == 0
+        assert "chunker=gear" in capsys.readouterr().out
+        src = write_file(tmp_path, "d.bin")
+        # Backups inherit the deployment default (no --chunker needed) and
+        # deduplicate against each other, proving both used gear.
+        main(["backup", "--root", str(root), "--user", "alice", src,
+              "--name", "/v1"])
+        capsys.readouterr()
+        main(["backup", "--root", str(root), "--user", "alice", src,
+              "--name", "/v2"])
+        assert "100.0%" in capsys.readouterr().out
+
+
+class TestArgumentValidation:
+    """Bad flags must die as argparse usage errors (exit code 2), not as
+    ValueErrors surfacing from deep inside a half-done backup."""
+
+    def _backup_args(self, deployment, tmp_path, *extra):
+        src = write_file(tmp_path, "v.bin", 5_000)
+        return ["backup", "--root", str(deployment), "--user", "alice", src,
+                *extra]
+
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_bad_pipeline_depth_rejected(self, deployment, tmp_path, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._backup_args(deployment, tmp_path, "--pipeline-depth", value))
+        assert excinfo.value.code == 2
+        assert "--pipeline-depth" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_bad_threads_rejected(self, deployment, tmp_path, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._backup_args(deployment, tmp_path, "--threads", value))
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus",                    # unknown chunker
+            "gear:windowsill=48",       # unknown parameter
+            "gear:avg=notanum",         # non-integer value
+            "gear:avg=1000",            # not a power of two
+            "gear:avg=256,min=512,max=128",  # inverted bounds
+        ],
+    )
+    def test_malformed_chunker_spec_rejected(self, deployment, tmp_path, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._backup_args(deployment, tmp_path, "--chunker", spec))
+        assert excinfo.value.code == 2
+        assert "--chunker" in capsys.readouterr().err
+
+    def test_restore_validates_too(self, deployment, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "restore", "--root", str(deployment), "--user", "alice", "/x",
+                "-o", str(tmp_path / "o.bin"), "--pipeline-depth", "0",
+            ])
+        assert excinfo.value.code == 2

@@ -359,6 +359,48 @@ class TestBoundedSlabQueue:
         assert results == [f"slab-{i}" for i in range(4)]
         assert submitted == spans
 
+    def test_failing_submit_poisons_slab_instead_of_deadlocking(self):
+        """A submit that raises (broken pool, full /dev/shm) must surface
+        as the slab's error on every consumer — not leave the slot empty
+        with the other cloud workers blocked on it forever."""
+        spans = [(0, 1), (1, 2), (2, 3)]
+
+        def submit(start: int, end: int) -> Future:
+            if start == 1:
+                raise OSError("no space left on device")
+            future: Future = Future()
+            future.set_result([f"slab-{start}"])
+            return future
+
+        view = SlabbedShareSets(spans=spans, submit=submit, depth=1, consumers=2)
+
+        def consume() -> list:
+            got: list = []
+            with view.stream() as stream:
+                for _seq, item in stream:
+                    got.append(item)
+            return got
+
+        errors: list[BaseException] = []
+        partials: list[list] = []
+
+        def worker():
+            try:
+                partials.append(consume())
+            except BaseException as exc:  # noqa: BLE001 - recording for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads), "consumer hung"
+        assert len(errors) == 2 and all(
+            isinstance(exc, OSError) for exc in errors
+        )
+        assert not partials
+
     def test_mixed_constructor_arguments_rejected(self):
         with pytest.raises(ParameterError):
             SlabbedShareSets(None, [])
