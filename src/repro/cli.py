@@ -11,11 +11,18 @@ Gives the library the operational surface a downstream user expects:
     python -m repro delete  --root ./store --user alice /path/to/file
     python -m repro stats   --root ./store
     python -m repro cost    --weekly-tb 16 --dedup 10
+    python -m repro serve   --root ./store --cloud 0 --port 9300
 
 The deployment persists under ``--root``: one :class:`LocalDirBackend`
 directory per simulated cloud and one LSM index directory per server, so
 separate invocations see the same state (including deduplication against
 earlier backups).
+
+Network mode: ``repro serve`` hosts one cloud's server as a TCP service,
+and ``repro init --cloud-spec tcp://host:port`` records that a cloud
+lives behind such a service — every later command on that deployment
+drives it through a :class:`~repro.net.client.RemoteServerProxy` over the
+binary wire protocol, mixing local and remote clouds freely.
 """
 
 from __future__ import annotations
@@ -68,23 +75,74 @@ def _chunker_arg(text: str) -> str:
     return text
 
 
-def _load_system(root: Path) -> CDStoreSystem:
+def _port_arg(text: str) -> int:
+    """argparse type: a TCP port in 1-65535."""
+    try:
+        port = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a port number, got {text!r}") from None
+    if not 1 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port {port} outside 1-65535")
+    return port
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (cloud indices)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _cloud_spec_arg(text: str) -> str:
+    """argparse type: ``local`` or a validated ``tcp://host:port`` spec.
+
+    Parsed eagerly (matching the ``--chunker`` validation style) so a
+    malformed spec is a usage error at the prompt, not a
+    :class:`ParameterError` surfacing from the proxy mid-backup.
+    """
+    if text == "local":
+        return text
+    from repro.net import parse_cloud_spec
+
+    try:
+        parse_cloud_spec(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _load_config(root: Path) -> dict:
     config_path = root / _CONFIG_NAME
     if not config_path.exists():
         raise ReproError(
             f"{root} is not a CDStore deployment (run `repro init` first)"
         )
-    config = json.loads(config_path.read_text())
+    return json.loads(config_path.read_text())
+
+
+def _load_system(root: Path) -> CDStoreSystem:
+    config = _load_config(root)
     n, k = config["n"], config["k"]
-    clouds = [
-        CloudProvider(
-            name=f"cloud-{i}",
-            uplink=Link(100.0),
-            downlink=Link(100.0),
-            backend=LocalDirBackend(root / f"cloud-{i}"),
-        )
-        for i in range(n)
-    ]
+    specs = config.get("cloud_specs") or ["local"] * n
+    clouds: list = []
+    for i, spec in enumerate(specs):
+        if spec == "local":
+            clouds.append(
+                CloudProvider(
+                    name=f"cloud-{i}",
+                    uplink=Link(100.0),
+                    downlink=Link(100.0),
+                    backend=LocalDirBackend(root / f"cloud-{i}"),
+                )
+            )
+        else:
+            # A ``tcp://host:port`` slot: the system builds a remote proxy
+            # and the serving process (`repro serve`) owns the data.
+            clouds.append(spec)
     return CDStoreSystem(
         n=n,
         k=k,
@@ -106,13 +164,30 @@ def cmd_init(args: argparse.Namespace) -> int:
     if config_path.exists():
         print(f"error: {root} already initialised", file=sys.stderr)
         return 1
+    specs = args.cloud_spec or ["local"] * args.n
+    if len(specs) != args.n:
+        print(
+            f"error: got {len(specs)} --cloud-spec values for n={args.n} "
+            "(pass one per cloud, 'local' or 'tcp://host:port')",
+            file=sys.stderr,
+        )
+        return 1
     root.mkdir(parents=True, exist_ok=True)
-    config = {"n": args.n, "k": args.k, "salt": args.salt, "chunker": args.chunker}
+    config = {
+        "n": args.n,
+        "k": args.k,
+        "salt": args.salt,
+        "chunker": args.chunker,
+        "cloud_specs": specs,
+    }
     config_path.write_text(json.dumps(config, indent=2) + "\n")
-    for i in range(args.n):
-        (root / f"cloud-{i}").mkdir(exist_ok=True)
+    for i, spec in enumerate(specs):
+        if spec == "local":
+            (root / f"cloud-{i}").mkdir(exist_ok=True)
+    remote = sum(1 for spec in specs if spec != "local")
     print(f"initialised CDStore deployment at {root} "
-          f"(n={args.n}, k={args.k}, chunker={args.chunker})")
+          f"(n={args.n}, k={args.k}, chunker={args.chunker}, "
+          f"{remote} remote cloud(s))")
     return 0
 
 
@@ -127,15 +202,21 @@ def cmd_backup(args: argparse.Namespace) -> int:
             chunker=args.chunker,
             threads=args.threads,
             workers=args.workers,
-            pipeline_depth=args.pipeline_depth,
+            pipeline_depth=(
+                "auto" if args.pipeline_depth is None else args.pipeline_depth
+            ),
         )
         receipt = client.upload(name, data)
         client.flush()
+        depth_note = (
+            f", pipeline depth {receipt.pipeline_depth}"
+            f"{' (adaptive)' if args.pipeline_depth is None else ''}"
+        )
         print(
             f"backed up {receipt.file_size} bytes as {name!r}: "
             f"{receipt.secret_count} secrets, "
             f"{receipt.transferred_share_bytes} share bytes transferred "
-            f"(intra-user saving {receipt.intra_user_saving:.1%})"
+            f"(intra-user saving {receipt.intra_user_saving:.1%}{depth_note})"
         )
         return 0
     finally:
@@ -149,7 +230,9 @@ def cmd_restore(args: argparse.Namespace) -> int:
             args.user,
             threads=args.threads,
             workers=args.workers,
-            pipeline_depth=args.pipeline_depth,
+            pipeline_depth=(
+                "auto" if args.pipeline_depth is None else args.pipeline_depth
+            ),
         )
         data = client.download(args.name)
         Path(args.output).write_bytes(data)
@@ -183,15 +266,104 @@ def cmd_delete(args: argparse.Namespace) -> int:
         system.close()
 
 
+def build_cloud_server(
+    root: Path,
+    cloud_index: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    frame_budget: int | None = None,
+):
+    """Build the TCP server for one cloud of a local deployment.
+
+    Factored out of :func:`cmd_serve` so tests (and embedders) can start
+    and stop the server programmatically; the CLI wraps it in
+    ``serve_forever``.
+    """
+    from repro.net import CDStoreTCPServer
+    from repro.server.index import LSMIndex
+    from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
+
+    config = _load_config(root)
+    n = config["n"]
+    if not 0 <= cloud_index < n:
+        raise ReproError(
+            f"cloud index {cloud_index} outside this deployment's range "
+            f"0-{n - 1} (n={n})"
+        )
+    specs = config.get("cloud_specs") or ["local"] * n
+    if specs[cloud_index] != "local":
+        raise ReproError(
+            f"cloud {cloud_index} of this deployment is remote "
+            f"({specs[cloud_index]}); serve it from the deployment that "
+            "holds its data"
+        )
+    cloud = CloudProvider(
+        name=f"cloud-{cloud_index}",
+        uplink=Link(100.0),
+        downlink=Link(100.0),
+        backend=LocalDirBackend(root / f"cloud-{cloud_index}"),
+    )
+    server = CDStoreServer(
+        server_id=cloud_index,
+        cloud=cloud,
+        index=LSMIndex(root / "indices" / f"server-{cloud_index}"),
+    )
+    return CDStoreTCPServer(
+        server,
+        host=host,
+        port=port,
+        frame_budget=frame_budget if frame_budget is not None else FETCH_BATCH_BYTES,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    tcp = build_cloud_server(
+        Path(args.root),
+        args.cloud,
+        host=args.host,
+        port=args.port,
+        frame_budget=args.frame_budget,
+    )
+    tcp.start()
+    host, port = tcp.address
+    print(f"serving cloud {args.cloud} at tcp://{host}:{port} "
+          f"(frame budget {tcp.frame_budget} bytes; Ctrl-C to stop)")
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        tcp.shutdown()
+        tcp.server.close()
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     system = _load_system(Path(args.root))
     try:
-        stored = system.stored_bytes()
         print(f"clouds: {system.n} (k = {system.k})")
-        print(f"bytes stored across clouds: {stored}")
-        for i, cloud in enumerate(system.clouds):
-            print(f"  cloud-{i}: {cloud.stored_bytes} bytes, "
-                  f"{len(cloud.backend.list_keys('container-'))} containers")
+        # Per-cloud accounting degrades gracefully: stats is a read-only
+        # diagnostic, so one unreachable remote cloud must not hide the
+        # other clouds' numbers.
+        total = 0
+        lines = []
+        for i, (cloud, server) in enumerate(zip(system.clouds, system.servers)):
+            backend = getattr(cloud, "backend", None)
+            try:
+                server.flush()
+                nbytes = cloud.stored_bytes
+            except ReproError as exc:
+                lines.append(f"  cloud-{i} ({cloud.name}): unreachable ({exc})")
+                continue
+            total += nbytes
+            if backend is None:  # remote cloud: no local container listing
+                lines.append(f"  cloud-{i} ({cloud.name}): {nbytes} bytes")
+            else:
+                lines.append(f"  cloud-{i}: {nbytes} bytes, "
+                             f"{len(backend.list_keys('container-'))} containers")
+        print(f"bytes stored across clouds: {total}")
+        for line in lines:
+            print(line)
         return 0
     finally:
         system.close()
@@ -242,7 +414,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunker", type=_chunker_arg, default="rabin",
         help=f"deployment-wide default {chunker_help}",
     )
+    p.add_argument(
+        "--cloud-spec", type=_cloud_spec_arg, action="append", default=None,
+        metavar="SPEC",
+        help="where each cloud lives: 'local' (a directory under --root) "
+             "or 'tcp://host:port' (a `repro serve` process); repeat once "
+             "per cloud, in cloud order — persisted deployment-wide",
+    )
     p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve one cloud of this deployment over TCP",
+        description="Host cloud N's CDStore server as a network service: "
+                    "clients whose deployments name this address in a "
+                    "tcp:// cloud spec talk to it over the binary wire "
+                    "protocol. Runs until interrupted.",
+    )
+    p.add_argument("--root", required=True)
+    p.add_argument(
+        "--cloud", type=_nonneg_int, required=True,
+        help="cloud index to serve (0-based)",
+    )
+    p.add_argument(
+        "--port", type=_port_arg, required=True,
+        help="TCP port to listen on (1-65535)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--frame-budget", type=_positive_int, default=None, dest="frame_budget",
+        help="cap (bytes) on one fetch-shares reply frame and on the "
+             "server-side working set of a streamed fetch (default 4 MB)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("backup", help="back up a file")
     p.add_argument("--root", required=True)
@@ -264,10 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
              "encoding with cores; 'thread' avoids fork/pickling overhead",
     )
     p.add_argument(
-        "--pipeline-depth", type=_positive_int, default=4, dest="pipeline_depth",
+        "--pipeline-depth", type=_positive_int, default=None, dest="pipeline_depth",
         help="streaming transfer-stage depth: max encode slabs in flight "
              "between encoding and the per-cloud upload queues; 1 runs the "
-             "stages serially (encode everything, then upload)",
+             "stages serially (encode everything, then upload); unset "
+             "derives the depth from the measured encode/wire rates and "
+             "records it in the backup summary",
     )
     p.set_defaults(func=cmd_backup)
 
@@ -285,10 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="encode-pool flavour for re-encoding paths (see backup)",
     )
     p.add_argument(
-        "--pipeline-depth", type=_positive_int, default=4, dest="pipeline_depth",
+        "--pipeline-depth", type=_positive_int, default=None, dest="pipeline_depth",
         help="streaming restore depth: max 4 MB share windows in flight "
              "between the per-cloud fetch queues and decoding; 1 fetches "
-             "the whole file before the first decode",
+             "the whole file before the first decode; unset picks the "
+             "adaptive default",
     )
     p.set_defaults(func=cmd_restore)
 

@@ -64,6 +64,10 @@ class UploadReceipt:
     #: Simulated wall-clock transfer span: makespan over the per-cloud
     #: times when the client is multi-threaded (§4.6), their sum when not.
     sim_seconds: float = 0.0
+    #: Streaming pipeline depth the upload actually used — the configured
+    #: constant, or the probed value when the engine runs adaptively
+    #: (``pipeline_depth="auto"``).
+    pipeline_depth: int | str = 1
 
     @property
     def intra_user_saving(self) -> float:
@@ -106,7 +110,10 @@ class CDStoreClient:
     pipeline_depth:
         Streaming transfer-stage depth (§4.6 pipelining): maximum encode
         slabs / restore windows in flight between stages.  ``1`` (default)
-        keeps the serial-phase behaviour; see :mod:`repro.client.comm`.
+        keeps the serial-phase behaviour; ``"auto"`` derives the depth
+        from the measured encode-rate/wire-rate ratio at the first upload
+        (recorded in the :class:`UploadReceipt`).  See
+        :mod:`repro.client.comm`.
     """
 
     def __init__(
@@ -121,7 +128,7 @@ class CDStoreClient:
         workers: str = "thread",
         codec=None,
         clock: SimClock | None = None,
-        pipeline_depth: int = 1,
+        pipeline_depth: int | str = 1,
     ) -> None:
         if not servers:
             raise ParameterError("need at least one server")
@@ -224,6 +231,7 @@ class CDStoreClient:
             wire_bytes_per_cloud=[result.wire_bytes for result in results],
             seconds_per_cloud=[result.seconds for result in results],
             sim_seconds=span,
+            pipeline_depth=self.comm.effective_depth,
         )
 
     # ------------------------------------------------------------------
@@ -346,8 +354,14 @@ class CDStoreClient:
                         if (
                             server.server_id in _used
                             or server.server_id in dead_spares
-                            or not server.cloud.available
                         ):
+                            continue
+                        if not server.cloud.available:
+                            # Remember the failed probe: for a remote cloud
+                            # `available` is a network PING, and repeating
+                            # it per secret would stall the widening loop
+                            # on an unresponsive host.
+                            dead_spares.add(server.server_id)
                             continue
                         try:
                             recipe = spare_recipes.get(server.server_id)

@@ -69,6 +69,7 @@ correct everywhere.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -83,7 +84,7 @@ from repro.client.workers import (
     shared_slabs_available,
     slab_spans,
 )
-from repro.cloud.network import SimClock, batch_count, makespan
+from repro.cloud.network import MB, SimClock, batch_count, makespan
 from repro.core.convergent import ConvergentDispersal
 from repro.crypto.hashing import fingerprint
 from repro.errors import (
@@ -102,14 +103,52 @@ __all__ = [
     "CloudUploader",
     "FETCH_ERRORS",
     "FileSource",
+    "PIPELINE_DEPTH_AUTO",
     "SlotShares",
     "UPLOAD_BATCH_BYTES",
     "WindowShares",
+    "choose_pipeline_depth",
 ]
 
 #: Client-side upload batch size (§4.1: "batch the shares ... in a 4MB
 #: buffer and upload the buffer when it is full").
 UPLOAD_BATCH_BYTES = 4 << 20
+
+#: Sentinel ``pipeline_depth`` value: derive the depth from the measured
+#: encode-rate/wire-rate ratio at the first upload (see
+#: :func:`choose_pipeline_depth`).  The CLI passes this when
+#: ``--pipeline-depth`` is unset; an explicit integer always wins.
+PIPELINE_DEPTH_AUTO = "auto"
+
+#: Depth used by an adaptive engine before any upload has measured the
+#: rates (e.g. a download-only client): the old CLI default.
+_AUTO_FALLBACK_DEPTH = 4
+
+#: Secrets encoded by the adaptive-depth probe (re-encoded by the real
+#: pipeline moments later — convergent encoding is deterministic, so the
+#: probe costs a few chunks of CPU and changes nothing on the wire).
+_PROBE_SECRETS = 4
+
+
+def choose_pipeline_depth(
+    encode_rate: float, wire_rate: float, floor: int = 2, ceiling: int = 8
+) -> int:
+    """Pick a streaming depth from measured encode and wire rates.
+
+    When encoding outruns the wire by a factor ``r``, up to ``~r`` encoded
+    windows pile up behind the slowest cloud for every window it drains,
+    so a budget of ``round(r) + 1`` in-flight slabs keeps the encode stage
+    busy without letting shares accumulate unboundedly; when the wire
+    outruns encoding (``r < 1``) two slots already give full overlap (one
+    encoding, one on the wire).  The result is clamped to
+    ``[floor, ceiling]`` — depth buys diminishing overlap and linear
+    memory, so the ceiling caps the window the same way the CLI's old
+    fixed default did.
+    """
+    if encode_rate <= 0 or wire_rate <= 0:
+        raise ParameterError("rates must be positive to choose a depth")
+    ratio = encode_rate / wire_rate
+    return max(floor, min(ceiling, int(round(ratio)) + 1))
 
 #: Errors meaning "this server cannot currently supply usable data" — an
 #: outage, missing objects (NotFoundError is a StorageError), a corrupt
@@ -277,6 +316,11 @@ class CommEngine:
         enable the streaming transfer stage — per-cloud workers overlap
         wire time with encoding/decoding even at ``threads == 1``, with
         memory bounded to ``pipeline_depth`` windows.
+        :data:`PIPELINE_DEPTH_AUTO` (``"auto"``) derives the depth from a
+        timed encode probe against the slowest uplink's modelled rate at
+        the first upload (see :func:`choose_pipeline_depth`); the chosen
+        value is reported through :attr:`effective_depth` and recorded in
+        the upload receipt.
     """
 
     def __init__(
@@ -285,13 +329,16 @@ class CommEngine:
         threads: int = 1,
         workers: str = "thread",
         clock: SimClock | None = None,
-        pipeline_depth: int = 1,
+        pipeline_depth: int | str = 1,
     ) -> None:
         if threads < 1:
             raise ParameterError(f"threads must be >= 1, got {threads}")
-        if pipeline_depth < 1:
+        if pipeline_depth != PIPELINE_DEPTH_AUTO and (
+            not isinstance(pipeline_depth, int) or pipeline_depth < 1
+        ):
             raise ParameterError(
-                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+                f"pipeline_depth must be >= 1 or {PIPELINE_DEPTH_AUTO!r}, "
+                f"got {pipeline_depth!r}"
             )
         if workers not in WORKER_MODES:
             raise ParameterError(
@@ -302,6 +349,11 @@ class CommEngine:
         self.workers = workers
         self.clock = clock
         self.pipeline_depth = pipeline_depth
+        #: Depth an adaptive engine settled on (None until the first
+        #: upload's probe runs); fixed-depth engines resolve immediately.
+        self._resolved_depth: int | None = (
+            pipeline_depth if pipeline_depth != PIPELINE_DEPTH_AUTO else None
+        )
         self._encode_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessEncodePool | None = None
         self._cloud_workers: list[ThreadPoolExecutor] | None = None
@@ -311,14 +363,55 @@ class CommEngine:
     # lifecycle
     # ------------------------------------------------------------------
     @property
+    def adaptive(self) -> bool:
+        """Whether the streaming depth is derived from measured rates."""
+        return self.pipeline_depth == PIPELINE_DEPTH_AUTO
+
+    @property
     def parallel(self) -> bool:
         """Whether per-cloud workers drive transfers concurrently."""
-        return self.threads > 1 or self.pipeline_depth > 1
+        return self.threads > 1 or self.adaptive or self.pipeline_depth > 1
 
     @property
     def streaming(self) -> bool:
         """Whether the bounded streaming transfer stage is active."""
-        return self.pipeline_depth > 1
+        return self.adaptive or self.pipeline_depth > 1
+
+    @property
+    def effective_depth(self) -> int:
+        """The streaming depth in force: the configured integer, or — for
+        an adaptive engine — the probed value (falling back to the old
+        fixed CLI default until an upload has measured the rates)."""
+        if self._resolved_depth is not None:
+            return self._resolved_depth
+        return _AUTO_FALLBACK_DEPTH
+
+    def _resolve_depth(
+        self, dispersal: ConvergentDispersal, chunks: list[Chunk]
+    ) -> int:
+        """Resolve the adaptive depth once, from a timed encode probe.
+
+        Encodes the first few chunks to measure the encode rate, takes the
+        slowest uplink's modelled bandwidth as the wire rate, and caches
+        :func:`choose_pipeline_depth`'s answer for the engine's lifetime
+        (rates are a property of codec + link, not of one file).
+        """
+        if self._resolved_depth is not None:
+            return self._resolved_depth
+        sample = chunks[: min(len(chunks), _PROBE_SECRETS)]
+        sample_bytes = sum(chunk.size for chunk in sample)
+        if not sample or not sample_bytes:
+            self._resolved_depth = _AUTO_FALLBACK_DEPTH
+            return self._resolved_depth
+        started = time.perf_counter()
+        dispersal.encode_batch([chunk.data for chunk in sample])
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        encode_rate = sample_bytes / elapsed
+        wire_rate = min(
+            server.cloud.uplink.bandwidth_mbps * MB for server in self.servers
+        )
+        self._resolved_depth = choose_pipeline_depth(encode_rate, wire_rate)
+        return self._resolved_depth
 
     def _ensure_workers(self) -> None:
         with self._init_lock:  # engines may be shared across caller threads
@@ -482,7 +575,7 @@ class CommEngine:
                 view = SlabbedShareSets(
                     spans=spans,
                     submit=submit,
-                    depth=self.pipeline_depth,
+                    depth=self.effective_depth,
                     consumers=len(self.servers),
                     release=release,
                 )
@@ -514,6 +607,8 @@ class CommEngine:
         simulated wall-clock span of the transfer stage.
         """
         n = len(self.servers)
+        if self.adaptive and chunks:
+            self._resolve_depth(dispersal, chunks)
         if self.parallel and len(chunks) > 1:
             self._ensure_workers()
             assert self._cloud_workers is not None
@@ -754,7 +849,7 @@ class CommEngine:
         pending: deque[list[Future]] = deque()
         next_window = 0
         try:
-            while next_window < min(self.pipeline_depth, len(windows)):
+            while next_window < min(self.effective_depth, len(windows)):
                 pending.append(submit(next_window))
                 next_window += 1
             for start, end in windows:

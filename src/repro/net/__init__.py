@@ -1,0 +1,26 @@
+"""The networked serving layer (§4's real deployment shape).
+
+Three pieces turn the in-process client↔server calls into a distributed
+system without changing a byte of what travels:
+
+* :mod:`repro.net.wire` — the length-prefixed binary frame protocol
+  covering the full :class:`~repro.server.server.CDStoreServer` surface,
+  with typed error frames and hard frame-size caps;
+* :mod:`repro.net.server` — a concurrent (thread-per-connection) TCP
+  server hosting one CDStore server per cloud, streaming ``fetch_shares``
+  replies as bounded frames;
+* :mod:`repro.net.client` — :class:`~repro.net.client.RemoteServerProxy`,
+  a reconnecting stand-in that duck-types the server surface so the comm
+  engine, client and system treat ``tcp://host:port`` like any other
+  cloud.
+"""
+
+from repro.net.client import RemoteCloud, RemoteServerProxy, parse_cloud_spec
+from repro.net.server import CDStoreTCPServer
+
+__all__ = [
+    "CDStoreTCPServer",
+    "RemoteCloud",
+    "RemoteServerProxy",
+    "parse_cloud_spec",
+]

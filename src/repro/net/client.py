@@ -1,0 +1,460 @@
+"""Remote server proxies: the client side of the networked serving layer.
+
+A :class:`RemoteServerProxy` duck-types the :class:`~repro.server.server.
+CDStoreServer` surface the comm engine, :class:`~repro.client.client.
+CDStoreClient` and :class:`~repro.system.cdstore.CDStoreSystem` already
+consume — same methods, same typed exceptions — so every higher layer
+(per-cloud workers, streaming windows, window-granular spare failover,
+repair walks) runs unchanged whether a "server" is an object or an
+address.
+
+Connection discipline:
+
+* **one socket, lazily connected, re-established on the next call after
+  any failure** — the proxy never retries a failed request itself.  A
+  request that dies mid-flight surfaces as
+  :class:`~repro.errors.CloudUnavailableError`, which is exactly the
+  ``FETCH_ERRORS`` class the comm engine's per-window failover and the
+  client's §3.2 widening already handle; retrying inside the transport
+  would re-execute non-idempotent operations (``finalize_file``) behind
+  the failover logic's back.
+* **typed errors pass through**: an :data:`~repro.net.wire.R_ERROR` frame
+  re-raises the server's exception class locally and leaves the
+  connection usable (the server answered; nothing is desynchronised).
+* the proxy is **thread-safe** with one request in flight at a time —
+  matching the comm engine's one-worker-per-cloud ordering guarantee.
+
+The :class:`RemoteCloud` companion stands in for the
+:class:`~repro.cloud.provider.CloudProvider` attribute: ``available`` /
+``check_available`` probe the server with a PING, and the uplink/downlink
+:class:`~repro.cloud.network.Link` models let the simulated clock charge
+remote clouds exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.cloud.network import Link
+from repro.dedup.stats import DedupStats
+from repro.errors import CloudUnavailableError, ParameterError, ProtocolError
+from repro.net import wire
+from repro.net.server import recv_exact
+from repro.server.index import FileEntry
+from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
+
+__all__ = ["RemoteCloud", "RemoteServerProxy", "parse_cloud_spec"]
+
+
+def parse_cloud_spec(spec: str) -> tuple[str, int]:
+    """Parse a ``tcp://host:port`` cloud spec into ``(host, port)``.
+
+    Raises :class:`~repro.errors.ParameterError` on anything else — the
+    CLI wraps this in an argparse type so malformed specs surface as usage
+    errors before any network or disk is touched.
+    """
+    if not isinstance(spec, str) or not spec.startswith("tcp://"):
+        raise ParameterError(
+            f"cloud spec must look like tcp://host:port, got {spec!r}"
+        )
+    rest = spec[len("tcp://"):]
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise ParameterError(
+            f"cloud spec {spec!r} is missing a host or port (tcp://host:port)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ParameterError(
+            f"cloud spec {spec!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ParameterError(f"cloud spec {spec!r} port out of range 1-65535")
+    return host, port
+
+
+class RemoteCloud:
+    """Client-side view of a remote cloud: availability probe + links."""
+
+    def __init__(self, proxy: "RemoteServerProxy", uplink: Link, downlink: Link) -> None:
+        self._proxy = proxy
+        self.uplink = uplink
+        self.downlink = downlink
+
+    @property
+    def name(self) -> str:
+        return self._proxy.address_spec
+
+    @property
+    def available(self) -> bool:
+        """Whether the remote server currently answers a PING."""
+        return self._proxy.ping()
+
+    def check_available(self) -> None:
+        if not self._proxy.ping():
+            raise CloudUnavailableError(
+                f"remote cloud {self.name} is unreachable"
+            )
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._proxy.stored_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteCloud({self.name!r})"
+
+
+class RemoteServerProxy:
+    """Drive one remote CDStore server over its binary TCP protocol.
+
+    Parameters
+    ----------
+    address:
+        ``tcp://host:port`` spec or a ``(host, port)`` tuple.
+    server_id:
+        Expected cloud index.  When given, the PONG handshake must agree
+        (catching a mis-wired deployment); when None, the first handshake
+        adopts the server's own id.
+    uplink, downlink:
+        Link models for simulated-clock charging (defaults match the
+        in-process 100 MB/s provider defaults).
+    timeout:
+        Per-socket-operation timeout in seconds; an expiry is treated as
+        an outage (the per-window failover path), never a hang.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        server_id: int | None = None,
+        uplink: Link | None = None,
+        downlink: Link | None = None,
+        timeout: float = 30.0,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+    ) -> None:
+        if isinstance(address, str):
+            self.host, self.port = parse_cloud_spec(address)
+        else:
+            self.host, self.port = address
+        self._server_id = server_id
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self._sock: socket.socket | None = None
+        self._lock = threading.RLock()
+        self.cloud = RemoteCloud(
+            self,
+            uplink=uplink if uplink is not None else Link(100.0),
+            downlink=downlink if downlink is not None else Link(100.0),
+        )
+        #: Reply-frame observability: total frames seen and the largest
+        #: frame (header + payload) this proxy ever received — the
+        #: frame-budget tests read these.
+        self.frames_received = 0
+        self.max_reply_frame_bytes = 0
+
+    # ------------------------------------------------------------------
+    # connection state
+    # ------------------------------------------------------------------
+    @property
+    def address_spec(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def server_id(self) -> int:
+        """The remote server's cloud index (handshakes if never connected)."""
+        if self._server_id is None:
+            with self._lock:
+                self._ensure_connected()
+        return self._server_id
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _ensure_connected(self) -> socket.socket:
+        """Connect + handshake if needed; raises CloudUnavailableError."""
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise CloudUnavailableError(
+                f"cannot connect to {self.address_spec}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        try:
+            frame_type, payload = self._roundtrip(
+                wire.T_PING, wire.encode_ping()
+            )
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            # A server that accepts then dies before answering the
+            # handshake is an outage, not a crash: map it into the same
+            # FETCH_ERRORS class every other transport failure uses.
+            self._drop()
+            raise CloudUnavailableError(
+                f"handshake with {self.address_spec} failed: {exc}"
+            ) from exc
+        except BaseException:
+            self._drop()
+            raise
+        if frame_type != wire.R_PONG:
+            self._drop()
+            raise ProtocolError(
+                f"{self.address_spec} answered PING with frame "
+                f"0x{frame_type:02x}"
+            )
+        version, server_id = wire.decode_pong(payload)
+        if version != wire.WIRE_VERSION:
+            self._drop()
+            raise ProtocolError(
+                f"{self.address_spec} speaks wire version {version}, "
+                f"client speaks {wire.WIRE_VERSION}"
+            )
+        if self._server_id is not None and server_id != self._server_id:
+            self._drop()
+            raise ProtocolError(
+                f"{self.address_spec} claims server id {server_id}, "
+                f"expected {self._server_id}"
+            )
+        self._server_id = server_id
+        return self._sock
+
+    def close(self) -> None:
+        """Drop the connection (the next call reconnects)."""
+        with self._lock:
+            self._drop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self._sock is not None else "idle"
+        return f"RemoteServerProxy({self.address_spec!r}, {state})"
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame_type: int, payload: bytes) -> tuple[int, bytes]:
+        """Send one request frame, read one reply frame (lock held)."""
+        sock = self._sock
+        assert sock is not None
+        sock.sendall(wire.encode_frame(frame_type, payload, self.max_frame))
+        return self._read_reply(sock)
+
+    def _read_reply(self, sock: socket.socket) -> tuple[int, bytes]:
+        frame_type, payload = wire.read_frame(
+            lambda n: recv_exact(sock, n), self.max_frame
+        )
+        self.frames_received += 1
+        self.max_reply_frame_bytes = max(
+            self.max_reply_frame_bytes, wire.FRAME_HEADER.size + len(payload)
+        )
+        return frame_type, payload
+
+    def _call(self, frame_type: int, payload: bytes, expect: int) -> bytes:
+        """One request/reply exchange with typed-error and outage mapping."""
+        with self._lock:
+            self._ensure_connected()
+            try:
+                reply_type, reply = self._roundtrip(frame_type, payload)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                # The connection died mid-request: reconnect on the *next*
+                # call; this one reports an outage so failover runs.
+                self._drop()
+                raise CloudUnavailableError(
+                    f"connection to {self.address_spec} dropped: {exc}"
+                ) from exc
+            if reply_type == wire.R_ERROR:
+                raise wire.decode_error(reply)
+            if reply_type != expect:
+                self._drop()
+                raise ProtocolError(
+                    f"{self.address_spec} answered 0x{frame_type:02x} with "
+                    f"unexpected frame 0x{reply_type:02x}"
+                )
+            return reply
+
+    def ping(self) -> bool:
+        """Cheap liveness probe (connects if needed); never raises."""
+        try:
+            with self._lock:
+                self._ensure_connected()
+                reply_type, payload = self._roundtrip(
+                    wire.T_PING, wire.encode_ping()
+                )
+                if reply_type != wire.R_PONG:
+                    self._drop()
+                    return False
+                wire.decode_pong(payload)
+                return True
+        except Exception:
+            self._drop()
+            return False
+
+    # ------------------------------------------------------------------
+    # the CDStoreServer surface
+    # ------------------------------------------------------------------
+    def query_duplicates(self, user_id: str, fingerprints: list[bytes]) -> list[bool]:
+        reply = self._call(
+            wire.T_QUERY_DUPLICATES,
+            wire.encode_query_duplicates(user_id, fingerprints),
+            wire.R_BOOLS,
+        )
+        known = wire.decode_bools(reply)
+        if len(known) != len(fingerprints):
+            raise ProtocolError(
+                f"{self.address_spec} answered {len(known)} bools for "
+                f"{len(fingerprints)} fingerprints"
+            )
+        return known
+
+    def upload_shares(self, user_id: str, uploads: list[ShareUpload]) -> None:
+        self._call(
+            wire.T_UPLOAD_SHARES,
+            wire.encode_upload_shares(user_id, uploads),
+            wire.R_OK,
+        )
+
+    def finalize_file(
+        self,
+        user_id: str,
+        manifest: FileManifest,
+        share_metas: list[ShareMeta],
+    ) -> None:
+        self._call(
+            wire.T_FINALIZE_FILE,
+            wire.encode_finalize_file(user_id, manifest, share_metas),
+            wire.R_OK,
+        )
+
+    def get_file_entry(self, user_id: str, lookup_key: bytes) -> FileEntry:
+        reply = self._call(
+            wire.T_GET_FILE_ENTRY,
+            wire.encode_user_key(user_id, lookup_key),
+            wire.R_FILE_ENTRY,
+        )
+        return wire.decode_file_entry(reply)
+
+    def get_recipe(
+        self, user_id: str, lookup_key: bytes, bypass_cache: bool = False
+    ) -> list[RecipeEntry]:
+        reply = self._call(
+            wire.T_GET_RECIPE,
+            wire.encode_get_recipe(user_id, lookup_key, bypass_cache),
+            wire.R_RECIPE,
+        )
+        return wire.decode_recipe(reply)
+
+    def list_files(self, user_id: str) -> list[tuple[bytes, FileEntry]]:
+        reply = self._call(
+            wire.T_LIST_FILES, wire.encode_user(user_id), wire.R_FILE_LIST
+        )
+        return wire.decode_file_list(reply)
+
+    def fetch_shares(self, fingerprints: list[bytes]) -> dict[bytes, bytes]:
+        """Reassemble the server's bounded reply-frame stream into a map."""
+        with self._lock:
+            self._ensure_connected()
+            sock = self._sock
+            try:
+                sock.sendall(
+                    wire.encode_frame(
+                        wire.T_FETCH_SHARES,
+                        wire.encode_fetch_shares(fingerprints),
+                        self.max_frame,
+                    )
+                )
+                out: dict[bytes, bytes] = {}
+                while True:
+                    reply_type, payload = self._read_reply(sock)
+                    if reply_type == wire.R_SHARE_BATCH:
+                        try:
+                            out.update(wire.decode_share_batch(payload))
+                        except ProtocolError:
+                            # A malformed frame mid-stream desynchronises
+                            # the connection (later batches are still
+                            # buffered); drop it so the next request does
+                            # not read them as its reply.
+                            self._drop()
+                            raise
+                        continue
+                    if reply_type == wire.R_SHARES_END:
+                        try:
+                            total = wire.decode_shares_end(payload)
+                        except ProtocolError:
+                            self._drop()
+                            raise
+                        if total != len(out):
+                            self._drop()
+                            raise ProtocolError(
+                                f"{self.address_spec} streamed {len(out)} "
+                                f"shares but announced {total}"
+                            )
+                        return out
+                    if reply_type == wire.R_ERROR:
+                        # In-band typed error: the server answered, the
+                        # stream is in sync, the connection stays usable.
+                        raise wire.decode_error(payload)
+                    self._drop()
+                    raise ProtocolError(
+                        f"{self.address_spec} sent unexpected frame "
+                        f"0x{reply_type:02x} inside a share stream"
+                    )
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self._drop()
+                raise CloudUnavailableError(
+                    f"connection to {self.address_spec} dropped mid-fetch: {exc}"
+                ) from exc
+
+    def delete_file(self, user_id: str, lookup_key: bytes) -> int:
+        reply = self._call(
+            wire.T_DELETE_FILE,
+            wire.encode_user_key(user_id, lookup_key),
+            wire.R_INT,
+        )
+        return wire.decode_int(reply)
+
+    def collect_garbage(self) -> int:
+        return wire.decode_int(self._call(wire.T_COLLECT_GARBAGE, b"", wire.R_INT))
+
+    def scrub(self) -> list[bytes]:
+        return wire.decode_fp_list(self._call(wire.T_SCRUB, b"", wire.R_FP_LIST))
+
+    def flush(self) -> None:
+        self._call(wire.T_FLUSH, b"", wire.R_OK)
+
+    def replace_share(self, server_fp: bytes, data: bytes) -> None:
+        self._call(
+            wire.T_REPLACE_SHARE,
+            wire.encode_replace_share(server_fp, data),
+            wire.R_OK,
+        )
+
+    def rebuild_recipe(
+        self, user_id: str, lookup_key: bytes, entries: list[RecipeEntry]
+    ) -> None:
+        self._call(
+            wire.T_REBUILD_RECIPE,
+            wire.encode_rebuild_recipe(user_id, lookup_key, entries),
+            wire.R_OK,
+        )
+
+    def list_backups(self) -> list[tuple[str, bytes]]:
+        return wire.decode_backup_list(
+            self._call(wire.T_LIST_BACKUPS, b"", wire.R_BACKUP_LIST)
+        )
+
+    @property
+    def stats(self) -> DedupStats:
+        """The remote server's dedup counters (one RPC per access)."""
+        return wire.decode_stats(self._call(wire.T_STATS, b"", wire.R_STATS))
+
+    @property
+    def stored_bytes(self) -> int:
+        return wire.decode_int(self._call(wire.T_STORED_BYTES, b"", wire.R_INT))

@@ -1,0 +1,345 @@
+"""Concurrent TCP server hosting one :class:`CDStoreServer` (§4 deployment).
+
+One ``CDStoreTCPServer`` runs inside each cloud's co-locating VM and turns
+the in-process server object into a network service: many clients (the
+multi-client workload of Figure 8) connect concurrently, each served by a
+dedicated handler thread.
+
+Threading model — **thread per connection**, not asyncio, deliberately:
+
+* the whole storage stack underneath (:class:`~repro.server.server.
+  CDStoreServer`'s re-entrant lock, the LSM index, the container manager)
+  is blocking and lock-disciplined; handler threads drive it exactly like
+  the in-process callers do, so the per-server locking discipline is
+  *preserved*, not re-implemented behind an event loop;
+* connection counts are small (one per client per cloud, tens not tens of
+  thousands), so the thread-per-connection memory cost is noise while the
+  GIL releases around the hashlib/OpenSSL/file-I/O calls that dominate
+  request service;
+* an asyncio front would still need a thread pool for every server call
+  (none of them are awaitable), adding a hop without removing a thread.
+
+``fetch_shares`` replies are **streamed**: the handler walks
+:meth:`~repro.server.server.CDStoreServer.iter_share_batches` and emits
+one bounded :data:`~repro.net.wire.R_SHARE_BATCH` frame per batch, with
+each share priced at payload + :data:`~repro.net.wire.SHARE_WIRE_OVERHEAD`
+against ``frame_budget`` — neither a reply frame nor the server-side
+working set ever exceeds the budget, no matter how many containers the
+request spans (TCP backpressure on a slow client propagates straight into
+the generator, which holds at most one batch).
+
+Error discipline: a :class:`~repro.errors.ReproError` is a *protocol
+answer* (typed :data:`~repro.net.wire.R_ERROR` frame, connection stays
+usable); any other exception is a server bug and closes the connection
+abruptly — clients see a dropped socket and run their failover path
+rather than trusting a half-written reply.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+
+from repro.errors import ProtocolError, ReproError
+from repro.net import wire
+from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
+
+__all__ = ["CDStoreTCPServer", "recv_exact"]
+
+logger = logging.getLogger(__name__)
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionError` on EOF."""
+    parts = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+class CDStoreTCPServer:
+    """Serve one CDStore server over TCP to many concurrent clients.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.server.server.CDStoreServer` (or any object
+        with its surface) answering the requests.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    frame_budget:
+        Cap on one ``fetch_shares`` reply frame, covering share payloads
+        plus their per-share wire overhead.  Also the bound on the
+        server-side working set of a streamed fetch.
+    max_frame:
+        Hard cap on *incoming* frame payloads (request flood guard).
+    """
+
+    def __init__(
+        self,
+        server: CDStoreServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        frame_budget: int = FETCH_BATCH_BYTES,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+    ) -> None:
+        if frame_budget < 1:
+            raise ValueError(f"frame_budget must be >= 1, got {frame_budget}")
+        self.server = server
+        self.frame_budget = frame_budget
+        self.max_frame = max_frame
+        self._host = host
+        self._port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        if self._listener is None:
+            return (self._host, self._port)
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "CDStoreTCPServer":
+        """Bind, listen and spawn the accept loop (idempotent)."""
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        # Poll rather than block forever in accept(): closing a socket does
+        # not reliably wake a thread blocked in accept() on Linux, so a
+        # pure-blocking loop would stall shutdown until the join timeout.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._stopped.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"cdstore-tcp-{self.server.server_id}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`shutdown`."""
+        self.start()
+        self._stopped.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting, sever every live connection, release the port."""
+        self._stopped.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "CDStoreTCPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopped.is_set() and listener is not None:
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue  # re-check the stop flag
+            except OSError:
+                return  # listener closed by shutdown
+            conn.settimeout(None)  # handlers block on recv until shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                if self._stopped.is_set():
+                    conn.close()
+                    return
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"cdstore-conn-{self.server.server_id}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stopped.is_set():
+                try:
+                    frame_type, payload = wire.read_frame(
+                        lambda n: recv_exact(conn, n), self.max_frame
+                    )
+                except (ConnectionError, OSError):
+                    return  # client went away between requests
+                except ReproError as exc:
+                    # Bad magic / oversized length: the stream cannot be
+                    # resynchronised — answer typed, then hang up.
+                    conn.sendall(
+                        wire.encode_frame(wire.R_ERROR, wire.encode_error(exc))
+                    )
+                    return
+                try:
+                    for reply in self._dispatch(frame_type, payload):
+                        conn.sendall(reply)
+                except ReproError as exc:
+                    # A typed, *answerable* failure: report it in-band and
+                    # keep serving this connection.
+                    conn.sendall(
+                        wire.encode_frame(wire.R_ERROR, wire.encode_error(exc))
+                    )
+                except (ConnectionError, OSError):
+                    return
+        except Exception:  # noqa: BLE001 - server bug: drop the connection
+            # Anything non-Repro is a bug, not a protocol answer.  Closing
+            # without a reply makes the client treat it like an outage and
+            # fail over, instead of trusting a corrupt half-reply — but the
+            # bug itself must be attributable, not an unexplained network
+            # flake: record the traceback (logging's last-resort handler
+            # prints it to the serving process's stderr unconfigured).
+            logger.exception(
+                "connection handler crashed on server %s; closing connection",
+                self.server.server_id,
+            )
+            return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, frame_type: int, payload: bytes):
+        """Yield encoded reply frame(s) for one request frame.
+
+        A generator so the streaming ``fetch_shares`` reply materialises
+        one bounded frame at a time; every other request yields exactly
+        one frame.
+        """
+        server = self.server
+        if frame_type == wire.T_PING:
+            wire.decode_ping(payload)  # version checked client-side
+            yield wire.encode_frame(wire.R_PONG, wire.encode_pong(server.server_id))
+        elif frame_type == wire.T_QUERY_DUPLICATES:
+            user_id, fingerprints = wire.decode_query_duplicates(payload)
+            known = server.query_duplicates(user_id, fingerprints)
+            yield wire.encode_frame(wire.R_BOOLS, wire.encode_bools(known))
+        elif frame_type == wire.T_UPLOAD_SHARES:
+            user_id, uploads = wire.decode_upload_shares(payload)
+            server.upload_shares(user_id, uploads)
+            yield wire.encode_frame(wire.R_OK)
+        elif frame_type == wire.T_FINALIZE_FILE:
+            user_id, manifest, metas = wire.decode_finalize_file(payload)
+            server.finalize_file(user_id, manifest, metas)
+            yield wire.encode_frame(wire.R_OK)
+        elif frame_type == wire.T_GET_FILE_ENTRY:
+            user_id, lookup_key = wire.decode_user_key(payload)
+            entry = server.get_file_entry(user_id, lookup_key)
+            yield wire.encode_frame(wire.R_FILE_ENTRY, wire.encode_file_entry(entry))
+        elif frame_type == wire.T_GET_RECIPE:
+            user_id, lookup_key, bypass = wire.decode_get_recipe(payload)
+            recipe = server.get_recipe(user_id, lookup_key, bypass_cache=bypass)
+            yield wire.encode_frame(wire.R_RECIPE, wire.encode_recipe(recipe))
+        elif frame_type == wire.T_LIST_FILES:
+            user_id = wire.decode_user(payload)
+            listing = server.list_files(user_id)
+            yield wire.encode_frame(wire.R_FILE_LIST, wire.encode_file_list(listing))
+        elif frame_type == wire.T_FETCH_SHARES:
+            fingerprints = wire.decode_fetch_shares(payload)
+            total = 0
+            # Price each share at its full wire cost and leave room for the
+            # frame header + count word, so a maximally-packed batch still
+            # serialises to a frame of at most frame_budget bytes.
+            batch_budget = max(1, self.frame_budget - wire.FRAME_HEADER.size - 4)
+            for batch in server.iter_share_batches(
+                fingerprints,
+                budget_bytes=batch_budget,
+                cost=lambda fp, data: wire.SHARE_WIRE_OVERHEAD + len(data),
+            ):
+                total += len(batch)
+                yield wire.encode_frame(
+                    wire.R_SHARE_BATCH, wire.encode_share_batch(batch)
+                )
+            yield wire.encode_frame(wire.R_SHARES_END, wire.encode_shares_end(total))
+        elif frame_type == wire.T_DELETE_FILE:
+            user_id, lookup_key = wire.decode_user_key(payload)
+            orphaned = server.delete_file(user_id, lookup_key)
+            yield wire.encode_frame(wire.R_INT, wire.encode_int(orphaned))
+        elif frame_type == wire.T_COLLECT_GARBAGE:
+            _expect_empty(payload)
+            freed = server.collect_garbage()
+            yield wire.encode_frame(wire.R_INT, wire.encode_int(freed))
+        elif frame_type == wire.T_SCRUB:
+            _expect_empty(payload)
+            corrupt = server.scrub()
+            yield wire.encode_frame(wire.R_FP_LIST, wire.encode_fp_list(corrupt))
+        elif frame_type == wire.T_FLUSH:
+            _expect_empty(payload)
+            server.flush()
+            yield wire.encode_frame(wire.R_OK)
+        elif frame_type == wire.T_STATS:
+            _expect_empty(payload)
+            yield wire.encode_frame(wire.R_STATS, wire.encode_stats(server.stats))
+        elif frame_type == wire.T_STORED_BYTES:
+            _expect_empty(payload)
+            yield wire.encode_frame(
+                wire.R_INT, wire.encode_int(server.stored_bytes)
+            )
+        elif frame_type == wire.T_REPLACE_SHARE:
+            server_fp, data = wire.decode_replace_share(payload)
+            server.replace_share(server_fp, data)
+            yield wire.encode_frame(wire.R_OK)
+        elif frame_type == wire.T_REBUILD_RECIPE:
+            user_id, lookup_key, entries = wire.decode_rebuild_recipe(payload)
+            server.rebuild_recipe(user_id, lookup_key, entries)
+            yield wire.encode_frame(wire.R_OK)
+        elif frame_type == wire.T_LIST_BACKUPS:
+            _expect_empty(payload)
+            backups = server.list_backups()
+            yield wire.encode_frame(
+                wire.R_BACKUP_LIST, wire.encode_backup_list(backups)
+            )
+        else:
+            raise ProtocolError(f"unknown request frame type 0x{frame_type:02x}")
+
+
+def _expect_empty(payload: bytes) -> None:
+    if payload:
+        raise ProtocolError(f"{len(payload)} unexpected payload bytes")

@@ -1,0 +1,593 @@
+"""Binary wire protocol for the networked serving layer.
+
+Everything crossing a socket between a :class:`~repro.net.client.
+RemoteServerProxy` and a :class:`~repro.net.server.CDStoreTCPServer` is a
+**frame**::
+
+    u16 magic | u8 type | u32 length | length bytes of payload
+
+The magic word catches stream desynchronisation immediately (a frame read
+mid-payload fails loudly instead of interpreting share bytes as headers),
+the type selects one codec below, and the length is bounded by
+``max_frame`` on both ends — a malicious or corrupted peer cannot make the
+receiver allocate an arbitrary buffer.
+
+Payload codecs cover the full :class:`~repro.server.server.CDStoreServer`
+surface and reuse the ``pack``/``unpack`` structs of
+:mod:`repro.server.messages` and :mod:`repro.server.index`, so the bytes a
+share travels in are identical whether the transport is a method call or a
+socket.  Every decoder consumes its payload exactly: truncation *and*
+trailing garbage raise :class:`~repro.errors.ProtocolError`.
+
+Errors are first-class frames: a server-side :class:`~repro.errors.
+ReproError` is encoded as :data:`R_ERROR` with a stable numeric code and
+re-raised client-side as the *same exception class* — the comm engine's
+failover logic (`FETCH_ERRORS`) behaves identically across transports.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.dedup.stats import DedupStats
+from repro.errors import (
+    CloudError,
+    CloudUnavailableError,
+    InsufficientCloudsError,
+    IntegrityError,
+    NotFoundError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+)
+from repro.server.index import FileEntry
+from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
+
+__all__ = [
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+    "SHARE_WIRE_OVERHEAD",
+    "WIRE_VERSION",
+    "decode_error",
+    "decode_frames",
+    "encode_error",
+    "encode_frame",
+    "read_frame",
+]
+
+#: Protocol revision; bumped on any incompatible frame change.  Exchanged
+#: in the PING/PONG handshake so mismatched peers fail fast and typed.
+WIRE_VERSION = 1
+
+_FRAME_MAGIC = 0xCD5E
+#: Frame header: magic | frame type | payload length.
+FRAME_HEADER = struct.Struct(">HBI")
+
+#: Default hard cap on one frame's payload.  Upload batches and share
+#: windows are 4 MB (§4.1); 16 MB leaves headroom for metadata-heavy
+#: frames while still bounding a peer-driven allocation.
+MAX_FRAME_BYTES = 16 << 20
+
+_FP_SIZE = 32
+
+# ---------------------------------------------------------------------------
+# frame types
+# ---------------------------------------------------------------------------
+
+# Requests (client -> server).
+T_PING = 0x01
+T_QUERY_DUPLICATES = 0x02
+T_UPLOAD_SHARES = 0x03
+T_FINALIZE_FILE = 0x04
+T_GET_FILE_ENTRY = 0x05
+T_GET_RECIPE = 0x06
+T_LIST_FILES = 0x07
+T_FETCH_SHARES = 0x08
+T_DELETE_FILE = 0x09
+T_COLLECT_GARBAGE = 0x0A
+T_SCRUB = 0x0B
+T_FLUSH = 0x0C
+T_STATS = 0x0D
+T_STORED_BYTES = 0x0E
+T_REPLACE_SHARE = 0x0F
+T_REBUILD_RECIPE = 0x10
+T_LIST_BACKUPS = 0x11
+
+# Responses (server -> client).
+R_OK = 0x80
+R_PONG = 0x81
+R_BOOLS = 0x82
+R_FILE_ENTRY = 0x83
+R_RECIPE = 0x84
+R_FILE_LIST = 0x85
+R_SHARE_BATCH = 0x86
+R_SHARES_END = 0x87
+R_INT = 0x88
+R_FP_LIST = 0x89
+R_STATS = 0x8A
+R_BACKUP_LIST = 0x8B
+R_ERROR = 0xFF
+
+#: Wire bytes one share adds to a :data:`R_SHARE_BATCH` beyond its payload
+#: (fingerprint + length prefix).  The TCP server prices shares with this
+#: so whole reply frames respect its frame budget.
+SHARE_WIRE_OVERHEAD = _FP_SIZE + 4
+
+# ---------------------------------------------------------------------------
+# typed error frames
+# ---------------------------------------------------------------------------
+
+#: Order matters: encoding picks the first ``isinstance`` match, so
+#: subclasses precede their bases.
+_ERROR_TYPES: list[type[ReproError]] = [
+    CloudUnavailableError,
+    InsufficientCloudsError,
+    CloudError,
+    NotFoundError,
+    StorageError,
+    IntegrityError,
+    ProtocolError,
+    ParameterError,
+    ReproError,
+]
+_ERROR_CODES = {cls: code for code, cls in enumerate(_ERROR_TYPES, start=1)}
+
+
+def encode_error(exc: ReproError) -> bytes:
+    """Encode a server-side error as an :data:`R_ERROR` payload."""
+    for cls, code in _ERROR_CODES.items():
+        if isinstance(exc, cls):
+            break
+    else:  # pragma: no cover - ReproError always matches
+        code = _ERROR_CODES[ReproError]
+    # NotFoundError inherits KeyError, whose str() quotes the message.
+    message = exc.args[0] if exc.args else str(exc)
+    blob = str(message).encode("utf-8")
+    return struct.pack(">BI", code, len(blob)) + blob
+
+
+def decode_error(payload: bytes) -> ReproError:
+    """Rebuild the typed exception an :data:`R_ERROR` payload carries."""
+    reader = _Reader(payload)
+    code = reader.u8()
+    message = reader.sized_bytes().decode("utf-8", errors="replace")
+    reader.done()
+    if not 1 <= code <= len(_ERROR_TYPES):
+        return ProtocolError(f"peer error with unknown code {code}: {message}")
+    return _ERROR_TYPES[code - 1](message)
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(
+    frame_type: int, payload: bytes = b"", max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
+    """One complete frame, ready for the socket."""
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte cap"
+        )
+    return FRAME_HEADER.pack(_FRAME_MAGIC, frame_type, len(payload)) + payload
+
+
+def read_frame(
+    recv_exact: Callable[[int], bytes], max_frame: int = MAX_FRAME_BYTES
+) -> tuple[int, bytes]:
+    """Read one frame via ``recv_exact(n) -> exactly n bytes``.
+
+    ``recv_exact`` raises :class:`ConnectionError` on EOF; this function
+    raises :class:`ProtocolError` on a bad magic word or an oversized
+    length *before* reading the payload, so a hostile length field never
+    drives an allocation.
+    """
+    magic, frame_type, length = FRAME_HEADER.unpack(recv_exact(FRAME_HEADER.size))
+    if magic != _FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:04x} (desynchronised?)")
+    if length > max_frame:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the {max_frame}-byte cap"
+        )
+    return frame_type, recv_exact(length) if length else b""
+
+
+def decode_frames(blob: bytes, max_frame: int = MAX_FRAME_BYTES) -> list[tuple[int, bytes]]:
+    """Split a byte string into ``(type, payload)`` frames (tests, buffers)."""
+    frames = []
+    pos = 0
+
+    def recv_exact(n: int) -> bytes:
+        nonlocal pos
+        if pos + n > len(blob):
+            raise ProtocolError("frame stream truncated")
+        out = blob[pos : pos + n]
+        pos += n
+        return out
+
+    while pos < len(blob):
+        frames.append(read_frame(recv_exact, max_frame))
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# payload reader
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame payload."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._blob):
+            raise ProtocolError("frame payload truncated")
+        out = self._blob[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack(">q", self.take(8))[0]
+
+    def sized_bytes(self) -> bytes:
+        return self.take(self.u32())
+
+    def string(self) -> str:
+        try:
+            return self.sized_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad UTF-8 in frame: {exc}") from exc
+
+    def fingerprint(self) -> bytes:
+        return self.take(_FP_SIZE)
+
+    def done(self) -> None:
+        if self._pos != len(self._blob):
+            raise ProtocolError(
+                f"{len(self._blob) - self._pos} trailing bytes after frame payload"
+            )
+
+
+def _sized(blob: bytes) -> bytes:
+    return struct.pack(">I", len(blob)) + blob
+
+
+def _string(text: str) -> bytes:
+    return _sized(text.encode("utf-8"))
+
+
+def _check_fp(fp: bytes) -> bytes:
+    if len(fp) != _FP_SIZE:
+        raise ProtocolError(f"fingerprint must be {_FP_SIZE} bytes, got {len(fp)}")
+    return fp
+
+
+# ---------------------------------------------------------------------------
+# request codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_ping() -> bytes:
+    return struct.pack(">H", WIRE_VERSION)
+
+
+def decode_ping(payload: bytes) -> int:
+    reader = _Reader(payload)
+    version = struct.unpack(">H", reader.take(2))[0]
+    reader.done()
+    return version
+
+
+def encode_pong(server_id: int) -> bytes:
+    return struct.pack(">HI", WIRE_VERSION, server_id)
+
+
+def decode_pong(payload: bytes) -> tuple[int, int]:
+    reader = _Reader(payload)
+    version, server_id = struct.unpack(">HI", reader.take(6))
+    reader.done()
+    return version, server_id
+
+
+def encode_query_duplicates(user_id: str, fingerprints: list[bytes]) -> bytes:
+    parts = [_string(user_id), struct.pack(">I", len(fingerprints))]
+    parts.extend(_check_fp(fp) for fp in fingerprints)
+    return b"".join(parts)
+
+
+def decode_query_duplicates(payload: bytes) -> tuple[str, list[bytes]]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    fingerprints = [reader.fingerprint() for _ in range(reader.u32())]
+    reader.done()
+    return user_id, fingerprints
+
+
+def encode_upload_shares(user_id: str, uploads: list[ShareUpload]) -> bytes:
+    parts = [_string(user_id), struct.pack(">I", len(uploads))]
+    for upload in uploads:
+        parts.append(upload.meta.pack())
+        parts.append(_sized(upload.data))
+    return b"".join(parts)
+
+
+def decode_upload_shares(payload: bytes) -> tuple[str, list[ShareUpload]]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    uploads = []
+    for _ in range(reader.u32()):
+        meta = ShareMeta.unpack(reader.take(ShareMeta.packed_size()))
+        uploads.append(ShareUpload(meta=meta, data=reader.sized_bytes()))
+    reader.done()
+    return user_id, uploads
+
+
+def encode_finalize_file(
+    user_id: str, manifest: FileManifest, share_metas: list[ShareMeta]
+) -> bytes:
+    parts = [
+        _string(user_id),
+        _sized(manifest.pack()),
+        struct.pack(">I", len(share_metas)),
+    ]
+    parts.extend(meta.pack() for meta in share_metas)
+    return b"".join(parts)
+
+
+def decode_finalize_file(payload: bytes) -> tuple[str, FileManifest, list[ShareMeta]]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    manifest = FileManifest.unpack(reader.sized_bytes())
+    metas = [
+        ShareMeta.unpack(reader.take(ShareMeta.packed_size()))
+        for _ in range(reader.u32())
+    ]
+    reader.done()
+    return user_id, manifest, metas
+
+
+def encode_user_key(user_id: str, lookup_key: bytes) -> bytes:
+    """Shared request shape: get_file_entry / delete_file."""
+    return _string(user_id) + _sized(lookup_key)
+
+
+def decode_user_key(payload: bytes) -> tuple[str, bytes]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    lookup_key = reader.sized_bytes()
+    reader.done()
+    return user_id, lookup_key
+
+
+def encode_get_recipe(user_id: str, lookup_key: bytes, bypass_cache: bool) -> bytes:
+    return _string(user_id) + _sized(lookup_key) + struct.pack(">B", int(bypass_cache))
+
+
+def decode_get_recipe(payload: bytes) -> tuple[str, bytes, bool]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    lookup_key = reader.sized_bytes()
+    bypass = reader.u8()
+    reader.done()
+    if bypass not in (0, 1):
+        raise ProtocolError(f"bad bypass_cache flag {bypass}")
+    return user_id, lookup_key, bool(bypass)
+
+
+def encode_user(user_id: str) -> bytes:
+    return _string(user_id)
+
+
+def decode_user(payload: bytes) -> str:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    reader.done()
+    return user_id
+
+
+def encode_fp_list(fingerprints: list[bytes]) -> bytes:
+    parts = [struct.pack(">I", len(fingerprints))]
+    parts.extend(_check_fp(fp) for fp in fingerprints)
+    return b"".join(parts)
+
+
+def decode_fp_list(payload: bytes) -> list[bytes]:
+    reader = _Reader(payload)
+    fingerprints = [reader.fingerprint() for _ in range(reader.u32())]
+    reader.done()
+    return fingerprints
+
+
+#: A fetch request body is exactly a fingerprint list (so is the scrub
+#: reply, below) — one codec, two names at the call sites.
+encode_fetch_shares = encode_fp_list
+decode_fetch_shares = decode_fp_list
+
+
+def encode_replace_share(server_fp: bytes, data: bytes) -> bytes:
+    return _check_fp(server_fp) + _sized(data)
+
+
+def decode_replace_share(payload: bytes) -> tuple[bytes, bytes]:
+    reader = _Reader(payload)
+    server_fp = reader.fingerprint()
+    data = reader.sized_bytes()
+    reader.done()
+    return server_fp, data
+
+
+def encode_rebuild_recipe(
+    user_id: str, lookup_key: bytes, entries: list[RecipeEntry]
+) -> bytes:
+    parts = [_string(user_id), _sized(lookup_key), struct.pack(">I", len(entries))]
+    parts.extend(entry.pack() for entry in entries)
+    return b"".join(parts)
+
+
+def decode_rebuild_recipe(payload: bytes) -> tuple[str, bytes, list[RecipeEntry]]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    lookup_key = reader.sized_bytes()
+    entries = [
+        RecipeEntry.unpack(reader.take(RecipeEntry.packed_size()))
+        for _ in range(reader.u32())
+    ]
+    reader.done()
+    return user_id, lookup_key, entries
+
+
+# ---------------------------------------------------------------------------
+# response codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_bools(values: list[bool]) -> bytes:
+    return struct.pack(">I", len(values)) + bytes(int(bool(v)) for v in values)
+
+
+def decode_bools(payload: bytes) -> list[bool]:
+    reader = _Reader(payload)
+    count = reader.u32()
+    flags = reader.take(count)
+    reader.done()
+    if any(flag not in (0, 1) for flag in flags):
+        raise ProtocolError("bool frame contains non-0/1 byte")
+    return [bool(flag) for flag in flags]
+
+
+def encode_file_entry(entry: FileEntry) -> bytes:
+    return entry.pack()
+
+
+def decode_file_entry(payload: bytes) -> FileEntry:
+    return FileEntry.unpack(payload)
+
+
+def encode_recipe(entries: list[RecipeEntry]) -> bytes:
+    return struct.pack(">I", len(entries)) + b"".join(e.pack() for e in entries)
+
+
+def decode_recipe(payload: bytes) -> list[RecipeEntry]:
+    reader = _Reader(payload)
+    entries = [
+        RecipeEntry.unpack(reader.take(RecipeEntry.packed_size()))
+        for _ in range(reader.u32())
+    ]
+    reader.done()
+    return entries
+
+
+def encode_file_list(listing: list[tuple[bytes, FileEntry]]) -> bytes:
+    parts = [struct.pack(">I", len(listing))]
+    for lookup_key, entry in listing:
+        parts.append(_sized(lookup_key))
+        parts.append(_sized(entry.pack()))
+    return b"".join(parts)
+
+
+def decode_file_list(payload: bytes) -> list[tuple[bytes, FileEntry]]:
+    reader = _Reader(payload)
+    out = []
+    for _ in range(reader.u32()):
+        lookup_key = reader.sized_bytes()
+        out.append((lookup_key, FileEntry.unpack(reader.sized_bytes())))
+    reader.done()
+    return out
+
+
+def encode_share_batch(batch: list[tuple[bytes, bytes]]) -> bytes:
+    parts = [struct.pack(">I", len(batch))]
+    for fp, payload in batch:
+        parts.append(_check_fp(fp))
+        parts.append(_sized(payload))
+    return b"".join(parts)
+
+
+def decode_share_batch(payload: bytes) -> list[tuple[bytes, bytes]]:
+    reader = _Reader(payload)
+    out = []
+    for _ in range(reader.u32()):
+        fp = reader.fingerprint()
+        out.append((fp, reader.sized_bytes()))
+    reader.done()
+    return out
+
+
+def encode_shares_end(total: int) -> bytes:
+    return struct.pack(">I", total)
+
+
+def decode_shares_end(payload: bytes) -> int:
+    reader = _Reader(payload)
+    total = reader.u32()
+    reader.done()
+    return total
+
+
+def encode_int(value: int) -> bytes:
+    return struct.pack(">q", value)
+
+
+def decode_int(payload: bytes) -> int:
+    reader = _Reader(payload)
+    value = reader.i64()
+    reader.done()
+    return value
+
+
+_STATS_FIELDS = (
+    "logical_data",
+    "logical_shares",
+    "transferred_shares",
+    "physical_shares",
+    "secrets_total",
+    "shares_total",
+    "shares_transferred",
+    "shares_stored",
+)
+_STATS_STRUCT = struct.Struct(f">{len(_STATS_FIELDS)}q")
+
+
+def encode_stats(stats: DedupStats) -> bytes:
+    return _STATS_STRUCT.pack(*(getattr(stats, field) for field in _STATS_FIELDS))
+
+
+def decode_stats(payload: bytes) -> DedupStats:
+    reader = _Reader(payload)
+    values = _STATS_STRUCT.unpack(reader.take(_STATS_STRUCT.size))
+    reader.done()
+    return DedupStats(**dict(zip(_STATS_FIELDS, values)))
+
+
+def encode_backup_list(backups: list[tuple[str, bytes]]) -> bytes:
+    parts = [struct.pack(">I", len(backups))]
+    for user_id, lookup_key in backups:
+        parts.append(_string(user_id))
+        parts.append(_sized(lookup_key))
+    return b"".join(parts)
+
+
+def decode_backup_list(payload: bytes) -> list[tuple[str, bytes]]:
+    reader = _Reader(payload)
+    out = []
+    for _ in range(reader.u32()):
+        user_id = reader.string()
+        out.append((user_id, reader.sized_bytes()))
+    reader.done()
+    return out

@@ -62,6 +62,31 @@ class StorageBackend(abc.ABC):
         self.get_ops += 1
         return data
 
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        """Fetch ``length`` bytes of the object at ``key`` from ``offset``.
+
+        The S3/GCS/Azure ranged-GET analogue: the restore path reads
+        individual container entries without materialising the whole 4 MB
+        container server-side.  Reading past the end of the object raises
+        :class:`StorageError` (a short range means the caller's offset
+        table is stale or corrupt — never silently truncate).
+        """
+        if offset < 0 or length < 0:
+            raise StorageError(f"bad range [{offset}, +{length}) for {key!r}")
+        data = self._get_range(key, offset, length)
+        if len(data) != length:
+            raise StorageError(
+                f"short ranged read on {key!r}: wanted {length} bytes at "
+                f"{offset}, got {len(data)}"
+            )
+        self.bytes_read += len(data)
+        self.get_ops += 1
+        return data
+
+    def _get_range(self, key: str, offset: int, length: int) -> bytes:
+        """Default ranged read: slice a whole fetch (backends override)."""
+        return self._get(key)[offset : offset + length]
+
     def delete_object(self, key: str) -> None:
         """Delete the object at ``key``; raises :class:`NotFoundError`."""
         self._delete(key)
@@ -148,6 +173,14 @@ class LocalDirBackend(StorageBackend):
         if not path.exists():
             raise NotFoundError(f"object {key!r} not found")
         return path.read_bytes()
+
+    def _get_range(self, key: str, offset: int, length: int) -> bytes:
+        path = self._path(key)
+        if not path.exists():
+            raise NotFoundError(f"object {key!r} not found")
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
 
     def _delete(self, key: str) -> None:
         path = self._path(key)

@@ -17,6 +17,15 @@ Two I/O optimisations from the paper are implemented:
 Container wire format::
 
     u32 magic | u8 kind | u32 count | count * (u32 keylen | u32 len | key | payload)
+    | count * u32 entry_offset | u32 entries_end | u32 count | u32 footer_magic
+
+The trailing **offset footer** (one ``u32`` per entry plus a 12-byte
+trailer) lets readers locate any entry with a single ranged backend read
+— the restore path serves individual shares without ever materialising a
+whole 4 MB container in server memory (see
+:meth:`ContainerManager.read_entry_ranged`).  Deserialisation accepts
+footer-less blobs for compatibility with containers written before the
+footer existed.
 """
 
 from __future__ import annotations
@@ -36,6 +45,9 @@ CONTAINER_CAP = 4 << 20
 _MAGIC = 0xCD57043E
 _HEADER = struct.Struct(">IBI")
 _ENTRY = struct.Struct(">II")
+_FOOTER_MAGIC = 0xCD5700F7
+#: Footer trailer: entries_end | entry count | footer magic.
+_TRAILER = struct.Struct(">III")
 
 KIND_SHARE = 1
 KIND_RECIPE = 2
@@ -93,10 +105,16 @@ class Container:
 
     def serialize(self) -> bytes:
         parts = [_HEADER.pack(_MAGIC, self.kind, len(self.entries))]
+        offsets: list[int] = []
+        pos = _HEADER.size
         for key, payload in self.entries:
+            offsets.append(pos)
             parts.append(_ENTRY.pack(len(key), len(payload)))
             parts.append(key)
             parts.append(payload)
+            pos += _ENTRY.size + len(key) + len(payload)
+        parts.append(struct.pack(f">{len(offsets)}I", *offsets))
+        parts.append(_TRAILER.pack(pos, len(offsets), _FOOTER_MAGIC))
         return b"".join(parts)
 
     @classmethod
@@ -120,7 +138,47 @@ class Container:
             payload = blob[pos : pos + paylen]
             pos += paylen
             container.add(key, payload)
+        # Trailing bytes must be a valid offset footer (or absent entirely,
+        # for blobs written before the footer existed): a truncated or
+        # garbled footer means the blob cannot be trusted.
+        if pos != len(blob):
+            parse_footer(blob[pos:], entries_end=pos, count=count)
         return container
+
+
+def parse_footer(
+    footer: bytes, entries_end: int, count: int | None = None
+) -> list[int]:
+    """Validate an offset footer; returns the per-entry start offsets.
+
+    ``entries_end`` is the absolute offset where the footer begins (i.e.
+    where the last entry ends); ``count``, when known, is cross-checked
+    against the footer's own entry count.  Raises :class:`StorageError` on
+    any disagreement — ranged readers must fail loudly rather than slice
+    at stale offsets.
+    """
+    if len(footer) < _TRAILER.size:
+        raise StorageError("container footer truncated")
+    end, footer_count, magic = _TRAILER.unpack_from(footer, len(footer) - _TRAILER.size)
+    if magic != _FOOTER_MAGIC:
+        raise StorageError("bad container footer magic")
+    if end != entries_end:
+        raise StorageError(
+            f"container footer end {end} != entry region end {entries_end}"
+        )
+    if count is not None and footer_count != count:
+        raise StorageError(
+            f"container footer counts {footer_count} entries, header {count}"
+        )
+    if len(footer) != _TRAILER.size + 4 * footer_count:
+        raise StorageError("container footer size mismatch")
+    offsets = list(struct.unpack_from(f">{footer_count}I", footer))
+    bounds = offsets + [entries_end]
+    if any(a >= b for a, b in zip(bounds, bounds[1:])) or (
+        offsets and offsets[0] != _HEADER.size
+    ):
+        raise StorageError("container footer offsets not monotonic")
+    return offsets
 
 
 class ContainerManager:
@@ -137,6 +195,10 @@ class ContainerManager:
     def __init__(self, backend: StorageBackend, cache_bytes: int = 32 << 20) -> None:
         self.backend = backend
         self._cache = LRUCache(cache_bytes, size_of=len)
+        # Offset tables for ranged entry reads: container id -> start
+        # offsets + entry-region end.  A table is ~4 bytes per entry, so
+        # 1 MB caches tables for hundreds of 4 MB containers.
+        self._footers = LRUCache(1 << 20, size_of=lambda t: 4 * len(t[0]) + 8)
         # Per-(user, kind) open write buffers: single-user containers (§4.5).
         self._buffers: dict[tuple[str, int], Container] = {}
         self._buffer_ids: dict[tuple[str, int], str] = {}
@@ -233,6 +295,117 @@ class ContainerManager:
             raise NotFoundError(
                 f"entry {ref.entry_index} not in container {ref.container_id}"
             ) from None
+
+    # ------------------------------------------------------------------
+    # ranged reading (bounded server memory)
+    # ------------------------------------------------------------------
+    def _entry_offsets(self, container_id: str) -> tuple[list[int], int] | None:
+        """Offset table for ``container_id``: (entry starts, entries end).
+
+        Read via two ranged backend reads (trailer, then the table) and
+        cached — the table is ~4 bytes per entry, three orders of
+        magnitude smaller than the container it indexes.  Returns None for
+        a container written before the footer existed (no footer magic):
+        legacy blobs are readable, just not rangeable.  A *present but
+        inconsistent* footer still raises — that is corruption, not age.
+        """
+        cached = self._footers.get(container_id)
+        if cached is not None:
+            return cached
+        size = self.backend.object_size(container_id)
+        if size < _HEADER.size + _TRAILER.size:
+            return None  # too small to carry a footer: legacy or empty
+        end, count, magic = _TRAILER.unpack(
+            self.backend.get_range(container_id, size - _TRAILER.size, _TRAILER.size)
+        )
+        if magic != _FOOTER_MAGIC:
+            return None  # pre-footer container
+        footer_size = _TRAILER.size + 4 * count
+        if end != size - footer_size:
+            raise StorageError(f"container {container_id} footer inconsistent")
+        offsets = parse_footer(
+            self.backend.get_range(container_id, end, footer_size),
+            entries_end=end,
+            count=count,
+        )
+        table = (offsets, end)
+        self._footers.put(container_id, table)
+        return table
+
+    def read_entry_ranged(self, ref: ContainerRef) -> tuple[bytes, bytes]:
+        """Fetch one entry *without* materialising its container.
+
+        Served, in preference order, from the whole-container LRU cache
+        (already in memory), an unflushed write buffer, or a single ranged
+        backend read at the footer offset — the cold path holds only this
+        entry plus the container's offset table, never the 4 MB blob.
+        Never populates the whole-container cache.  A container written
+        before the offset footer existed falls back to the whole-container
+        :meth:`read_entry` path — old backups stay restorable.
+        """
+        blob = self._cache.get(ref.container_id)
+        if blob is None:
+            for buf_key, cid in self._buffer_ids.items():
+                if cid == ref.container_id:
+                    try:
+                        return self._buffers[buf_key].entries[ref.entry_index]
+                    except IndexError:
+                        raise NotFoundError(
+                            f"entry {ref.entry_index} not in container "
+                            f"{ref.container_id}"
+                        ) from None
+        if blob is not None:
+            table = self._footer_from_blob(ref.container_id, blob)
+            span = blob
+        else:
+            table = self._entry_offsets(ref.container_id)
+            span = None
+        if table is None:  # legacy footer-less container
+            return self.read_entry(ref)
+        offsets, end = table
+        if not 0 <= ref.entry_index < len(offsets):
+            raise NotFoundError(
+                f"entry {ref.entry_index} not in container {ref.container_id}"
+            )
+        start = offsets[ref.entry_index]
+        stop = (
+            offsets[ref.entry_index + 1]
+            if ref.entry_index + 1 < len(offsets)
+            else end
+        )
+        if span is None:
+            span = self.backend.get_range(ref.container_id, start, stop - start)
+            start, stop = 0, len(span)
+        keylen, paylen = _ENTRY.unpack_from(span, start)
+        if _ENTRY.size + keylen + paylen != stop - start:
+            raise StorageError(
+                f"entry {ref.entry_index} of {ref.container_id} disagrees "
+                "with its footer span"
+            )
+        key_end = start + _ENTRY.size + keylen
+        return bytes(span[start + _ENTRY.size : key_end]), bytes(
+            span[key_end : key_end + paylen]
+        )
+
+    def _footer_from_blob(
+        self, container_id: str, blob: bytes
+    ) -> tuple[list[int], int] | None:
+        """Offset table parsed from an already-loaded blob (cache hits).
+
+        None means a legacy footer-less blob (see :meth:`_entry_offsets`).
+        """
+        cached = self._footers.get(container_id)
+        if cached is not None:
+            return cached
+        if len(blob) < _HEADER.size + _TRAILER.size:
+            return None
+        end, count, magic = _TRAILER.unpack_from(blob, len(blob) - _TRAILER.size)
+        if magic != _FOOTER_MAGIC:
+            return None
+        offsets = parse_footer(blob[end:], entries_end=end, count=count)
+        table = (offsets, end)
+        self._footers.put(container_id, table)
+        return table
 
     def read_container(self, container_id: str, bypass_cache: bool = False) -> Container:
         """Fetch a whole container (restore path: spatial locality).

@@ -44,7 +44,12 @@ class CDStoreSystem:
         outsiders.
     clouds:
         Optional pre-built providers (e.g. from a
-        :class:`~repro.cloud.testbed.Testbed`).
+        :class:`~repro.cloud.testbed.Testbed`).  Entries may also be
+        ``"tcp://host:port"`` strings: that cloud is *remote* — a
+        :class:`~repro.net.client.RemoteServerProxy` takes the server
+        slot and drives a :class:`~repro.net.server.CDStoreTCPServer`
+        over the wire, while local and remote clouds mix freely in one
+        deployment.
     index_root:
         If given, servers use durable LSM indices under this directory;
         otherwise in-memory indices.
@@ -68,7 +73,9 @@ class CDStoreSystem:
         pipelining): maximum encode slabs / restore windows in flight
         between stages.  ``1`` keeps the serial-phase behaviour; values
         above 1 overlap wire time with encoding/decoding even at
-        ``threads=1``.  Individual :meth:`client` calls may override it.
+        ``threads=1``, and ``"auto"`` derives the depth from measured
+        encode/wire rates at the first upload.  Individual :meth:`client`
+        calls may override it.
     clock:
         Optional simulated clock shared by all clients.  Each operation
         adds its own span (per-cloud makespan when the client is
@@ -88,7 +95,7 @@ class CDStoreSystem:
         chunker: Chunker | ChunkerSpec | str | None = None,
         threads: int = 1,
         workers: str = "thread",
-        pipeline_depth: int = 1,
+        pipeline_depth: int | str = 1,
         clock: SimClock | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
@@ -109,20 +116,32 @@ class CDStoreSystem:
         #: hash keys, hardening small-message-space data against offline
         #: brute force at the cost of the key-management dependency.
         self.key_server = key_server
-        self.clouds = clouds or [
+        specs = clouds or [
             CloudProvider(
                 name=f"cloud-{i}", uplink=Link(100.0), downlink=Link(100.0)
             )
             for i in range(n)
         ]
-        self.servers: list[CDStoreServer] = []
-        for i, cloud in enumerate(self.clouds):
+        self.clouds = []
+        self.servers: list = []
+        #: Cloud indices served over the wire (``tcp://`` specs).
+        self.remote_indices: set[int] = set()
+        for i, spec in enumerate(specs):
+            if isinstance(spec, str):
+                from repro.net.client import RemoteServerProxy
+
+                proxy = RemoteServerProxy(spec, server_id=i)
+                self.remote_indices.add(i)
+                self.clouds.append(proxy.cloud)
+                self.servers.append(proxy)
+                continue
             index = (
                 LSMIndex(Path(index_root) / f"server-{i}")
                 if index_root is not None
                 else None
             )
-            self.servers.append(CDStoreServer(server_id=i, cloud=cloud, index=index))
+            self.clouds.append(spec)
+            self.servers.append(CDStoreServer(server_id=i, cloud=spec, index=index))
         self._clients: dict[str, CDStoreClient] = {}
 
     # ------------------------------------------------------------------
@@ -134,7 +153,7 @@ class CDStoreSystem:
         chunker: Chunker | ChunkerSpec | str | None = None,
         threads: int | None = None,
         workers: str | None = None,
-        pipeline_depth: int | None = None,
+        pipeline_depth: int | str | None = None,
     ) -> CDStoreClient:
         """Get (or create) the CDStore client for ``user_id``.
 
@@ -174,12 +193,22 @@ class CDStoreSystem:
     # ------------------------------------------------------------------
     # failure injection & repair (§3.1)
     # ------------------------------------------------------------------
+    def _require_local(self, index: int, operation: str) -> None:
+        if index in self.remote_indices:
+            raise ParameterError(
+                f"cannot {operation} remote cloud {index} "
+                f"({self.clouds[index].name}): failure injection is driven "
+                "at the serving process, not through the proxy"
+            )
+
     def fail_cloud(self, index: int) -> None:
         """Take cloud ``index`` offline."""
+        self._require_local(index, "fail")
         self.clouds[index].fail()
 
     def recover_cloud(self, index: int) -> None:
         """Bring cloud ``index`` back online (its data may be stale/lost)."""
+        self._require_local(index, "recover")
         self.clouds[index].recover()
 
     def wipe_cloud(self, index: int) -> None:
@@ -189,6 +218,7 @@ class CDStoreSystem:
         co-locating server is replaced with a fresh one (its VM-local index
         is gone too).  Follow with :meth:`repair_cloud` to rebuild.
         """
+        self._require_local(index, "wipe")
         self.clouds[index].wipe()
         self.servers[index] = CDStoreServer(
             server_id=index, cloud=self.clouds[index]
@@ -219,12 +249,9 @@ class CDStoreSystem:
             )
         donors = healthy[: self.k]
         rebuilt = 0
-        # Walk every (user, file) recorded on the first donor.
-        from repro.server.index import PREFIX_FILE
-
-        for key, _ in donors[0].index.items(PREFIX_FILE):
-            user_id, _, lookup_key = key[len(PREFIX_FILE):].partition(b"\x00")
-            user = user_id.decode("utf-8")
+        # Walk every (user, file) recorded on the first donor — through the
+        # server surface, so a remote donor serves repairs over the wire.
+        for user, lookup_key in donors[0].list_backups():
             client = self.client(user)
             # Donor reads go through the client's comm engine so recipe and
             # share fetches overlap across the k donor clouds (§4.6).
@@ -326,14 +353,11 @@ class CDStoreSystem:
             )
         from repro.crypto.hashing import fingerprint as _fingerprint
         from repro.errors import ReproError
-        from repro.server.index import PREFIX_FILE
         from repro.server.messages import RecipeEntry
 
         healed: set[bytes] = set()
         recipes_rebuilt = 0
-        for key, _ in target.index.items(PREFIX_FILE):
-            user_id, _, lookup_key = key[len(PREFIX_FILE):].partition(b"\x00")
-            user = user_id.decode("utf-8")
+        for user, lookup_key in target.list_backups():
             client = self.client(user)
             donor_recipes = {
                 server.server_id: recipe
@@ -420,8 +444,8 @@ class CDStoreSystem:
             server.flush()
 
     def close(self) -> None:
-        """Shut down client comm engines and close durable indices."""
+        """Shut down client comm engines, server resources and proxies."""
         for client in self._clients.values():
             client.close()
         for server in self.servers:
-            server.index.close()
+            server.close()

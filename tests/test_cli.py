@@ -206,3 +206,124 @@ class TestArgumentValidation:
                 "-o", str(tmp_path / "o.bin"), "--pipeline-depth", "0",
             ])
         assert excinfo.value.code == 2
+
+
+class TestNetworkModeValidation:
+    """`repro serve` and tcp:// cloud specs die as argparse usage errors
+    (exit code 2) on malformed arguments, matching the --chunker style."""
+
+    @pytest.mark.parametrize("port", ["0", "-1", "65536", "http", "9300.5"])
+    def test_serve_bad_port_rejected(self, deployment, port, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--root", str(deployment), "--cloud", "0",
+                  "--port", port])
+        assert excinfo.value.code == 2
+        assert "--port" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("cloud", ["-1", "one", "1.5"])
+    def test_serve_bad_cloud_rejected(self, deployment, cloud, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--root", str(deployment), "--cloud", cloud,
+                  "--port", "9300"])
+        assert excinfo.value.code == 2
+        assert "--cloud" in capsys.readouterr().err
+
+    def test_serve_cloud_outside_deployment_errors(self, deployment, capsys):
+        assert main(["serve", "--root", str(deployment), "--cloud", "7",
+                     "--port", "9300"]) == 1
+        assert "outside this deployment" in capsys.readouterr().err
+
+    def test_serve_bad_frame_budget_rejected(self, deployment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--root", str(deployment), "--cloud", "0",
+                  "--port", "9300", "--frame-budget", "0"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("spec", [
+        "tcp://", "tcp://host", "tcp://host:", "tcp://host:abc",
+        "tcp://host:0", "tcp://host:70000", "udp://host:1", "nonsense",
+    ])
+    def test_init_malformed_cloud_spec_rejected(self, tmp_path, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["init", "--root", str(tmp_path / "s"),
+                  "--cloud-spec", spec])
+        assert excinfo.value.code == 2
+        assert "--cloud-spec" in capsys.readouterr().err
+
+    def test_init_cloud_spec_count_must_match_n(self, tmp_path, capsys):
+        assert main(["init", "--root", str(tmp_path / "s"), "--n", "4",
+                     "--cloud-spec", "tcp://h:1", "--cloud-spec", "local"]) == 1
+        assert "--cloud-spec" in capsys.readouterr().err
+
+    def test_init_persists_cloud_specs(self, tmp_path):
+        import json
+
+        root = tmp_path / "s"
+        assert main(["init", "--root", str(root), "--n", "2", "--k", "1",
+                     "--cloud-spec", "local",
+                     "--cloud-spec", "tcp://127.0.0.1:9411"]) == 0
+        config = json.loads((root / "cdstore.json").read_text())
+        assert config["cloud_specs"] == ["local", "tcp://127.0.0.1:9411"]
+        # Only local clouds get a backing directory.
+        assert (root / "cloud-0").is_dir()
+        assert not (root / "cloud-1").exists()
+
+
+class TestNetworkModeEndToEnd:
+    def test_backup_restore_through_served_clouds(self, tmp_path, capsys):
+        """A deployment whose clouds all live behind `repro serve`
+        processes backs up and restores through real loopback sockets."""
+        from pathlib import Path
+
+        from repro.cli import build_cloud_server
+
+        server_root = tmp_path / "srv"
+        assert main(["init", "--root", str(server_root), "--n", "4",
+                     "--k", "3", "--salt", "org"]) == 0
+        tcps = [build_cloud_server(server_root, i).start() for i in range(4)]
+        try:
+            init_args = ["init", "--root", str(tmp_path / "cli"), "--n", "4",
+                         "--k", "3", "--salt", "org"]
+            for tcp in tcps:
+                host, port = tcp.address
+                init_args += ["--cloud-spec", f"tcp://{host}:{port}"]
+            assert main(init_args) == 0
+
+            src = write_file(tmp_path, "data.bin", 40_000)
+            assert main(["backup", "--root", str(tmp_path / "cli"),
+                         "--user", "alice", src, "--name", "/f"]) == 0
+            out = capsys.readouterr().out
+            assert "pipeline depth" in out and "(adaptive)" in out
+            dest = tmp_path / "out.bin"
+            assert main(["restore", "--root", str(tmp_path / "cli"),
+                         "--user", "alice", "/f", "-o", str(dest)]) == 0
+            assert dest.read_bytes() == Path(src).read_bytes()
+            assert main(["stats", "--root", str(tmp_path / "cli")]) == 0
+            assert "tcp://" in capsys.readouterr().out
+        finally:
+            for tcp in tcps:
+                tcp.shutdown()
+                tcp.server.close()
+
+    def test_stats_degrades_when_remote_cloud_unreachable(self, tmp_path, capsys):
+        """Stats is a diagnostic: a dead remote cloud is reported, not
+        fatal, and the reachable clouds still show their numbers."""
+        root = tmp_path / "s"
+        assert main(["init", "--root", str(root), "--n", "2", "--k", "1",
+                     "--cloud-spec", "local",
+                     "--cloud-spec", "tcp://127.0.0.1:9"]) == 0
+        assert main(["stats", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+        assert "cloud-0" in out
+
+    def test_serve_remote_slot_rejected(self, tmp_path, capsys):
+        """Serving a slot whose persisted spec is tcp:// is a config
+        error, not a healthy server over an empty directory."""
+        root = tmp_path / "s"
+        assert main(["init", "--root", str(root), "--n", "2", "--k", "1",
+                     "--cloud-spec", "local",
+                     "--cloud-spec", "tcp://127.0.0.1:9"]) == 0
+        assert main(["serve", "--root", str(root), "--cloud", "1",
+                     "--port", "9300"]) == 1
+        assert "remote" in capsys.readouterr().err

@@ -137,3 +137,66 @@ class TestContainerManager:
         ids = backend.list_keys("container-")
         assert len(ids) == len(set(ids)) == 2
         assert ref2.container_id in ids
+
+
+class TestRangedReads:
+    """The offset footer and the ranged entry-read path."""
+
+    def _sealed(self, entries):
+        backend = MemoryBackend()
+        manager = ContainerManager(backend)
+        refs = [manager.append("u", KIND_SHARE, k, v) for k, v in entries]
+        manager.flush()
+        return backend, refs
+
+    def test_ranged_read_matches_whole_read_cold(self):
+        entries = [(f"k{i}".encode(), bytes([i]) * (50 + i)) for i in range(12)]
+        backend, refs = self._sealed(entries)
+        cold = ContainerManager(backend)  # empty cache: ranged backend reads
+        for ref, (key, payload) in zip(refs, entries):
+            assert cold.read_entry_ranged(ref) == (key, payload)
+            assert cold.read_entry_ranged(ref) == cold.read_entry(ref)
+
+    def test_ranged_read_never_fetches_whole_object_cold(self):
+        entries = [(f"k{i}".encode(), b"x" * 5000) for i in range(8)]
+        backend, refs = self._sealed(entries)
+        cold = ContainerManager(backend)
+        before = backend.bytes_read
+        cold.read_entry_ranged(refs[3])
+        # Trailer + offset table + one entry — far below the full blob.
+        assert backend.bytes_read - before < 6000
+        assert backend.object_size(refs[3].container_id) > 40_000
+
+    def test_legacy_footerless_container_still_readable(self):
+        """Containers written before the footer existed fall back to the
+        whole-container path instead of failing the restore."""
+        legacy = Container(KIND_SHARE)
+        legacy.add(b"old-key", b"old-payload" * 10)
+        blob = legacy.serialize()
+        stripped = blob[: 9 + 8 + len(b"old-key") + len(b"old-payload" * 10)]
+        assert Container.deserialize(stripped).entries == legacy.entries
+        backend = MemoryBackend()
+        backend.put_object("container-0000000000", stripped)
+        manager = ContainerManager(backend)
+        ref = ContainerRef("container-0000000000", 0)
+        assert manager.read_entry_ranged(ref) == (b"old-key", b"old-payload" * 10)
+        # Warm path (blob now cached) agrees.
+        assert manager.read_entry_ranged(ref) == (b"old-key", b"old-payload" * 10)
+
+    def test_corrupt_footer_raises_not_misreads(self):
+        entries = [(b"kk", b"v" * 100)]
+        backend, refs = self._sealed(entries)
+        cid = refs[0].container_id
+        blob = bytearray(backend.get_object(cid))
+        blob[-6] ^= 0xFF  # flip inside the trailer's count field
+        backend.put_object(cid, bytes(blob))
+        cold = ContainerManager(backend)
+        with pytest.raises(StorageError):
+            cold.read_entry_ranged(refs[0])
+
+    def test_truncated_footer_rejected_by_deserialize(self):
+        container = Container(KIND_SHARE)
+        container.add(b"k", b"v" * 50)
+        blob = container.serialize()
+        with pytest.raises(StorageError):
+            Container.deserialize(blob[:-3])

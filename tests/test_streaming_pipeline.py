@@ -440,3 +440,72 @@ class TestPipelineHelpers:
         assert pipeline_makespan([]) == 0.0
         with pytest.raises(ParameterError):
             pipeline_makespan([[1.0], [1.0, 2.0]])
+
+
+# ---------------------------------------------------------------------------
+# adaptive pipeline depth (pipeline_depth="auto")
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveDepth:
+    def test_choose_depth_formula_and_clamps(self):
+        from repro.client.comm import choose_pipeline_depth
+
+        # Wire-bound encoding: two slots give full overlap.
+        assert choose_pipeline_depth(1.0, 1000.0) == 2
+        # Encode outruns wire 2.4x: one extra slab per surplus window.
+        assert choose_pipeline_depth(240.0, 100.0) == 3
+        # Encode vastly faster: clamped at the ceiling.
+        assert choose_pipeline_depth(10_000.0, 1.0) == 8
+        # Custom clamp bounds are honoured.
+        assert choose_pipeline_depth(10_000.0, 1.0, ceiling=4) == 4
+        with pytest.raises(ParameterError):
+            choose_pipeline_depth(0.0, 1.0)
+
+    def test_auto_engine_probes_and_records_depth(self):
+        system = make_system(depth="auto")
+        client = windowed_client(system)
+        receipt = client.upload("/f", data_of(40_000))
+        assert isinstance(receipt.pipeline_depth, int)
+        assert 2 <= receipt.pipeline_depth <= 8
+        # The probe runs once; later uploads reuse the resolved depth.
+        assert client.comm.effective_depth == receipt.pipeline_depth
+        again = client.upload("/g", data_of(8_000, seed="other"))
+        assert again.pipeline_depth == receipt.pipeline_depth
+        assert client.download("/f") == data_of(40_000)
+        system.close()
+
+    def test_auto_engine_is_streaming_and_parallel(self):
+        system = make_system(depth="auto")
+        client = windowed_client(system)
+        assert client.comm.adaptive
+        assert client.comm.streaming
+        assert client.comm.parallel
+        system.close()
+
+    def test_explicit_depth_wins_over_auto(self):
+        system = make_system(depth="auto")
+        client = system.client("bob", pipeline_depth=5, chunker=FixedChunker(4096))
+        receipt = client.upload("/f", data_of(30_000))
+        assert receipt.pipeline_depth == 5
+        assert client.comm.effective_depth == 5
+        system.close()
+
+    def test_download_only_auto_engine_uses_fallback_depth(self):
+        from repro.client.comm import _AUTO_FALLBACK_DEPTH
+
+        system = make_system(depth=1)
+        uploader = windowed_client(system)
+        payload = data_of(30_000)
+        uploader.upload("/f", payload)
+        uploader.flush()
+        restorer = system.client(
+            "restorer", pipeline_depth="auto", chunker=FixedChunker(4096)
+        )
+        assert restorer.comm.effective_depth == _AUTO_FALLBACK_DEPTH
+        system.close()
+
+    def test_bogus_depth_values_rejected(self):
+        for bad in (0, -3, "fast", 2.5, None):
+            with pytest.raises(ParameterError):
+                make_system(depth=bad).client("alice")
