@@ -1,0 +1,70 @@
+"""Runtime-visible invariant annotations consumed by ``repro analyze``.
+
+The static checkers (:mod:`repro.analysis.checkers`) need the codebase to
+*declare* its concurrency discipline somewhere machine-readable.  These
+helpers are that vocabulary: they are deliberately near-no-ops at runtime
+(a dict, an attribute tag) so annotating a class costs nothing on the hot
+path, while the AST checkers read the same source text and enforce the
+declared discipline on every CI run.
+
+Usage::
+
+    class CDStoreTCPServer:
+        GUARDED_BY = guarded_by(_connections="_conn_lock")
+
+        @requires_lock("_conn_lock")
+        def _prune_locked(self):   # caller must hold self._conn_lock
+            self._connections.clear()
+
+``guarded_by(attr="_lock")`` declares that every mutation of
+``self.attr`` must happen inside a ``with self._lock:`` block (checker
+rule LOCK-001).  Methods that are *always called with the lock already
+held* are exempted by the :func:`requires_lock` decorator or by the
+``*_locked`` naming convention — both document the calling contract the
+checker would otherwise flag.
+
+``EXTERNAL`` declares state whose synchronisation lives one layer up
+(e.g. index backends serialised by ``CDStoreServer._lock``): the checker
+skips those attributes but the declaration keeps the contract visible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["EXTERNAL", "guarded_by", "requires_lock"]
+
+#: Sentinel lock name: the attribute is synchronised by the *caller's*
+#: lock (one layer up), not one owned by this class.  LOCK-001 skips
+#: attributes guarded by it; the declaration still documents the contract.
+EXTERNAL = "<external>"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def guarded_by(**attr_to_lock: str) -> dict[str, str]:
+    """Declare which lock guards each attribute: ``guarded_by(_sock="_lock")``.
+
+    Assign the result to a class attribute named ``GUARDED_BY``.  Keys are
+    instance-attribute names, values are the name of the lock attribute
+    (``"_lock"`` → mutations must sit inside ``with self._lock:``) or
+    :data:`EXTERNAL`.
+    """
+    return dict(attr_to_lock)
+
+
+def requires_lock(*lock_names: str) -> Callable[[_F], _F]:
+    """Mark a method as *called with these locks already held*.
+
+    Purely declarative: the wrapped function is returned unchanged and the
+    lock names are recorded on ``__requires_locks__`` for introspection.
+    The LOCK-001 checker treats the method body as holding the named locks
+    (the burden of actually holding them moves to the callers, which the
+    checker does verify at their own mutation sites).
+    """
+
+    def decorate(fn: _F) -> _F:
+        fn.__requires_locks__ = tuple(lock_names)
+        return fn
+
+    return decorate

@@ -1,0 +1,148 @@
+"""DUR-001/DUR-002: publishes and acks must sit behind an fsync barrier.
+
+Scope: modules under ``storage/`` or ``server/`` (plus any module whose
+stem is one of those names, e.g. ``net/server.py``) — the layers that own
+persistence and acknowledgement.  Within each function the checker builds
+a line-ordered event trace:
+
+* **write** — ``.write(...)`` / ``.writelines(...)`` (buffered handle) or
+  ``.write_bytes(...)`` / ``.write_text(...)`` (whole-file Path API);
+* **flush** — ``.flush()``;
+* **fsync** — ``os.fsync(...)``;
+* **publish** — ``os.rename``/``os.replace`` or the one-argument
+  ``<path>.rename(...)``/``<path>.replace(...)`` Path form (the
+  one-argument requirement keeps ``str.replace(old, new)`` out);
+* **ack** — ``.sendall(...)``.
+
+A publish (DUR-001) or ack (DUR-002) that appears after a write with no
+``os.fsync`` in between is flagged; a buffered write additionally needs a
+``flush()`` before the fsync, since fsyncing an unflushed Python file
+object persists nothing.  The trace is per-function and line-ordered —
+deliberately naive about branches, which is the right trade for a
+codebase-specific checker: the durability-critical paths here are
+straight-line (temp write → flush → fsync → rename).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.engine import FileContext, Finding
+
+__all__ = ["check_durability"]
+
+_BUFFERED_WRITES = frozenset({"write", "writelines"})
+_WHOLE_FILE_WRITES = frozenset({"write_bytes", "write_text"})
+
+
+def walk_shallow(fn: ast.AST):
+    """``ast.walk`` that does not descend into nested function/class defs.
+
+    Keeps each function's event trace its own: a helper closure's writes
+    must not satisfy (or trip) the enclosing function's ordering.
+    """
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(frozen=True)
+class _Event:
+    line: int
+    kind: str  # write-buffered | write-whole | flush | fsync | publish | ack
+    label: str
+
+
+def _classify(call: ast.Call) -> _Event | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr in _BUFFERED_WRITES:
+        return _Event(call.lineno, "write-buffered", attr)
+    if attr in _WHOLE_FILE_WRITES:
+        return _Event(call.lineno, "write-whole", attr)
+    if attr == "flush":
+        return _Event(call.lineno, "flush", attr)
+    if attr == "fsync" and isinstance(func.value, ast.Name) and func.value.id == "os":
+        return _Event(call.lineno, "fsync", "os.fsync")
+    if attr in {"rename", "replace"}:
+        if isinstance(func.value, ast.Name) and func.value.id == "os":
+            return _Event(call.lineno, "publish", f"os.{attr}")
+        if len(call.args) == 1 and not call.keywords:
+            # Path.rename/Path.replace take one target; str.replace takes
+            # two — arity is the cheap, reliable discriminator.
+            return _Event(call.lineno, "publish", f".{attr}()")
+    if attr == "sendall":
+        return _Event(call.lineno, "ack", "sendall")
+    return None
+
+
+def _check_function(
+    ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+) -> list[Finding]:
+    events = sorted(
+        (
+            event
+            for node in walk_shallow(fn)
+            if isinstance(node, ast.Call) and (event := _classify(node)) is not None
+        ),
+        key=lambda e: e.line,
+    )
+    findings: list[Finding] = []
+    for sink in events:
+        if sink.kind not in {"publish", "ack"}:
+            continue
+        writes = [e for e in events if e.kind.startswith("write") and e.line < sink.line]
+        if not writes:
+            continue
+        last_write = writes[-1]
+        between = [e for e in events if last_write.line < e.line < sink.line]
+        fsyncs = [e for e in between if e.kind == "fsync"]
+        rule = "DUR-001" if sink.kind == "publish" else "DUR-002"
+        noun = "publish" if sink.kind == "publish" else "ack"
+        if not fsyncs:
+            findings.append(
+                ctx.finding(
+                    sink.line,
+                    rule,
+                    (
+                        f"{sink.label} {noun} reachable after "
+                        f"{last_write.label} (line {last_write.line}) with no "
+                        f"os.fsync barrier in between — a crash can "
+                        f"{'publish a torn file' if noun == 'publish' else 'lose acknowledged data'}"
+                    ),
+                )
+            )
+        elif last_write.kind == "write-buffered" and not any(
+            e.kind == "flush" and e.line < fsyncs[-1].line for e in between
+        ):
+            findings.append(
+                ctx.finding(
+                    sink.line,
+                    rule,
+                    (
+                        f"os.fsync before this {noun} is not preceded by "
+                        f"flush() of the buffered {last_write.label} "
+                        f"(line {last_write.line}) — unflushed user-space "
+                        f"buffers are not made durable by fsync"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_durability(ctx: FileContext) -> list[Finding]:
+    if not ctx.in_scope("storage", "server"):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_check_function(ctx, node))
+    return findings

@@ -1,0 +1,255 @@
+"""LIFE-001: acquired resources must be released on every path.
+
+Tracked acquisitions — the three resource kinds this codebase leaks when
+it leaks: sockets (``socket.socket``, ``create_connection``,
+``.accept()``), file handles (``open``/``Path.open``) and shared memory
+(``SharedMemory(...)``).
+
+A tracked acquisition assigned to a local name is *safe* when one of:
+
+* the name is used as a context manager (``with sock:`` or inside any
+  ``with`` item expression);
+* a release method (``close``/``unlink``/``shutdown``/…) is called on it
+  from a ``finally`` block or an ``except`` handler — the error path is
+  covered;
+* ownership is handed off — stored into ``self.<field>``/a container,
+  returned, yielded, or passed to another call — **and** every call
+  between acquisition and the first handoff either cannot escape (it sits
+  in a ``try`` whose handlers release the resource, or swallow broadly
+  without re-raising) or is itself the release.
+
+Assigning straight into an attribute (``self._fh = open(...)``) is an
+immediate ownership handoff and is always safe — the field's owner is
+responsible from that point on.
+
+Everything else is a leak-on-exception: any call raising between the
+acquisition and the handoff abandons the resource.  That is precisely
+the shape of the bugs this PR fixes (``setsockopt`` after
+``create_connection``, ``settimeout`` after ``accept``, slab spans
+written before the segment is registered for sweeping).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.checkers.durability import walk_shallow
+from repro.analysis.engine import FileContext, Finding
+
+__all__ = ["check_lifecycle"]
+
+_RELEASERS = frozenset({"close", "unlink", "shutdown", "release", "terminate"})
+
+
+def _acquisition_kind(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file handle"
+        if func.id == "SharedMemory":
+            return "shared memory segment"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "open":
+        return "file handle"
+    if func.attr == "SharedMemory":
+        return "shared memory segment"
+    if func.attr == "create_connection":
+        return "socket"
+    if func.attr == "socket" and isinstance(func.value, ast.Name) and (
+        func.value.id == "socket"
+    ):
+        return "socket"
+    if func.attr == "accept":
+        return "socket"
+    return None
+
+
+def _bound_name(target: ast.expr, kind: str) -> tuple[str | None, bool]:
+    """``(local_name, handed_off)`` for an acquisition's assign target."""
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        return None, True  # self._fh = open(...): immediate ownership handoff
+    if isinstance(target, ast.Name):
+        return target.id, False
+    if isinstance(target, ast.Tuple) and kind == "socket" and target.elts:
+        # conn, addr = listener.accept()
+        first = target.elts[0]
+        if isinstance(first, ast.Name):
+            return first.id, False
+    return None, False
+
+
+def _mentions(ctx: FileContext, node: ast.AST, name: str) -> bool:
+    """``name`` used in value position (not as a method receiver) in node.
+
+    ``self._sock = sock`` and ``Thread(args=(conn,))`` mention the
+    resource; ``data = f.read()`` does not — ``f`` there is the receiver
+    of an operation, not an ownership transfer.
+    """
+    return any(
+        isinstance(sub, ast.Name)
+        and sub.id == name
+        and not isinstance(ctx.parents.get(sub), ast.Attribute)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_release(call: ast.Call, name: str) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _RELEASERS
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == name
+    )
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    return all(
+        isinstance(t, ast.Name) and t.id in {"Exception", "BaseException"}
+        for t in types
+    )
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@dataclass
+class _Acquisition:
+    name: str
+    kind: str
+    line: int
+
+
+def _try_excuses(ctx: FileContext, call: ast.Call, fn: ast.AST, name: str) -> bool:
+    """Whether ``call`` cannot leak ``name``: an enclosing try releases it
+    (handler or finally) or swallows every exception without re-raising."""
+    node: ast.AST = call
+    while node is not fn:
+        parent = ctx.parents.get(node)
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Try) and node in parent.body:
+            releases = [
+                sub
+                for region in (parent.finalbody, *[h.body for h in parent.handlers])
+                for stmt in region
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Call) and _is_release(sub, name)
+            ]
+            if releases:
+                return True
+            if parent.handlers and all(
+                _handler_is_broad(h) and not _handler_reraises(h)
+                for h in parent.handlers
+            ):
+                return True
+        node = parent
+    return False
+
+
+def _guarded_release_exists(ctx: FileContext, fn: ast.AST, name: str) -> bool:
+    for node in walk_shallow(fn):
+        if isinstance(node, ast.Call) and _is_release(node, name):
+            walker: ast.AST = node
+            while walker is not fn:
+                parent = ctx.parents.get(walker)
+                if parent is None:
+                    break
+                if isinstance(parent, ast.ExceptHandler):
+                    return True
+                if isinstance(parent, ast.Try) and walker in parent.finalbody:
+                    return True
+                walker = parent
+    return False
+
+
+def _check_function(ctx: FileContext, fn: ast.AST) -> list[Finding]:
+    acquisitions: list[_Acquisition] = []
+    for node in walk_shallow(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        kind = _acquisition_kind(node.value)
+        if kind is None:
+            continue
+        for target in node.targets:
+            name, handed_off = _bound_name(target, kind)
+            if handed_off or name is None:
+                continue
+            acquisitions.append(_Acquisition(name, kind, node.lineno))
+
+    findings: list[Finding] = []
+    for acq in acquisitions:
+        if any(
+            isinstance(node, (ast.With, ast.AsyncWith))
+            and any(
+                _mentions(ctx, item.context_expr, acq.name) for item in node.items
+            )
+            for node in walk_shallow(fn)
+        ):
+            continue
+        if _guarded_release_exists(ctx, fn, acq.name):
+            continue
+
+        handoff_line: int | None = None
+        for node in walk_shallow(fn):
+            if getattr(node, "lineno", 0) <= acq.line:
+                continue
+            line = node.lineno
+            is_handoff = False
+            if isinstance(node, ast.Assign) and _mentions(ctx, node.value, acq.name):
+                is_handoff = True
+            elif isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                is_handoff = _mentions(ctx, node.value, acq.name)
+            elif isinstance(node, ast.Call) and not _is_release(node, acq.name):
+                in_args = any(
+                    _mentions(ctx, a, acq.name) for a in node.args
+                ) or any(_mentions(ctx, kw.value, acq.name) for kw in node.keywords)
+                is_handoff = in_args
+            if is_handoff:
+                handoff_line = line if handoff_line is None else min(handoff_line, line)
+
+        risky = [
+            node
+            for node in walk_shallow(fn)
+            if isinstance(node, ast.Call)
+            and acq.line < getattr(node, "lineno", 0)
+            and (handoff_line is None or node.lineno < handoff_line)
+            and not _is_release(node, acq.name)
+            and not _try_excuses(ctx, node, fn, acq.name)
+        ]
+        if handoff_line is not None and not risky:
+            continue
+        detail = (
+            f"call(s) on line(s) {sorted({r.lineno for r in risky})} can raise "
+            f"before ownership is handed off"
+            if risky
+            else "no context manager, try/finally release, or ownership handoff"
+        )
+        findings.append(
+            ctx.finding(
+                acq.line,
+                "LIFE-001",
+                (
+                    f"{acq.kind} '{acq.name}' is not released on all paths: "
+                    f"{detail} — use `with`, release in finally/except, or "
+                    f"hand off before fallible calls"
+                ),
+            )
+        )
+    return findings
+
+
+def check_lifecycle(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_check_function(ctx, node))
+    return findings

@@ -1,0 +1,260 @@
+"""LOCK-001: guarded attributes must be mutated under their declared lock.
+
+Classes opt in by declaring a class-level ``GUARDED_BY = guarded_by(...)``
+map (see :mod:`repro.analysis.annotations`).  The checker then walks every
+method and flags mutations of a guarded ``self.<attr>`` that are not
+lexically inside a ``with self.<lock>:`` block.
+
+Exemptions, in declaration order of trust:
+
+* ``__init__``/``__new__``/``__del__`` — construction and teardown happen
+  before/after the object is shared (happens-before publication);
+* methods named ``*_locked`` — the codebase's naming convention for
+  "caller holds the lock";
+* methods decorated ``@requires_lock("<lock>")`` — the declarative form
+  of the same contract;
+* methods decorated with a decorator named ``locked``/``_locked`` — the
+  ``CDStoreServer`` idiom where the decorator itself takes ``self._lock``;
+* attributes mapped to :data:`~repro.analysis.annotations.EXTERNAL` —
+  synchronisation lives one layer up, nothing to check here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.annotations import EXTERNAL
+from repro.analysis.engine import FileContext, Finding
+
+__all__ = ["check_lock_discipline"]
+
+#: Method names on a guarded attribute that mutate it in place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "put",
+        "remove",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+    }
+)
+
+_SKIP_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+
+def _guarded_map(cls: ast.ClassDef) -> dict[str, str] | None:
+    """Extract ``GUARDED_BY = guarded_by(attr="_lock", ...)`` if present.
+
+    Accepts either the ``guarded_by(...)`` call form or a plain dict
+    literal with string keys/values — both are statically readable.
+    """
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "GUARDED_BY" for t in stmt.targets
+        ):
+            continue
+        value = stmt.value
+        out: dict[str, str] = {}
+        if isinstance(value, ast.Call):
+            for kw in value.keywords:
+                if kw.arg is not None and isinstance(kw.value, ast.Constant):
+                    out[kw.arg] = str(kw.value.value)
+                elif kw.arg is not None and isinstance(kw.value, ast.Name):
+                    # `guarded_by(index=EXTERNAL)` — resolve the sentinel.
+                    out[kw.arg] = EXTERNAL if kw.value.id == "EXTERNAL" else kw.value.id
+        elif isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant) and isinstance(val, ast.Constant):
+                    out[str(key.value)] = str(val.value)
+        return {a: lock for a, lock in out.items() if lock != EXTERNAL} or None
+    return None
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _method_initial_locks(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str] | None:
+    """Locks a method body may assume held, or None if the method is exempt."""
+    if fn.name in _SKIP_METHODS or fn.name.endswith("_locked"):
+        return None
+    held: set[str] = set()
+    for deco in fn.decorator_list:
+        name = _decorator_name(deco)
+        if name == "requires_lock" and isinstance(deco, ast.Call):
+            for arg in deco.args:
+                if isinstance(arg, ast.Constant):
+                    held.add(str(arg.value))
+        elif name in {"locked", "_locked"}:
+            # The CDStoreServer wrapper idiom: the decorator body runs the
+            # method inside `with self._lock:`.
+            held.add("_lock")
+    return held
+
+
+def _self_attr_base(node: ast.expr) -> str | None:
+    """Peel ``self.X``, ``self.X[...]``, ``self.X.y`` down to ``X``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if isinstance(node, ast.Attribute) and (
+            isinstance(node.value, ast.Name) and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _with_locks(stmt: ast.With | ast.AsyncWith, lock_names: set[str]) -> set[str]:
+    taken: set[str] = set()
+    for item in stmt.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_names
+        ):
+            taken.add(expr.attr)
+    return taken
+
+
+class _MethodWalker:
+    """Walks one method, tracking the lexically-held lock set."""
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        cls_name: str,
+        guarded: dict[str, str],
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        held: set[str],
+    ) -> None:
+        self.ctx = ctx
+        self.cls_name = cls_name
+        self.guarded = guarded
+        self.fn = fn
+        self.lock_names = set(guarded.values())
+        self.findings: list[Finding] = []
+        self._walk_block(fn.body, held)
+
+    def _walk_block(self, stmts: list[ast.stmt], held: set[str]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: set[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(item.context_expr, held)
+            self._walk_block(stmt.body, held | _with_locks(stmt, self.lock_names))
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._check_expr(stmt.test, held)
+            self._walk_block(stmt.body, held)
+            self._walk_block(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_expr(stmt.iter, held)
+            self._check_target(stmt.target, held)
+            self._walk_block(stmt.body, held)
+            self._walk_block(stmt.orelse, held)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._walk_block(stmt.body, held)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, held)
+            self._walk_block(stmt.orelse, held)
+            self._walk_block(stmt.finalbody, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Closures are assumed to run where they are defined; a closure
+            # scheduled to run elsewhere should be a *_locked helper or use
+            # @requires_lock at its eventual call site's discipline.
+            self._walk_block(stmt.body, held)
+        else:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        self._check_target(target, held)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        self._check_target(target, held)
+                elif isinstance(node, ast.Call):
+                    self._check_call(node, held)
+
+    def _check_expr(self, expr: ast.expr, held: set[str]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._check_call(node, held)
+
+    def _check_target(self, target: ast.expr, held: set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, held)
+            return
+        attr = _self_attr_base(target)
+        if attr is not None:
+            self._flag_if_unheld(target, attr, held)
+
+    def _check_call(self, call: ast.Call, held: set[str]) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr_base(func.value)
+            if attr is not None:
+                self._flag_if_unheld(call, attr, held)
+
+    def _flag_if_unheld(self, node: ast.AST, attr: str, held: set[str]) -> None:
+        lock = self.guarded.get(attr)
+        if lock is None or lock in held:
+            return
+        self.findings.append(
+            self.ctx.finding(
+                node,
+                "LOCK-001",
+                (
+                    f"{self.cls_name}.{self.fn.name} mutates '{attr}' "
+                    f"(guarded by 'self.{lock}') outside `with self.{lock}:` "
+                    f"— take the lock or mark the method "
+                    f'@requires_lock("{lock}")'
+                ),
+            )
+        )
+
+
+def check_lock_discipline(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guarded = _guarded_map(node)
+        if not guarded:
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            held = _method_initial_locks(stmt)
+            if held is None:
+                continue
+            findings.extend(
+                _MethodWalker(ctx, node.name, guarded, stmt, held).findings
+            )
+    return findings

@@ -1,0 +1,121 @@
+"""PICKLE-001: worker-shipped spec dataclasses stay on a picklable diet.
+
+``ChunkerSpec`` (and any future ``*Spec`` dataclass) crosses the process
+boundary into the encode pool, so every field must be a type the stdlib
+pickles without custom machinery *and* without dragging surprise state
+along.  The checker enforces an allowlist over the field annotations of
+any ``@dataclass``-decorated class whose name ends in ``Spec``:
+
+scalars (``str``/``int``/``float``/``bool``/``bytes``/``None``),
+containers of allowed types (``tuple``/``list``/``dict``/``set``/
+``frozenset`` and their ``typing`` spellings), ``Optional``/``Union``
+unions of allowed types, and ``Literal``.
+
+Anything else — a lock, a socket, a callable, an open handle, a numpy
+array — fails analysis at the field's line.  The allowlist is
+deliberately tighter than "what pickle can technically serialise":
+specs are re-hydrated in worker processes on every pool warm-up, so
+fields must also be cheap and unambiguous to copy.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext, Finding
+
+__all__ = ["check_picklable"]
+
+_ALLOWED_NAMES = frozenset(
+    {
+        "str",
+        "int",
+        "float",
+        "bool",
+        "bytes",
+        "bytearray",
+        "complex",
+        "None",
+        "tuple",
+        "Tuple",
+        "list",
+        "List",
+        "dict",
+        "Dict",
+        "set",
+        "Set",
+        "frozenset",
+        "FrozenSet",
+        "Optional",
+        "Union",
+        "Literal",
+        "Sequence",
+        "Mapping",
+    }
+)
+
+
+def _annotation_ok(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        # None in `int | None`, Ellipsis in `tuple[int, ...]`, and Literal
+        # members (which are constants by construction) are all fine; a
+        # string annotation would need evaluation, so reject it.
+        return not isinstance(node.value, str)
+    if isinstance(node, ast.Name):
+        return node.id in _ALLOWED_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _ALLOWED_NAMES  # typing.Optional et al.
+    if isinstance(node, ast.Subscript):
+        return _annotation_ok(node.value) and _annotation_ok(node.slice)
+    if isinstance(node, ast.Tuple):
+        return all(_annotation_ok(elt) for elt in node.elts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_ok(node.left) and _annotation_ok(node.right)
+    return False
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else target.id
+            if isinstance(target, ast.Name)
+            else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def check_picklable(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.ClassDef)
+            and node.name.endswith("Spec")
+            and _is_dataclass(node)
+        ):
+            continue
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            if stmt.target.id.startswith("_"):
+                continue  # ClassVar-style internals are not shipped fields
+            if not _annotation_ok(stmt.annotation):
+                findings.append(
+                    ctx.finding(
+                        stmt,
+                        "PICKLE-001",
+                        (
+                            f"{node.name}.{stmt.target.id} is annotated "
+                            f"'{ast.unparse(stmt.annotation)}', which is not "
+                            f"on the known-picklable allowlist for specs "
+                            f"shipped to process workers"
+                        ),
+                    )
+                )
+    return findings

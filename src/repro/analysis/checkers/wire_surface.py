@@ -1,0 +1,135 @@
+"""WIRE-001..004: every wire frame type is handled everywhere, once.
+
+A project-level checker: it needs ``net/wire.py`` (the constant
+registry), ``net/server.py`` (dispatch), ``net/client.py`` (proxy) and
+the repository README (human-facing frame table) in one view.  For each
+``wire.py`` in the analysed set it locates the sibling server/client
+modules in the same directory and the nearest ``README.md`` walking up
+from the wire module on disk.
+
+* WIRE-001 — a ``T_*``/``R_*`` constant never referenced in the server
+  module: the dispatch (or its response encoding) cannot cover it.
+* WIRE-002 — a constant never referenced in the client module: the proxy
+  can neither send nor expect it.
+* WIRE-003 — a constant whose short name (``T_FETCH_SHARES`` →
+  ``FETCH_SHARES``) is missing from the README frame table.
+* WIRE-004 — two constants share one wire byte value (dispatch
+  shadowing: the second can never be selected).
+
+References are whole-word textual matches, which is exactly the right
+strength here: ``wire.T_PING`` and ``T_PING`` both count, a constant
+mentioned only in a comment counts too — and that is fine, because the
+point is "adding a frame forces you to visit every surface", and a
+comment claiming handling is at least a visited, reviewable claim.
+Missing sibling files are skipped rather than flagged so fixtures can
+exercise one surface at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.engine import FileContext, Finding, Project
+
+__all__ = ["check_wire_surface"]
+
+
+def _frame_constants(ctx: FileContext) -> list[tuple[str, int, int]]:
+    """Module-level ``(name, value, lineno)`` for every T_*/R_* int const."""
+    out: list[tuple[str, int, int]] = []
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Name)
+                and (target.id.startswith("T_") or target.id.startswith("R_"))
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+            ):
+                out.append((target.id, stmt.value.value, stmt.lineno))
+    return out
+
+
+def _word_present(word: str, text: str) -> bool:
+    return re.search(rf"\b{re.escape(word)}\b", text) is not None
+
+
+def _nearest_readme(wire_path: Path) -> Path | None:
+    for parent in wire_path.resolve().parents:
+        candidate = parent / "README.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
+    constants = _frame_constants(wire)
+    if not constants:
+        return []
+    findings: list[Finding] = []
+
+    by_value: dict[int, list[tuple[str, int]]] = {}
+    for name, value, lineno in constants:
+        by_value.setdefault(value, []).append((name, lineno))
+    for value, entries in sorted(by_value.items()):
+        if len(entries) > 1:
+            names = ", ".join(name for name, _ in entries)
+            findings.append(
+                wire.finding(
+                    entries[-1][1],
+                    "WIRE-004",
+                    f"frame byte 0x{value:02X} is assigned to {names} — "
+                    f"dispatch on the shared value shadows all but one",
+                )
+            )
+
+    wire_dir = str(Path(wire.display_path).parent)
+    siblings = {
+        Path(ctx.display_path).name: ctx
+        for ctx in project.files
+        if str(Path(ctx.display_path).parent) == wire_dir
+    }
+    surfaces = [
+        ("WIRE-001", siblings.get("server.py"), "server dispatch"),
+        ("WIRE-002", siblings.get("client.py"), "client proxy"),
+    ]
+    for rule, sibling, role in surfaces:
+        if sibling is None:
+            continue
+        for name, _value, lineno in constants:
+            if not _word_present(name, sibling.source):
+                findings.append(
+                    wire.finding(
+                        lineno,
+                        rule,
+                        f"frame constant {name} is never referenced by the "
+                        f"{role} ({sibling.display_path}) — the frame cannot "
+                        f"be handled there",
+                    )
+                )
+
+    readme = _nearest_readme(wire.path)
+    if readme is not None:
+        readme_text = readme.read_text()
+        for name, _value, lineno in constants:
+            short = name.split("_", 1)[1] if "_" in name else name
+            if not _word_present(short, readme_text):
+                findings.append(
+                    wire.finding(
+                        lineno,
+                        "WIRE-003",
+                        f"frame {name} ({short}) is missing from the "
+                        f"frame table in {readme.name}",
+                    )
+                )
+    return findings
+
+
+def check_wire_surface(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for wire in project.find("/wire.py"):
+        findings.extend(_check_one_wire(project, wire))
+    return findings

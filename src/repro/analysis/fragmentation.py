@@ -21,8 +21,13 @@ and reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.server.server import CDStoreServer
+if TYPE_CHECKING:
+    # Type-only: the server layer imports repro.analysis.annotations for
+    # its guarded_by declarations, so a runtime import here would close an
+    # import cycle through the analysis package __init__.
+    from repro.server.server import CDStoreServer
 
 __all__ = ["FragmentationReport", "analyze_fragmentation"]
 

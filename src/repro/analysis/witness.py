@@ -1,0 +1,242 @@
+"""Runtime lock-order witness: the dynamic complement of ``repro analyze``.
+
+The static checkers can prove a mutation happens under *a* lock; they
+cannot see the order different threads take *multiple* locks in, which
+is where deadlocks live.  This module provides the lockdep-style witness
+the test suite runs under ``REPRO_LOCK_WITNESS=1``:
+
+* :func:`install` monkeypatches ``threading.Lock``/``threading.RLock``
+  with factories returning :class:`WitnessedLock` wrappers;
+* each lock is named by its **allocation site** (``module.py:lineno``),
+  so every instance allocated at one site forms one lock *class* — the
+  same coarsening lockdep uses: an order inversion between two sites is
+  a potential deadlock even if tonight's run happened to use distinct
+  instances;
+* every successful acquisition records edges ``held-site → new-site``
+  into a global :class:`LockOrderGraph`; a cycle in that graph is a
+  potential ABBA deadlock, reported at session end (or on demand via
+  :meth:`LockWitness.assert_no_cycles`).
+
+Re-entrant re-acquisition (RLock) produces a self-edge, which is
+ignored — re-entry cannot deadlock.  The graph accumulates over the
+whole process: two tests that each take the pair in opposite orders
+produce a cycle even though neither test deadlocks alone; that is the
+point.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import Callable, Sequence
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderGraph",
+    "LockWitness",
+    "WitnessedLock",
+    "install",
+]
+
+
+class LockOrderError(AssertionError):
+    """Raised when the acquisition graph contains a cycle."""
+
+
+def _canonical(cycle: tuple[str, ...]) -> tuple[str, ...]:
+    """Rotate a cycle so it starts at its smallest element (dedup key)."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+class LockOrderGraph:
+    """Directed graph of lock-class acquisition order, with cycle capture.
+
+    Thread-safety is the caller's concern (:class:`LockWitness` serialises
+    with its own meta-lock); the bare graph is also driven directly,
+    single-threaded, by the hypothesis schedule tests.
+    """
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self.cycles: list[tuple[str, ...]] = []
+        self._seen: set[tuple[str, ...]] = set()
+
+    def add_acquisition(self, held: Sequence[str], name: str) -> None:
+        """Record that ``name`` was acquired while ``held`` were held."""
+        for prior in set(held):
+            if prior == name:
+                continue  # re-entrant self-edge: cannot deadlock
+            successors = self.edges.setdefault(prior, set())
+            if name in successors:
+                continue
+            successors.add(name)
+            path = self._find_path(name, prior)
+            if path is not None:
+                cycle = _canonical((prior, *path[:-1]))
+                if cycle not in self._seen:
+                    self._seen.add(cycle)
+                    self.cycles.append(cycle)
+
+    def _find_path(self, src: str, dst: str) -> list[str] | None:
+        """DFS path ``src → … → dst`` along edges, or None."""
+        stack: list[list[str]] = [[src]]
+        visited: set[str] = set()
+        while stack:
+            path = stack.pop()
+            node = path[-1]
+            if node == dst:
+                return path
+            if node in visited:
+                continue
+            visited.add(node)
+            for succ in self.edges.get(node, ()):
+                stack.append(path + [succ])
+        return None
+
+
+class LockWitness:
+    """Per-process witness state: the graph plus per-thread held stacks."""
+
+    def __init__(self, meta_lock_factory: Callable[[], threading.Lock] | None = None):
+        # The meta lock must be a *raw* lock even when installed, or the
+        # witness would recurse into itself on every acquisition.
+        self._meta = (meta_lock_factory or threading.Lock)()
+        self._held = threading.local()
+        self.graph = LockOrderGraph()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def on_acquired(self, name: str) -> None:
+        stack = self._stack()
+        with self._meta:
+            self.graph.add_acquisition(stack, name)
+        stack.append(name)
+
+    def on_released(self, name: str) -> None:
+        stack = self._stack()
+        # Remove the most recent occurrence: out-of-order releases are
+        # legal in Python and must not corrupt the held set.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def assert_no_cycles(self) -> None:
+        with self._meta:
+            cycles = list(self.graph.cycles)
+        if cycles:
+            rendered = "; ".join(" -> ".join((*c, c[0])) for c in cycles)
+            raise LockOrderError(
+                f"lock-order witness found {len(cycles)} acquisition "
+                f"cycle(s) (potential deadlock): {rendered}"
+            )
+
+
+class WitnessedLock:
+    """Wraps a real Lock/RLock, reporting acquisitions to the witness.
+
+    Implements the full surface ``threading.Condition`` probes for
+    (``_is_owned``/``_release_save``/``_acquire_restore``/
+    ``_at_fork_reinit``) so witnessed locks remain valid Condition
+    backers.
+    """
+
+    def __init__(self, inner, name: str, witness: LockWitness) -> None:
+        self._inner = inner
+        self._name = name
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._witness.on_acquired(self._name)
+        return ok
+
+    def release(self) -> None:
+        self._witness.on_released(self._name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # --- Condition protocol -------------------------------------------
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        # RLock: releases *all* recursion levels at once.
+        self._witness.on_released(self._name)
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._witness.on_acquired(self._name)
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+        self._witness = LockWitness()  # child starts with a fresh graph
+
+    def __repr__(self) -> str:
+        return f"<WitnessedLock {self._name} wrapping {self._inner!r}>"
+
+
+def _allocation_site() -> str:
+    """``dir/module.py:lineno`` of the first caller outside threading."""
+    frame = sys._getframe(2)
+    while frame is not None and Path(frame.f_code.co_filename).name == "threading.py":
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    tail = "/".join(Path(frame.f_code.co_filename).parts[-2:])
+    return f"{tail}:{frame.f_lineno}"
+
+
+def install() -> tuple[LockWitness, Callable[[], None]]:
+    """Patch ``threading.Lock``/``RLock``; returns (witness, uninstall).
+
+    Locks allocated before installation stay raw and invisible to the
+    witness — install as early as possible (conftest does it at import
+    time when ``REPRO_LOCK_WITNESS=1``).
+    """
+    orig_lock = threading.Lock
+    orig_rlock = threading.RLock
+    witness = LockWitness(meta_lock_factory=orig_lock)
+
+    def make_lock():
+        return WitnessedLock(orig_lock(), _allocation_site(), witness)
+
+    def make_rlock():
+        return WitnessedLock(orig_rlock(), _allocation_site(), witness)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+
+    def uninstall() -> None:
+        threading.Lock = orig_lock
+        threading.RLock = orig_rlock
+
+    return witness, uninstall

@@ -369,6 +369,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
         system.close()
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import RULE_DOCS, run_analysis
+
+    if args.rules:
+        for rule, doc in sorted(RULE_DOCS.items()):
+            print(f"{rule}: {doc}")
+        return 0
+    findings = run_analysis(args.paths or ["src"])
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"repro analyze: {len(findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def cmd_cost(args: argparse.Namespace) -> int:
     from repro.costs import cost_savings
 
@@ -514,6 +532,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="deployment storage statistics")
     p.add_argument("--root", required=True)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the invariant checkers over the source tree",
+        description="Static analysis purpose-built for this codebase: lock "
+                    "discipline (LOCK-001), durability ordering (DUR-00x), "
+                    "wire-frame exhaustiveness (WIRE-00x), resource "
+                    "lifecycle (LIFE-001) and worker-spec picklability "
+                    "(PICKLE-001). Prints `path:line: RULE-NNN message` per "
+                    "finding and exits 1 if any survive suppression "
+                    "(`# analysis: ignore[RULE-NNN] -- why`).",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyse (default: src)",
+    )
+    p.add_argument(
+        "--rules", action="store_true",
+        help="list the rule ids and what they check, then exit",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("cost", help="monthly cost comparison (§5.6)")
     p.add_argument("--weekly-tb", type=float, default=16.0)

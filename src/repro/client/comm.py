@@ -75,6 +75,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence, TypeVar
 
+from repro.analysis.annotations import guarded_by
 from repro.chunking.base import Chunk
 from repro.client.workers import (
     ProcessEncodePool,
@@ -322,6 +323,15 @@ class CommEngine:
         value is reported through :attr:`effective_depth` and recorded in
         the upload receipt.
     """
+
+    #: Lock discipline (``repro analyze``, LOCK-001): pool construction
+    #: and teardown race when an engine is shared across caller threads,
+    #: so the pool handles are only swapped under ``_init_lock``.
+    GUARDED_BY = guarded_by(
+        _encode_pool="_init_lock",
+        _process_pool="_init_lock",
+        _cloud_workers="_init_lock",
+    )
 
     def __init__(
         self,

@@ -55,6 +55,7 @@ except ImportError:  # pragma: no cover - exercised only on such platforms
     resource_tracker = None
     shared_memory = None
 
+from repro.analysis.annotations import guarded_by
 from repro.core.convergent import ConvergentDispersal
 from repro.errors import ParameterError
 from repro.sharing.base import ShareSet
@@ -155,6 +156,11 @@ class SharedSlabTransport:
     segment gone fails its (already abandoned) slab, nothing else.
     """
 
+    #: Lock discipline (``repro analyze``, LOCK-001): the segment registry
+    #: is shared between publishers, the slab-release hook (called from
+    #: cloud worker threads) and the error-path sweep.
+    GUARDED_BY = guarded_by(_segments="_lock")
+
     def __init__(self) -> None:
         if not shared_slabs_available():
             raise ParameterError(
@@ -169,6 +175,12 @@ class SharedSlabTransport:
         """Write one slab's secrets into a fresh segment; return its address."""
         total = sum(len(secret) for secret in secrets)
         segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        # Register the segment *before* touching its buffer: if a span
+        # write (or the caller's worker submission) fails, the close()
+        # sweep owns the segment and unlinks it — created-but-unregistered
+        # segments would outlive the process (checker rule LIFE-001).
+        with self._lock:
+            self._segments[slab] = segment
         spans: list[tuple[int, int]] = []
         view = segment.buf
         offset = 0
@@ -176,8 +188,6 @@ class SharedSlabTransport:
             view[offset : offset + len(secret)] = secret
             spans.append((offset, len(secret)))
             offset += len(secret)
-        with self._lock:
-            self._segments[slab] = segment
         return segment.name, spans
 
     def _destroy(self, segment) -> None:
@@ -335,6 +345,14 @@ class SlabbedShareSets:
     shared-memory transport uses to unlink a slab's segment as soon as its
     shares are on the wire.
     """
+
+    #: Lock discipline (``repro analyze``, LOCK-001): the slab pipeline
+    #: state is coordinated through ``_cond`` — mutations happen under it
+    #: (``with self._cond:``) or inside ``*_locked`` helpers whose callers
+    #: hold it.
+    GUARDED_BY = guarded_by(
+        _futures="_cond", _drained="_cond", _freed="_cond", _submitted="_cond"
+    )
 
     def __init__(
         self,

@@ -36,7 +36,8 @@ class WriteAheadLog:
         self.path = Path(path)
         self.sync = sync
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "ab")
+        # Long-lived handle owned by the WAL object, closed in close().
+        self._fh = open(self.path, "ab")  # noqa: SIM115
 
     # ------------------------------------------------------------------
     def append_put(self, key: bytes, value: bytes) -> None:
@@ -82,7 +83,7 @@ class WriteAheadLog:
     def reset(self) -> None:
         """Truncate the log (called after a successful memtable flush)."""
         self._fh.close()
-        self._fh = open(self.path, "wb")
+        self._fh = open(self.path, "wb")  # noqa: SIM115 -- long-lived, closed in close()
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())

@@ -36,6 +36,7 @@ from __future__ import annotations
 import socket
 import threading
 
+from repro.analysis.annotations import guarded_by, requires_lock
 from repro.cloud.network import Link
 from repro.dedup.stats import DedupStats
 from repro.errors import CloudUnavailableError, ParameterError, ProtocolError
@@ -125,6 +126,12 @@ class RemoteServerProxy:
         an outage (the per-window failover path), never a hang.
     """
 
+    #: Lock discipline (``repro analyze``, LOCK-001): connection identity
+    #: (the socket and the handshake-learned server id) is only touched
+    #: under ``_lock`` — the comm engine drives one proxy from several
+    #: threads, and reconnects must never interleave.
+    GUARDED_BY = guarded_by(_sock="_lock", _server_id="_lock")
+
     def __init__(
         self,
         address: str | tuple[str, int],
@@ -169,6 +176,7 @@ class RemoteServerProxy:
                 self._ensure_connected()
         return self._server_id
 
+    @requires_lock("_lock")
     def _drop(self) -> None:
         sock, self._sock = self._sock, None
         if sock is not None:
@@ -177,6 +185,7 @@ class RemoteServerProxy:
             except OSError:  # pragma: no cover
                 pass
 
+    @requires_lock("_lock")
     def _ensure_connected(self) -> socket.socket:
         """Connect + handshake if needed; raises CloudUnavailableError."""
         if self._sock is not None:
@@ -189,7 +198,15 @@ class RemoteServerProxy:
             raise CloudUnavailableError(
                 f"cannot connect to {self.address_spec}: {exc}"
             ) from exc
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:  # pragma: no cover - kernel-dependent
+            # The socket is connected but not yet owned by self._sock;
+            # close it here or it leaks (checker rule LIFE-001).
+            sock.close()
+            raise CloudUnavailableError(
+                f"cannot configure socket for {self.address_spec}: {exc}"
+            ) from exc
         self._sock = sock
         try:
             frame_type, payload = self._roundtrip(

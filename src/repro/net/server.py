@@ -41,6 +41,7 @@ import logging
 import socket
 import threading
 
+from repro.analysis.annotations import guarded_by
 from repro.errors import ProtocolError, ReproError
 from repro.net import wire
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
@@ -81,6 +82,11 @@ class CDStoreTCPServer:
         Hard cap on *incoming* frame payloads (request flood guard).
     """
 
+    #: Lock discipline (``repro analyze``, LOCK-001): the live-connection
+    #: set is shared between the accept loop, per-connection handler exits
+    #: and shutdown, and must only be mutated under ``_conn_lock``.
+    GUARDED_BY = guarded_by(_connections="_conn_lock")
+
     def __init__(
         self,
         server: CDStoreServer,
@@ -117,13 +123,21 @@ class CDStoreTCPServer:
         if self._listener is not None:
             return self
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._host, self._port))
-        listener.listen(64)
-        # Poll rather than block forever in accept(): closing a socket does
-        # not reliably wake a thread blocked in accept() on Linux, so a
-        # pure-blocking loop would stall shutdown until the join timeout.
-        listener.settimeout(0.2)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            listener.listen(64)
+            # Poll rather than block forever in accept(): closing a socket
+            # does not reliably wake a thread blocked in accept() on Linux,
+            # so a pure-blocking loop would stall shutdown until the join
+            # timeout.
+            listener.settimeout(0.2)
+        except OSError:
+            # bind() on a taken port is the common case here; the socket
+            # is not yet owned by self._listener, so close it before the
+            # error propagates (checker rule LIFE-001).
+            listener.close()
+            raise
         self._listener = listener
         self._stopped.clear()
         self._accept_thread = threading.Thread(
@@ -182,8 +196,15 @@ class CDStoreTCPServer:
                 continue  # re-check the stop flag
             except OSError:
                 return  # listener closed by shutdown
-            conn.settimeout(None)  # handlers block on recv until shutdown
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                conn.settimeout(None)  # handlers block on recv until stop
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - client raced us away
+                # The peer can reset between accept() and configuration;
+                # close rather than leak the half-set-up socket and keep
+                # accepting (checker rule LIFE-001).
+                conn.close()
+                continue
             with self._conn_lock:
                 if self._stopped.is_set():
                     conn.close()

@@ -22,6 +22,7 @@ import struct
 from pathlib import Path
 from typing import Iterator
 
+from repro.analysis.annotations import EXTERNAL, guarded_by
 from repro.errors import ProtocolError
 from repro.lsm.db import LSMStore, prefix_upper_bound
 from repro.storage.container import ContainerRef
@@ -64,6 +65,11 @@ class IndexBackend(abc.ABC):
 class DictIndex(IndexBackend):
     """In-memory index for simulations and tests."""
 
+    #: Index backends own no lock: every access is serialised one layer up
+    #: by ``CDStoreServer._lock`` (which declares ``index`` guarded).  The
+    #: EXTERNAL declaration keeps that contract visible and machine-read.
+    GUARDED_BY = guarded_by(_data=EXTERNAL)
+
     def __init__(self) -> None:
         self._data: dict[bytes, bytes] = {}
 
@@ -84,6 +90,9 @@ class DictIndex(IndexBackend):
 
 class LSMIndex(IndexBackend):
     """LSM-store-backed index (the paper's LevelDB role)."""
+
+    #: Serialised by ``CDStoreServer._lock`` — see :class:`DictIndex`.
+    GUARDED_BY = guarded_by(_db=EXTERNAL)
 
     def __init__(self, directory: str | Path, **lsm_kwargs) -> None:
         self._db = LSMStore(directory, **lsm_kwargs)

@@ -15,6 +15,7 @@ the paper's architecture (Figure 1): a flat keyspace of immutable objects
 from __future__ import annotations
 
 import abc
+import os
 from pathlib import Path
 
 from repro.errors import NotFoundError, StorageError
@@ -164,8 +165,15 @@ class LocalDirBackend(StorageBackend):
         return self.root / safe
 
     def _put(self, key: str, data: bytes) -> None:
+        # Temp-write, fsync, then rename: the publish must never be
+        # reachable with the payload still in user-space or page-cache
+        # buffers, or a crash can surface a torn object under the final
+        # key (checker rule DUR-001).
         tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_bytes(data)
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(self._path(key))
 
     def _get(self, key: str) -> bytes:

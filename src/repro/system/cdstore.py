@@ -260,7 +260,9 @@ class CDStoreSystem:
                 for server, recipe in zip(
                     donors,
                     client.comm.map_servers(
-                        lambda server: server.get_recipe(user, lookup_key),
+                        lambda server, _user=user, _key=lookup_key: (
+                            server.get_recipe(_user, _key)
+                        ),
                         donors,
                     ),
                 )
@@ -364,7 +366,9 @@ class CDStoreSystem:
                 for server, recipe in zip(
                     donors,
                     client.comm.map_servers(
-                        lambda server: server.get_recipe(user, lookup_key),
+                        lambda server, _user=user, _key=lookup_key: (
+                            server.get_recipe(_user, _key)
+                        ),
                         donors,
                     ),
                 )

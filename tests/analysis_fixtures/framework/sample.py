@@ -1,0 +1,18 @@
+"""SUP-001 fixture: a bare suppression silences nothing.
+
+The comment below carries no ``-- justification``, so SUP-001 fires on
+it *and* the LOCK-001 finding it tried to hide survives.
+"""
+
+import threading
+
+
+class Counter:
+    GUARDED_BY = {"_value": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        self._value += 1  # analysis: ignore[LOCK-001]

@@ -1,0 +1,34 @@
+"""LIFE-001 fixture: a leak-on-exception and a justified suppression.
+
+Parsed (never imported) by tests/test_analysis_checkers.py.
+"""
+
+import socket
+
+
+def bad_connect(address):
+    sock = socket.create_connection(address)  # TRUE-POSITIVE: leak below
+    sock.setsockopt(1, 2, 3)  # raising here abandons the socket
+    return sock
+
+
+def good_connect_guarded(address):
+    sock = socket.create_connection(address)
+    try:
+        sock.setsockopt(1, 2, 3)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def good_connect_with(address):
+    with socket.create_connection(address) as sock:
+        sock.sendall(b"ping")
+
+
+def probe_and_exit(address):
+    # Used only by the oneshot `repro probe` subcommand: the process
+    # exits immediately after, and exit reclaims the fd.
+    sock = socket.create_connection(address)  # analysis: ignore[LIFE-001] -- oneshot CLI path, process exit reclaims the fd
+    sock.sendall(b"ping")

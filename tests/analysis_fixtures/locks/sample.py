@@ -1,0 +1,32 @@
+"""LOCK-001 fixture: one unlocked mutation, one justified suppression.
+
+Parsed (never imported) by tests/test_analysis_checkers.py.
+"""
+
+import threading
+
+
+class Registry:
+    # Dict-literal form of the guarded_by() map — both spellings are
+    # statically readable by the checker.
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def bad_add(self, item):
+        self._items.append(item)  # TRUE-POSITIVE: no lock held
+
+    def good_add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def good_rebind(self):
+        with self._lock:
+            self._items = []
+
+    def drain_after_join(self):
+        # Only called from close() after every worker thread has joined,
+        # so no concurrent access is possible.
+        self._items.clear()  # analysis: ignore[LOCK-001] -- single-threaded teardown, workers already joined

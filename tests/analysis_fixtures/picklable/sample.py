@@ -1,0 +1,28 @@
+"""PICKLE-001 fixture: a non-picklable field and a justified suppression.
+
+Parsed (never imported) by tests/test_analysis_checkers.py.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class BadSpec:
+    name: str
+    handle: Any  # TRUE-POSITIVE: Any is not on the allowlist
+
+
+@dataclass
+class FineSpec:
+    name: str
+    sizes: tuple[int, ...]
+    labels: Optional[dict[str, int]] = None
+    extra: list[bytes] | None = None
+
+
+@dataclass
+class EdgeSpec:
+    # The alias resolves to plain `bytes` at runtime; the string spelling
+    # only exists to dodge a circular import.
+    payload: "SharedBuffer"  # analysis: ignore[PICKLE-001] -- runtime alias of bytes, spelled as a string to break an import cycle

@@ -1,0 +1,35 @@
+"""DUR-001/DUR-002 fixture: a torn publish and a justified ack suppression.
+
+Lives in a directory named ``storage/`` so it falls inside the durability
+checker's scope.  Parsed (never imported) by tests/test_analysis_checkers.py.
+"""
+
+import os
+
+
+def bad_publish(tmp, final, data):
+    with tmp.open("wb") as handle:
+        handle.write(data)
+    tmp.replace(final)  # TRUE-POSITIVE: publish with no fsync barrier
+
+
+def bad_unflushed_fsync(tmp, final, data):
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        os.fsync(handle.fileno())
+    tmp.replace(final)  # TRUE-POSITIVE: fsync of an unflushed buffer
+
+
+def good_publish(tmp, final, data):
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(final)
+
+
+def ack_advisory_hint(sock, path, payload):
+    path.write_text("cache hint")
+    # The hint is rebuilt from scratch on startup; losing it costs one
+    # cold cache, never correctness.
+    sock.sendall(payload)  # analysis: ignore[DUR-002] -- advisory cache hint, loss is harmless

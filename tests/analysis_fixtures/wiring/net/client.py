@@ -1,0 +1,9 @@
+"""Fixture proxy: sends ping/shadow frames, expects the ok response."""
+
+import wire
+
+
+def ping(sock):
+    sock.sendall(bytes([wire.T_PING]))
+    reply = sock.recv(1)
+    return reply[0] in (wire.R_OK, wire.T_SHADOW)

@@ -1,0 +1,13 @@
+"""Fixture dispatch: covers ping, shadow and debug frames — nothing else."""
+
+import wire
+
+
+def dispatch(frame_type):
+    if frame_type == wire.T_PING:
+        return wire.R_OK
+    if frame_type == wire.T_SHADOW:
+        return wire.R_OK
+    if frame_type == wire.T_DEBUG_DUMP:
+        return wire.R_OK
+    raise ValueError(frame_type)

@@ -1,0 +1,13 @@
+"""WIRE fixture: an orphaned frame, a duplicated byte, a justified suppression.
+
+Parsed (never imported) by tests/test_analysis_checkers.py; the sibling
+server.py/client.py and ../README.md complete the cross-check surfaces.
+"""
+
+T_PING = 0x01
+T_ORPHAN = 0x02  # TRUE-POSITIVE: handled nowhere (server, client, README)
+T_SHADOW = 0x01  # TRUE-POSITIVE: duplicate byte value of T_PING
+R_OK = 0x80
+# Debug frames are injected by hand (netcat) during incident response;
+# the proxy deliberately has no API for them.
+T_DEBUG_DUMP = 0x7F  # analysis: ignore[WIRE-002] -- debug-only frame, never sent by the proxy

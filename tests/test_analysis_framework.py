@@ -1,0 +1,131 @@
+"""Engine-level tests: suppressions, file collection, CLI, rule docs."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisError, Finding, RULE_DOCS, run_analysis
+from repro.analysis.engine import _Suppressions, iter_python_files
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def write(path: Path, body: str) -> Path:
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Suppression parsing
+
+
+def test_justified_suppression_covers_its_rule():
+    sup = _Suppressions(
+        "x.py", ["a = 1  # analysis: ignore[LOCK-001] -- teardown only"]
+    )
+    assert sup.covers(Finding("x.py", 1, "LOCK-001", "m"))
+    assert not sup.covers(Finding("x.py", 1, "DUR-001", "m"))
+    assert not sup.covers(Finding("x.py", 2, "LOCK-001", "m"))
+    assert sup.unjustified == []
+
+
+def test_multi_rule_suppression():
+    sup = _Suppressions(
+        "x.py", ["a = 1  # analysis: ignore[DUR-001, DUR-002] -- advisory file"]
+    )
+    assert sup.covers(Finding("x.py", 1, "DUR-001", "m"))
+    assert sup.covers(Finding("x.py", 1, "DUR-002", "m"))
+
+
+def test_bare_suppression_is_sup001_and_covers_nothing():
+    sup = _Suppressions("x.py", ["a = 1  # analysis: ignore[LOCK-001]"])
+    assert not sup.covers(Finding("x.py", 1, "LOCK-001", "m"))
+    assert [f.rule for f in sup.unjustified] == ["SUP-001"]
+    assert sup.unjustified[0].line == 1
+
+
+def test_suppression_justification_must_be_nonempty():
+    # `-- ` followed by whitespace only is still bare.
+    sup = _Suppressions("x.py", ["a = 1  # analysis: ignore[LIFE-001] --   "])
+    assert [f.rule for f in sup.unjustified] == ["SUP-001"]
+
+
+def test_finding_render_format():
+    rendered = Finding("src/x.py", 42, "DUR-001", "torn publish").render()
+    assert rendered == "src/x.py:42: DUR-001 torn publish"
+
+
+# ---------------------------------------------------------------------------
+# File collection
+
+
+def test_iter_python_files_recurses_and_dedups(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    a = write(tmp_path / "pkg" / "a.py", "x = 1\n")
+    write(tmp_path / "pkg" / "note.txt", "not python\n")
+    pairs = iter_python_files([tmp_path, a])  # a.py given twice
+    assert [p.name for p, _ in pairs] == ["a.py"]
+
+
+def test_run_analysis_fails_loudly_on_syntax_error(tmp_path):
+    write(tmp_path / "broken.py", "def f(:\n")
+    with pytest.raises(AnalysisError, match="cannot parse"):
+        run_analysis([tmp_path])
+
+
+def test_run_analysis_clean_file(tmp_path):
+    write(tmp_path / "ok.py", "def f():\n    return 1\n")
+    assert run_analysis([tmp_path]) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_rules_lists_every_rule(capsys):
+    assert main(["analyze", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULE_DOCS:
+        assert rule in out
+
+
+def test_cli_exit_codes_and_rendering(tmp_path, capsys):
+    clean = write(tmp_path / "clean.py", "x = 1\n")
+    assert main(["analyze", str(clean)]) == 0
+    assert capsys.readouterr().out == ""
+
+    dirty = write(
+        tmp_path / "dirty.py",
+        """\
+        import socket
+
+
+        def leak(address):
+            sock = socket.create_connection(address)
+            sock.settimeout(1.0)
+        """,
+    )
+    assert main(["analyze", str(dirty)]) == 1
+    captured = capsys.readouterr()
+    assert f"{dirty}:5: LIFE-001" in captured.out
+    assert "1 finding(s)" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# Documentation sync
+
+
+def test_rule_docs_match_readme_invariants_section():
+    """Every rule id documented by --rules appears in the README table."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for rule in RULE_DOCS:
+        assert rule in readme, f"{rule} missing from README invariants section"
+
+
+def test_every_rule_doc_is_a_sentence():
+    for rule, doc in RULE_DOCS.items():
+        assert len(doc) > 20, rule
