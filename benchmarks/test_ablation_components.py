@@ -55,10 +55,13 @@ def test_ablation_rs_matrix(benchmark):
 def test_ablation_recipe_compression(benchmark):
     """Recipe compression against a version-heavy backup series."""
     from repro.chunking import FixedChunker
+    from repro.config import ReproConfig
     from repro.system import CDStoreSystem
 
     def run(compression: bool) -> int:
-        system = CDStoreSystem(n=4, k=3, salt=b"org")
+        system = CDStoreSystem.from_config(
+            ReproConfig(n=4, k=3, salt="org", chunker="fixed:size=4096")
+        )
         for server in system.servers:
             server.recipe_compression = compression
         client = system.client("alice", chunker=FixedChunker(4096))
@@ -88,10 +91,11 @@ def test_ablation_recipe_compression(benchmark):
 def test_ablation_container_cache(benchmark):
     """Container LRU cache: repeated restores against backend reads."""
     from repro.chunking import FixedChunker
+    from repro.config import ReproConfig
     from repro.system import CDStoreSystem
 
     def run() -> tuple[int, int]:
-        system = CDStoreSystem(n=4, k=3)
+        system = CDStoreSystem.from_config(ReproConfig(n=4, k=3))
         client = system.client("alice", chunker=FixedChunker(4096))
         data = DRBG("cache").random_bytes(100_000)
         client.upload("/f", data)

@@ -13,13 +13,16 @@ from conftest import emit
 from repro.analysis import analyze_fragmentation
 from repro.bench.reporting import format_table
 from repro.chunking import FixedChunker
+from repro.config import ReproConfig
 from repro.crypto.drbg import DRBG
 from repro.system import CDStoreSystem
 
 
 def test_ablation_fragmentation(benchmark):
     def run():
-        system = CDStoreSystem(n=4, k=3, salt=b"org")
+        system = CDStoreSystem.from_config(
+            ReproConfig(n=4, k=3, salt="org", chunker="fixed:size=4096")
+        )
         client = system.client("alice", chunker=FixedChunker(4096))
         rng = DRBG("frag-weeks")
         chunks = [rng.random_bytes(4096) for _ in range(60)]

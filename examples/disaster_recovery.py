@@ -24,11 +24,13 @@ from __future__ import annotations
 import os
 
 from repro.chunking import RabinChunker
+from repro.config import ReproConfig
 from repro.system import CDStoreSystem
 
 
 def main() -> None:
-    system = CDStoreSystem(n=4, k=3, salt=b"acme-corp")
+    config = ReproConfig(n=4, k=3, salt="acme-corp")
+    system = CDStoreSystem.from_config(config)
     chunker = RabinChunker(avg_size=4096, min_size=1024, max_size=16384)
     client = system.client("ops-team", chunker=chunker)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 
 from repro import CAONTRS
+from repro.config import ReproConfig
 from repro.system import CDStoreSystem
 
 
@@ -53,10 +54,14 @@ def system_walkthrough() -> None:
     # times faster ingest than the default Rabin at equivalent dedup).
     # Chunkers are registry specs — "rabin", "gear:avg=8192", "fixed:size=4096"
     # — and must match across clients for their data to deduplicate.
-    system = CDStoreSystem(
-        n=4, k=3, salt=b"acme-corp", threads=2, pipeline_depth=4,
+    # ReproConfig is the one validated home for all of these settings; a
+    # real deployment persists the same object with `repro init` and the
+    # servers read it back, so client and cloud can never disagree.
+    config = ReproConfig(
+        n=4, k=3, salt="acme-corp", threads=2, pipeline_depth=4,
         chunker="gear:avg=4096,min=1024,max=8192",
     )
+    system = CDStoreSystem.from_config(config)
     alice = system.client("alice")
     bob = system.client("bob")
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.bench.reporting import format_table
 from repro.chunking import FixedChunker
+from repro.config import ReproConfig
 from repro.system import CDStoreSystem
 from repro.workloads import FSLWorkload, materialize
 
@@ -23,7 +24,8 @@ def main() -> None:
     weeks, users = 4, 3
     workload = FSLWorkload(users=users, weeks=weeks, chunks_per_user=60,
                            avg_chunk=4096, min_chunk=4096, max_chunk=4096)
-    system = CDStoreSystem(n=4, k=3, salt=b"acme-corp")
+    config = ReproConfig(n=4, k=3, salt="acme-corp", chunker="fixed:size=4096")
+    system = CDStoreSystem.from_config(config)
 
     rows = []
     for week in range(1, weeks + 1):

@@ -1,11 +1,13 @@
-"""WIRE-001..004: every wire frame type is handled everywhere, once.
+"""WIRE-001..005: every wire frame type is handled everywhere, once.
 
 A project-level checker: it needs ``net/wire.py`` (the constant
-registry), ``net/server.py`` (dispatch), ``net/client.py`` (proxy) and
-the repository README (human-facing frame table) in one view.  For each
-``wire.py`` in the analysed set it locates the sibling server/client
-modules in the same directory and the nearest ``README.md`` walking up
-from the wire module on disk.
+registry), ``net/server.py`` (dispatch), ``net/client.py`` (proxy),
+``server/protocol.py`` (the declared API surface) and the repository
+README (human-facing frame table) in one view.  For each ``wire.py`` in
+the analysed set it locates the sibling server/client modules in the
+same directory, the nearest ``README.md`` walking up from the wire
+module on disk, and any analysed ``protocol.py`` declaring a
+``typing.Protocol`` class.
 
 * WIRE-001 — a ``T_*``/``R_*`` constant never referenced in the server
   module: the dispatch (or its response encoding) cannot cover it.
@@ -15,6 +17,13 @@ from the wire module on disk.
   ``FETCH_SHARES``) is missing from the README frame table.
 * WIRE-004 — two constants share one wire byte value (dispatch
   shadowing: the second can never be selected).
+* WIRE-005 — the wire surface and the declared server-API surface have
+  drifted: a Protocol method with no ``METHOD_FRAMES`` mapping (and not
+  in ``LOCAL_ONLY_METHODS``), a ``METHOD_FRAMES`` key the Protocol never
+  declares, or a ``T_*`` request frame that is neither control machinery
+  (``CONTROL_FRAMES``) nor mapped to any method.  Only runs when the
+  wire module actually declares ``METHOD_FRAMES``, so single-surface
+  fixtures stay exercisable.
 
 References are whole-word textual matches, which is exactly the right
 strength here: ``wire.T_PING`` and ``T_PING`` both count, a constant
@@ -63,6 +72,154 @@ def _nearest_readme(wire_path: Path) -> Path | None:
         if candidate.is_file():
             return candidate
     return None
+
+
+def _module_assignment(ctx: FileContext, var_name: str) -> ast.expr | None:
+    """The value expression of a module-level ``NAME = ...`` (ann or not)."""
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == var_name
+                for target in stmt.targets
+            ):
+                return stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == var_name
+                and stmt.value is not None
+            ):
+                return stmt.value
+    return None
+
+
+def _method_frames(ctx: FileContext) -> dict[str, tuple[str, int]] | None:
+    """``METHOD_FRAMES`` as ``{method: (frame constant name, key lineno)}``."""
+    value = _module_assignment(ctx, "METHOD_FRAMES")
+    if not isinstance(value, ast.Dict):
+        return None
+    out: dict[str, tuple[str, int]] = {}
+    for key, val in zip(value.keys, value.values):
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(val, ast.Name)
+        ):
+            out[key.value] = (val.id, key.lineno)
+    return out
+
+
+def _referenced_names(ctx: FileContext, var_name: str) -> set[str]:
+    """Constant *names* inside e.g. ``CONTROL_FRAMES = frozenset({T_PING})``."""
+    value = _module_assignment(ctx, var_name)
+    if value is None:
+        return set()
+    return {
+        node.id
+        for node in ast.walk(value)
+        if isinstance(node, ast.Name) and node.id != "frozenset"
+    }
+
+
+def _string_members(ctx: FileContext, var_name: str) -> set[str]:
+    """String literals inside e.g. ``LOCAL_ONLY_METHODS = frozenset({"close"})``."""
+    value = _module_assignment(ctx, var_name)
+    if value is None:
+        return set()
+    return {
+        node.value
+        for node in ast.walk(value)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _protocol_class(ctx: FileContext) -> ast.ClassDef | None:
+    """The first module-level class subclassing ``typing.Protocol``."""
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.ClassDef) and any(
+            (isinstance(base, ast.Name) and base.id == "Protocol")
+            or (isinstance(base, ast.Attribute) and base.attr == "Protocol")
+            for base in stmt.bases
+        ):
+            return stmt
+    return None
+
+
+def _check_protocol_surface(project: Project, wire: FileContext) -> list[Finding]:
+    """WIRE-005: METHOD_FRAMES <-> Protocol <-> T_* request frames agree."""
+    frames = _method_frames(wire)
+    if frames is None:
+        return []
+    findings: list[Finding] = []
+
+    control = _referenced_names(wire, "CONTROL_FRAMES")
+    local_only = _string_members(wire, "LOCAL_ONLY_METHODS")
+    mapped = {frame_name for frame_name, _ in frames.values()}
+
+    # Every request frame must be either connection machinery or the
+    # carrier of some API method — an unmapped T_* can never dispatch.
+    for name, _value, lineno in _frame_constants(wire):
+        if name.startswith("T_") and name not in control and name not in mapped:
+            findings.append(
+                wire.finding(
+                    lineno,
+                    "WIRE-005",
+                    f"request frame {name} is neither in CONTROL_FRAMES nor "
+                    f"mapped by METHOD_FRAMES — no server-API method can be "
+                    f"dispatched to it",
+                )
+            )
+
+    protocol_ctx = protocol_cls = None
+    for ctx in project.find("/protocol.py"):
+        cls = _protocol_class(ctx)
+        if cls is not None:
+            protocol_ctx, protocol_cls = ctx, cls
+            break
+    if protocol_cls is None or protocol_ctx is None:
+        return findings
+
+    methods = {
+        stmt.name: stmt.lineno
+        for stmt in protocol_cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not stmt.name.startswith("_")
+    }
+
+    for method, lineno in sorted(methods.items()):
+        if method in local_only or method in frames:
+            continue
+        findings.append(
+            protocol_ctx.finding(
+                lineno,
+                "WIRE-005",
+                f"Protocol method {method} has no METHOD_FRAMES mapping in "
+                f"{wire.display_path} and is not in LOCAL_ONLY_METHODS — "
+                f"decide its wire frame or declare it local-only",
+            )
+        )
+    for method, (frame_name, lineno) in sorted(frames.items()):
+        if method not in methods:
+            findings.append(
+                wire.finding(
+                    lineno,
+                    "WIRE-005",
+                    f"METHOD_FRAMES maps {method!r} (to {frame_name}) but "
+                    f"{protocol_cls.name} in {protocol_ctx.display_path} "
+                    f"declares no such method",
+                )
+            )
+    for method in sorted(local_only.intersection(frames)):
+        findings.append(
+            wire.finding(
+                frames[method][1],
+                "WIRE-005",
+                f"{method!r} is in LOCAL_ONLY_METHODS yet has a "
+                f"METHOD_FRAMES mapping — it cannot be both local-only "
+                f"and wire-reachable",
+            )
+        )
+    return findings
 
 
 def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
@@ -125,6 +282,8 @@ def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
                         f"frame table in {readme.name}",
                     )
                 )
+
+    findings.extend(_check_protocol_surface(project, wire))
     return findings
 
 

@@ -75,6 +75,13 @@ RULE_DOCS: dict[str, str] = {
         "frame table"
     ),
     "WIRE-004": "two frame-type constants share the same wire byte value",
+    "WIRE-005": (
+        "the wire surface drifted from the declared server API: a "
+        "CDStoreServerAPI Protocol method without a METHOD_FRAMES mapping "
+        "(and not in LOCAL_ONLY_METHODS), a mapping for an undeclared "
+        "method, or a T_* request frame that is neither control machinery "
+        "nor mapped to any method"
+    ),
     "LIFE-001": (
         "a socket/file/shared-memory resource acquired in a function is "
         "not released on all paths (no with/try-finally/ownership handoff "

@@ -28,20 +28,31 @@ binary wire protocol, mixing local and remote clouds freely.
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 from pathlib import Path
 
 from repro.chunking import ChunkerSpec, chunker_names
 from repro.cloud.network import Link
 from repro.cloud.provider import CloudProvider
+from repro.config import CONFIG_FILE_NAME, CloudSpec, ReproConfig
 from repro.errors import ReproError
 from repro.storage.backend import LocalDirBackend
 from repro.system.cdstore import CDStoreSystem
+from repro.tenants import (
+    TENANTS_FILE_NAME,
+    Credentials,
+    TenantQuota,
+    TenantRecord,
+    TenantRegistry,
+)
 
 __all__ = ["main", "build_parser"]
 
-_CONFIG_NAME = "cdstore.json"
+#: Environment variable the CLI reads the tenant shared secret from
+#: (alternative to ``--secret-file``; never passed on the command line
+#: where other local users could read it out of the process table).
+SECRET_ENV = "REPRO_TENANT_SECRET"
 
 
 def _positive_int(text: str) -> int:
@@ -104,52 +115,45 @@ def _cloud_spec_arg(text: str) -> str:
     malformed spec is a usage error at the prompt, not a
     :class:`ParameterError` surfacing from the proxy mid-backup.
     """
-    if text == "local":
-        return text
-    from repro.net import parse_cloud_spec
-
     try:
-        parse_cloud_spec(text)
+        CloudSpec.parse(text)
     except ReproError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return text
 
 
-def _load_config(root: Path) -> dict:
-    config_path = root / _CONFIG_NAME
-    if not config_path.exists():
+def _load_config(root: Path) -> ReproConfig:
+    return ReproConfig.from_file(root)
+
+
+def _credentials_from(args: argparse.Namespace) -> Credentials | None:
+    """Tenant credentials from ``--secret-file`` or the environment.
+
+    The tenant id defaults to ``--user`` (the common case: each tenant
+    backs up under its own id); ``--tenant`` overrides it for admin
+    credentials driving another user's restore.
+    """
+    secret: bytes | None = None
+    secret_file = getattr(args, "secret_file", None)
+    if secret_file is not None:
+        secret = Path(secret_file).read_bytes().strip()
+    elif os.environ.get(SECRET_ENV):
+        secret = os.environ[SECRET_ENV].encode("utf-8")
+    if secret is None:
+        return None
+    tenant = getattr(args, "tenant", None) or getattr(args, "user", None)
+    if not tenant:
         raise ReproError(
-            f"{root} is not a CDStore deployment (run `repro init` first)"
+            f"a tenant secret was supplied ({SECRET_ENV} or --secret-file) "
+            "but no tenant id; pass --tenant"
         )
-    return json.loads(config_path.read_text())
+    return Credentials(tenant_id=tenant, secret=secret)
 
 
-def _load_system(root: Path) -> CDStoreSystem:
-    config = _load_config(root)
-    n, k = config["n"], config["k"]
-    specs = config.get("cloud_specs") or ["local"] * n
-    clouds: list = []
-    for i, spec in enumerate(specs):
-        if spec == "local":
-            clouds.append(
-                CloudProvider(
-                    name=f"cloud-{i}",
-                    uplink=Link(100.0),
-                    downlink=Link(100.0),
-                    backend=LocalDirBackend(root / f"cloud-{i}"),
-                )
-            )
-        else:
-            # A ``tcp://host:port`` slot: the system builds a remote proxy
-            # and the serving process (`repro serve`) owns the data.
-            clouds.append(spec)
-    return CDStoreSystem(
-        n=n,
-        k=k,
-        salt=config["salt"].encode("utf-8"),
-        clouds=clouds,
-        index_root=root / "indices",
-        chunker=config.get("chunker", "rabin"),
+def _load_system(root: Path, args: argparse.Namespace | None = None) -> CDStoreSystem:
+    credentials = _credentials_from(args) if args is not None else None
+    return CDStoreSystem.from_config(
+        _load_config(root), root=root, credentials=credentials
     )
 
 
@@ -160,39 +164,41 @@ def _load_system(root: Path) -> CDStoreSystem:
 
 def cmd_init(args: argparse.Namespace) -> int:
     root = Path(args.root)
-    config_path = root / _CONFIG_NAME
+    config_path = root / CONFIG_FILE_NAME
     if config_path.exists():
         print(f"error: {root} already initialised", file=sys.stderr)
         return 1
-    specs = args.cloud_spec or ["local"] * args.n
-    if len(specs) != args.n:
+    if args.cloud_spec and len(args.cloud_spec) != args.n:
         print(
-            f"error: got {len(specs)} --cloud-spec values for n={args.n} "
-            "(pass one per cloud, 'local' or 'tcp://host:port')",
+            f"error: got {len(args.cloud_spec)} --cloud-spec values for "
+            f"n={args.n} (pass one per cloud, 'local' or 'tcp://host:port')",
             file=sys.stderr,
         )
         return 1
+    try:
+        config = ReproConfig(
+            n=args.n,
+            k=args.k,
+            salt=args.salt,
+            chunker=args.chunker,
+            cloud_specs=tuple(args.cloud_spec) if args.cloud_spec else (),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     root.mkdir(parents=True, exist_ok=True)
-    config = {
-        "n": args.n,
-        "k": args.k,
-        "salt": args.salt,
-        "chunker": args.chunker,
-        "cloud_specs": specs,
-    }
-    config_path.write_text(json.dumps(config, indent=2) + "\n")
-    for i, spec in enumerate(specs):
-        if spec == "local":
+    config.to_file(config_path)
+    for i, spec in enumerate(config.cloud_specs):
+        if not spec.is_remote:
             (root / f"cloud-{i}").mkdir(exist_ok=True)
-    remote = sum(1 for spec in specs if spec != "local")
     print(f"initialised CDStore deployment at {root} "
-          f"(n={args.n}, k={args.k}, chunker={args.chunker}, "
-          f"{remote} remote cloud(s))")
+          f"(n={config.n}, k={config.k}, chunker={config.chunker}, "
+          f"{config.remote_count} remote cloud(s))")
     return 0
 
 
 def cmd_backup(args: argparse.Namespace) -> int:
-    system = _load_system(Path(args.root))
+    system = _load_system(Path(args.root), args)
     try:
         source = Path(args.path)
         data = source.read_bytes()
@@ -224,7 +230,7 @@ def cmd_backup(args: argparse.Namespace) -> int:
 
 
 def cmd_restore(args: argparse.Namespace) -> int:
-    system = _load_system(Path(args.root))
+    system = _load_system(Path(args.root), args)
     try:
         client = system.client(
             args.user,
@@ -243,7 +249,7 @@ def cmd_restore(args: argparse.Namespace) -> int:
 
 
 def cmd_ls(args: argparse.Namespace) -> int:
-    system = _load_system(Path(args.root))
+    system = _load_system(Path(args.root), args)
     try:
         for path in system.client(args.user).list_files():
             print(path)
@@ -253,7 +259,7 @@ def cmd_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_delete(args: argparse.Namespace) -> int:
-    system = _load_system(Path(args.root))
+    system = _load_system(Path(args.root), args)
     try:
         system.client(args.user).delete(args.name)
         if args.gc:
@@ -267,52 +273,71 @@ def cmd_delete(args: argparse.Namespace) -> int:
 
 
 def build_cloud_server(
-    root: Path,
+    root: str | Path,
     cloud_index: int,
     host: str = "127.0.0.1",
     port: int = 0,
     frame_budget: int | None = None,
+    tenants_file: str | Path | None = None,
 ):
     """Build the TCP server for one cloud of a local deployment.
 
     Factored out of :func:`cmd_serve` so tests (and embedders) can start
     and stop the server programmatically; the CLI wraps it in
     ``serve_forever``.
+
+    The serving process is **crash-only**: the server runs with a
+    durable root (container journal + fsynced index commits before every
+    ack), and construction *is* recovery — half-written temporaries are
+    reaped, journaled containers republished and dangling index entries
+    dropped before the port opens.  When ``tenants_file`` is given — or
+    ``tenants.json`` exists under ``root`` — the connection handshake
+    and per-tenant quotas are enforced.
     """
     from repro.net import CDStoreTCPServer
     from repro.server.index import LSMIndex
     from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
 
+    root = Path(root)
+
     config = _load_config(root)
-    n = config["n"]
-    if not 0 <= cloud_index < n:
+    if not 0 <= cloud_index < config.n:
         raise ReproError(
             f"cloud index {cloud_index} outside this deployment's range "
-            f"0-{n - 1} (n={n})"
+            f"0-{config.n - 1} (n={config.n})"
         )
-    specs = config.get("cloud_specs") or ["local"] * n
-    if specs[cloud_index] != "local":
+    spec = config.cloud_specs[cloud_index]
+    if spec.is_remote:
         raise ReproError(
             f"cloud {cloud_index} of this deployment is remote "
-            f"({specs[cloud_index]}); serve it from the deployment that "
-            "holds its data"
+            f"({spec}); serve it from the deployment that holds its data"
         )
+    registry = None
+    if tenants_file is not None:
+        registry = TenantRegistry.from_file(tenants_file)
+    elif (root / TENANTS_FILE_NAME).exists():
+        registry = TenantRegistry.from_file(root / TENANTS_FILE_NAME)
     cloud = CloudProvider(
         name=f"cloud-{cloud_index}",
         uplink=Link(100.0),
         downlink=Link(100.0),
         backend=LocalDirBackend(root / f"cloud-{cloud_index}"),
     )
+    durable_root = root / "state" / f"server-{cloud_index}"
+    durable_root.mkdir(parents=True, exist_ok=True)
     server = CDStoreServer(
         server_id=cloud_index,
         cloud=cloud,
         index=LSMIndex(root / "indices" / f"server-{cloud_index}"),
+        durable_root=durable_root,
+        tenants=registry,
     )
     return CDStoreTCPServer(
         server,
         host=host,
         port=port,
         frame_budget=frame_budget if frame_budget is not None else FETCH_BATCH_BYTES,
+        tenants=registry,
     )
 
 
@@ -323,23 +348,78 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         frame_budget=args.frame_budget,
+        tenants_file=args.tenants,
     )
+    recovery = tcp.server.last_recovery
+    if recovery is not None and not recovery.clean:
+        print(f"recovered after crash: "
+              f"{len(recovery.reaped_temporaries)} temporaries reaped, "
+              f"{len(recovery.republished_containers)} container(s) republished, "
+              f"{recovery.dangling_share_entries + recovery.dangling_file_entries + recovery.dangling_intra_mappings} "
+              f"dangling index entrie(s) dropped")
     tcp.start()
     host, port = tcp.address
+    mode = "authenticated" if tcp.tenants is not None else "open"
     print(f"serving cloud {args.cloud} at tcp://{host}:{port} "
-          f"(frame budget {tcp.frame_budget} bytes; Ctrl-C to stop)")
+          f"({mode} mode, frame budget {tcp.frame_budget} bytes; "
+          f"Ctrl-C to stop)")
     try:
         tcp.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
-        tcp.shutdown()
+        tcp.close()
         tcp.server.close()
     return 0
 
 
+def cmd_tenant_add(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    _load_config(root)  # must be a deployment
+    path = root / TENANTS_FILE_NAME
+    registry = TenantRegistry.from_file(path) if path.exists() else TenantRegistry()
+    secret = (
+        Path(args.secret_file).read_bytes().strip()
+        if args.secret_file is not None
+        else os.environ.get(SECRET_ENV, "").encode("utf-8")
+    )
+    registry.add(
+        TenantRecord(
+            tenant_id=args.id,
+            secret=secret,
+            role=args.role,
+            quota=TenantQuota(
+                max_bytes=args.max_bytes,
+                max_containers=args.max_containers,
+                max_requests_per_sec=args.max_requests_per_sec,
+            ),
+        )
+    )
+    registry.to_file(path)
+    print(f"added tenant {args.id!r} ({args.role}) to {path}; "
+          "restart `repro serve` to apply")
+    return 0
+
+
+def cmd_tenant_list(args: argparse.Namespace) -> int:
+    path = Path(args.root) / TENANTS_FILE_NAME
+    if not path.exists():
+        print("no tenant registry (open mode)")
+        return 0
+    for record in TenantRegistry.from_file(path).records():
+        quota = record.quota
+        limits = ", ".join(
+            f"{name}={getattr(quota, name)}"
+            for name in ("max_bytes", "max_containers", "max_requests_per_sec")
+            if getattr(quota, name) is not None
+        )
+        print(f"{record.tenant_id}  role={record.role}"
+              f"{'  ' + limits if limits else ''}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    system = _load_system(Path(args.root))
+    system = _load_system(Path(args.root), args)
     try:
         print(f"clouds: {system.n} (k = {system.k})")
         # Per-cloud accounting degrades gracefully: stats is a read-only
@@ -464,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap (bytes) on one fetch-shares reply frame and on the "
              "server-side working set of a streamed fetch (default 4 MB)",
     )
+    p.add_argument(
+        "--tenants", default=None, metavar="PATH",
+        help="tenant registry JSON enabling authenticated multi-tenant "
+             f"mode (defaults to {TENANTS_FILE_NAME} under --root when "
+             "present; omit both for open mode)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("backup", help="back up a file")
@@ -532,6 +618,52 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="deployment storage statistics")
     p.add_argument("--root", required=True)
     p.set_defaults(func=cmd_stats)
+
+    # Every command that drives remote clouds accepts tenant credentials;
+    # adding the flags in one loop keeps the surfaces identical.
+    for cmd_parser in (sub.choices[name]
+                       for name in ("backup", "restore", "ls", "delete", "stats")):
+        cmd_parser.add_argument(
+            "--tenant", default=None,
+            help="tenant id to authenticate as against multi-tenant "
+                 "`repro serve` clouds (defaults to --user)",
+        )
+        cmd_parser.add_argument(
+            "--secret-file", default=None, dest="secret_file", metavar="PATH",
+            help="file holding the tenant shared secret (alternatively set "
+                 f"${SECRET_ENV}); omit against open-mode servers",
+        )
+
+    p = sub.add_parser(
+        "tenant",
+        help="manage the tenant registry of a deployment",
+        description="Maintain tenants.json under --root: the registry "
+                    "`repro serve` loads to enforce authenticated, "
+                    "quota-limited multi-tenant mode.",
+    )
+    tenant_sub = p.add_subparsers(dest="tenant_command", required=True)
+    tp = tenant_sub.add_parser("add", help="add a tenant to the registry")
+    tp.add_argument("--root", required=True)
+    tp.add_argument("--id", required=True, help="tenant id")
+    tp.add_argument(
+        "--secret-file", default=None, dest="secret_file", metavar="PATH",
+        help=f"file holding the shared secret (or set ${SECRET_ENV})",
+    )
+    tp.add_argument(
+        "--role", choices=["tenant", "admin"], default="tenant",
+        help="admin tenants may run maintenance (scrub, GC, repair) and "
+             "read cross-tenant aggregates",
+    )
+    tp.add_argument("--max-bytes", type=_positive_int, default=None,
+                    dest="max_bytes", help="storage quota in bytes")
+    tp.add_argument("--max-containers", type=_positive_int, default=None,
+                    dest="max_containers", help="sealed-container quota")
+    tp.add_argument("--max-requests-per-sec", type=float, default=None,
+                    dest="max_requests_per_sec", help="request rate limit")
+    tp.set_defaults(func=cmd_tenant_add)
+    tp = tenant_sub.add_parser("list", help="list registered tenants")
+    tp.add_argument("--root", required=True)
+    tp.set_defaults(func=cmd_tenant_list)
 
     p = sub.add_parser(
         "analyze",

@@ -161,8 +161,14 @@ class CDStoreClient:
         )
 
     def close(self) -> None:
-        """Shut down the comm engine's worker pools."""
+        """Shut down the comm engine's worker pools (idempotent)."""
         self.comm.close()
+
+    def __enter__(self) -> "CDStoreClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # helpers

@@ -205,12 +205,18 @@ class SharedSlabTransport:
             self._destroy(segment)
 
     def close(self) -> None:
-        """Unlink every remaining segment (error-path sweep)."""
+        """Unlink every remaining segment (error-path sweep, idempotent)."""
         with self._lock:
             segments = list(self._segments.values())
             self._segments.clear()
         for segment in segments:
             self._destroy(segment)
+
+    def __enter__(self) -> "SharedSlabTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,269 @@
+"""Typed deployment configuration: :class:`ReproConfig` and :class:`CloudSpec`.
+
+Deployment settings used to travel as scattered keyword arguments
+(``CDStoreSystem(n=…, k=…, salt=…, chunker=…)``), an untyped ``dict``
+loaded from ``cdstore.json``, and ad-hoc ``tcp://`` string parsing in the
+network client.  This module is now the single place those settings are
+*parsed, validated and persisted*:
+
+* :class:`CloudSpec` — where one cloud lives (``local`` or
+  ``tcp://host:port``), with the canonical parser the CLI, the system
+  façade and the network proxy all share;
+* :class:`ReproConfig` — every deployment-wide knob, validated once at
+  construction; ``repro init`` writes it, every other command loads it,
+  and :meth:`~repro.system.cdstore.CDStoreSystem.from_config` builds a
+  system straight from it.
+
+Secrets are deliberately *not* part of the config: tenant credentials
+(:class:`~repro.tenants.Credentials`) are passed separately so the
+config file stays safe to commit and copy around.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.errors import ParameterError, ReproError
+
+__all__ = ["CloudSpec", "ReproConfig", "CONFIG_FILE_NAME"]
+
+#: Conventional config file name under a deployment root.
+CONFIG_FILE_NAME = "cdstore.json"
+
+
+@dataclass(frozen=True)
+class CloudSpec:
+    """Where one cloud of a deployment lives.
+
+    ``kind`` is ``"local"`` (a backend directory under the deployment
+    root) or ``"tcp"`` (a ``repro serve`` process at ``host:port``
+    driven over the wire).
+    """
+
+    kind: str
+    host: str | None = None
+    port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "local":
+            if self.host is not None or self.port is not None:
+                raise ParameterError("a local cloud spec carries no host/port")
+        elif self.kind == "tcp":
+            if not self.host:
+                raise ParameterError("a tcp cloud spec needs a host")
+            if not isinstance(self.port, int) or not 1 <= self.port <= 65535:
+                raise ParameterError(
+                    f"tcp cloud spec port {self.port!r} outside 1-65535"
+                )
+        else:
+            raise ParameterError(
+                f"cloud spec kind must be 'local' or 'tcp', got {self.kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_remote(self) -> bool:
+        return self.kind == "tcp"
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` of a remote spec."""
+        if not self.is_remote:
+            raise ParameterError("local cloud specs have no network address")
+        assert self.host is not None and self.port is not None
+        return self.host, self.port
+
+    @classmethod
+    def local(cls) -> "CloudSpec":
+        return cls(kind="local")
+
+    @classmethod
+    def tcp(cls, host: str, port: int) -> "CloudSpec":
+        return cls(kind="tcp", host=host, port=port)
+
+    @classmethod
+    def parse(cls, text: str) -> "CloudSpec":
+        """Parse ``"local"`` or ``"tcp://host:port"``.
+
+        The one canonical parser: the CLI's argparse types, the system
+        façade and :func:`repro.net.client.parse_cloud_spec` (now a
+        deprecated shim) all route here, so a malformed spec produces
+        the same :class:`~repro.errors.ParameterError` everywhere.
+        """
+        if not isinstance(text, str):
+            raise ParameterError(
+                f"cloud spec must be a string, got {type(text).__name__}"
+            )
+        if text == "local":
+            return cls.local()
+        if not text.startswith("tcp://"):
+            raise ParameterError(
+                f"cloud spec must be 'local' or tcp://host:port, got {text!r}"
+            )
+        rest = text[len("tcp://"):]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep or not host:
+            raise ParameterError(
+                f"cloud spec {text!r} is missing a host or port (tcp://host:port)"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ParameterError(
+                f"cloud spec {text!r} has a non-numeric port {port_text!r}"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise ParameterError(f"cloud spec {text!r} port out of range 1-65535")
+        return cls.tcp(host, port)
+
+    def __str__(self) -> str:
+        if self.kind == "local":
+            return "local"
+        return f"tcp://{self.host}:{self.port}"
+
+
+def _coerce_spec(value: "CloudSpec | str") -> CloudSpec:
+    if isinstance(value, CloudSpec):
+        return value
+    return CloudSpec.parse(value)
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Every deployment-wide setting, validated once.
+
+    Parameters mirror what ``repro init`` persists plus the client-side
+    defaults :class:`~repro.system.cdstore.CDStoreSystem` used to take as
+    loose keyword arguments.  ``cloud_specs`` defaults to ``n`` local
+    clouds; pass :class:`CloudSpec` objects or spec strings.
+    """
+
+    n: int = 4
+    k: int = 3
+    salt: str = ""
+    chunker: str = "rabin"
+    cloud_specs: tuple[CloudSpec, ...] = ()
+    scheme: str = "caont-rs"
+    threads: int = 1
+    workers: str = "thread"
+    pipeline_depth: int | str = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or self.n < 1:
+            raise ParameterError(f"n must be a positive integer, got {self.n!r}")
+        if not isinstance(self.k, int) or not 0 < self.k <= self.n:
+            raise ParameterError(
+                f"require 0 < k <= n, got (n={self.n}, k={self.k})"
+            )
+        specs = tuple(_coerce_spec(s) for s in self.cloud_specs)
+        if not specs:
+            specs = tuple(CloudSpec.local() for _ in range(self.n))
+        if len(specs) != self.n:
+            raise ParameterError(
+                f"got {len(specs)} cloud specs for n={self.n} "
+                "(one per cloud, 'local' or 'tcp://host:port')"
+            )
+        object.__setattr__(self, "cloud_specs", specs)
+        if self.workers not in ("thread", "process"):
+            raise ParameterError(
+                f"workers must be 'thread' or 'process', got {self.workers!r}"
+            )
+        if not isinstance(self.threads, int) or self.threads < 1:
+            raise ParameterError(
+                f"threads must be a positive integer, got {self.threads!r}"
+            )
+        if isinstance(self.pipeline_depth, str):
+            if self.pipeline_depth != "auto":
+                raise ParameterError(
+                    f"pipeline_depth must be a positive integer or 'auto', "
+                    f"got {self.pipeline_depth!r}"
+                )
+        elif not isinstance(self.pipeline_depth, int) or self.pipeline_depth < 1:
+            raise ParameterError(
+                f"pipeline_depth must be a positive integer or 'auto', "
+                f"got {self.pipeline_depth!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def salt_bytes(self) -> bytes:
+        return self.salt.encode("utf-8")
+
+    @property
+    def remote_count(self) -> int:
+        return sum(1 for spec in self.cloud_specs if spec.is_remote)
+
+    def with_overrides(self, **kwargs) -> "ReproConfig":
+        """A copy with some fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # persistence (cdstore.json)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, raw: dict) -> "ReproConfig":
+        """Build from a parsed ``cdstore.json`` dict.
+
+        Accepts both the current schema and pre-config-object files
+        (which lack ``scheme``/``threads``/… keys) — the compatibility
+        shim that lets deployments initialised by earlier releases keep
+        working unchanged.
+        """
+        if not isinstance(raw, dict):
+            raise ParameterError(
+                f"config must be a JSON object, got {type(raw).__name__}"
+            )
+        known = {
+            "n", "k", "salt", "chunker", "cloud_specs", "scheme",
+            "threads", "workers", "pipeline_depth",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown config keys: {', '.join(sorted(unknown))}"
+            )
+        kwargs = {key: raw[key] for key in known & set(raw)}
+        if kwargs.get("cloud_specs") is None:
+            kwargs.pop("cloud_specs", None)
+        return cls(**kwargs)
+
+    def to_mapping(self) -> dict:
+        return {
+            "n": self.n,
+            "k": self.k,
+            "salt": self.salt,
+            "chunker": self.chunker,
+            "cloud_specs": [str(spec) for spec in self.cloud_specs],
+            "scheme": self.scheme,
+            "threads": self.threads,
+            "workers": self.workers,
+            "pipeline_depth": self.pipeline_depth,
+        }
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ReproConfig":
+        path = Path(path)
+        if path.is_dir():
+            path = path / CONFIG_FILE_NAME
+        if not path.exists():
+            raise ReproError(
+                f"{path.parent} is not a CDStore deployment (run `repro init` first)"
+            )
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"config {path} is not JSON: {exc}") from exc
+        try:
+            return cls.from_mapping(raw)
+        except ParameterError as exc:
+            raise ParameterError(f"config {path}: {exc}") from exc
+
+    def to_file(self, path: str | Path) -> None:
+        path = Path(path)
+        if path.is_dir():
+            path = path / CONFIG_FILE_NAME
+        path.write_text(
+            json.dumps(self.to_mapping(), indent=2) + "\n", encoding="utf-8"
+        )

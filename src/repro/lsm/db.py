@@ -111,6 +111,13 @@ class LSMStore:
         if self._mem.approximate_bytes >= self.memtable_bytes:
             self.flush()
 
+    def sync(self) -> None:
+        """Group commit: fsync the WAL so every mutation so far survives
+        kill -9.  One call per acknowledged batch is the crash-only
+        serving contract — cheaper than ``sync=True`` per append."""
+        self._check_open()
+        self._wal.sync()
+
     def flush(self) -> None:
         """Flush the memtable to a new SSTable and reset the WAL."""
         self._check_open()

@@ -19,6 +19,7 @@ where ``vallen == 0xFFFFFFFF`` marks a tombstone.
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
 from typing import Iterator
@@ -124,6 +125,10 @@ class SSTable:
             fh.write(
                 _FOOTER.pack(idx_off, len(index_blob), bloom_off, len(bloom_blob), _MAGIC)
             )
+            # The WAL is truncated right after this table lands; without
+            # the fsync a crash could lose both copies of the memtable.
+            fh.flush()
+            os.fsync(fh.fileno())
         return cls(path)
 
     # ------------------------------------------------------------------

@@ -32,9 +32,11 @@ _HEADER = struct.Struct(">II")
 class WriteAheadLog:
     """Append-only redo log with CRC-framed records."""
 
-    def __init__(self, path: str | Path, sync: bool = False) -> None:
+    def __init__(self, path: str | Path, sync_every_append: bool = False) -> None:
         self.path = Path(path)
-        self.sync = sync
+        #: fsync after every append (safest, slowest).  The crash-only
+        #: server leaves this off and group-commits with :meth:`sync`.
+        self.sync_every_append = sync_every_append
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # Long-lived handle owned by the WAL object, closed in close().
         self._fh = open(self.path, "ab")  # noqa: SIM115
@@ -55,8 +57,19 @@ class WriteAheadLog:
         record = _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
         self._fh.write(record)
         self._fh.flush()
-        if self.sync:
+        if self.sync_every_append:
             os.fsync(self._fh.fileno())
+
+    def sync(self) -> None:
+        """Force every appended record to stable storage (group commit).
+
+        Lets a caller run without per-append fsyncs and still ack
+        batches durably: one fsync covers the whole batch.
+        """
+        if self._fh.closed:
+            raise StorageError("WAL is closed")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     # ------------------------------------------------------------------
     def replay(self) -> Iterator[tuple[int, bytes, bytes]]:
@@ -85,7 +98,7 @@ class WriteAheadLog:
         self._fh.close()
         self._fh = open(self.path, "wb")  # noqa: SIM115 -- long-lived, closed in close()
         self._fh.flush()
-        if self.sync:
+        if self.sync_every_append:
             os.fsync(self._fh.fileno())
 
     def close(self) -> None:

@@ -33,47 +33,48 @@ remote clouds exactly like local ones.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+import warnings
 
 from repro.analysis.annotations import guarded_by, requires_lock
 from repro.cloud.network import Link
+from repro.config import CloudSpec
 from repro.dedup.stats import DedupStats
-from repro.errors import CloudUnavailableError, ParameterError, ProtocolError
+from repro.errors import (
+    AuthError,
+    CloudUnavailableError,
+    ParameterError,
+    ProtocolError,
+)
 from repro.net import wire
 from repro.net.server import recv_exact
 from repro.server.index import FileEntry
 from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
+from repro.tenants import Credentials, auth_proof
 
 __all__ = ["RemoteCloud", "RemoteServerProxy", "parse_cloud_spec"]
 
 
 def parse_cloud_spec(spec: str) -> tuple[str, int]:
-    """Parse a ``tcp://host:port`` cloud spec into ``(host, port)``.
+    """Deprecated: parse ``tcp://host:port`` into ``(host, port)``.
 
-    Raises :class:`~repro.errors.ParameterError` on anything else — the
-    CLI wraps this in an argparse type so malformed specs surface as usage
-    errors before any network or disk is touched.
+    Kept for one release as a shim over the canonical parser,
+    :meth:`repro.config.CloudSpec.parse` — call that instead (it also
+    understands ``"local"`` and returns a typed spec).
     """
+    warnings.warn(
+        "parse_cloud_spec() is deprecated; use repro.config.CloudSpec.parse()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not isinstance(spec, str) or not spec.startswith("tcp://"):
+        # CloudSpec.parse accepts "local", which this shim never did.
         raise ParameterError(
             f"cloud spec must look like tcp://host:port, got {spec!r}"
         )
-    rest = spec[len("tcp://"):]
-    host, sep, port_text = rest.rpartition(":")
-    if not sep or not host:
-        raise ParameterError(
-            f"cloud spec {spec!r} is missing a host or port (tcp://host:port)"
-        )
-    try:
-        port = int(port_text)
-    except ValueError:
-        raise ParameterError(
-            f"cloud spec {spec!r} has a non-numeric port {port_text!r}"
-        ) from None
-    if not 1 <= port <= 65535:
-        raise ParameterError(f"cloud spec {spec!r} port out of range 1-65535")
-    return host, port
+    return CloudSpec.parse(spec).address
 
 
 class RemoteCloud:
@@ -124,6 +125,11 @@ class RemoteServerProxy:
     timeout:
         Per-socket-operation timeout in seconds; an expiry is treated as
         an outage (the per-window failover path), never a hang.
+    credentials:
+        Optional :class:`~repro.tenants.Credentials`.  When given, every
+        (re)connect runs the challenge-response handshake right after the
+        PING — so a dropped-and-redialled connection is re-authenticated
+        before the request that triggered the reconnect is sent.
     """
 
     #: Lock discipline (``repro analyze``, LOCK-001): connection identity
@@ -140,14 +146,19 @@ class RemoteServerProxy:
         downlink: Link | None = None,
         timeout: float = 30.0,
         max_frame: int = wire.MAX_FRAME_BYTES,
+        credentials: Credentials | None = None,
     ) -> None:
         if isinstance(address, str):
-            self.host, self.port = parse_cloud_spec(address)
+            self.host, self.port = CloudSpec.parse(address).address
         else:
             self.host, self.port = address
         self._server_id = server_id
         self.timeout = timeout
         self.max_frame = max_frame
+        self.credentials = credentials
+        #: Role granted by the last successful auth handshake (None when
+        #: unauthenticated / running against an open server).
+        self.role: str | None = None
         self._sock: socket.socket | None = None
         self._lock = threading.RLock()
         self.cloud = RemoteCloud(
@@ -243,12 +254,73 @@ class RemoteServerProxy:
                 f"expected {self._server_id}"
             )
         self._server_id = server_id
+        if self.credentials is not None:
+            self._authenticate()
         return self._sock
 
+    @requires_lock("_lock")
+    def _authenticate(self) -> None:
+        """Run the T_AUTH / T_AUTH_PROOF handshake on a fresh connection.
+
+        An :class:`~repro.errors.AuthError` from the server propagates
+        as-is (bad credentials are not an outage — failover would just
+        fail identically elsewhere); transport failures map to
+        :class:`~repro.errors.CloudUnavailableError` like any other.
+        """
+        creds = self.credentials
+        assert creds is not None
+        client_nonce = os.urandom(wire.AUTH_NONCE_SIZE)
+        try:
+            frame_type, payload = self._roundtrip(
+                wire.T_AUTH, wire.encode_auth(creds.tenant_id, client_nonce)
+            )
+            if frame_type == wire.R_ERROR:
+                raise wire.decode_error(payload)
+            if frame_type != wire.R_AUTH_CHALLENGE:
+                raise ProtocolError(
+                    f"{self.address_spec} answered AUTH with frame "
+                    f"0x{frame_type:02x}"
+                )
+            server_nonce = wire.decode_auth_challenge(payload)
+            proof = auth_proof(
+                creds.secret, creds.tenant_id, client_nonce, server_nonce
+            )
+            frame_type, payload = self._roundtrip(
+                wire.T_AUTH_PROOF, wire.encode_auth_proof(proof)
+            )
+            if frame_type == wire.R_ERROR:
+                raise wire.decode_error(payload)
+            if frame_type != wire.R_AUTH_OK:
+                raise ProtocolError(
+                    f"{self.address_spec} answered AUTH_PROOF with frame "
+                    f"0x{frame_type:02x}"
+                )
+            self.role = wire.decode_auth_ok(payload)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            self._drop()
+            raise CloudUnavailableError(
+                f"auth handshake with {self.address_spec} failed: {exc}"
+            ) from exc
+        except AuthError:
+            # The server answered; the connection is in sync but useless
+            # without credentials it accepts — drop it so the proxy does
+            # not cache a half-authenticated socket.
+            self._drop()
+            raise
+        except BaseException:
+            self._drop()
+            raise
+
     def close(self) -> None:
-        """Drop the connection (the next call reconnects)."""
+        """Drop the connection (the next call reconnects) — idempotent."""
         with self._lock:
             self._drop()
+
+    def __enter__(self) -> "RemoteServerProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "connected" if self._sock is not None else "idle"
@@ -298,7 +370,14 @@ class RemoteServerProxy:
             return reply
 
     def ping(self) -> bool:
-        """Cheap liveness probe (connects if needed); never raises."""
+        """Cheap liveness probe (connects if needed).
+
+        Transport and protocol failures never raise — they read as "not
+        available", the same answer a dead server gives.  Rejected
+        credentials DO raise :class:`~repro.errors.AuthError`: the server
+        is up and answering, and reporting it as unreachable would send
+        the operator debugging the network instead of their secret.
+        """
         try:
             with self._lock:
                 self._ensure_connected()
@@ -310,6 +389,9 @@ class RemoteServerProxy:
                     return False
                 wire.decode_pong(payload)
                 return True
+        except AuthError:
+            self._drop()
+            raise
         except Exception:
             self._drop()
             return False
@@ -374,8 +456,17 @@ class RemoteServerProxy:
         )
         return wire.decode_file_list(reply)
 
-    def fetch_shares(self, fingerprints: list[bytes]) -> dict[bytes, bytes]:
-        """Reassemble the server's bounded reply-frame stream into a map."""
+    def fetch_shares(
+        self, fingerprints: list[bytes], owner: str | None = None
+    ) -> dict[bytes, bytes]:
+        """Reassemble the server's bounded reply-frame stream into a map.
+
+        ``owner`` scoping is enforced *server-side* from the
+        authenticated tenant — it never crosses the wire, so passing an
+        explicit owner here would silently promise a scope this proxy
+        cannot deliver; it is rejected instead.
+        """
+        self._reject_local_owner(owner)
         with self._lock:
             self._ensure_connected()
             sock = self._sock
@@ -428,6 +519,89 @@ class RemoteServerProxy:
                 raise CloudUnavailableError(
                     f"connection to {self.address_spec} dropped mid-fetch: {exc}"
                 ) from exc
+
+    @staticmethod
+    def _reject_local_owner(owner: str | None) -> None:
+        if owner is not None:
+            raise ParameterError(
+                "owner scoping on remote fetches is derived from the "
+                "authenticated tenant server-side; do not pass owner= to a "
+                "RemoteServerProxy"
+            )
+
+    def iter_share_batches(
+        self,
+        fingerprints: list[bytes],
+        budget_bytes: int | None = None,
+        cost=None,
+        owner: str | None = None,
+    ):
+        """Stream the server's bounded share batches, one list per frame.
+
+        Protocol parity with
+        :meth:`~repro.server.server.CDStoreServer.iter_share_batches`,
+        with the batching decided *server-side*: the serving process
+        prices shares against its own frame budget, so ``budget_bytes``
+        and ``cost`` are rejected here rather than silently ignored.
+
+        The connection lock is held across yields (one request in flight
+        at a time); abandon the generator and it drops the connection,
+        since unread batches would desynchronise the next request.
+        """
+        if budget_bytes is not None or cost is not None:
+            raise ParameterError(
+                "remote share-batch sizing is fixed by the server's frame "
+                "budget; budget_bytes/cost cannot be set through a proxy"
+            )
+        self._reject_local_owner(owner)
+        with self._lock:
+            self._ensure_connected()
+            sock = self._sock
+            finished = False
+            try:
+                sock.sendall(
+                    wire.encode_frame(
+                        wire.T_FETCH_SHARES,
+                        wire.encode_fetch_shares(fingerprints),
+                        self.max_frame,
+                    )
+                )
+                streamed = 0
+                while True:
+                    reply_type, payload = self._read_reply(sock)
+                    if reply_type == wire.R_SHARE_BATCH:
+                        batch = wire.decode_share_batch(payload)
+                        streamed += len(batch)
+                        yield batch
+                        continue
+                    if reply_type == wire.R_SHARES_END:
+                        total = wire.decode_shares_end(payload)
+                        if total != streamed:
+                            raise ProtocolError(
+                                f"{self.address_spec} streamed {streamed} "
+                                f"shares but announced {total}"
+                            )
+                        finished = True
+                        return
+                    if reply_type == wire.R_ERROR:
+                        finished = True  # in sync: the server answered
+                        raise wire.decode_error(payload)
+                    raise ProtocolError(
+                        f"{self.address_spec} sent unexpected frame "
+                        f"0x{reply_type:02x} inside a share stream"
+                    )
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                finished = True
+                self._drop()
+                raise CloudUnavailableError(
+                    f"connection to {self.address_spec} dropped mid-fetch: {exc}"
+                ) from exc
+            finally:
+                # Early abandonment (GeneratorExit) or a mid-stream decode
+                # error leaves reply frames buffered on the socket; drop it
+                # so the next request cannot read them as its own reply.
+                if not finished:
+                    self._drop()
 
     def delete_file(self, user_id: str, lookup_key: bytes) -> int:
         reply = self._call(

@@ -33,22 +33,65 @@ answer* (typed :data:`~repro.net.wire.R_ERROR` frame, connection stays
 usable); any other exception is a server bug and closes the connection
 abruptly — clients see a dropped socket and run their failover path
 rather than trusting a half-written reply.
+
+Multi-tenancy: when the server is constructed with a
+:class:`~repro.tenants.TenantRegistry`, every connection must complete
+the challenge-response handshake (:data:`~repro.net.wire.T_AUTH` →
+:data:`~repro.net.wire.R_AUTH_CHALLENGE` →
+:data:`~repro.net.wire.T_AUTH_PROOF` →
+:data:`~repro.net.wire.R_AUTH_OK`) before any request other than a ping
+is answered.  After the handshake every ``user_id``-bearing frame is
+pinned to the authenticated tenant, maintenance frames are reserved to
+the ``admin`` role, share fetches are owner-scoped server-side, and a
+per-tenant token bucket throttles request rates.  Without a registry
+the server runs open, exactly as before.
 """
 
 from __future__ import annotations
 
+import hmac
 import logging
+import os
 import socket
 import threading
+import time
 
 from repro.analysis.annotations import guarded_by
-from repro.errors import ProtocolError, ReproError
+from repro.errors import AuthError, ProtocolError, QuotaExceededError, ReproError
 from repro.net import wire
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
+from repro.tenants import ROLE_ADMIN, TenantRegistry, TokenBucket, auth_proof
 
 __all__ = ["CDStoreTCPServer", "recv_exact"]
 
 logger = logging.getLogger(__name__)
+
+#: Maintenance/observability frames reserved to the ``admin`` role when a
+#: tenant registry is active: they either touch other tenants' data
+#: (scrub, GC, repair) or aggregate across tenants (stats, backup list).
+ADMIN_FRAMES = frozenset(
+    {
+        wire.T_SCRUB,
+        wire.T_COLLECT_GARBAGE,
+        wire.T_REPLACE_SHARE,
+        wire.T_REBUILD_RECIPE,
+        wire.T_LIST_BACKUPS,
+        wire.T_STATS,
+        wire.T_STORED_BYTES,
+    }
+)
+
+
+class _ConnState:
+    """Per-connection auth state (owned by the one handler thread)."""
+
+    __slots__ = ("tenant", "role", "pending")
+
+    def __init__(self) -> None:
+        self.tenant: str | None = None
+        self.role: str | None = None
+        #: In-flight handshake: ``(tenant_id, client_nonce, server_nonce)``.
+        self.pending: tuple[str, bytes, bytes] | None = None
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -80,12 +123,20 @@ class CDStoreTCPServer:
         server-side working set of a streamed fetch.
     max_frame:
         Hard cap on *incoming* frame payloads (request flood guard).
+    tenants:
+        Optional :class:`~repro.tenants.TenantRegistry`.  When given,
+        connections must authenticate before issuing requests and all
+        tenant-scoping/rate-limit rules apply; when ``None`` the server
+        answers everyone (single-operator mode).
     """
 
     #: Lock discipline (``repro analyze``, LOCK-001): the live-connection
     #: set is shared between the accept loop, per-connection handler exits
-    #: and shutdown, and must only be mutated under ``_conn_lock``.
-    GUARDED_BY = guarded_by(_connections="_conn_lock")
+    #: and shutdown, and must only be mutated under ``_conn_lock``; the
+    #: per-tenant token buckets are shared by every connection a tenant
+    #: holds (one budget per tenant, not per socket) and live under
+    #: ``_bucket_lock``.
+    GUARDED_BY = guarded_by(_connections="_conn_lock", _buckets="_bucket_lock")
 
     def __init__(
         self,
@@ -94,12 +145,14 @@ class CDStoreTCPServer:
         port: int = 0,
         frame_budget: int = FETCH_BATCH_BYTES,
         max_frame: int = wire.MAX_FRAME_BYTES,
+        tenants: TenantRegistry | None = None,
     ) -> None:
         if frame_budget < 1:
             raise ValueError(f"frame_budget must be >= 1, got {frame_budget}")
         self.server = server
         self.frame_budget = frame_budget
         self.max_frame = max_frame
+        self.tenants = tenants
         self._host = host
         self._port = port
         self._listener: socket.socket | None = None
@@ -107,6 +160,8 @@ class CDStoreTCPServer:
         self._stopped = threading.Event()
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
+        self._bucket_lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -178,6 +233,15 @@ class CDStoreTCPServer:
             self._accept_thread.join(timeout=5)
             self._accept_thread = None
 
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` — the uniform lifecycle verb.
+
+        Idempotent, like every other ``close()`` in the codebase: the
+        second call finds no listener and no live connections and
+        returns quietly.
+        """
+        self.shutdown()
+
     def __enter__(self) -> "CDStoreTCPServer":
         return self.start()
 
@@ -218,6 +282,7 @@ class CDStoreTCPServer:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        state = _ConnState()
         try:
             while not self._stopped.is_set():
                 try:
@@ -234,7 +299,7 @@ class CDStoreTCPServer:
                     )
                     return
                 try:
-                    for reply in self._dispatch(frame_type, payload):
+                    for reply in self._dispatch(state, frame_type, payload):
                         conn.sendall(reply)
                 except ReproError as exc:
                     # A typed, *answerable* failure: report it in-band and
@@ -265,9 +330,95 @@ class CDStoreTCPServer:
                 pass
 
     # ------------------------------------------------------------------
+    # authentication & tenant enforcement
+    # ------------------------------------------------------------------
+    def _handle_auth(self, state: _ConnState, payload: bytes):
+        """T_AUTH: remember the claim, answer with a fresh challenge.
+
+        The server nonce is minted per attempt, so a recorded proof from
+        an earlier connection verifies against nothing — replay defence
+        lives here, not in any nonce bookkeeping.
+        """
+        tenant_id, client_nonce = wire.decode_auth(payload)
+        server_nonce = os.urandom(wire.AUTH_NONCE_SIZE)
+        state.pending = (tenant_id, client_nonce, server_nonce)
+        yield wire.encode_frame(
+            wire.R_AUTH_CHALLENGE, wire.encode_auth_challenge(server_nonce)
+        )
+
+    def _handle_auth_proof(self, state: _ConnState, payload: bytes):
+        """T_AUTH_PROOF: verify the HMAC against the pending challenge."""
+        proof = wire.decode_auth_proof(payload)
+        # One challenge, one attempt: clear the pending state before
+        # verifying so a failed proof cannot be retried against the same
+        # server nonce (the client must restart the handshake).
+        pending, state.pending = state.pending, None
+        if self.tenants is None or pending is None:
+            raise AuthError("authentication failed")
+        tenant_id, client_nonce, server_nonce = pending
+        record = self.tenants.get(tenant_id)
+        # Unknown tenants still cost one HMAC so the error is not a
+        # timing oracle for tenant-id existence; the message is the same
+        # for every failure mode for the same reason.
+        secret = record.secret if record is not None else b"\x00" * 32
+        expected = auth_proof(secret, tenant_id, client_nonce, server_nonce)
+        if record is None or not hmac.compare_digest(proof, expected):
+            raise AuthError("authentication failed")
+        state.tenant = tenant_id
+        state.role = record.role
+        yield wire.encode_frame(wire.R_AUTH_OK, wire.encode_auth_ok(record.role))
+
+    def _authorize(
+        self, state: _ConnState, frame_type: int, user_id: str | None = None
+    ) -> None:
+        """Gate one request frame against the connection's auth state.
+
+        No-op without a registry.  Otherwise: the connection must have
+        completed the handshake; the request rate is charged to the
+        tenant's shared token bucket; admins may do anything, while
+        tenants are barred from :data:`ADMIN_FRAMES` and from naming any
+        ``user_id`` other than their own.
+        """
+        if self.tenants is None:
+            return
+        if state.tenant is None:
+            raise AuthError("authentication required")
+        self._check_rate(state.tenant)
+        if state.role == ROLE_ADMIN:
+            return
+        if frame_type in ADMIN_FRAMES:
+            raise AuthError("administrator role required")
+        if user_id is not None and user_id != state.tenant:
+            raise AuthError(
+                f"user id does not match authenticated tenant {state.tenant!r}"
+            )
+
+    def _check_rate(self, tenant_id: str) -> None:
+        """Charge one request to the tenant's token bucket."""
+        record = self.tenants.get(tenant_id) if self.tenants is not None else None
+        rate = record.quota.max_requests_per_sec if record is not None else None
+        if rate is None:
+            return
+        with self._bucket_lock:
+            bucket = self._buckets.get(tenant_id)
+            if bucket is None:
+                bucket = self._buckets[tenant_id] = TokenBucket(rate)
+            allowed = bucket.allow(time.monotonic())
+        if not allowed:
+            raise QuotaExceededError(
+                f"request rate limit exceeded for tenant {tenant_id!r}"
+            )
+
+    def _fetch_owner(self, state: _ConnState) -> str | None:
+        """Owner scope for share fetches: tenants see only their shares."""
+        if self.tenants is None or state.role == ROLE_ADMIN:
+            return None
+        return state.tenant
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, frame_type: int, payload: bytes):
+    def _dispatch(self, state: _ConnState, frame_type: int, payload: bytes):
         """Yield encoded reply frame(s) for one request frame.
 
         A generator so the streaming ``fetch_shares`` reply materialises
@@ -276,34 +427,47 @@ class CDStoreTCPServer:
         """
         server = self.server
         if frame_type == wire.T_PING:
+            # Liveness stays unauthenticated: failover probes must work
+            # before (and without) credentials.
             wire.decode_ping(payload)  # version checked client-side
             yield wire.encode_frame(wire.R_PONG, wire.encode_pong(server.server_id))
+        elif frame_type == wire.T_AUTH:
+            yield from self._handle_auth(state, payload)
+        elif frame_type == wire.T_AUTH_PROOF:
+            yield from self._handle_auth_proof(state, payload)
         elif frame_type == wire.T_QUERY_DUPLICATES:
             user_id, fingerprints = wire.decode_query_duplicates(payload)
+            self._authorize(state, frame_type, user_id)
             known = server.query_duplicates(user_id, fingerprints)
             yield wire.encode_frame(wire.R_BOOLS, wire.encode_bools(known))
         elif frame_type == wire.T_UPLOAD_SHARES:
             user_id, uploads = wire.decode_upload_shares(payload)
+            self._authorize(state, frame_type, user_id)
             server.upload_shares(user_id, uploads)
             yield wire.encode_frame(wire.R_OK)
         elif frame_type == wire.T_FINALIZE_FILE:
             user_id, manifest, metas = wire.decode_finalize_file(payload)
+            self._authorize(state, frame_type, user_id)
             server.finalize_file(user_id, manifest, metas)
             yield wire.encode_frame(wire.R_OK)
         elif frame_type == wire.T_GET_FILE_ENTRY:
             user_id, lookup_key = wire.decode_user_key(payload)
+            self._authorize(state, frame_type, user_id)
             entry = server.get_file_entry(user_id, lookup_key)
             yield wire.encode_frame(wire.R_FILE_ENTRY, wire.encode_file_entry(entry))
         elif frame_type == wire.T_GET_RECIPE:
             user_id, lookup_key, bypass = wire.decode_get_recipe(payload)
+            self._authorize(state, frame_type, user_id)
             recipe = server.get_recipe(user_id, lookup_key, bypass_cache=bypass)
             yield wire.encode_frame(wire.R_RECIPE, wire.encode_recipe(recipe))
         elif frame_type == wire.T_LIST_FILES:
             user_id = wire.decode_user(payload)
+            self._authorize(state, frame_type, user_id)
             listing = server.list_files(user_id)
             yield wire.encode_frame(wire.R_FILE_LIST, wire.encode_file_list(listing))
         elif frame_type == wire.T_FETCH_SHARES:
             fingerprints = wire.decode_fetch_shares(payload)
+            self._authorize(state, frame_type)
             total = 0
             # Price each share at its full wire cost and leave room for the
             # frame header + count word, so a maximally-packed batch still
@@ -313,6 +477,7 @@ class CDStoreTCPServer:
                 fingerprints,
                 budget_bytes=batch_budget,
                 cost=lambda fp, data: wire.SHARE_WIRE_OVERHEAD + len(data),
+                owner=self._fetch_owner(state),
             ):
                 total += len(batch)
                 yield wire.encode_frame(
@@ -321,38 +486,49 @@ class CDStoreTCPServer:
             yield wire.encode_frame(wire.R_SHARES_END, wire.encode_shares_end(total))
         elif frame_type == wire.T_DELETE_FILE:
             user_id, lookup_key = wire.decode_user_key(payload)
+            self._authorize(state, frame_type, user_id)
             orphaned = server.delete_file(user_id, lookup_key)
             yield wire.encode_frame(wire.R_INT, wire.encode_int(orphaned))
         elif frame_type == wire.T_COLLECT_GARBAGE:
             _expect_empty(payload)
+            self._authorize(state, frame_type)
             freed = server.collect_garbage()
             yield wire.encode_frame(wire.R_INT, wire.encode_int(freed))
         elif frame_type == wire.T_SCRUB:
             _expect_empty(payload)
+            self._authorize(state, frame_type)
             corrupt = server.scrub()
             yield wire.encode_frame(wire.R_FP_LIST, wire.encode_fp_list(corrupt))
         elif frame_type == wire.T_FLUSH:
             _expect_empty(payload)
+            # Any authenticated tenant may flush: it only makes their own
+            # (and everyone's) buffered writes durable, revealing nothing.
+            self._authorize(state, frame_type)
             server.flush()
             yield wire.encode_frame(wire.R_OK)
         elif frame_type == wire.T_STATS:
             _expect_empty(payload)
+            self._authorize(state, frame_type)
             yield wire.encode_frame(wire.R_STATS, wire.encode_stats(server.stats))
         elif frame_type == wire.T_STORED_BYTES:
             _expect_empty(payload)
+            self._authorize(state, frame_type)
             yield wire.encode_frame(
                 wire.R_INT, wire.encode_int(server.stored_bytes)
             )
         elif frame_type == wire.T_REPLACE_SHARE:
             server_fp, data = wire.decode_replace_share(payload)
+            self._authorize(state, frame_type)
             server.replace_share(server_fp, data)
             yield wire.encode_frame(wire.R_OK)
         elif frame_type == wire.T_REBUILD_RECIPE:
             user_id, lookup_key, entries = wire.decode_rebuild_recipe(payload)
+            self._authorize(state, frame_type, user_id)
             server.rebuild_recipe(user_id, lookup_key, entries)
             yield wire.encode_frame(wire.R_OK)
         elif frame_type == wire.T_LIST_BACKUPS:
             _expect_empty(payload)
+            self._authorize(state, frame_type)
             backups = server.list_backups()
             yield wire.encode_frame(
                 wire.R_BACKUP_LIST, wire.encode_backup_list(backups)

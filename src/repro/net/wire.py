@@ -23,6 +23,9 @@ Errors are first-class frames: a server-side :class:`~repro.errors.
 ReproError` is encoded as :data:`R_ERROR` with a stable numeric code and
 re-raised client-side as the *same exception class* — the comm engine's
 failover logic (`FETCH_ERRORS`) behaves identically across transports.
+The codes live on the exception classes themselves
+(:data:`repro.errors.WIRE_ERROR_CODES`), so adding a wire-visible error
+is a one-place change and the numbers never shift.
 """
 
 from __future__ import annotations
@@ -32,22 +35,22 @@ from typing import Callable
 
 from repro.dedup.stats import DedupStats
 from repro.errors import (
-    CloudError,
-    CloudUnavailableError,
-    InsufficientCloudsError,
-    IntegrityError,
-    NotFoundError,
-    ParameterError,
+    WIRE_ERROR_CODES,
     ProtocolError,
     ReproError,
-    StorageError,
+    wire_code_for,
 )
 from repro.server.index import FileEntry
 from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
 
 __all__ = [
+    "AUTH_NONCE_SIZE",
+    "AUTH_PROOF_SIZE",
+    "CONTROL_FRAMES",
     "FRAME_HEADER",
+    "LOCAL_ONLY_METHODS",
     "MAX_FRAME_BYTES",
+    "METHOD_FRAMES",
     "SHARE_WIRE_OVERHEAD",
     "WIRE_VERSION",
     "decode_error",
@@ -94,6 +97,8 @@ T_STORED_BYTES = 0x0E
 T_REPLACE_SHARE = 0x0F
 T_REBUILD_RECIPE = 0x10
 T_LIST_BACKUPS = 0x11
+T_AUTH = 0x12
+T_AUTH_PROOF = 0x13
 
 # Responses (server -> client).
 R_OK = 0x80
@@ -108,7 +113,41 @@ R_INT = 0x88
 R_FP_LIST = 0x89
 R_STATS = 0x8A
 R_BACKUP_LIST = 0x8B
+R_AUTH_CHALLENGE = 0x8C
+R_AUTH_OK = 0x8D
 R_ERROR = 0xFF
+
+#: Server-surface method -> request frame that carries it.  This is the
+#: single source of truth the WIRE-005 checker cross-checks against
+#: :class:`repro.server.protocol.CDStoreServerAPI`: a method added to the
+#: Protocol without a frame here (or vice versa) is a finding, so the
+#: wire surface cannot silently drift from the API surface.
+METHOD_FRAMES: dict[str, int] = {
+    "query_duplicates": T_QUERY_DUPLICATES,
+    "upload_shares": T_UPLOAD_SHARES,
+    "finalize_file": T_FINALIZE_FILE,
+    "get_file_entry": T_GET_FILE_ENTRY,
+    "get_recipe": T_GET_RECIPE,
+    "list_files": T_LIST_FILES,
+    "fetch_shares": T_FETCH_SHARES,
+    "iter_share_batches": T_FETCH_SHARES,
+    "delete_file": T_DELETE_FILE,
+    "collect_garbage": T_COLLECT_GARBAGE,
+    "scrub": T_SCRUB,
+    "flush": T_FLUSH,
+    "stats": T_STATS,
+    "stored_bytes": T_STORED_BYTES,
+    "replace_share": T_REPLACE_SHARE,
+    "rebuild_recipe": T_REBUILD_RECIPE,
+    "list_backups": T_LIST_BACKUPS,
+}
+
+#: Request frames that are connection machinery, not server-API methods:
+#: the version handshake and the tenant authentication exchange.
+CONTROL_FRAMES: frozenset[int] = frozenset({T_PING, T_AUTH, T_AUTH_PROOF})
+
+#: Protocol methods that never cross the wire (local lifecycle/recovery).
+LOCAL_ONLY_METHODS: frozenset[str] = frozenset({"close", "recover"})
 
 #: Wire bytes one share adds to a :data:`R_SHARE_BATCH` beyond its payload
 #: (fingerprint + length prefix).  The TCP server prices shares with this
@@ -119,29 +158,15 @@ SHARE_WIRE_OVERHEAD = _FP_SIZE + 4
 # typed error frames
 # ---------------------------------------------------------------------------
 
-#: Order matters: encoding picks the first ``isinstance`` match, so
-#: subclasses precede their bases.
-_ERROR_TYPES: list[type[ReproError]] = [
-    CloudUnavailableError,
-    InsufficientCloudsError,
-    CloudError,
-    NotFoundError,
-    StorageError,
-    IntegrityError,
-    ProtocolError,
-    ParameterError,
-    ReproError,
-]
-_ERROR_CODES = {cls: code for code, cls in enumerate(_ERROR_TYPES, start=1)}
-
 
 def encode_error(exc: ReproError) -> bytes:
-    """Encode a server-side error as an :data:`R_ERROR` payload."""
-    for cls, code in _ERROR_CODES.items():
-        if isinstance(exc, cls):
-            break
-    else:  # pragma: no cover - ReproError always matches
-        code = _ERROR_CODES[ReproError]
+    """Encode a server-side error as an :data:`R_ERROR` payload.
+
+    The code is the exception class's stable ``wire_code`` (an unlisted
+    subclass inherits its nearest registered ancestor's), so the peer
+    re-raises the same class — or the closest family an older peer knows.
+    """
+    code = wire_code_for(exc)
     # NotFoundError inherits KeyError, whose str() quotes the message.
     message = exc.args[0] if exc.args else str(exc)
     blob = str(message).encode("utf-8")
@@ -154,9 +179,10 @@ def decode_error(payload: bytes) -> ReproError:
     code = reader.u8()
     message = reader.sized_bytes().decode("utf-8", errors="replace")
     reader.done()
-    if not 1 <= code <= len(_ERROR_TYPES):
+    cls = WIRE_ERROR_CODES.get(code)
+    if cls is None:
         return ProtocolError(f"peer error with unknown code {code}: {message}")
-    return _ERROR_TYPES[code - 1](message)
+    return cls(message)
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +329,73 @@ def decode_pong(payload: bytes) -> tuple[int, int]:
     version, server_id = struct.unpack(">HI", reader.take(6))
     reader.done()
     return version, server_id
+
+
+#: Client/server nonces in the auth exchange are exactly this long.
+AUTH_NONCE_SIZE = 16
+#: HMAC-SHA256 digest length of the T_AUTH_PROOF payload.
+AUTH_PROOF_SIZE = 32
+
+
+def _check_nonce(nonce: bytes) -> bytes:
+    if len(nonce) != AUTH_NONCE_SIZE:
+        raise ProtocolError(
+            f"auth nonce must be {AUTH_NONCE_SIZE} bytes, got {len(nonce)}"
+        )
+    return nonce
+
+
+def encode_auth(tenant_id: str, client_nonce: bytes) -> bytes:
+    """T_AUTH: open the challenge-response exchange for ``tenant_id``."""
+    return _string(tenant_id) + _check_nonce(client_nonce)
+
+
+def decode_auth(payload: bytes) -> tuple[str, bytes]:
+    reader = _Reader(payload)
+    tenant_id = reader.string()
+    client_nonce = reader.take(AUTH_NONCE_SIZE)
+    reader.done()
+    return tenant_id, client_nonce
+
+
+def encode_auth_challenge(server_nonce: bytes) -> bytes:
+    """R_AUTH_CHALLENGE: fresh per-connection nonce the proof must cover."""
+    return _check_nonce(server_nonce)
+
+
+def decode_auth_challenge(payload: bytes) -> bytes:
+    reader = _Reader(payload)
+    server_nonce = reader.take(AUTH_NONCE_SIZE)
+    reader.done()
+    return server_nonce
+
+
+def encode_auth_proof(proof: bytes) -> bytes:
+    """T_AUTH_PROOF: HMAC over both nonces + tenant id (see repro.tenants)."""
+    if len(proof) != AUTH_PROOF_SIZE:
+        raise ProtocolError(
+            f"auth proof must be {AUTH_PROOF_SIZE} bytes, got {len(proof)}"
+        )
+    return proof
+
+
+def decode_auth_proof(payload: bytes) -> bytes:
+    reader = _Reader(payload)
+    proof = reader.take(AUTH_PROOF_SIZE)
+    reader.done()
+    return proof
+
+
+def encode_auth_ok(role: str) -> bytes:
+    """R_AUTH_OK: handshake accepted; tells the client its granted role."""
+    return _string(role)
+
+
+def decode_auth_ok(payload: bytes) -> str:
+    reader = _Reader(payload)
+    role = reader.string()
+    reader.done()
+    return role
 
 
 def encode_query_duplicates(user_id: str, fingerprints: list[bytes]) -> bytes:

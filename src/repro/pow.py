@@ -55,7 +55,15 @@ class PowResponse:
 
 
 class PowServer:
-    """Holds Merkle roots of stored files; challenges and verifies claims."""
+    """Holds Merkle roots of stored files; challenges and verifies claims.
+
+    Multi-tenant deployments pass a ``tenant_id`` to every call: file ids
+    are then namespaced per tenant, so one tenant can neither probe
+    whether another tenant stored a given file id (``knows`` /
+    ``challenge`` answer exactly as for a file that was never uploaded)
+    nor satisfy a challenge issued under a different tenant's scope.
+    ``tenant_id=None`` keeps the original single-namespace behaviour.
+    """
 
     def __init__(self, spot_checks: int = 8, block_size: int = 4096, rng: DRBG | None = None) -> None:
         if spot_checks < 1:
@@ -63,8 +71,16 @@ class PowServer:
         self.spot_checks = spot_checks
         self.block_size = block_size
         self._rng = rng
-        self._files: dict[bytes, tuple[bytes, int]] = {}  # id -> (root, leaves)
-        self._pending: dict[bytes, PowChallenge] = {}
+        # (tenant-scoped) id -> (root, leaves)
+        self._files: dict[bytes, tuple[bytes, int]] = {}
+        # nonce -> (challenge, tenant scope it was issued under)
+        self._pending: dict[bytes, tuple[PowChallenge, str | None]] = {}
+
+    @staticmethod
+    def _key(file_id: bytes, tenant_id: str | None) -> bytes:
+        if tenant_id is None:
+            return b"\x00" + file_id
+        return b"\x01" + tenant_id.encode("utf-8") + b"\x00" + file_id
 
     def _random_bytes(self, length: int) -> bytes:
         if self._rng is not None:
@@ -78,36 +94,49 @@ class PowServer:
         return low + int.from_bytes(system_random_bytes(8), "big") % span
 
     # ------------------------------------------------------------------
-    def register(self, file_id: bytes, data: bytes) -> None:
-        """First upload: store the file's Merkle root."""
+    def register(self, file_id: bytes, data: bytes, tenant_id: str | None = None) -> None:
+        """First upload: store the file's Merkle root (per tenant scope)."""
         tree = MerkleTree(data, block_size=self.block_size)
-        self._files[file_id] = (tree.root, tree.leaf_count)
+        self._files[self._key(file_id, tenant_id)] = (tree.root, tree.leaf_count)
 
-    def knows(self, file_id: bytes) -> bool:
-        return file_id in self._files
+    def knows(self, file_id: bytes, tenant_id: str | None = None) -> bool:
+        return self._key(file_id, tenant_id) in self._files
 
-    def challenge(self, file_id: bytes) -> PowChallenge:
-        """Issue a fresh challenge for a dedup claim on ``file_id``."""
-        if file_id not in self._files:
+    def challenge(self, file_id: bytes, tenant_id: str | None = None) -> PowChallenge:
+        """Issue a fresh challenge for a dedup claim on ``file_id``.
+
+        The same "unknown file id" answer covers both never-uploaded
+        files and files another tenant uploaded — existence itself is
+        the side channel tenant scoping closes.
+        """
+        key = self._key(file_id, tenant_id)
+        if key not in self._files:
             raise NotFoundError("unknown file id; upload normally")
-        _, leaves = self._files[file_id]
+        _, leaves = self._files[key]
         indices = tuple(
             self._randint(0, leaves - 1) for _ in range(min(self.spot_checks, leaves))
         )
         challenge = PowChallenge(
             file_id=file_id, indices=indices, nonce=self._random_bytes(16)
         )
-        self._pending[challenge.nonce] = challenge
+        self._pending[challenge.nonce] = (challenge, tenant_id)
         return challenge
 
-    def verify(self, response: PowResponse) -> bool:
-        """Check a claimant's response; one-shot per challenge nonce."""
-        challenge = self._pending.pop(response.nonce, None)
-        if challenge is None or challenge.file_id != response.file_id:
+    def verify(self, response: PowResponse, tenant_id: str | None = None) -> bool:
+        """Check a claimant's response; one-shot per challenge nonce.
+
+        Fails for a response presented under a different tenant scope
+        than its challenge was issued for, even if the proofs are valid.
+        """
+        pending = self._pending.pop(response.nonce, None)
+        if pending is None:
+            return False
+        challenge, issued_for = pending
+        if issued_for != tenant_id or challenge.file_id != response.file_id:
             return False
         if len(response.proofs) != len(challenge.indices):
             return False
-        root, _ = self._files[challenge.file_id]
+        root, _ = self._files[self._key(challenge.file_id, tenant_id)]
         return all(
             verify_path(root, block, list(path))
             for block, path in response.proofs

@@ -36,11 +36,15 @@ __all__ = [
     "PREFIX_FILE",
     "PREFIX_SHARE",
     "PREFIX_INTRA",
+    "PREFIX_TENANT",
 ]
 
 PREFIX_FILE = b"f"
 PREFIX_SHARE = b"s"
 PREFIX_INTRA = b"u"
+#: Per-tenant durable usage counters (quota accounting) — packed
+#: :class:`repro.tenants.TenantUsage` records keyed by tenant id.
+PREFIX_TENANT = b"q"
 
 
 class IndexBackend(abc.ABC):
@@ -58,8 +62,24 @@ class IndexBackend(abc.ABC):
     @abc.abstractmethod
     def items(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]: ...
 
+    def sync(self) -> None:  # pragma: no cover - optional
+        """Force every mutation so far to stable storage (default: nothing).
+
+        The crash-only server calls this once per acknowledged batch;
+        volatile backends (tests, simulations) have nothing to do.
+        """
+
+    def compact(self) -> None:  # pragma: no cover - optional
+        """Fold log-structured state down (boot-time recovery hook)."""
+
     def close(self) -> None:  # pragma: no cover - optional
         """Release resources (default: nothing)."""
+
+    def __enter__(self) -> "IndexBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class DictIndex(IndexBackend):
@@ -114,6 +134,18 @@ class LSMIndex(IndexBackend):
             yield from self._db.items()
             return
         yield from self._db.items(lower=prefix, upper=prefix_upper_bound(prefix))
+
+    def sync(self) -> None:
+        # One WAL fsync covers every put/delete since the last sync —
+        # the group-commit half of the never-ack-before-durable rule.
+        self._db.sync()
+
+    def compact(self) -> None:
+        # Boot-time recovery folds the replayed WAL + accumulated
+        # SSTables into one table, so repeated crash/restart cycles
+        # cannot pile up log-structured debris.
+        self._db.flush()
+        self._db.compact()
 
     def close(self) -> None:
         self._db.close()

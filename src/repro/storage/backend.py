@@ -104,6 +104,16 @@ class StorageBackend(abc.ABC):
     def object_size(self, key: str) -> int:
         """Size in bytes of one stored object."""
 
+    def reap_temporaries(self) -> list[str]:
+        """Remove half-written temporaries left by a crash; return them.
+
+        Crash-only startup calls this before anything else: a temp file
+        is by definition unpublished (its rename never happened), so no
+        acked data can live there.  Backends without a temp-write
+        staging area have nothing to reap.
+        """
+        return []
+
 
 class MemoryBackend(StorageBackend):
     """Dict-backed object store with corruption injection for tests."""
@@ -175,6 +185,26 @@ class LocalDirBackend(StorageBackend):
             handle.flush()
             os.fsync(handle.fileno())
         tmp.replace(self._path(key))
+        # The rename itself lives in the directory entry; fsync it so a
+        # power cut cannot forget the publish after the ack went out.
+        self._sync_dir()
+
+    def _sync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def reap_temporaries(self) -> list[str]:
+        reaped = []
+        for path in self.root.iterdir():
+            if path.is_file() and path.suffix == ".tmp":
+                path.unlink()
+                reaped.append(path.name)
+        if reaped:
+            self._sync_dir()
+        return sorted(reaped)
 
     def _get(self, key: str) -> bytes:
         path = self._path(key)

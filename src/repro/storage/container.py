@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.errors import NotFoundError, ParameterError, StorageError
 from repro.lsm.cache import LRUCache
 from repro.storage.backend import StorageBackend
+from repro.storage.journal import ContainerJournal
 
 __all__ = ["CONTAINER_CAP", "Container", "ContainerManager", "ContainerRef"]
 
@@ -190,10 +191,30 @@ class ContainerManager:
         The cloud's object store.
     cache_bytes:
         Capacity of the LRU container cache (default 32 MB).
+    journal:
+        Optional :class:`~repro.storage.journal.ContainerJournal`.  When
+        present the manager runs in **crash-only** mode: every append is
+        journaled before it is buffered, :meth:`commit` makes a batch of
+        appends durable (the server calls it before each wire ack), and
+        construction replays the journal — republishing every journaled
+        container under its original id, so acked ``ContainerRef``\\ s
+        stay valid across kill -9.
+    on_seal:
+        Optional callback ``(user_id, container_id, payload_bytes)``
+        invoked whenever a user's container is sealed (accounting hook;
+        solo oversized recipes report the owning user too).
     """
 
-    def __init__(self, backend: StorageBackend, cache_bytes: int = 32 << 20) -> None:
+    def __init__(
+        self,
+        backend: StorageBackend,
+        cache_bytes: int = 32 << 20,
+        journal: ContainerJournal | None = None,
+        on_seal=None,
+    ) -> None:
         self.backend = backend
+        self.journal = journal
+        self.on_seal = on_seal
         self._cache = LRUCache(cache_bytes, size_of=len)
         # Offset tables for ranged entry reads: container id -> start
         # offsets + entry-region end.  A table is ~4 bytes per entry, so
@@ -204,6 +225,12 @@ class ContainerManager:
         self._buffer_ids: dict[tuple[str, int], str] = {}
         self._next_id = 0
         self._restore_next_id()
+        # Replay *before* the first append: journaled ids must be
+        # republished (and counted) before _new_container_id could
+        # re-allocate one of them.
+        self.recovered_containers: list[str] = (
+            self._recover() if journal is not None else []
+        )
 
     def _restore_next_id(self) -> None:
         keys = self.backend.list_keys("container-")
@@ -235,7 +262,9 @@ class ContainerManager:
         if kind == KIND_RECIPE and len(payload) >= CONTAINER_CAP:
             solo = Container(kind)
             solo.add(key, payload)
-            cid = self._seal(solo)
+            # Sealed (published durably) right here, so the solo path
+            # needs no journal record to survive a crash.
+            cid = self._seal(solo, user_id=user_id)
             return ContainerRef(container_id=cid, entry_index=0)
         buf_key = (user_id, kind)
         container = self._buffers.get(buf_key)
@@ -247,25 +276,97 @@ class ContainerManager:
         ref = ContainerRef(
             container_id=self._buffer_ids[buf_key], entry_index=entry
         )
+        if self.journal is not None:
+            self.journal.record(
+                ref.container_id, ref.entry_index, kind, user_id, key, payload
+            )
         if container.full:
-            self._seal(container, self._buffer_ids[buf_key])
+            self._seal(container, self._buffer_ids[buf_key], user_id=user_id)
             del self._buffers[buf_key]
             del self._buffer_ids[buf_key]
+            if not self._buffers and self.journal is not None:
+                # Every journaled entry now lives in a published
+                # container; start the journal over instead of letting
+                # it shadow-copy the whole session.
+                self.journal.reset()
         return ref
 
-    def _seal(self, container: Container, cid: str | None = None) -> str:
+    def commit(self) -> None:
+        """Make every append so far crash-durable (one fsync, batched).
+
+        The serving layer calls this once per upload batch *before* the
+        wire ack — the crash-only contract that an acked share is never
+        RAM-only.  A no-op without a journal (in-process systems keep
+        their original buffer-until-flush behaviour).
+        """
+        if self.journal is not None:
+            self.journal.commit()
+
+    def _seal(
+        self, container: Container, cid: str | None = None, user_id: str | None = None
+    ) -> str:
         cid = cid or self._new_container_id()
         blob = container.serialize()
         self.backend.put_object(cid, blob)
         self._cache.put(cid, blob)
+        if self.on_seal is not None and user_id is not None:
+            self.on_seal(user_id, cid, container.payload_bytes)
         return cid
 
     def flush(self) -> None:
         """Seal and write every open buffer (end of an upload session)."""
         for buf_key, container in list(self._buffers.items()):
-            self._seal(container, self._buffer_ids[buf_key])
+            self._seal(container, self._buffer_ids[buf_key], user_id=buf_key[0])
             del self._buffers[buf_key]
             del self._buffer_ids[buf_key]
+        if self.journal is not None:
+            # All journaled entries are now inside published containers.
+            self.journal.reset()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> list[str]:
+        """Republish every journaled container missing from the backend.
+
+        Runs at construction (crash-only: every startup is recovery).
+        Entries are regrouped by container id and written at their
+        journaled indices, so every ``ContainerRef`` handed out before
+        the crash resolves to identical bytes.  Containers that already
+        exist were sealed before the crash and are skipped.  Ends with a
+        journal reset: recovery leaves no half-state behind.
+        """
+        assert self.journal is not None
+        pending: dict[str, dict[int, tuple[int, str, bytes, bytes]]] = {}
+        for rec in self.journal.replay():
+            pending.setdefault(rec.container_id, {})[rec.entry_index] = (
+                rec.kind,
+                rec.user_id,
+                rec.key,
+                rec.payload,
+            )
+        republished: list[str] = []
+        for cid in sorted(pending):
+            try:
+                self._next_id = max(self._next_id, int(cid.split("-")[1]) + 1)
+            except (IndexError, ValueError):
+                pass
+            if self.backend.exists(cid):
+                continue  # sealed before the crash
+            entries = pending[cid]
+            container = Container(next(iter(entries.values()))[0])
+            for index in range(len(entries)):
+                if index not in entries:
+                    raise StorageError(
+                        f"journal for {cid} is missing entry {index}; "
+                        "cannot reconstruct acked references"
+                    )
+                kind, user_id, key, payload = entries[index]
+                container.add(key, payload)
+            self._seal(container, cid, user_id=entries[0][1])
+            republished.append(cid)
+        self.journal.reset()
+        return republished
 
     # ------------------------------------------------------------------
     # reading

@@ -1,0 +1,176 @@
+"""Redo journal for in-flight (unsealed) container entries.
+
+The durability hole in the original design: :class:`~repro.storage.
+container.ContainerManager` packs shares into 4 MB write buffers and only
+publishes a container when a buffer fills or ``flush()`` runs — so a
+share the server already acknowledged could sit purely in RAM.  Crash-only
+operation forbids that: **nothing is acked before it is durable**.
+
+Rather than seal a container per ack (which would destroy the 4 MB
+packing the paper's container design exists for), every ``append`` is
+first written to this journal and the server group-commits (one
+``flush`` + ``fsync``) per upload batch before the wire ack goes out.
+On boot, replay reconstructs every journaled entry — with the *same*
+``(container_id, entry_index)`` the acks promised — and publishes the
+containers immediately.  A torn tail record (the normal crash signature)
+fails its CRC and is dropped, exactly like the LSM write-ahead log.
+
+Record format (big-endian), one record per appended entry::
+
+    u32 crc32 | u32 length | payload
+    payload := u32 cid_len | cid | u32 entry_index | u8 kind
+             | u32 user_len | user | u32 key_len | key | data
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+
+__all__ = ["ContainerJournal", "JournalEntry"]
+
+_HEADER = struct.Struct(">II")
+_U32 = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One replayed append: everything needed to rebuild the entry."""
+
+    container_id: str
+    entry_index: int
+    kind: int
+    user_id: str
+    key: bytes
+    payload: bytes
+
+
+class ContainerJournal:
+    """Append-only, CRC-framed redo log with explicit group commit."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Long-lived handle owned by the journal, closed in close().
+        self._fh = open(self.path, "ab")  # noqa: SIM115
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        container_id: str,
+        entry_index: int,
+        kind: int,
+        user_id: str,
+        key: bytes,
+        payload: bytes,
+    ) -> None:
+        """Buffer one append record; durable only after :meth:`commit`."""
+        if self._fh.closed:
+            raise StorageError("container journal is closed")
+        cid = container_id.encode("utf-8")
+        user = user_id.encode("utf-8")
+        body = b"".join(
+            [
+                _U32.pack(len(cid)),
+                cid,
+                _U32.pack(entry_index),
+                struct.pack(">B", kind),
+                _U32.pack(len(user)),
+                user,
+                _U32.pack(len(key)),
+                key,
+                payload,
+            ]
+        )
+        self._fh.write(_HEADER.pack(zlib.crc32(body), len(body)) + body)
+        self._dirty = True
+
+    def commit(self) -> None:
+        """Group commit: every record so far becomes crash-durable."""
+        if self._fh.closed:
+            raise StorageError("container journal is closed")
+        if not self._dirty:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[JournalEntry]:
+        """Yield every intact record; stop silently at a torn tail."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as fh:
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return
+                crc, length = _HEADER.unpack(header)
+                body = fh.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    return  # torn tail: the crash interrupted this record
+                try:
+                    yield self._parse(body)
+                except (struct.error, UnicodeDecodeError, IndexError):
+                    return  # framed but malformed: treat as tail corruption
+
+    @staticmethod
+    def _parse(body: bytes) -> JournalEntry:
+        pos = 0
+
+        def take(n: int) -> bytes:
+            nonlocal pos
+            if pos + n > len(body):
+                raise IndexError("journal record truncated")
+            out = body[pos : pos + n]
+            pos += n
+            return out
+
+        cid = take(_U32.unpack(take(4))[0]).decode("utf-8")
+        entry_index = _U32.unpack(take(4))[0]
+        kind = take(1)[0]
+        user = take(_U32.unpack(take(4))[0]).decode("utf-8")
+        key = take(_U32.unpack(take(4))[0])
+        payload = body[pos:]
+        return JournalEntry(
+            container_id=cid,
+            entry_index=entry_index,
+            kind=kind,
+            user_id=user,
+            key=key,
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Truncate (every journaled container has been published)."""
+        self._fh.close()
+        self._fh = open(self.path, "wb")  # noqa: SIM115 -- long-lived, closed in close()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._dirty = False
+
+    @property
+    def size(self) -> int:
+        """Current on-disk journal size (0 after a reset)."""
+        if self._fh.closed:
+            return self.path.stat().st_size if self.path.exists() else 0
+        self._fh.flush()
+        return self.path.stat().st_size
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ContainerJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -20,12 +20,14 @@ from repro.chunking.registry import ChunkerSpec
 from repro.cloud.network import Link, SimClock
 from repro.cloud.provider import CloudProvider
 from repro.client.client import CDStoreClient
+from repro.config import ReproConfig
 from repro.crypto.hashing import fingerprint
 from repro.dedup.stats import DedupStats
 from repro.errors import InsufficientCloudsError, ParameterError
 from repro.server.index import LSMIndex
 from repro.server.messages import ShareMeta, ShareUpload
 from repro.server.server import CDStoreServer
+from repro.tenants import Credentials
 
 __all__ = ["CDStoreSystem"]
 
@@ -81,6 +83,11 @@ class CDStoreSystem:
         adds its own span (per-cloud makespan when the client is
         parallel); overlapping operations from different clients
         accumulate additively, i.e. total transfer work.
+    credentials:
+        Optional :class:`~repro.tenants.Credentials` handed to every
+        remote proxy this system builds, so multi-tenant ``repro serve``
+        deployments authenticate transparently.  Never persisted in the
+        deployment config.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class CDStoreSystem:
         workers: str = "thread",
         pipeline_depth: int | str = 1,
         clock: SimClock | None = None,
+        credentials: Credentials | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
             raise ParameterError(f"got {len(clouds)} clouds for n={n}")
@@ -122,6 +130,8 @@ class CDStoreSystem:
             )
             for i in range(n)
         ]
+        self.credentials = credentials
+        self._closed = False
         self.clouds = []
         self.servers: list = []
         #: Cloud indices served over the wire (``tcp://`` specs).
@@ -130,7 +140,9 @@ class CDStoreSystem:
             if isinstance(spec, str):
                 from repro.net.client import RemoteServerProxy
 
-                proxy = RemoteServerProxy(spec, server_id=i)
+                proxy = RemoteServerProxy(
+                    spec, server_id=i, credentials=credentials
+                )
                 self.remote_indices.add(i)
                 self.clouds.append(proxy.cloud)
                 self.servers.append(proxy)
@@ -143,6 +155,64 @@ class CDStoreSystem:
             self.clouds.append(spec)
             self.servers.append(CDStoreServer(server_id=i, cloud=spec, index=index))
         self._clients: dict[str, CDStoreClient] = {}
+
+    # ------------------------------------------------------------------
+    # construction from a typed config
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: ReproConfig,
+        root: str | Path | None = None,
+        credentials: Credentials | None = None,
+        clock: SimClock | None = None,
+        key_server=None,
+    ) -> "CDStoreSystem":
+        """Build a system from a validated :class:`~repro.config.ReproConfig`.
+
+        ``root`` is the deployment directory: local cloud specs get a
+        :class:`~repro.storage.backend.LocalDirBackend` under
+        ``root/cloud-<i>`` and servers get durable LSM indices under
+        ``root/indices`` (omit it for fully in-memory systems — tests,
+        simulations).  Remote specs become authenticated proxies when
+        ``credentials`` is given.  This replaces the old pattern of
+        re-deriving constructor kwargs from a loose config dict at every
+        call site.
+        """
+        from repro.storage.backend import LocalDirBackend
+
+        root = Path(root) if root is not None else None
+        clouds: list = []
+        for i, spec in enumerate(config.cloud_specs):
+            if spec.is_remote:
+                clouds.append(str(spec))
+                continue
+            backend = (
+                LocalDirBackend(root / f"cloud-{i}") if root is not None else None
+            )
+            clouds.append(
+                CloudProvider(
+                    name=f"cloud-{i}",
+                    uplink=Link(100.0),
+                    downlink=Link(100.0),
+                    backend=backend,
+                )
+            )
+        return cls(
+            n=config.n,
+            k=config.k,
+            salt=config.salt_bytes,
+            clouds=clouds,
+            index_root=root / "indices" if root is not None else None,
+            scheme=config.scheme,
+            key_server=key_server,
+            chunker=config.chunker,
+            threads=config.threads,
+            workers=config.workers,
+            pipeline_depth=config.pipeline_depth,
+            clock=clock,
+            credentials=credentials,
+        )
 
     # ------------------------------------------------------------------
     # clients
@@ -448,8 +518,22 @@ class CDStoreSystem:
             server.flush()
 
     def close(self) -> None:
-        """Shut down client comm engines, server resources and proxies."""
+        """Shut down client comm engines, server resources and proxies.
+
+        Idempotent: the crash-only lifecycle rule is that anyone may
+        call ``close()`` on the way down without coordinating over who
+        already did.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for client in self._clients.values():
             client.close()
         for server in self.servers:
             server.close()
+
+    def __enter__(self) -> "CDStoreSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,23 @@
+"""WIRE-005 fixture: METHOD_FRAMES drifted from the Protocol surface.
+
+Parsed (never imported) by tests/test_analysis_checkers.py; the
+``../server/protocol.py`` module declares the API surface this map is
+cross-checked against.  No sibling server.py/client.py exist, so the
+WIRE-001/002 surfaces are (deliberately) skipped.
+"""
+
+T_PING = 0x01
+T_UPLOAD = 0x02
+T_UNMAPPED = 0x03  # TRUE-POSITIVE: neither control machinery nor mapped
+
+METHOD_FRAMES: dict[str, int] = {
+    "upload": T_UPLOAD,
+    "ghost_method": T_UPLOAD,  # TRUE-POSITIVE: the Protocol never declares it
+    # Operators poke this method over a debug socket only; the Protocol
+    # deliberately does not surface it to clients.
+    "debug_probe": T_UPLOAD,  # analysis: ignore[WIRE-005] -- fixture: justified out-of-Protocol mapping
+}
+
+CONTROL_FRAMES: frozenset[int] = frozenset({T_PING})
+
+LOCAL_ONLY_METHODS: frozenset[str] = frozenset({"close"})

@@ -1,0 +1,11 @@
+"""WIRE-005 fixture: the declared API surface ../net/wire.py drifts from."""
+
+from typing import Protocol
+
+
+class FixtureServerAPI(Protocol):
+    def upload(self, data: bytes) -> None: ...
+
+    def unmapped_method(self) -> None: ...  # TRUE-POSITIVE: no METHOD_FRAMES mapping
+
+    def close(self) -> None: ...  # in LOCAL_ONLY_METHODS: exempt

@@ -114,6 +114,34 @@ def test_wire_checker_cross_checks_every_surface():
 
 
 # ---------------------------------------------------------------------------
+# WIRE-005
+
+
+def test_protocol_surface_drift_fires_in_both_directions():
+    wire = FIXTURES / "protocol_surface" / "net" / "wire.py"
+    protocol = FIXTURES / "protocol_surface" / "server" / "protocol.py"
+    findings = findings_for("protocol_surface")
+    assert rules(findings) == {"WIRE-005"}
+    by_line = {(Path(f.path).name, f.line): f for f in findings}
+
+    unmapped_frame = by_line[("wire.py", line_of(wire, "T_UNMAPPED"))]
+    assert "T_UNMAPPED" in unmapped_frame.message
+    assert "CONTROL_FRAMES" in unmapped_frame.message
+
+    ghost = by_line[("wire.py", line_of(wire, "ghost_method"))]
+    assert "'ghost_method'" in ghost.message
+    assert "FixtureServerAPI" in ghost.message
+
+    undeclared = by_line[("protocol.py", line_of(protocol, "unmapped_method"))]
+    assert "unmapped_method" in undeclared.message
+    assert "LOCAL_ONLY_METHODS" in undeclared.message
+
+    # close (local-only), upload (mapped) and the suppressed debug_probe
+    # mapping stay silent.
+    assert len(findings) == 3
+
+
+# ---------------------------------------------------------------------------
 # PICKLE-001
 
 

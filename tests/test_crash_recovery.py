@@ -1,0 +1,327 @@
+"""Crash-only serving: boot-time recovery, and the kill -9 e2e.
+
+The contract under test (README "Crash recovery"): nothing is acked on
+the wire before the shares *and* the index mutations behind it are on
+stable storage, kill -9 is the only shutdown, and every startup is a
+recovery pass — reap temporaries, replay the container journal, drop
+index entries whose containers never became durable.
+
+The end-to-end test runs all four clouds of a real deployment in a
+child process (`build_cloud_server`, the same path `repro serve` uses),
+SIGKILLs it mid-backup, restarts the clouds in-process and proves that
+everything acked before the kill restores byte-identically — and that a
+second tenant's data is untouched and unreadable with the first
+tenant's credentials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_cloud_server, main
+from repro.config import ReproConfig
+from repro.crypto.hashing import fingerprint
+from repro.errors import AuthError, NotFoundError
+from repro.net.client import RemoteServerProxy
+from repro.server.index import (
+    PREFIX_FILE,
+    PREFIX_INTRA,
+    PREFIX_SHARE,
+    FileEntry,
+    ShareEntry,
+)
+from repro.server.messages import FileManifest, ShareMeta, ShareUpload
+from repro.storage.container import ContainerRef
+from repro.system.cdstore import CDStoreSystem
+from repro.tenants import (
+    ROLE_ADMIN,
+    Credentials,
+    TenantRecord,
+    TenantRegistry,
+)
+
+REPO_SRC = Path(__file__).parent.parent / "src"
+
+SECRETS = {"alice": b"alice-secret", "bob": b"bob-secret", "ops": b"ops-secret"}
+
+
+def init_deployment(root: Path, n: int = 2, k: int = 1) -> Path:
+    assert main(["init", "--root", str(root), "--n", str(n), "--k", str(k),
+                 "--salt", "e2e"]) == 0
+    return root
+
+
+def make_upload(data: bytes) -> ShareUpload:
+    meta = ShareMeta(
+        fingerprint=hashlib.sha256(b"client:" + data).digest(),
+        share_size=len(data),
+        secret_seq=0,
+        secret_size=len(data),
+    )
+    return ShareUpload(meta=meta, data=data)
+
+
+# ---------------------------------------------------------------------------
+# boot-time recovery, unit level
+# ---------------------------------------------------------------------------
+
+
+class TestBootRecovery:
+    def test_first_boot_is_a_clean_recovery(self, tmp_path):
+        root = init_deployment(tmp_path / "srv")
+        tcp = build_cloud_server(root, 0)
+        try:
+            report = tcp.server.last_recovery
+            assert report is not None and report.clean
+        finally:
+            tcp.server.close()
+
+    def test_acked_state_survives_reopen_without_close(self, tmp_path):
+        """An upload+finalize whose calls returned (= were acked) is
+        readable after reopening the store with no graceful shutdown —
+        durability came from the per-batch group commit, not close()."""
+        root = init_deployment(tmp_path / "srv")
+        data = os.urandom(5000)
+        upload = make_upload(data)
+        server = build_cloud_server(root, 0).server
+        server.upload_shares("u", [upload])
+        server.finalize_file(
+            "u",
+            FileManifest(b"name", b"", len(data), 1),
+            [upload.meta],
+        )
+        # No flush(), no graceful anything: just drop the handles the way
+        # a dead process would (the journal + WAL are already fsynced).
+        server.close()
+
+        reopened = build_cloud_server(root, 0).server
+        try:
+            report = reopened.last_recovery
+            assert report is not None
+            assert report.dangling_share_entries == 0
+            assert report.dangling_file_entries == 0
+            fp = fingerprint(data, domain="server")
+            assert reopened.fetch_shares([fp]) == {fp: data}
+            assert reopened.get_file_entry("u", b"name").file_size == len(data)
+        finally:
+            reopened.close()
+
+    def test_dangling_index_entries_are_dropped(self, tmp_path):
+        """Index entries pointing at containers that never became durable
+        (unacked leftovers) are reaped on boot, in every index family."""
+        root = init_deployment(tmp_path / "srv")
+        server = build_cloud_server(root, 0).server
+        gone = ContainerRef(container_id="zz-never-durable", entry_index=0)
+        with server._lock:
+            server.index.put(
+                PREFIX_SHARE + b"\x07" * 32,
+                ShareEntry(ref=gone, share_size=10).pack(),
+            )
+            server.index.put(
+                PREFIX_FILE + b"u\x00lost",
+                FileEntry(gone, b"", 10, 1).pack(),
+            )
+            # Intra mapping whose share entry does not exist.
+            server.index.put(PREFIX_INTRA + b"u\x00" + b"\x08" * 32, b"\x07" * 32)
+            server.index.sync()
+        server.close()
+
+        reopened = build_cloud_server(root, 0).server
+        try:
+            report = reopened.last_recovery
+            assert report is not None
+            assert report.dangling_share_entries == 1
+            assert report.dangling_file_entries == 1
+            assert report.dangling_intra_mappings == 1
+            assert reopened.index.get(PREFIX_SHARE + b"\x07" * 32) is None
+            with pytest.raises(NotFoundError):
+                reopened.get_file_entry("u", b"lost")
+        finally:
+            reopened.close()
+
+    def test_half_written_temporaries_are_reaped(self, tmp_path):
+        root = init_deployment(tmp_path / "srv")
+        junk = root / "cloud-0" / "half-written.tmp"
+        junk.write_bytes(b"torn")
+        server = build_cloud_server(root, 0).server
+        try:
+            report = server.last_recovery
+            assert report is not None
+            assert report.reaped_temporaries == ["half-written.tmp"]
+            assert not junk.exists()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# the kill -9 end-to-end
+# ---------------------------------------------------------------------------
+
+_SERVE_ALL = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.cli import build_cloud_server
+
+tcps = [build_cloud_server({root!r}, i).start() for i in range(4)]
+for i, tcp in enumerate(tcps):
+    print("PORT", i, tcp.address[1], flush=True)
+while True:
+    time.sleep(1)
+"""
+
+
+def _spawn_clouds(script: Path, root: Path) -> tuple[subprocess.Popen, list[str]]:
+    script.write_text(_SERVE_ALL.format(src=str(REPO_SRC), root=str(root)))
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    specs = []
+    for _ in range(4):
+        line = proc.stdout.readline()
+        if not line.startswith("PORT"):
+            proc.kill()
+            raise AssertionError(
+                f"serving child failed to come up: {line!r}\n{proc.stderr.read()}"
+            )
+        _tag, _i, port = line.split()
+        specs.append(f"tcp://127.0.0.1:{port}")
+    return proc, specs
+
+
+class TestKillNineEndToEnd:
+    def test_kill9_mid_backup_loses_nothing_acked(self, tmp_path, monkeypatch):
+        import repro.client.comm as comm
+
+        root = init_deployment(tmp_path / "srv", n=4, k=3)
+        TenantRegistry(
+            [
+                TenantRecord("alice", SECRETS["alice"]),
+                TenantRecord("bob", SECRETS["bob"]),
+                TenantRecord("ops", SECRETS["ops"], role=ROLE_ADMIN),
+            ]
+        ).to_file(root / "tenants.json")
+
+        proc, specs = _spawn_clouds(tmp_path / "serve_all.py", root)
+        config = ReproConfig(
+            n=4, k=3, salt="e2e", chunker="fixed", cloud_specs=specs
+        )
+
+        def system_for(tenant: str, cfg: ReproConfig = config) -> CDStoreSystem:
+            return CDStoreSystem.from_config(
+                cfg, credentials=Credentials(tenant, SECRETS[tenant])
+            )
+
+        bob_data = os.urandom(200_000)
+        alice_data = os.urandom(300_000)
+        big_data = os.urandom(4_000_000)
+        failures: list[BaseException] = []
+        try:
+            # Phase 1: two tenants back up and get their acks.
+            with system_for("bob") as system:
+                client = system.client("bob")
+                client.upload("/bob-file", bob_data)
+                client.flush()
+
+            alice_system = system_for("alice")
+            alice = alice_system.client("alice")
+            alice.upload("/acked", alice_data)
+            alice.flush()
+
+            # Phase 2: a big backup is under way — kill -9 the serving
+            # process right after its first acked upload batch.
+            monkeypatch.setattr(comm, "UPLOAD_BATCH_BYTES", 32 * 1024)
+            first_ack = threading.Event()
+            orig_upload = RemoteServerProxy.upload_shares
+
+            def spying_upload(self, user_id, uploads):
+                result = orig_upload(self, user_id, uploads)
+                first_ack.set()
+                return result
+
+            monkeypatch.setattr(RemoteServerProxy, "upload_shares", spying_upload)
+
+            def doomed_backup():
+                try:
+                    alice.upload("/big", big_data)
+                    alice.flush()
+                except BaseException as exc:  # noqa: BLE001 - recorded, asserted on
+                    failures.append(exc)
+
+            backup_thread = threading.Thread(target=doomed_backup, daemon=True)
+            backup_thread.start()
+            assert first_ack.wait(60), "no upload batch was ever acked"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            backup_thread.join(timeout=120)
+            assert not backup_thread.is_alive()
+            assert failures, "the kill must land mid-backup, not after it"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            try:
+                alice_system.close()
+            except BaseException:  # noqa: BLE001 - sockets died with the child
+                pass
+
+        # Phase 3: restart every cloud (construction is recovery) and
+        # verify the crash-only contract.
+        tcps = [build_cloud_server(root, i).start() for i in range(4)]
+        try:
+            for tcp in tcps:
+                assert tcp.server.last_recovery is not None
+                # An immediate second pass finds nothing left to repair.
+                second = tcp.server.recover()
+                assert second.dangling_share_entries == 0
+                assert second.dangling_file_entries == 0
+                assert second.dangling_intra_mappings == 0
+                assert second.reaped_temporaries == []
+                # No corruption among the survivors, no torn temp files.
+                assert tcp.server.scrub() == []
+            assert list(root.rglob("*.tmp")) == []
+
+            new_specs = [
+                f"tcp://{tcp.address[0]}:{tcp.address[1]}" for tcp in tcps
+            ]
+            recovered = config.with_overrides(cloud_specs=new_specs)
+
+            # Everything acked restores byte-identically.
+            with system_for("alice", recovered) as system:
+                client = system.client("alice")
+                assert client.download("/acked") == alice_data
+                # The interrupted file was never finalized: it simply
+                # does not exist — no partial ghost.
+                with pytest.raises(NotFoundError):
+                    client.download("/big")
+
+            # The second tenant's data is untouched...
+            with system_for("bob", recovered) as system:
+                assert system.client("bob").download("/bob-file") == bob_data
+
+            # ...and unreadable with the first tenant's credentials.
+            host, port = tcps[0].address
+            with RemoteServerProxy(
+                f"tcp://{host}:{port}",
+                credentials=Credentials("alice", SECRETS["alice"]),
+            ) as proxy:
+                with pytest.raises(AuthError):
+                    proxy.list_files("bob")
+
+            # Durable per-tenant accounting survived the crash too.
+            assert tcps[0].server.tenant_usage("alice").bytes_stored > 0
+            assert tcps[0].server.tenant_usage("bob").bytes_stored > 0
+        finally:
+            for tcp in tcps:
+                tcp.shutdown()
+                tcp.server.close()
