@@ -1,16 +1,19 @@
-"""WIRE-001..005: every wire frame type is handled everywhere, once.
+"""WIRE-001..006: every wire frame type is handled everywhere, once.
 
 A project-level checker: it needs ``net/wire.py`` (the constant
-registry), ``net/server.py`` (dispatch), ``net/client.py`` (proxy),
-``server/protocol.py`` (the declared API surface) and the repository
-README (human-facing frame table) in one view.  For each ``wire.py`` in
-the analysed set it locates the sibling server/client modules in the
-same directory, the nearest ``README.md`` walking up from the wire
-module on disk, and any analysed ``protocol.py`` declaring a
-``typing.Protocol`` class.
+registry), the server-side dispatch modules (``net/server.py``,
+``net/dispatch.py``, ``net/async_server.py``), ``net/client.py``
+(proxy), ``server/protocol.py`` (the declared API surface), the
+repository README (human-facing frame table) and ``docs/PROTOCOL.md``
+(the normative wire spec) in one view.  For each ``wire.py`` in the
+analysed set it locates the sibling server/client modules in the same
+directory, the nearest ``README.md`` and ``PROTOCOL.md`` walking up
+from the wire module on disk, and any analysed ``protocol.py``
+declaring a ``typing.Protocol`` class.
 
-* WIRE-001 — a ``T_*``/``R_*`` constant never referenced in the server
-  module: the dispatch (or its response encoding) cannot cover it.
+* WIRE-001 — a ``T_*``/``R_*`` constant never referenced in any of the
+  server-side modules (front-ends + shared dispatcher): the dispatch
+  (or its response encoding) cannot cover it.
 * WIRE-002 — a constant never referenced in the client module: the proxy
   can neither send nor expect it.
 * WIRE-003 — a constant whose short name (``T_FETCH_SHARES`` →
@@ -24,6 +27,13 @@ module on disk, and any analysed ``protocol.py`` declaring a
   (``CONTROL_FRAMES``) nor mapped to any method.  Only runs when the
   wire module actually declares ``METHOD_FRAMES``, so single-surface
   fixtures stay exercisable.
+* WIRE-006 — the normative spec (``PROTOCOL.md`` / ``docs/PROTOCOL.md``,
+  found walking up from the wire module) has drifted from the code: a
+  frame constant with no spec line carrying both its name and its byte
+  value, an error class (``wire_code`` in any analysed ``errors.py``)
+  missing from the spec's error-code registry, or — when the wire module
+  declares ``METHOD_FRAMES``, i.e. is the real registry rather than a
+  single-surface fixture — no spec document at all.
 
 References are whole-word textual matches, which is exactly the right
 strength here: ``wire.T_PING`` and ``T_PING`` both count, a constant
@@ -71,6 +81,19 @@ def _nearest_readme(wire_path: Path) -> Path | None:
         candidate = parent / "README.md"
         if candidate.is_file():
             return candidate
+    return None
+
+
+def _nearest_protocol_doc(wire_path: Path) -> Path | None:
+    """``PROTOCOL.md`` (or ``docs/PROTOCOL.md``) walking up from the wire
+    module, stopping at the README root so fixture trees never borrow the
+    enclosing repository's spec."""
+    for parent in wire_path.resolve().parents:
+        for candidate in (parent / "PROTOCOL.md", parent / "docs" / "PROTOCOL.md"):
+            if candidate.is_file():
+                return candidate
+        if (parent / "README.md").is_file():
+            return None
     return None
 
 
@@ -222,6 +245,95 @@ def _check_protocol_surface(project: Project, wire: FileContext) -> list[Finding
     return findings
 
 
+def _class_wire_codes(ctx: FileContext) -> list[tuple[str, int, int]]:
+    """``(class name, wire_code, lineno)`` for every class declaring one.
+
+    The lineno anchors on the ``wire_code = N`` assignment so a justified
+    suppression can sit on the exact drifting line.
+    """
+    out: list[tuple[str, int, int]] = []
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        for node in stmt.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "wire_code"
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                out.append((stmt.name, node.value.value, node.lineno))
+    return out
+
+
+def _check_protocol_doc(project: Project, wire: FileContext) -> list[Finding]:
+    """WIRE-006: the normative PROTOCOL.md spec covers the whole surface."""
+    if _method_frames(wire) is None:
+        # Not the canonical registry (a single-surface fixture): no doc
+        # contract to enforce.
+        return []
+    doc = _nearest_protocol_doc(wire.path)
+    if doc is None:
+        return [
+            wire.finding(
+                1,
+                "WIRE-006",
+                "this wire module declares METHOD_FRAMES but no "
+                "PROTOCOL.md / docs/PROTOCOL.md exists between it and the "
+                "README root — the wire protocol has no normative spec to "
+                "drift-check against",
+            )
+        ]
+    doc_lines = doc.read_text().splitlines()
+
+    def documented(name: str, value: int | str) -> bool:
+        # A spec line must carry the symbol *and* its value together:
+        # matching them independently would accept a table that re-pairs
+        # names with the wrong bytes.
+        values = (
+            (f"0x{value:02X}", f"0x{value:02x}")
+            if isinstance(value, int)
+            else (str(value),)
+        )
+        return any(
+            _word_present(name, line)
+            and any(_word_present(v, line) for v in values)
+            for line in doc_lines
+        )
+
+    findings: list[Finding] = []
+    for name, value, lineno in _frame_constants(wire):
+        if not documented(name, value):
+            findings.append(
+                wire.finding(
+                    lineno,
+                    "WIRE-006",
+                    f"frame {name} (0x{value:02X}) has no line in "
+                    f"{doc.name} carrying both its name and byte value — "
+                    f"the spec must enumerate every frame",
+                )
+            )
+    # Error-code registry: every wire_code-bearing class in any analysed
+    # errors.py must appear in the spec next to its code.  When no
+    # errors.py is in the analysed set (e.g. a scoped run over net/ only)
+    # this cross-check simply has nothing to say.
+    for ctx in project.find("/errors.py"):
+        for cls_name, code, lineno in _class_wire_codes(ctx):
+            if not documented(cls_name, f"{code}"):
+                findings.append(
+                    ctx.finding(
+                        lineno,
+                        "WIRE-006",
+                        f"error class {cls_name} (wire code {code}) is "
+                        f"missing from {doc.name}'s error-code registry",
+                    )
+                )
+    return findings
+
+
 def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
     constants = _frame_constants(wire)
     if not constants:
@@ -249,21 +361,33 @@ def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
         for ctx in project.files
         if str(Path(ctx.display_path).parent) == wire_dir
     }
-    surfaces = [
-        ("WIRE-001", siblings.get("server.py"), "server dispatch"),
-        ("WIRE-002", siblings.get("client.py"), "client proxy"),
+    # The server-side surface spans the shared dispatcher plus both
+    # front-ends; a constant referenced by any of them is covered.
+    server_side = [
+        siblings[name]
+        for name in ("server.py", "dispatch.py", "async_server.py")
+        if name in siblings
     ]
-    for rule, sibling, role in surfaces:
-        if sibling is None:
+    surfaces = [
+        ("WIRE-001", server_side, "server dispatch surface"),
+        (
+            "WIRE-002",
+            [siblings["client.py"]] if "client.py" in siblings else [],
+            "client proxy",
+        ),
+    ]
+    for rule, modules, role in surfaces:
+        if not modules:
             continue
+        paths = ", ".join(ctx.display_path for ctx in modules)
         for name, _value, lineno in constants:
-            if not _word_present(name, sibling.source):
+            if not any(_word_present(name, ctx.source) for ctx in modules):
                 findings.append(
                     wire.finding(
                         lineno,
                         rule,
                         f"frame constant {name} is never referenced by the "
-                        f"{role} ({sibling.display_path}) — the frame cannot "
+                        f"{role} ({paths}) — the frame cannot "
                         f"be handled there",
                     )
                 )
@@ -284,6 +408,7 @@ def _check_one_wire(project: Project, wire: FileContext) -> list[Finding]:
                 )
 
     findings.extend(_check_protocol_surface(project, wire))
+    findings.extend(_check_protocol_doc(project, wire))
     return findings
 
 

@@ -63,8 +63,9 @@ RULE_DOCS: dict[str, str] = {
         "intervening os.fsync barrier (acks non-durable state)"
     ),
     "WIRE-001": (
-        "a frame-type constant in net/wire.py is never referenced by the "
-        "server dispatch in net/server.py"
+        "a frame-type constant in net/wire.py is never referenced by any "
+        "server-side module (net/server.py, net/dispatch.py, "
+        "net/async_server.py)"
     ),
     "WIRE-002": (
         "a frame-type constant in net/wire.py is never referenced by the "
@@ -81,6 +82,11 @@ RULE_DOCS: dict[str, str] = {
         "(and not in LOCAL_ONLY_METHODS), a mapping for an undeclared "
         "method, or a T_* request frame that is neither control machinery "
         "nor mapped to any method"
+    ),
+    "WIRE-006": (
+        "the normative wire spec (docs/PROTOCOL.md) drifted from the "
+        "code: a frame constant or errors.py wire_code with no spec line "
+        "carrying both its name and value, or no spec document at all"
     ),
     "LIFE-001": (
         "a socket/file/shared-memory resource acquired in a function is "

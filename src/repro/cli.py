@@ -279,12 +279,24 @@ def build_cloud_server(
     port: int = 0,
     frame_budget: int | None = None,
     tenants_file: str | Path | None = None,
+    use_async: bool = False,
+    executor_size: int | None = None,
+    max_connections: int | None = None,
+    write_queue_cap: int | None = None,
 ):
     """Build the TCP server for one cloud of a local deployment.
 
     Factored out of :func:`cmd_serve` so tests (and embedders) can start
     and stop the server programmatically; the CLI wraps it in
     ``serve_forever``.
+
+    ``use_async=True`` builds the multiplexed event-loop front-end
+    (:class:`~repro.net.async_server.AsyncCDStoreTCPServer`) instead of
+    the thread-per-connection server: same storage stack, same protocol
+    behaviour, but thousands of connections multiplex onto one loop and
+    a bounded executor (``executor_size`` threads), with per-connection
+    outbound queues capped at ``write_queue_cap`` bytes and admission
+    capped at ``max_connections``.  The remaining knobs only apply there.
 
     The serving process is **crash-only**: the server runs with a
     durable root (container journal + fsynced index commits before every
@@ -294,7 +306,7 @@ def build_cloud_server(
     ``tenants.json`` exists under ``root`` — the connection handshake
     and per-tenant quotas are enforced.
     """
-    from repro.net import CDStoreTCPServer
+    from repro.net import AsyncCDStoreTCPServer, CDStoreTCPServer
     from repro.server.index import LSMIndex
     from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
 
@@ -332,6 +344,24 @@ def build_cloud_server(
         durable_root=durable_root,
         tenants=registry,
     )
+    if use_async:
+        extra = {}
+        if executor_size is not None:
+            extra["executor_size"] = executor_size
+        if max_connections is not None:
+            extra["max_connections"] = max_connections
+        if write_queue_cap is not None:
+            extra["write_queue_cap"] = write_queue_cap
+        return AsyncCDStoreTCPServer(
+            server,
+            host=host,
+            port=port,
+            frame_budget=(
+                frame_budget if frame_budget is not None else FETCH_BATCH_BYTES
+            ),
+            tenants=registry,
+            **extra,
+        )
     return CDStoreTCPServer(
         server,
         host=host,
@@ -349,6 +379,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         frame_budget=args.frame_budget,
         tenants_file=args.tenants,
+        use_async=args.use_async,
+        executor_size=args.executor_size,
+        max_connections=args.max_connections,
+        write_queue_cap=args.write_queue_cap,
     )
     recovery = tcp.server.last_recovery
     if recovery is not None and not recovery.clean:
@@ -360,9 +394,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     tcp.start()
     host, port = tcp.address
     mode = "authenticated" if tcp.tenants is not None else "open"
+    front_end = "async mux" if args.use_async else "thread-per-connection"
     print(f"serving cloud {args.cloud} at tcp://{host}:{port} "
-          f"({mode} mode, frame budget {tcp.frame_budget} bytes; "
-          f"Ctrl-C to stop)")
+          f"({mode} mode, {front_end} front-end, "
+          f"frame budget {tcp.frame_budget} bytes; Ctrl-C to stop)")
     try:
         tcp.serve_forever()
     except KeyboardInterrupt:
@@ -549,6 +584,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant registry JSON enabling authenticated multi-tenant "
              f"mode (defaults to {TENANTS_FILE_NAME} under --root when "
              "present; omit both for open mode)",
+    )
+    p.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="use the multiplexed event-loop front-end: thousands of "
+             "connections share one loop and a bounded worker pool "
+             "instead of one thread per connection",
+    )
+    p.add_argument(
+        "--executor-size", type=_positive_int, default=None,
+        dest="executor_size", metavar="N",
+        help="worker threads executing requests behind the async "
+             "front-end (default 8; only with --async)",
+    )
+    p.add_argument(
+        "--max-connections", type=_positive_int, default=None,
+        dest="max_connections", metavar="N",
+        help="connection cap for the async front-end; excess connects "
+             "are refused with a typed overload error (default 1000; "
+             "only with --async)",
+    )
+    p.add_argument(
+        "--write-queue-cap", type=_positive_int, default=None,
+        dest="write_queue_cap", metavar="BYTES",
+        help="per-connection outbound queue cap; clients that stop "
+             "reading past this backlog are evicted (default 16 MB; "
+             "only with --async)",
     )
     p.set_defaults(func=cmd_serve)
 

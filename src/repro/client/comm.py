@@ -115,6 +115,12 @@ __all__ = [
 #: buffer and upload the buffer when it is full").
 UPLOAD_BATCH_BYTES = 4 << 20
 
+#: Unacked upload batches a :class:`CloudUploader` keeps in flight when
+#: its server supports pipelined acks (``upload_shares_async``, the mux
+#: proxy).  Bounds client memory to this many serialized batches while
+#: removing the round-trip stall between consecutive batches.
+UPLOAD_ACK_WINDOW = 4
+
 #: Sentinel ``pipeline_depth`` value: derive the depth from the measured
 #: encode-rate/wire-rate ratio at the first upload (see
 #: :func:`choose_pipeline_depth`).  The CLI passes this when
@@ -200,13 +206,34 @@ class CloudUploader:
         # buffer holds *unique* shares and is uploaded only when full).
         self._batch: list[ShareUpload] = []
         self._batch_bytes = 0
+        # Pipelined-ack capability: the mux proxy exposes
+        # upload_shares_async; in-process servers and serial proxies do
+        # not, and keep the one-round-trip-per-batch path.
+        self._upload_async = getattr(server, "upload_shares_async", None)
+        self._inflight: deque = deque()
 
     def _send_batch(self) -> None:
-        if self._batch:
-            self.server.upload_shares(self.user_id, self._batch)
-            self.result.batches += 1
-            self._batch = []
-            self._batch_bytes = 0
+        if not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        self._batch_bytes = 0
+        if self._upload_async is not None:
+            # Pipelined: put the batch on the wire and only *wait* when
+            # the ack window is full, so consecutive batches (and the
+            # next window's dedup query) overlap the server's apply.  A
+            # failed batch surfaces here or in finish(); losing the tail
+            # of the window is safe because upload_shares is idempotent
+            # and the dedup index is only advanced by acked finalize.
+            while len(self._inflight) >= UPLOAD_ACK_WINDOW:
+                self._inflight.popleft().result()
+            self._inflight.append(self._upload_async(self.user_id, batch))
+        else:
+            self.server.upload_shares(self.user_id, batch)
+        self.result.batches += 1
+
+    def _drain_acks(self) -> None:
+        while self._inflight:
+            self._inflight.popleft().result()
 
     def _flush_window(self) -> None:
         if not self._window:
@@ -250,6 +277,7 @@ class CloudUploader:
         """
         self._flush_window()
         self._send_batch()
+        self._drain_acks()
         self.result.seconds = self.server.cloud.uplink.transfer_time(
             self.result.wire_bytes, batches=batch_count(self.result.wire_bytes)
         )

@@ -149,6 +149,11 @@ class ReproConfig:
     threads: int = 1
     workers: str = "thread"
     pipeline_depth: int | str = 1
+    #: Multiplex remote-cloud connections: advertise wire v2 so one
+    #: socket per cloud carries concurrent request windows (falls back to
+    #: serial framing against v1 servers).  ``False`` pins every proxy to
+    #: the one-request-in-flight v1 protocol.
+    mux: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.n, int) or self.n < 1:
@@ -185,6 +190,8 @@ class ReproConfig:
                 f"pipeline_depth must be a positive integer or 'auto', "
                 f"got {self.pipeline_depth!r}"
             )
+        if not isinstance(self.mux, bool):
+            raise ParameterError(f"mux must be a boolean, got {self.mux!r}")
 
     # ------------------------------------------------------------------
     @property
@@ -217,7 +224,7 @@ class ReproConfig:
             )
         known = {
             "n", "k", "salt", "chunker", "cloud_specs", "scheme",
-            "threads", "workers", "pipeline_depth",
+            "threads", "workers", "pipeline_depth", "mux",
         }
         unknown = set(raw) - known
         if unknown:
@@ -240,6 +247,7 @@ class ReproConfig:
             "threads": self.threads,
             "workers": self.workers,
             "pipeline_depth": self.pipeline_depth,
+            "mux": self.mux,
         }
 
     @classmethod

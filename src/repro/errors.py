@@ -32,6 +32,7 @@ __all__ = [
     "AuthError",
     "QuotaExceededError",
     "RecoveryInProgressError",
+    "ServerOverloadedError",
     "WIRE_ERROR_CODES",
     "wire_code_for",
 ]
@@ -130,6 +131,17 @@ class RecoveryInProgressError(ReproError):
     wire_code = 12
 
 
+class ServerOverloadedError(CloudUnavailableError):
+    """The server shed this request under load; retry or fail over.
+
+    Subclasses :class:`CloudUnavailableError` so the comm engine's
+    window-granular failover treats an overloaded cloud like a transient
+    outage (promote a spare) instead of aborting the transfer.
+    """
+
+    wire_code = 16
+
+
 #: Decode registry: wire code -> most-specific exception class.  Built
 #: from the classes above; codes 1..9 predate this registry (they were
 #: positional indices in net/wire.py) and are frozen at those values.
@@ -151,6 +163,7 @@ WIRE_ERROR_CODES: dict[int, type[ReproError]] = {
         AuthError,
         QuotaExceededError,
         RecoveryInProgressError,
+        ServerOverloadedError,
     ]
 }
 

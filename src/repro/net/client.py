@@ -21,8 +21,24 @@ Connection discipline:
 * **typed errors pass through**: an :data:`~repro.net.wire.R_ERROR` frame
   re-raises the server's exception class locally and leaves the
   connection usable (the server answered; nothing is desynchronised).
-* the proxy is **thread-safe** with one request in flight at a time —
-  matching the comm engine's one-worker-per-cloud ordering guarantee.
+
+Mux mode (default): the proxy advertises wire version 2 in the PING
+handshake.  Against a v2 server the connection switches to
+request-id-tagged framing and the proxy becomes **fully concurrent**:
+many threads share the one socket, each request gets a fresh correlation
+id, a dedicated reader thread routes reply frames to per-request queues,
+and streaming fetches interleave freely with other requests.  Pipelined
+uploads (:meth:`RemoteServerProxy.upload_shares_async`) return an ack
+handle instead of blocking a round-trip per batch — this is what lets a
+comm-engine streaming window keep the socket full.  Against a v1-only
+server (or with ``mux=False``) the proxy degrades to the original serial
+one-request-in-flight discipline, byte-identical on the wire.
+
+When the connection drops — transport error, reconnect, or explicit
+:meth:`close` — **every in-flight request fails fast** with
+:class:`~repro.errors.CloudUnavailableError`; nothing waits out a socket
+timeout against a connection that no longer exists, and the next call
+re-dials and re-authenticates from scratch.
 
 The :class:`RemoteCloud` companion stands in for the
 :class:`~repro.cloud.provider.CloudProvider` attribute: ``available`` /
@@ -34,6 +50,7 @@ remote clouds exactly like local ones.
 from __future__ import annotations
 
 import os
+import queue
 import socket
 import threading
 import warnings
@@ -108,6 +125,71 @@ class RemoteCloud:
         return f"RemoteCloud({self.name!r})"
 
 
+class _PendingReply:
+    """Reply mailbox for one in-flight mux request.
+
+    The reader thread pushes ``(frame_type, payload)`` tuples (several,
+    for a streamed fetch) or an exception instance when the connection
+    dies; the issuing thread blocks on :meth:`next`.
+    """
+
+    __slots__ = ("request_id", "_queue")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+
+    def push(self, item) -> None:
+        self._queue.put(item)
+
+    def fail(self, exc: Exception) -> None:
+        self._queue.put(exc)
+
+    def next(self, timeout: float) -> tuple[int, bytes]:
+        """The next reply frame; raises the pushed exception on failure."""
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError from None
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+class _CompletedAck:
+    """Ack handle for the serial path: the upload already happened."""
+
+    __slots__ = ()
+
+    def result(self) -> None:
+        return None
+
+
+class _MuxAck:
+    """Ack handle for one pipelined ``upload_shares_async`` request."""
+
+    __slots__ = ("_proxy", "_handle", "_outcome")
+
+    def __init__(self, proxy: "RemoteServerProxy", handle: _PendingReply) -> None:
+        self._proxy = proxy
+        self._handle = handle
+        self._outcome: Exception | None | bool = False  # False = not waited yet
+
+    def result(self) -> None:
+        """Block until the server acked (or raise what it answered)."""
+        if self._outcome is not False:
+            if isinstance(self._outcome, Exception):
+                raise self._outcome
+            return None
+        try:
+            self._proxy._finish_single(self._handle, wire.R_OK)
+        except Exception as exc:
+            self._outcome = exc
+            raise
+        self._outcome = None
+        return None
+
+
 class RemoteServerProxy:
     """Drive one remote CDStore server over its binary TCP protocol.
 
@@ -130,13 +212,26 @@ class RemoteServerProxy:
         (re)connect runs the challenge-response handshake right after the
         PING — so a dropped-and-redialled connection is re-authenticated
         before the request that triggered the reconnect is sent.
+    mux:
+        Advertise wire version 2 and multiplex requests over the shared
+        socket when the server agrees (see the module docstring).
+        ``False`` pins the proxy to the serial v1 framing.
     """
 
     #: Lock discipline (``repro analyze``, LOCK-001): connection identity
-    #: (the socket and the handshake-learned server id) is only touched
-    #: under ``_lock`` — the comm engine drives one proxy from several
-    #: threads, and reconnects must never interleave.
-    GUARDED_BY = guarded_by(_sock="_lock", _server_id="_lock")
+    #: (the socket, the handshake-learned server id, the negotiated wire
+    #: version) and the in-flight request tables are only touched under
+    #: ``_lock`` — the comm engine drives one proxy from several threads,
+    #: the reader thread routes replies concurrently, and reconnects must
+    #: never interleave with either.
+    GUARDED_BY = guarded_by(
+        _sock="_lock",
+        _server_id="_lock",
+        _version="_lock",
+        _pending="_lock",
+        _discard="_lock",
+        _next_id="_lock",
+    )
 
     def __init__(
         self,
@@ -147,6 +242,7 @@ class RemoteServerProxy:
         timeout: float = 30.0,
         max_frame: int = wire.MAX_FRAME_BYTES,
         credentials: Credentials | None = None,
+        mux: bool = True,
     ) -> None:
         if isinstance(address, str):
             self.host, self.port = CloudSpec.parse(address).address
@@ -156,11 +252,26 @@ class RemoteServerProxy:
         self.timeout = timeout
         self.max_frame = max_frame
         self.credentials = credentials
+        self.mux = bool(mux)
+        #: Version advertised in T_PING: mux proxies offer v2, pinned
+        #: proxies offer v1 so the server never upgrades the framing.
+        self._advertise = wire.WIRE_VERSION if self.mux else 1
         #: Role granted by the last successful auth handshake (None when
         #: unauthenticated / running against an open server).
         self.role: str | None = None
         self._sock: socket.socket | None = None
         self._lock = threading.RLock()
+        #: Negotiated framing for the current connection (1 until the
+        #: PONG of a mux handshake says otherwise).
+        self._version = 1
+        #: In-flight mux requests by correlation id.
+        self._pending: dict[int, _PendingReply] = {}
+        #: Abandoned stream ids whose late frames must be swallowed.
+        self._discard: set[int] = set()
+        self._next_id = 1
+        #: Serialises mux sends so concurrent frames never interleave.
+        self._send_lock = threading.Lock()
+        self._reader: threading.Thread | None = None
         self.cloud = RemoteCloud(
             self,
             uplink=uplink if uplink is not None else Link(100.0),
@@ -188,13 +299,31 @@ class RemoteServerProxy:
         return self._server_id
 
     @requires_lock("_lock")
-    def _drop(self) -> None:
+    def _drop(self, reason: object = None) -> None:
+        """Sever the connection and fail every in-flight request fast.
+
+        The pending mailboxes get a :class:`~repro.errors.
+        CloudUnavailableError` pushed *now* — a reconnect (which re-runs
+        the auth handshake on a brand-new socket) can never answer a
+        request sent on the old one, so letting callers wait out their
+        socket timeout would only stall the failover path.
+        """
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
             except OSError:  # pragma: no cover
                 pass
+        self._version = 1
+        self._discard.clear()
+        pending, self._pending = self._pending, {}
+        if pending:
+            detail = f": {reason}" if reason is not None else ""
+            failure = CloudUnavailableError(
+                f"connection to {self.address_spec} dropped{detail}"
+            )
+            for handle in pending.values():
+                handle.fail(failure)
 
     @requires_lock("_lock")
     def _ensure_connected(self) -> socket.socket:
@@ -221,7 +350,7 @@ class RemoteServerProxy:
         self._sock = sock
         try:
             frame_type, payload = self._roundtrip(
-                wire.T_PING, wire.encode_ping()
+                wire.T_PING, wire.encode_ping(self._advertise)
             )
         except (ConnectionError, socket.timeout, OSError) as exc:
             # A server that accepts then dies before answering the
@@ -234,6 +363,10 @@ class RemoteServerProxy:
         except BaseException:
             self._drop()
             raise
+        if frame_type == wire.R_ERROR:
+            # e.g. the server shed the connection at its connection cap.
+            self._drop()
+            raise wire.decode_error(payload)
         if frame_type != wire.R_PONG:
             self._drop()
             raise ProtocolError(
@@ -241,11 +374,11 @@ class RemoteServerProxy:
                 f"0x{frame_type:02x}"
             )
         version, server_id = wire.decode_pong(payload)
-        if version != wire.WIRE_VERSION:
+        if not 1 <= version <= self._advertise:
             self._drop()
             raise ProtocolError(
-                f"{self.address_spec} speaks wire version {version}, "
-                f"client speaks {wire.WIRE_VERSION}"
+                f"{self.address_spec} negotiated unsupported wire version "
+                f"{version} (client offered {self._advertise})"
             )
         if self._server_id is not None and server_id != self._server_id:
             self._drop()
@@ -254,8 +387,22 @@ class RemoteServerProxy:
                 f"expected {self._server_id}"
             )
         self._server_id = server_id
+        # Both sides switch framing on the PONG boundary (wire.py): every
+        # frame after this point — including the auth exchange — uses the
+        # negotiated framing.
+        self._version = version
         if self.credentials is not None:
             self._authenticate()
+        if self._version >= 2:
+            # Handshake + auth ran with direct serial reads; from here the
+            # reader thread owns the receive side of the socket.
+            self._reader = threading.Thread(
+                target=self._reader_loop,
+                args=(self._sock,),
+                name=f"cdstore-mux-reader-{self.host}:{self.port}",
+                daemon=True,
+            )
+            self._reader.start()
         return self._sock
 
     @requires_lock("_lock")
@@ -312,7 +459,11 @@ class RemoteServerProxy:
             raise
 
     def close(self) -> None:
-        """Drop the connection (the next call reconnects) — idempotent."""
+        """Drop the connection (the next call reconnects) — idempotent.
+
+        In-flight mux requests fail fast with
+        :class:`~repro.errors.CloudUnavailableError`.
+        """
         with self._lock:
             self._drop()
 
@@ -324,15 +475,35 @@ class RemoteServerProxy:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "connected" if self._sock is not None else "idle"
-        return f"RemoteServerProxy({self.address_spec!r}, {state})"
+        mode = f"v{self._version}" if self._sock is not None else "mux" if self.mux else "serial"
+        return f"RemoteServerProxy({self.address_spec!r}, {state}, {mode})"
 
     # ------------------------------------------------------------------
-    # request plumbing
+    # serial request plumbing (v1 connections + the handshake phase)
     # ------------------------------------------------------------------
+    @requires_lock("_lock")
     def _roundtrip(self, frame_type: int, payload: bytes) -> tuple[int, bytes]:
-        """Send one request frame, read one reply frame (lock held)."""
+        """Send one request frame, read one reply frame (lock held).
+
+        Only legal while the connection is served serially: v1 framing,
+        or the v2 handshake phase before the reader thread starts.  On a
+        v2 connection each exchange burns a fresh correlation id and
+        checks the echo.
+        """
         sock = self._sock
         assert sock is not None
+        if self._version >= 2:
+            request_id = self._alloc_id()
+            sock.sendall(
+                wire.encode_mux_frame(frame_type, request_id, payload, self.max_frame)
+            )
+            reply_type, reply_id, reply = self._read_reply_mux(sock)
+            if reply_id != request_id:
+                raise ProtocolError(
+                    f"{self.address_spec} answered handshake frame with "
+                    f"correlation id {reply_id}, expected {request_id}"
+                )
+            return reply_type, reply
         sock.sendall(wire.encode_frame(frame_type, payload, self.max_frame))
         return self._read_reply(sock)
 
@@ -346,8 +517,187 @@ class RemoteServerProxy:
         )
         return frame_type, payload
 
+    def _read_reply_mux(self, sock: socket.socket) -> tuple[int, int, bytes]:
+        frame_type, request_id, payload = wire.read_frame_mux(
+            lambda n: recv_exact(sock, n), self.max_frame
+        )
+        self.frames_received += 1
+        self.max_reply_frame_bytes = max(
+            self.max_reply_frame_bytes, wire.MUX_FRAME_HEADER.size + len(payload)
+        )
+        return frame_type, request_id, payload
+
+    # ------------------------------------------------------------------
+    # mux request plumbing
+    # ------------------------------------------------------------------
+    @requires_lock("_lock")
+    def _alloc_id(self) -> int:
+        """A correlation id not currently in flight (or being discarded)."""
+        rid = self._next_id
+        while rid in self._pending or rid in self._discard:
+            rid = rid % wire.REQUEST_ID_MAX + 1
+        self._next_id = rid % wire.REQUEST_ID_MAX + 1
+        return rid
+
+    def _submit(self, frame_type: int, payload: bytes) -> _PendingReply | None:
+        """Register + send one mux request; ``None`` means use the serial path.
+
+        The connection lock covers connect/registration only — the send
+        happens under the dedicated send lock so a slow ``sendall`` never
+        blocks the reader thread's reply routing, and waiting for the
+        reply holds no lock at all.
+        """
+        with self._lock:
+            self._ensure_connected()
+            if self._version < 2:
+                return None
+            handle = _PendingReply(self._alloc_id())
+            self._pending[handle.request_id] = handle
+            sock = self._sock
+        frame = wire.encode_mux_frame(
+            frame_type, handle.request_id, payload, self.max_frame
+        )
+        try:
+            with self._send_lock:
+                sock.sendall(frame)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            with self._lock:
+                if self._sock is sock:
+                    self._drop(reason=exc)
+            raise CloudUnavailableError(
+                f"connection to {self.address_spec} dropped: {exc}"
+            ) from exc
+        return handle
+
+    def _await_reply(self, handle: _PendingReply) -> tuple[int, bytes]:
+        """Block for the next frame routed to ``handle``.
+
+        A timeout is indistinguishable from a wedged server: the reply
+        could still arrive and desynchronise nothing (ids disambiguate),
+        but the *caller's* window deadline has passed — drop the whole
+        connection so every sibling request fails over together.
+        """
+        try:
+            return handle.next(self.timeout)
+        except TimeoutError:
+            with self._lock:
+                self._pending.pop(handle.request_id, None)
+                self._drop(reason="request timed out")
+            raise CloudUnavailableError(
+                f"request to {self.address_spec} timed out "
+                f"after {self.timeout}s"
+            ) from None
+
+    def _forget(self, handle: _PendingReply) -> None:
+        with self._lock:
+            self._pending.pop(handle.request_id, None)
+
+    def _finish_single(self, handle: _PendingReply, expect: int) -> bytes:
+        """Await a single-frame reply and enforce its type."""
+        try:
+            reply_type, reply = self._await_reply(handle)
+        finally:
+            self._forget(handle)
+        if reply_type == wire.R_ERROR:
+            raise wire.decode_error(reply)
+        if reply_type != expect:
+            with self._lock:
+                self._drop(reason=f"unexpected frame 0x{reply_type:02x}")
+            raise ProtocolError(
+                f"{self.address_spec} answered with unexpected frame "
+                f"0x{reply_type:02x} (wanted 0x{expect:02x})"
+            )
+        return reply
+
+    def _reader_loop(self, sock: socket.socket) -> None:
+        """Route reply frames to their request mailbox (one per connection).
+
+        Exits when the socket dies or the connection is dropped; any
+        protocol violation (unsolicited correlation id, desynchronised
+        framing) kills the connection, which fails all in-flight requests
+        fast.
+        """
+        try:
+            while True:
+                frame = self._read_routed_frame(sock)
+                if frame is None:
+                    return
+                reply_type, request_id, payload = frame
+                handle: _PendingReply | None
+                with self._lock:
+                    if self._sock is not sock:
+                        return  # connection was replaced under us
+                    handle = self._pending.get(request_id)
+                    if handle is None:
+                        if request_id in self._discard:
+                            # Tail of an abandoned stream: swallow until
+                            # its terminal frame, then forget the id.
+                            if reply_type != wire.R_SHARE_BATCH:
+                                self._discard.discard(request_id)
+                            continue
+                        raise ProtocolError(
+                            f"{self.address_spec} sent unsolicited frame "
+                            f"0x{reply_type:02x} for request id {request_id}"
+                        )
+                    if reply_type != wire.R_SHARE_BATCH:
+                        # Every reply except a mid-stream share batch is
+                        # terminal: retire the id here so a handle nobody
+                        # awaits (an abandoned pipelined ack) cannot leak
+                        # its pending-table entry.
+                        del self._pending[request_id]
+                handle.push((reply_type, payload))
+        except BaseException as exc:  # noqa: BLE001 - any exit fails pendings
+            with self._lock:
+                if self._sock is sock:
+                    self._drop(reason=exc)
+
+    def _read_routed_frame(self, sock: socket.socket):
+        """One v2 frame, tolerating idle-timeout ticks with nothing pending.
+
+        Returns ``None`` when the connection was dropped while idle; lets
+        the timeout propagate when requests are waiting (that is a real
+        outage) or when a frame was cut off mid-read (desync).
+        """
+        started = False
+
+        def recv(n: int) -> bytes:
+            nonlocal started
+            parts: list[bytes] = []
+            remaining = n
+            while remaining:
+                try:
+                    chunk = sock.recv(min(remaining, 1 << 20))
+                except socket.timeout:
+                    if started or parts:
+                        raise  # mid-frame: the stream is desynchronised
+                    with self._lock:
+                        if self._sock is not sock:
+                            raise  # dropped while idle: exit the reader
+                        if self._pending:
+                            raise  # someone is waiting: a real outage
+                    continue  # idle keepalive tick; keep listening
+                if not chunk:
+                    raise ConnectionError("peer closed the connection mid-frame")
+                parts.append(chunk)
+                remaining -= len(chunk)
+            started = True
+            return b"".join(parts)
+
+        frame_type, request_id, payload = wire.read_frame_mux(recv, self.max_frame)
+        self.frames_received += 1
+        self.max_reply_frame_bytes = max(
+            self.max_reply_frame_bytes, wire.MUX_FRAME_HEADER.size + len(payload)
+        )
+        return frame_type, request_id, payload
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
     def _call(self, frame_type: int, payload: bytes, expect: int) -> bytes:
         """One request/reply exchange with typed-error and outage mapping."""
+        handle = self._submit(frame_type, payload)
+        if handle is not None:
+            return self._finish_single(handle, expect)
         with self._lock:
             self._ensure_connected()
             try:
@@ -355,7 +705,7 @@ class RemoteServerProxy:
             except (ConnectionError, socket.timeout, OSError) as exc:
                 # The connection died mid-request: reconnect on the *next*
                 # call; this one reports an outage so failover runs.
-                self._drop()
+                self._drop(reason=exc)
                 raise CloudUnavailableError(
                     f"connection to {self.address_spec} dropped: {exc}"
                 ) from exc
@@ -381,19 +731,31 @@ class RemoteServerProxy:
         try:
             with self._lock:
                 self._ensure_connected()
-                reply_type, payload = self._roundtrip(
-                    wire.T_PING, wire.encode_ping()
-                )
-                if reply_type != wire.R_PONG:
-                    self._drop()
-                    return False
-                wire.decode_pong(payload)
-                return True
+                mux_live = self._version >= 2
+                if not mux_live:
+                    reply_type, payload = self._roundtrip(
+                        wire.T_PING, wire.encode_ping(self._advertise)
+                    )
+                    if reply_type != wire.R_PONG:
+                        self._drop()
+                        return False
+                    wire.decode_pong(payload)
+                    return True
+            # Mux connection: the probe flows through the reader thread
+            # like any other request (the connection lock is not held
+            # while waiting, so concurrent requests keep moving).
+            reply = self._call(
+                wire.T_PING, wire.encode_ping(self._advertise), wire.R_PONG
+            )
+            wire.decode_pong(reply)
+            return True
         except AuthError:
-            self._drop()
+            with self._lock:
+                self._drop()
             raise
         except Exception:
-            self._drop()
+            with self._lock:
+                self._drop()
             return False
 
     # ------------------------------------------------------------------
@@ -419,6 +781,30 @@ class RemoteServerProxy:
             wire.encode_upload_shares(user_id, uploads),
             wire.R_OK,
         )
+
+    def upload_shares_async(self, user_id: str, uploads: list[ShareUpload]):
+        """Pipelined upload: send now, return an ack handle to wait on.
+
+        On a mux connection the batch goes on the wire immediately and
+        ``handle.result()`` blocks until the server's :data:`~repro.net.
+        wire.R_OK` (re-raising any typed error, mapping transport death
+        to :class:`~repro.errors.CloudUnavailableError`).  Keeping a
+        small window of unacked batches in flight removes the
+        round-trip-per-batch stall from streaming upload windows.  On a
+        serial connection this degrades to a synchronous upload that has
+        already completed by the time the handle is returned.
+        """
+        payload = wire.encode_upload_shares(user_id, uploads)
+        handle = self._submit(wire.T_UPLOAD_SHARES, payload)
+        if handle is None:
+            self._call_serial_ok(wire.T_UPLOAD_SHARES, payload)
+            return _CompletedAck()
+        return _MuxAck(self, handle)
+
+    def _call_serial_ok(self, frame_type: int, payload: bytes) -> None:
+        # _submit already proved the connection is serial; _call will take
+        # the serial branch (mux connections never downgrade mid-life).
+        self._call(frame_type, payload, wire.R_OK)
 
     def finalize_file(
         self,
@@ -467,58 +853,10 @@ class RemoteServerProxy:
         cannot deliver; it is rejected instead.
         """
         self._reject_local_owner(owner)
-        with self._lock:
-            self._ensure_connected()
-            sock = self._sock
-            try:
-                sock.sendall(
-                    wire.encode_frame(
-                        wire.T_FETCH_SHARES,
-                        wire.encode_fetch_shares(fingerprints),
-                        self.max_frame,
-                    )
-                )
-                out: dict[bytes, bytes] = {}
-                while True:
-                    reply_type, payload = self._read_reply(sock)
-                    if reply_type == wire.R_SHARE_BATCH:
-                        try:
-                            out.update(wire.decode_share_batch(payload))
-                        except ProtocolError:
-                            # A malformed frame mid-stream desynchronises
-                            # the connection (later batches are still
-                            # buffered); drop it so the next request does
-                            # not read them as its reply.
-                            self._drop()
-                            raise
-                        continue
-                    if reply_type == wire.R_SHARES_END:
-                        try:
-                            total = wire.decode_shares_end(payload)
-                        except ProtocolError:
-                            self._drop()
-                            raise
-                        if total != len(out):
-                            self._drop()
-                            raise ProtocolError(
-                                f"{self.address_spec} streamed {len(out)} "
-                                f"shares but announced {total}"
-                            )
-                        return out
-                    if reply_type == wire.R_ERROR:
-                        # In-band typed error: the server answered, the
-                        # stream is in sync, the connection stays usable.
-                        raise wire.decode_error(payload)
-                    self._drop()
-                    raise ProtocolError(
-                        f"{self.address_spec} sent unexpected frame "
-                        f"0x{reply_type:02x} inside a share stream"
-                    )
-            except (ConnectionError, socket.timeout, OSError) as exc:
-                self._drop()
-                raise CloudUnavailableError(
-                    f"connection to {self.address_spec} dropped mid-fetch: {exc}"
-                ) from exc
+        out: dict[bytes, bytes] = {}
+        for batch in self.iter_share_batches(fingerprints):
+            out.update(batch)
+        return out
 
     @staticmethod
     def _reject_local_owner(owner: str | None) -> None:
@@ -544,9 +882,12 @@ class RemoteServerProxy:
         prices shares against its own frame budget, so ``budget_bytes``
         and ``cost`` are rejected here rather than silently ignored.
 
-        The connection lock is held across yields (one request in flight
-        at a time); abandon the generator and it drops the connection,
-        since unread batches would desynchronise the next request.
+        Mux connections interleave this stream with other requests (its
+        frames are routed by correlation id); abandoning the generator
+        early just parks the id on a discard list so the tail of the
+        stream is swallowed — the connection stays usable.  Serial
+        connections hold the lock across yields, and abandonment drops
+        the connection (unread batches would desynchronise it).
         """
         if budget_bytes is not None or cost is not None:
             raise ParameterError(
@@ -554,17 +895,71 @@ class RemoteServerProxy:
                 "budget; budget_bytes/cost cannot be set through a proxy"
             )
         self._reject_local_owner(owner)
+        request = wire.encode_fetch_shares(fingerprints)
+        handle = self._submit(wire.T_FETCH_SHARES, request)
+        if handle is None:
+            yield from self._iter_share_batches_serial(request)
+            return
+        streamed = 0
+        terminal = False
+        try:
+            while True:
+                reply_type, payload = self._await_reply(handle)
+                if reply_type == wire.R_SHARE_BATCH:
+                    try:
+                        batch = wire.decode_share_batch(payload)
+                    except ProtocolError:
+                        # Malformed frame: the server-side stream state is
+                        # unknowable — kill the connection, not just the
+                        # request.
+                        terminal = True
+                        with self._lock:
+                            self._drop(reason="malformed share batch")
+                        raise
+                    streamed += len(batch)
+                    yield batch
+                    continue
+                if reply_type == wire.R_SHARES_END:
+                    terminal = True
+                    total = wire.decode_shares_end(payload)
+                    if total != streamed:
+                        raise ProtocolError(
+                            f"{self.address_spec} streamed {streamed} "
+                            f"shares but announced {total}"
+                        )
+                    return
+                if reply_type == wire.R_ERROR:
+                    terminal = True  # in sync: the server answered
+                    raise wire.decode_error(payload)
+                terminal = True
+                with self._lock:
+                    self._drop(reason=f"unexpected frame 0x{reply_type:02x}")
+                raise ProtocolError(
+                    f"{self.address_spec} sent unexpected frame "
+                    f"0x{reply_type:02x} inside a share stream"
+                )
+        except CloudUnavailableError:
+            terminal = True  # the connection is already gone
+            raise
+        finally:
+            with self._lock:
+                still_registered = (
+                    self._pending.pop(handle.request_id, None) is not None
+                )
+                if still_registered and not terminal and self._sock is not None:
+                    # Abandoned mid-stream: remaining frames for this id
+                    # must be swallowed, not treated as unsolicited.
+                    self._discard.add(handle.request_id)
+
+    def _iter_share_batches_serial(self, request: bytes):
+        """The v1 path: stream under the connection lock, drop on abandon."""
         with self._lock:
             self._ensure_connected()
             sock = self._sock
             finished = False
             try:
                 sock.sendall(
-                    wire.encode_frame(
-                        wire.T_FETCH_SHARES,
-                        wire.encode_fetch_shares(fingerprints),
-                        self.max_frame,
-                    )
+                    wire.encode_frame(wire.T_FETCH_SHARES, request, self.max_frame)
                 )
                 streamed = 0
                 while True:
@@ -592,7 +987,7 @@ class RemoteServerProxy:
                     )
             except (ConnectionError, socket.timeout, OSError) as exc:
                 finished = True
-                self._drop()
+                self._drop(reason=exc)
                 raise CloudUnavailableError(
                     f"connection to {self.address_spec} dropped mid-fetch: {exc}"
                 ) from exc

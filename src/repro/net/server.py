@@ -5,93 +5,47 @@ the in-process server object into a network service: many clients (the
 multi-client workload of Figure 8) connect concurrently, each served by a
 dedicated handler thread.
 
-Threading model — **thread per connection**, not asyncio, deliberately:
+Threading model — **thread per connection**: handler threads drive the
+blocking, lock-disciplined storage stack exactly like in-process callers
+do, which keeps the per-server locking discipline intact and is the right
+trade at tens of connections.  At thousands of connections the
+per-connection thread stops scaling; that regime is served by
+:class:`~repro.net.async_server.AsyncCDStoreTCPServer`, which multiplexes
+connections on an event loop and funnels requests into a *bounded*
+executor.  Both front-ends answer frames through the same
+:class:`~repro.net.dispatch.FrameDispatcher`, so protocol behaviour —
+auth, tenancy, rate limits, streamed fetches — is identical.
 
-* the whole storage stack underneath (:class:`~repro.server.server.
-  CDStoreServer`'s re-entrant lock, the LSM index, the container manager)
-  is blocking and lock-disciplined; handler threads drive it exactly like
-  the in-process callers do, so the per-server locking discipline is
-  *preserved*, not re-implemented behind an event loop;
-* connection counts are small (one per client per cloud, tens not tens of
-  thousands), so the thread-per-connection memory cost is noise while the
-  GIL releases around the hashlib/OpenSSL/file-I/O calls that dominate
-  request service;
-* an asyncio front would still need a thread pool for every server call
-  (none of them are awaitable), adding a hop without removing a thread.
-
-``fetch_shares`` replies are **streamed**: the handler walks
-:meth:`~repro.server.server.CDStoreServer.iter_share_batches` and emits
-one bounded :data:`~repro.net.wire.R_SHARE_BATCH` frame per batch, with
-each share priced at payload + :data:`~repro.net.wire.SHARE_WIRE_OVERHEAD`
-against ``frame_budget`` — neither a reply frame nor the server-side
-working set ever exceeds the budget, no matter how many containers the
-request spans (TCP backpressure on a slow client propagates straight into
-the generator, which holds at most one batch).
+This server speaks both wire framings: connections start in v1 and may
+negotiate the request-id-tagged v2 framing via PING/PONG (see
+:mod:`repro.net.wire`).  Requests are still served strictly in order —
+one request in flight per connection — which is a degenerate but valid
+mux schedule: every reply simply echoes the id of the request it answers,
+so a mux-mode client works unchanged against this server.
 
 Error discipline: a :class:`~repro.errors.ReproError` is a *protocol
 answer* (typed :data:`~repro.net.wire.R_ERROR` frame, connection stays
 usable); any other exception is a server bug and closes the connection
 abruptly — clients see a dropped socket and run their failover path
 rather than trusting a half-written reply.
-
-Multi-tenancy: when the server is constructed with a
-:class:`~repro.tenants.TenantRegistry`, every connection must complete
-the challenge-response handshake (:data:`~repro.net.wire.T_AUTH` →
-:data:`~repro.net.wire.R_AUTH_CHALLENGE` →
-:data:`~repro.net.wire.T_AUTH_PROOF` →
-:data:`~repro.net.wire.R_AUTH_OK`) before any request other than a ping
-is answered.  After the handshake every ``user_id``-bearing frame is
-pinned to the authenticated tenant, maintenance frames are reserved to
-the ``admin`` role, share fetches are owner-scoped server-side, and a
-per-tenant token bucket throttles request rates.  Without a registry
-the server runs open, exactly as before.
 """
 
 from __future__ import annotations
 
-import hmac
 import logging
-import os
 import socket
 import threading
-import time
 
 from repro.analysis.annotations import guarded_by
-from repro.errors import AuthError, ProtocolError, QuotaExceededError, ReproError
+from repro.errors import ReproError
 from repro.net import wire
+from repro.net.dispatch import ADMIN_FRAMES, ConnState, FrameDispatcher
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
-from repro.tenants import ROLE_ADMIN, TenantRegistry, TokenBucket, auth_proof
+from repro.tenants import TenantRegistry
 
-__all__ = ["CDStoreTCPServer", "recv_exact"]
+__all__ = ["ADMIN_FRAMES", "CDStoreTCPServer", "recv_exact"]
 
 logger = logging.getLogger(__name__)
-
-#: Maintenance/observability frames reserved to the ``admin`` role when a
-#: tenant registry is active: they either touch other tenants' data
-#: (scrub, GC, repair) or aggregate across tenants (stats, backup list).
-ADMIN_FRAMES = frozenset(
-    {
-        wire.T_SCRUB,
-        wire.T_COLLECT_GARBAGE,
-        wire.T_REPLACE_SHARE,
-        wire.T_REBUILD_RECIPE,
-        wire.T_LIST_BACKUPS,
-        wire.T_STATS,
-        wire.T_STORED_BYTES,
-    }
-)
-
-
-class _ConnState:
-    """Per-connection auth state (owned by the one handler thread)."""
-
-    __slots__ = ("tenant", "role", "pending")
-
-    def __init__(self) -> None:
-        self.tenant: str | None = None
-        self.role: str | None = None
-        #: In-flight handshake: ``(tenant_id, client_nonce, server_nonce)``.
-        self.pending: tuple[str, bytes, bytes] | None = None
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -132,11 +86,9 @@ class CDStoreTCPServer:
 
     #: Lock discipline (``repro analyze``, LOCK-001): the live-connection
     #: set is shared between the accept loop, per-connection handler exits
-    #: and shutdown, and must only be mutated under ``_conn_lock``; the
-    #: per-tenant token buckets are shared by every connection a tenant
-    #: holds (one budget per tenant, not per socket) and live under
-    #: ``_bucket_lock``.
-    GUARDED_BY = guarded_by(_connections="_conn_lock", _buckets="_bucket_lock")
+    #: and shutdown, and must only be mutated under ``_conn_lock``.  (The
+    #: per-tenant token buckets moved to the shared FrameDispatcher.)
+    GUARDED_BY = guarded_by(_connections="_conn_lock")
 
     def __init__(
         self,
@@ -147,12 +99,11 @@ class CDStoreTCPServer:
         max_frame: int = wire.MAX_FRAME_BYTES,
         tenants: TenantRegistry | None = None,
     ) -> None:
-        if frame_budget < 1:
-            raise ValueError(f"frame_budget must be >= 1, got {frame_budget}")
+        self._dispatcher = FrameDispatcher(
+            server, frame_budget=frame_budget, tenants=tenants
+        )
         self.server = server
-        self.frame_budget = frame_budget
         self.max_frame = max_frame
-        self.tenants = tenants
         self._host = host
         self._port = port
         self._listener: socket.socket | None = None
@@ -160,8 +111,14 @@ class CDStoreTCPServer:
         self._stopped = threading.Event()
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
-        self._bucket_lock = threading.Lock()
-        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def frame_budget(self) -> int:
+        return self._dispatcher.frame_budget
+
+    @property
+    def tenants(self) -> TenantRegistry | None:
+        return self._dispatcher.tenants
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -282,31 +239,36 @@ class CDStoreTCPServer:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        state = _ConnState()
+        state = ConnState()
         try:
             while not self._stopped.is_set():
                 try:
-                    frame_type, payload = wire.read_frame(
-                        lambda n: recv_exact(conn, n), self.max_frame
+                    frame_type, request_id, payload = wire.read_frame_v(
+                        lambda n: recv_exact(conn, n), state.version, self.max_frame
                     )
                 except (ConnectionError, OSError):
                     return  # client went away between requests
                 except ReproError as exc:
                     # Bad magic / oversized length: the stream cannot be
                     # resynchronised — answer typed, then hang up.
-                    conn.sendall(
-                        wire.encode_frame(wire.R_ERROR, wire.encode_error(exc))
-                    )
+                    conn.sendall(self._error_frame(state, 0, exc))
                     return
                 try:
-                    for reply in self._dispatch(state, frame_type, payload):
-                        conn.sendall(reply)
+                    for reply_type, reply in self._dispatcher.dispatch(
+                        state, frame_type, payload
+                    ):
+                        conn.sendall(
+                            wire.encode_frame_v(
+                                state.version, reply_type, request_id, reply
+                            )
+                        )
+                    # The framing upgrade (if the frame was a PING that
+                    # negotiated v2) applies only after the PONG is out.
+                    state.apply_negotiation()
                 except ReproError as exc:
                     # A typed, *answerable* failure: report it in-band and
                     # keep serving this connection.
-                    conn.sendall(
-                        wire.encode_frame(wire.R_ERROR, wire.encode_error(exc))
-                    )
+                    conn.sendall(self._error_frame(state, request_id, exc))
                 except (ConnectionError, OSError):
                     return
         except Exception:  # noqa: BLE001 - server bug: drop the connection
@@ -329,214 +291,7 @@ class CDStoreTCPServer:
             except OSError:  # pragma: no cover
                 pass
 
-    # ------------------------------------------------------------------
-    # authentication & tenant enforcement
-    # ------------------------------------------------------------------
-    def _handle_auth(self, state: _ConnState, payload: bytes):
-        """T_AUTH: remember the claim, answer with a fresh challenge.
-
-        The server nonce is minted per attempt, so a recorded proof from
-        an earlier connection verifies against nothing — replay defence
-        lives here, not in any nonce bookkeeping.
-        """
-        tenant_id, client_nonce = wire.decode_auth(payload)
-        server_nonce = os.urandom(wire.AUTH_NONCE_SIZE)
-        state.pending = (tenant_id, client_nonce, server_nonce)
-        yield wire.encode_frame(
-            wire.R_AUTH_CHALLENGE, wire.encode_auth_challenge(server_nonce)
+    def _error_frame(self, state: ConnState, request_id: int, exc: ReproError) -> bytes:
+        return wire.encode_frame_v(
+            state.version, wire.R_ERROR, request_id, wire.encode_error(exc)
         )
-
-    def _handle_auth_proof(self, state: _ConnState, payload: bytes):
-        """T_AUTH_PROOF: verify the HMAC against the pending challenge."""
-        proof = wire.decode_auth_proof(payload)
-        # One challenge, one attempt: clear the pending state before
-        # verifying so a failed proof cannot be retried against the same
-        # server nonce (the client must restart the handshake).
-        pending, state.pending = state.pending, None
-        if self.tenants is None or pending is None:
-            raise AuthError("authentication failed")
-        tenant_id, client_nonce, server_nonce = pending
-        record = self.tenants.get(tenant_id)
-        # Unknown tenants still cost one HMAC so the error is not a
-        # timing oracle for tenant-id existence; the message is the same
-        # for every failure mode for the same reason.
-        secret = record.secret if record is not None else b"\x00" * 32
-        expected = auth_proof(secret, tenant_id, client_nonce, server_nonce)
-        if record is None or not hmac.compare_digest(proof, expected):
-            raise AuthError("authentication failed")
-        state.tenant = tenant_id
-        state.role = record.role
-        yield wire.encode_frame(wire.R_AUTH_OK, wire.encode_auth_ok(record.role))
-
-    def _authorize(
-        self, state: _ConnState, frame_type: int, user_id: str | None = None
-    ) -> None:
-        """Gate one request frame against the connection's auth state.
-
-        No-op without a registry.  Otherwise: the connection must have
-        completed the handshake; the request rate is charged to the
-        tenant's shared token bucket; admins may do anything, while
-        tenants are barred from :data:`ADMIN_FRAMES` and from naming any
-        ``user_id`` other than their own.
-        """
-        if self.tenants is None:
-            return
-        if state.tenant is None:
-            raise AuthError("authentication required")
-        self._check_rate(state.tenant)
-        if state.role == ROLE_ADMIN:
-            return
-        if frame_type in ADMIN_FRAMES:
-            raise AuthError("administrator role required")
-        if user_id is not None and user_id != state.tenant:
-            raise AuthError(
-                f"user id does not match authenticated tenant {state.tenant!r}"
-            )
-
-    def _check_rate(self, tenant_id: str) -> None:
-        """Charge one request to the tenant's token bucket."""
-        record = self.tenants.get(tenant_id) if self.tenants is not None else None
-        rate = record.quota.max_requests_per_sec if record is not None else None
-        if rate is None:
-            return
-        with self._bucket_lock:
-            bucket = self._buckets.get(tenant_id)
-            if bucket is None:
-                bucket = self._buckets[tenant_id] = TokenBucket(rate)
-            allowed = bucket.allow(time.monotonic())
-        if not allowed:
-            raise QuotaExceededError(
-                f"request rate limit exceeded for tenant {tenant_id!r}"
-            )
-
-    def _fetch_owner(self, state: _ConnState) -> str | None:
-        """Owner scope for share fetches: tenants see only their shares."""
-        if self.tenants is None or state.role == ROLE_ADMIN:
-            return None
-        return state.tenant
-
-    # ------------------------------------------------------------------
-    # dispatch
-    # ------------------------------------------------------------------
-    def _dispatch(self, state: _ConnState, frame_type: int, payload: bytes):
-        """Yield encoded reply frame(s) for one request frame.
-
-        A generator so the streaming ``fetch_shares`` reply materialises
-        one bounded frame at a time; every other request yields exactly
-        one frame.
-        """
-        server = self.server
-        if frame_type == wire.T_PING:
-            # Liveness stays unauthenticated: failover probes must work
-            # before (and without) credentials.
-            wire.decode_ping(payload)  # version checked client-side
-            yield wire.encode_frame(wire.R_PONG, wire.encode_pong(server.server_id))
-        elif frame_type == wire.T_AUTH:
-            yield from self._handle_auth(state, payload)
-        elif frame_type == wire.T_AUTH_PROOF:
-            yield from self._handle_auth_proof(state, payload)
-        elif frame_type == wire.T_QUERY_DUPLICATES:
-            user_id, fingerprints = wire.decode_query_duplicates(payload)
-            self._authorize(state, frame_type, user_id)
-            known = server.query_duplicates(user_id, fingerprints)
-            yield wire.encode_frame(wire.R_BOOLS, wire.encode_bools(known))
-        elif frame_type == wire.T_UPLOAD_SHARES:
-            user_id, uploads = wire.decode_upload_shares(payload)
-            self._authorize(state, frame_type, user_id)
-            server.upload_shares(user_id, uploads)
-            yield wire.encode_frame(wire.R_OK)
-        elif frame_type == wire.T_FINALIZE_FILE:
-            user_id, manifest, metas = wire.decode_finalize_file(payload)
-            self._authorize(state, frame_type, user_id)
-            server.finalize_file(user_id, manifest, metas)
-            yield wire.encode_frame(wire.R_OK)
-        elif frame_type == wire.T_GET_FILE_ENTRY:
-            user_id, lookup_key = wire.decode_user_key(payload)
-            self._authorize(state, frame_type, user_id)
-            entry = server.get_file_entry(user_id, lookup_key)
-            yield wire.encode_frame(wire.R_FILE_ENTRY, wire.encode_file_entry(entry))
-        elif frame_type == wire.T_GET_RECIPE:
-            user_id, lookup_key, bypass = wire.decode_get_recipe(payload)
-            self._authorize(state, frame_type, user_id)
-            recipe = server.get_recipe(user_id, lookup_key, bypass_cache=bypass)
-            yield wire.encode_frame(wire.R_RECIPE, wire.encode_recipe(recipe))
-        elif frame_type == wire.T_LIST_FILES:
-            user_id = wire.decode_user(payload)
-            self._authorize(state, frame_type, user_id)
-            listing = server.list_files(user_id)
-            yield wire.encode_frame(wire.R_FILE_LIST, wire.encode_file_list(listing))
-        elif frame_type == wire.T_FETCH_SHARES:
-            fingerprints = wire.decode_fetch_shares(payload)
-            self._authorize(state, frame_type)
-            total = 0
-            # Price each share at its full wire cost and leave room for the
-            # frame header + count word, so a maximally-packed batch still
-            # serialises to a frame of at most frame_budget bytes.
-            batch_budget = max(1, self.frame_budget - wire.FRAME_HEADER.size - 4)
-            for batch in server.iter_share_batches(
-                fingerprints,
-                budget_bytes=batch_budget,
-                cost=lambda fp, data: wire.SHARE_WIRE_OVERHEAD + len(data),
-                owner=self._fetch_owner(state),
-            ):
-                total += len(batch)
-                yield wire.encode_frame(
-                    wire.R_SHARE_BATCH, wire.encode_share_batch(batch)
-                )
-            yield wire.encode_frame(wire.R_SHARES_END, wire.encode_shares_end(total))
-        elif frame_type == wire.T_DELETE_FILE:
-            user_id, lookup_key = wire.decode_user_key(payload)
-            self._authorize(state, frame_type, user_id)
-            orphaned = server.delete_file(user_id, lookup_key)
-            yield wire.encode_frame(wire.R_INT, wire.encode_int(orphaned))
-        elif frame_type == wire.T_COLLECT_GARBAGE:
-            _expect_empty(payload)
-            self._authorize(state, frame_type)
-            freed = server.collect_garbage()
-            yield wire.encode_frame(wire.R_INT, wire.encode_int(freed))
-        elif frame_type == wire.T_SCRUB:
-            _expect_empty(payload)
-            self._authorize(state, frame_type)
-            corrupt = server.scrub()
-            yield wire.encode_frame(wire.R_FP_LIST, wire.encode_fp_list(corrupt))
-        elif frame_type == wire.T_FLUSH:
-            _expect_empty(payload)
-            # Any authenticated tenant may flush: it only makes their own
-            # (and everyone's) buffered writes durable, revealing nothing.
-            self._authorize(state, frame_type)
-            server.flush()
-            yield wire.encode_frame(wire.R_OK)
-        elif frame_type == wire.T_STATS:
-            _expect_empty(payload)
-            self._authorize(state, frame_type)
-            yield wire.encode_frame(wire.R_STATS, wire.encode_stats(server.stats))
-        elif frame_type == wire.T_STORED_BYTES:
-            _expect_empty(payload)
-            self._authorize(state, frame_type)
-            yield wire.encode_frame(
-                wire.R_INT, wire.encode_int(server.stored_bytes)
-            )
-        elif frame_type == wire.T_REPLACE_SHARE:
-            server_fp, data = wire.decode_replace_share(payload)
-            self._authorize(state, frame_type)
-            server.replace_share(server_fp, data)
-            yield wire.encode_frame(wire.R_OK)
-        elif frame_type == wire.T_REBUILD_RECIPE:
-            user_id, lookup_key, entries = wire.decode_rebuild_recipe(payload)
-            self._authorize(state, frame_type, user_id)
-            server.rebuild_recipe(user_id, lookup_key, entries)
-            yield wire.encode_frame(wire.R_OK)
-        elif frame_type == wire.T_LIST_BACKUPS:
-            _expect_empty(payload)
-            self._authorize(state, frame_type)
-            backups = server.list_backups()
-            yield wire.encode_frame(
-                wire.R_BACKUP_LIST, wire.encode_backup_list(backups)
-            )
-        else:
-            raise ProtocolError(f"unknown request frame type 0x{frame_type:02x}")
-
-
-def _expect_empty(payload: bytes) -> None:
-    if payload:
-        raise ProtocolError(f"{len(payload)} unexpected payload bytes")

@@ -1,16 +1,28 @@
 """Binary wire protocol for the networked serving layer.
 
 Everything crossing a socket between a :class:`~repro.net.client.
-RemoteServerProxy` and a :class:`~repro.net.server.CDStoreTCPServer` is a
-**frame**::
+RemoteServerProxy` and a :class:`~repro.net.server.CDStoreTCPServer` (or
+:class:`~repro.net.async_server.AsyncCDStoreTCPServer`) is a **frame**.
+Two framings exist, selected per connection by version negotiation:
 
-    u16 magic | u8 type | u32 length | length bytes of payload
+    v1:  u16 magic | u8 type | u32 length | length bytes of payload
+    v2:  u16 magic | u8 type | u32 request_id | u32 length | payload
 
 The magic word catches stream desynchronisation immediately (a frame read
 mid-payload fails loudly instead of interpreting share bytes as headers),
 the type selects one codec below, and the length is bounded by
 ``max_frame`` on both ends — a malicious or corrupted peer cannot make the
 receiver allocate an arbitrary buffer.
+
+The v2 ``request_id`` is a correlation id: the server echoes a request's
+id on every frame it emits for that request, so one socket can carry many
+concurrent in-flight requests (mux mode) and the client routes replies by
+id instead of by arrival order.  A connection always *starts* in v1
+framing; the client advertises the highest version it speaks in
+:data:`T_PING` and the server answers :data:`R_PONG` carrying
+``negotiate_version(client_version)``.  Both sides switch to v2 framing
+immediately after the PONG iff the negotiated version is ≥ 2 — an old v1
+peer on either end simply keeps the v1 framing forever.
 
 Payload codecs cover the full :class:`~repro.server.server.CDStoreServer`
 surface and reuse the ``pack``/``unpack`` structs of
@@ -51,22 +63,37 @@ __all__ = [
     "LOCAL_ONLY_METHODS",
     "MAX_FRAME_BYTES",
     "METHOD_FRAMES",
+    "MUX_FRAME_HEADER",
+    "REQUEST_ID_MAX",
     "SHARE_WIRE_OVERHEAD",
     "WIRE_VERSION",
     "decode_error",
     "decode_frames",
     "encode_error",
     "encode_frame",
+    "encode_frame_v",
+    "encode_mux_frame",
+    "negotiate_version",
     "read_frame",
+    "read_frame_mux",
+    "read_frame_v",
 ]
 
-#: Protocol revision; bumped on any incompatible frame change.  Exchanged
-#: in the PING/PONG handshake so mismatched peers fail fast and typed.
-WIRE_VERSION = 1
+#: Highest protocol revision this build speaks.  Version 1 is the serial
+#: length-prefixed framing; version 2 adds the ``u32 request_id`` word so
+#: one socket multiplexes concurrent requests.  The version actually used
+#: by a connection is negotiated in the PING/PONG handshake
+#: (:func:`negotiate_version`), never assumed.
+WIRE_VERSION = 2
 
 _FRAME_MAGIC = 0xCD5E
-#: Frame header: magic | frame type | payload length.
+#: v1 frame header: magic | frame type | payload length.
 FRAME_HEADER = struct.Struct(">HBI")
+#: v2 frame header: magic | frame type | request id | payload length.
+MUX_FRAME_HEADER = struct.Struct(">HBII")
+
+#: Request ids are u32; the client allocator wraps at this bound.
+REQUEST_ID_MAX = 0xFFFFFFFF
 
 #: Default hard cap on one frame's payload.  Upload batches and share
 #: windows are 4 MB (§4.1); 16 MB leaves headroom for metadata-heavy
@@ -190,22 +217,69 @@ def decode_error(payload: bytes) -> ReproError:
 # ---------------------------------------------------------------------------
 
 
-def encode_frame(
-    frame_type: int, payload: bytes = b"", max_frame: int = MAX_FRAME_BYTES
-) -> bytes:
-    """One complete frame, ready for the socket."""
+def negotiate_version(peer_version: int) -> int:
+    """The version a connection runs after the peer advertised ``peer_version``.
+
+    Both directions degrade gracefully: a newer peer is capped at our
+    :data:`WIRE_VERSION`, an older (or nonsense-zero) peer keeps v1.
+    """
+    return max(1, min(int(peer_version), WIRE_VERSION))
+
+
+def _check_payload(payload: bytes, max_frame: int) -> bytes:
     if len(payload) > max_frame:
         raise ProtocolError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{max_frame}-byte cap"
         )
+    return payload
+
+
+def encode_frame(
+    frame_type: int, payload: bytes = b"", max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
+    """One complete v1 frame, ready for the socket."""
+    _check_payload(payload, max_frame)
     return FRAME_HEADER.pack(_FRAME_MAGIC, frame_type, len(payload)) + payload
+
+
+def encode_mux_frame(
+    frame_type: int,
+    request_id: int,
+    payload: bytes = b"",
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """One complete v2 (request-id-tagged) frame, ready for the socket."""
+    if not 0 <= request_id <= REQUEST_ID_MAX:
+        raise ProtocolError(f"request id {request_id} outside u32 range")
+    _check_payload(payload, max_frame)
+    return (
+        MUX_FRAME_HEADER.pack(_FRAME_MAGIC, frame_type, request_id, len(payload))
+        + payload
+    )
+
+
+def encode_frame_v(
+    version: int,
+    frame_type: int,
+    request_id: int,
+    payload: bytes = b"",
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Frame ``payload`` in the negotiated ``version``'s framing.
+
+    v1 framing has no request-id word, so ``request_id`` is dropped there
+    (v1 connections are strictly serial — correlation is by order).
+    """
+    if version >= 2:
+        return encode_mux_frame(frame_type, request_id, payload, max_frame)
+    return encode_frame(frame_type, payload, max_frame)
 
 
 def read_frame(
     recv_exact: Callable[[int], bytes], max_frame: int = MAX_FRAME_BYTES
 ) -> tuple[int, bytes]:
-    """Read one frame via ``recv_exact(n) -> exactly n bytes``.
+    """Read one v1 frame via ``recv_exact(n) -> exactly n bytes``.
 
     ``recv_exact`` raises :class:`ConnectionError` on EOF; this function
     raises :class:`ProtocolError` on a bad magic word or an oversized
@@ -213,13 +287,44 @@ def read_frame(
     drives an allocation.
     """
     magic, frame_type, length = FRAME_HEADER.unpack(recv_exact(FRAME_HEADER.size))
+    _check_header(magic, length, max_frame)
+    return frame_type, recv_exact(length) if length else b""
+
+
+def read_frame_mux(
+    recv_exact: Callable[[int], bytes], max_frame: int = MAX_FRAME_BYTES
+) -> tuple[int, int, bytes]:
+    """Read one v2 frame; returns ``(type, request_id, payload)``."""
+    magic, frame_type, request_id, length = MUX_FRAME_HEADER.unpack(
+        recv_exact(MUX_FRAME_HEADER.size)
+    )
+    _check_header(magic, length, max_frame)
+    return frame_type, request_id, recv_exact(length) if length else b""
+
+
+def read_frame_v(
+    recv_exact: Callable[[int], bytes],
+    version: int,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> tuple[int, int, bytes]:
+    """Read one frame in the negotiated ``version``'s framing.
+
+    Returns ``(type, request_id, payload)``; v1 frames carry no id and
+    report ``request_id == 0``.
+    """
+    if version >= 2:
+        return read_frame_mux(recv_exact, max_frame)
+    frame_type, payload = read_frame(recv_exact, max_frame)
+    return frame_type, 0, payload
+
+
+def _check_header(magic: int, length: int, max_frame: int) -> None:
     if magic != _FRAME_MAGIC:
         raise ProtocolError(f"bad frame magic 0x{magic:04x} (desynchronised?)")
     if length > max_frame:
         raise ProtocolError(
             f"incoming frame of {length} bytes exceeds the {max_frame}-byte cap"
         )
-    return frame_type, recv_exact(length) if length else b""
 
 
 def decode_frames(blob: bytes, max_frame: int = MAX_FRAME_BYTES) -> list[tuple[int, bytes]]:
@@ -309,8 +414,9 @@ def _check_fp(fp: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def encode_ping() -> bytes:
-    return struct.pack(">H", WIRE_VERSION)
+def encode_ping(version: int = WIRE_VERSION) -> bytes:
+    """T_PING carries the highest wire version the client speaks."""
+    return struct.pack(">H", version)
 
 
 def decode_ping(payload: bytes) -> int:
@@ -320,8 +426,9 @@ def decode_ping(payload: bytes) -> int:
     return version
 
 
-def encode_pong(server_id: int) -> bytes:
-    return struct.pack(">HI", WIRE_VERSION, server_id)
+def encode_pong(server_id: int, version: int = WIRE_VERSION) -> bytes:
+    """R_PONG answers with the *negotiated* version for this connection."""
+    return struct.pack(">HI", version, server_id)
 
 
 def decode_pong(payload: bytes) -> tuple[int, int]:

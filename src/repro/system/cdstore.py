@@ -78,6 +78,11 @@ class CDStoreSystem:
         ``threads=1``, and ``"auto"`` derives the depth from measured
         encode/wire rates at the first upload.  Individual :meth:`client`
         calls may override it.
+    mux:
+        Multiplex remote-cloud connections (wire v2): one socket per
+        cloud carries concurrent requests and pipelined upload acks.
+        Ignored for local clouds; proxies degrade to serial framing
+        against v1 servers.  ``False`` pins proxies to the v1 protocol.
     clock:
         Optional simulated clock shared by all clients.  Each operation
         adds its own span (per-cloud makespan when the client is
@@ -105,6 +110,7 @@ class CDStoreSystem:
         pipeline_depth: int | str = 1,
         clock: SimClock | None = None,
         credentials: Credentials | None = None,
+        mux: bool = True,
     ) -> None:
         if clouds is not None and len(clouds) != n:
             raise ParameterError(f"got {len(clouds)} clouds for n={n}")
@@ -118,6 +124,7 @@ class CDStoreSystem:
         self.threads = threads
         self.workers = workers
         self.pipeline_depth = pipeline_depth
+        self.mux = bool(mux)
         self.clock = clock
         #: Optional DupLESS-style key server (§3.2 remarks): when set,
         #: clients encode with server-aided CAONT-RS instead of plain
@@ -141,7 +148,7 @@ class CDStoreSystem:
                 from repro.net.client import RemoteServerProxy
 
                 proxy = RemoteServerProxy(
-                    spec, server_id=i, credentials=credentials
+                    spec, server_id=i, credentials=credentials, mux=self.mux
                 )
                 self.remote_indices.add(i)
                 self.clouds.append(proxy.cloud)
@@ -212,6 +219,7 @@ class CDStoreSystem:
             pipeline_depth=config.pipeline_depth,
             clock=clock,
             credentials=credentials,
+            mux=config.mux,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,15 @@
+"""WIRE-006 fixture errors: one documented code, one drifted, one waived."""
+
+
+class DocumentedError(Exception):
+    wire_code = 1
+
+
+class ForgottenError(Exception):
+    wire_code = 2  # TRUE-POSITIVE: missing from PROTOCOL.md's registry
+
+
+class InternalOnlyError(Exception):
+    # Never crosses the wire in this fixture's deployment; the code is
+    # reserved but intentionally unpublished.
+    wire_code = 3  # analysis: ignore[WIRE-006] -- fixture: internal-only code kept out of the spec

@@ -1,0 +1,21 @@
+"""WIRE-006 fixture: the PROTOCOL.md spec drifted from the code.
+
+Parsed (never imported) by tests/test_analysis_checkers.py; the sibling
+``../PROTOCOL.md`` is the normative spec this registry is cross-checked
+against, and ``../errors.py`` carries the wire error codes.  No
+server.py/client.py/protocol.py exist, so WIRE-001/002/005 are
+(deliberately) skipped; ``../README.md`` lists every short name so
+WIRE-003 stays silent too.
+"""
+
+T_PING = 0x01
+T_GHOST = 0x02  # TRUE-POSITIVE: missing from PROTOCOL.md
+# Reserved for a planned hidden-frame experiment; deliberately kept out
+# of the public spec until it ships.
+R_SECRET = 0x90  # analysis: ignore[WIRE-006] -- fixture: justified undocumented frame
+
+#: Declaring METHOD_FRAMES marks this module as the canonical registry,
+#: which is what switches the WIRE-006 doc contract on.
+METHOD_FRAMES: dict[str, int] = {}
+
+CONTROL_FRAMES: frozenset[int] = frozenset({T_PING, T_GHOST})

@@ -142,6 +142,45 @@ def test_protocol_surface_drift_fires_in_both_directions():
 
 
 # ---------------------------------------------------------------------------
+# WIRE-006
+
+
+def test_protocol_doc_drift_flags_frames_and_error_codes():
+    wire = FIXTURES / "protocol_doc" / "net" / "wire.py"
+    errors = FIXTURES / "protocol_doc" / "errors.py"
+    findings = findings_for("protocol_doc")
+    assert rules(findings) == {"WIRE-006"}
+    by_line = {(Path(f.path).name, f.line): f for f in findings}
+
+    # T_GHOST's name+byte pair is absent from the spec.
+    ghost = by_line[("wire.py", line_of(wire, "T_GHOST"))]
+    assert "T_GHOST" in ghost.message
+    assert "0x02" in ghost.message
+
+    # ForgottenError's wire code is absent from the error registry.
+    forgotten = by_line[("errors.py", line_of(errors, "wire_code = 2"))]
+    assert "ForgottenError" in forgotten.message
+    assert "wire code 2" in forgotten.message
+
+    # R_SECRET and InternalOnlyError are suppressed with reasons;
+    # T_PING and DocumentedError are documented.  Nothing else fires.
+    assert len(findings) == 2
+
+
+def test_missing_protocol_doc_is_flagged(tmp_path):
+    (tmp_path / "wire.py").write_text(
+        "T_PING = 0x01\n"
+        "METHOD_FRAMES: dict[str, int] = {}\n"
+        "CONTROL_FRAMES: frozenset[int] = frozenset({T_PING})\n"
+    )
+    findings = run_analysis([tmp_path])
+    assert any(
+        f.rule == "WIRE-006" and "no normative spec" in f.message
+        for f in findings
+    )
+
+
+# ---------------------------------------------------------------------------
 # PICKLE-001
 
 

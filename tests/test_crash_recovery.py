@@ -243,13 +243,31 @@ class TestKillNineEndToEnd:
             monkeypatch.setattr(comm, "UPLOAD_BATCH_BYTES", 32 * 1024)
             first_ack = threading.Event()
             orig_upload = RemoteServerProxy.upload_shares
+            orig_upload_async = RemoteServerProxy.upload_shares_async
 
             def spying_upload(self, user_id, uploads):
                 result = orig_upload(self, user_id, uploads)
                 first_ack.set()
                 return result
 
+            class SpyAckHandle:
+                # The pipelined path acks when the handle resolves, not
+                # when the request is sent — that is the durable ack.
+                def __init__(self, inner):
+                    self._inner = inner
+
+                def result(self):
+                    out = self._inner.result()
+                    first_ack.set()
+                    return out
+
+            def spying_upload_async(self, user_id, uploads):
+                return SpyAckHandle(orig_upload_async(self, user_id, uploads))
+
             monkeypatch.setattr(RemoteServerProxy, "upload_shares", spying_upload)
+            monkeypatch.setattr(
+                RemoteServerProxy, "upload_shares_async", spying_upload_async
+            )
 
             def doomed_backup():
                 try:

@@ -308,3 +308,86 @@ class TestFraming:
         blob = count.to_bytes(4, "big")
         with pytest.raises(ProtocolError):
             wire.decode_fetch_shares(blob)
+
+
+# ---------------------------------------------------------------------------
+# v2 (mux) framing + version negotiation
+# ---------------------------------------------------------------------------
+
+
+def exact_reader(blob: bytes):
+    """A ``recv_exact``-shaped reader over an in-memory byte string."""
+    pos = 0
+
+    def recv_exact(n: int) -> bytes:
+        nonlocal pos
+        if pos + n > len(blob):
+            raise ConnectionError("EOF mid-frame")
+        out = blob[pos:pos + n]
+        pos += n
+        return out
+
+    return recv_exact
+
+
+class TestMuxFraming:
+    def test_header_sizes(self):
+        # v2 inserts exactly one u32 request-id word after the type byte.
+        assert wire.FRAME_HEADER.size == 7
+        assert wire.MUX_FRAME_HEADER.size == 11
+
+    @given(
+        frame_type=st.integers(0, 255),
+        request_id=st.integers(0, wire.REQUEST_ID_MAX),
+        payload=st.binary(max_size=512),
+    )
+    def test_mux_frame_round_trip(self, frame_type, request_id, payload):
+        blob = wire.encode_mux_frame(frame_type, request_id, payload)
+        assert wire.read_frame_mux(exact_reader(blob)) == (
+            frame_type, request_id, payload,
+        )
+
+    @given(request_id=st.integers(0, wire.REQUEST_ID_MAX))
+    def test_versioned_encode_matches_plain_encoders(self, request_id):
+        v1 = wire.encode_frame_v(1, wire.R_OK, request_id, b"x")
+        v2 = wire.encode_frame_v(2, wire.R_OK, request_id, b"x")
+        assert v1 == wire.encode_frame(wire.R_OK, b"x")  # id dropped on v1
+        assert v2 == wire.encode_mux_frame(wire.R_OK, request_id, b"x")
+        assert wire.read_frame_v(exact_reader(v1), 1) == (wire.R_OK, 0, b"x")
+        assert wire.read_frame_v(exact_reader(v2), 2) == (
+            wire.R_OK, request_id, b"x",
+        )
+
+    @pytest.mark.parametrize("request_id", [-1, wire.REQUEST_ID_MAX + 1])
+    def test_request_id_outside_u32_rejected(self, request_id):
+        with pytest.raises(ProtocolError, match="request id"):
+            wire.encode_mux_frame(wire.T_PING, request_id)
+
+    def test_mux_bad_magic_rejected(self):
+        blob = wire.encode_mux_frame(wire.T_PING, 1, b"")
+        with pytest.raises(ProtocolError, match="magic"):
+            wire.read_frame_mux(exact_reader(b"\x00\x00" + blob[2:]))
+
+    def test_mux_oversized_length_rejected_before_allocation(self):
+        header = wire.MUX_FRAME_HEADER.pack(0xCD5E, wire.T_PING, 1, 2**31)
+        with pytest.raises(ProtocolError, match="cap"):
+            wire.read_frame_mux(exact_reader(header + b"x" * 16))
+
+    def test_mux_truncated_frame_rejected(self):
+        blob = wire.encode_mux_frame(wire.T_PING, 1, b"abc")
+        with pytest.raises(ConnectionError):
+            wire.read_frame_mux(exact_reader(blob[:-1]))
+
+    @given(peer=st.integers(0, 2**16 - 1))
+    def test_negotiation_clamps_both_directions(self, peer):
+        agreed = wire.negotiate_version(peer)
+        assert 1 <= agreed <= wire.WIRE_VERSION
+        if peer <= 1:
+            assert agreed == 1  # old (or nonsense-zero) peers keep v1
+        if peer >= wire.WIRE_VERSION:
+            assert agreed == wire.WIRE_VERSION
+
+    def test_ping_pong_carry_versions(self):
+        assert wire.decode_ping(wire.encode_ping(1)) == 1
+        version, server_id = wire.decode_pong(wire.encode_pong(9, version=1))
+        assert (version, server_id) == (1, 9)
