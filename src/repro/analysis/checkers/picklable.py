@@ -9,7 +9,9 @@ any ``@dataclass``-decorated class whose name ends in ``Spec``:
 scalars (``str``/``int``/``float``/``bool``/``bytes``/``None``),
 containers of allowed types (``tuple``/``list``/``dict``/``set``/
 ``frozenset`` and their ``typing`` spellings), ``Optional``/``Union``
-unions of allowed types, and ``Literal``.
+unions of allowed types, ``Literal``, and other ``*Spec`` classes
+(allowed by induction — their own fields are checked too, so a spec of
+specs bottoms out in checked scalars).
 
 Anything else — a lock, a socket, a callable, an open handle, a numpy
 array — fails analysis at the field's line.  The allowlist is
@@ -62,9 +64,13 @@ def _annotation_ok(node: ast.expr) -> bool:
         # string annotation would need evaluation, so reject it.
         return not isinstance(node.value, str)
     if isinstance(node, ast.Name):
-        return node.id in _ALLOWED_NAMES
+        # Nested specs (GatewaySpec.endpoint: CloudSpec) are allowed by
+        # induction: every *Spec dataclass is itself checked field by
+        # field, so a spec of specs bottoms out in checked scalars.
+        return node.id in _ALLOWED_NAMES or node.id.endswith("Spec")
     if isinstance(node, ast.Attribute):
-        return node.attr in _ALLOWED_NAMES  # typing.Optional et al.
+        # typing.Optional et al., plus dotted nested specs.
+        return node.attr in _ALLOWED_NAMES or node.attr.endswith("Spec")
     if isinstance(node, ast.Subscript):
         return _annotation_ok(node.value) and _annotation_ok(node.slice)
     if isinstance(node, ast.Tuple):

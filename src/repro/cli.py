@@ -122,6 +122,32 @@ def _cloud_spec_arg(text: str) -> str:
     return text
 
 
+def _remote_spec_arg(text: str) -> str:
+    """argparse type: a ``tcp://host:port`` spec (gateway endpoints and
+    replicas are network services by definition — 'local' is rejected at
+    the prompt, not from deep inside proxy construction)."""
+    try:
+        spec = CloudSpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if not spec.is_remote:
+        raise argparse.ArgumentTypeError(
+            f"expected a tcp://host:port spec, got {text!r}"
+        )
+    return text
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type: a float >= 0 (cache TTLs)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
+    return value
+
+
 def _load_config(root: Path) -> ReproConfig:
     return ReproConfig.from_file(root)
 
@@ -175,6 +201,26 @@ def cmd_init(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    gateway = None
+    if args.gateway is not None:
+        gateway = {
+            "endpoint": args.gateway,
+            "cache_bytes": args.gateway_cache_bytes,
+            "recipe_ttl": args.gateway_recipe_ttl,
+            "shard_count": args.gateway_shard_count,
+            "replicas": tuple(args.gateway_replica or ()),
+        }
+    elif (
+        args.gateway_replica
+        or args.gateway_cache_bytes != 256 << 20
+        or args.gateway_recipe_ttl != 30.0
+        or args.gateway_shard_count != 64
+    ):
+        print(
+            "error: --gateway-* options require --gateway tcp://host:port",
+            file=sys.stderr,
+        )
+        return 1
     try:
         config = ReproConfig(
             n=args.n,
@@ -182,6 +228,7 @@ def cmd_init(args: argparse.Namespace) -> int:
             salt=args.salt,
             chunker=args.chunker,
             cloud_specs=tuple(args.cloud_spec) if args.cloud_spec else (),
+            gateway=gateway,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -191,9 +238,12 @@ def cmd_init(args: argparse.Namespace) -> int:
     for i, spec in enumerate(config.cloud_specs):
         if not spec.is_remote:
             (root / f"cloud-{i}").mkdir(exist_ok=True)
+    gateway_note = (
+        f", gateway at {config.gateway.endpoint}" if config.gateway is not None else ""
+    )
     print(f"initialised CDStore deployment at {root} "
           f"(n={config.n}, k={config.k}, chunker={config.chunker}, "
-          f"{config.remote_count} remote cloud(s))")
+          f"{config.remote_count} remote cloud(s){gateway_note})")
     return 0
 
 
@@ -408,6 +458,137 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_gateway(
+    root: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tenants_file: str | Path | None = None,
+    credentials: Credentials | None = None,
+    executor_size: int | None = None,
+    max_connections: int | None = None,
+    write_queue_cap: int | None = None,
+):
+    """Build the sharded read-gateway front-end for a deployment.
+
+    Loads the deployment's :class:`~repro.config.GatewaySpec`, dials the
+    serving replicas (``gateway.replicas`` when configured, otherwise the
+    deployment's remote ``cloud_specs``) and mounts a
+    :class:`~repro.gateway.GatewayService` behind the async mux
+    front-end with ``server=None`` — the gateway answers only ping, auth
+    and the two gateway frames, and rejects server-API frames with a
+    typed protocol error.
+
+    Replica proxies keep their **cloud index** as ``server_id``: the
+    client's decoder keys share maps by dispersal share index, so a
+    gateway that renumbered replicas would hand back undecodable shard
+    streams.  Against authenticated replicas, pass admin ``credentials``
+    — replica-side owner scoping would otherwise refuse the gateway
+    cross-tenant fetches (the *client*-facing side enforces tenancy per
+    connection exactly like ``repro serve``).
+    """
+    from repro.gateway import GatewayService
+    from repro.net import AsyncCDStoreTCPServer, RemoteServerProxy
+    from repro.server.server import FETCH_BATCH_BYTES
+
+    root = Path(root)
+    config = _load_config(root)
+    gw = config.gateway
+    if gw is None:
+        raise ReproError(
+            f"deployment {root} has no gateway configured "
+            "(re-run `repro init` with --gateway, or edit cdstore.json)"
+        )
+    if gw.replicas:
+        replica_specs = list(enumerate(gw.replicas))
+    else:
+        replica_specs = [
+            (index, spec)
+            for index, spec in enumerate(config.cloud_specs)
+            if spec.is_remote
+        ]
+    bad = [str(spec) for _, spec in replica_specs if not spec.is_remote]
+    if bad:
+        raise ReproError(
+            f"gateway replicas must be tcp://host:port specs, got {bad}"
+        )
+    if len(replica_specs) < config.k:
+        raise ReproError(
+            f"gateway needs at least k={config.k} serving replicas, "
+            f"got {len(replica_specs)} (configure gateway.replicas or "
+            "serve more clouds remotely)"
+        )
+    registry = None
+    if tenants_file is not None:
+        registry = TenantRegistry.from_file(tenants_file)
+    elif (root / TENANTS_FILE_NAME).exists():
+        registry = TenantRegistry.from_file(root / TENANTS_FILE_NAME)
+    replicas = [
+        RemoteServerProxy(
+            str(spec),
+            server_id=index,
+            credentials=credentials,
+            mux=config.mux,
+        )
+        for index, spec in replica_specs
+    ]
+    service = GatewayService(
+        replicas,
+        k=config.k,
+        cache_bytes=gw.cache_bytes,
+        recipe_ttl=gw.recipe_ttl,
+        shard_count=gw.shard_count,
+        own_replicas=True,
+    )
+    extra = {}
+    if executor_size is not None:
+        extra["executor_size"] = executor_size
+    if max_connections is not None:
+        extra["max_connections"] = max_connections
+    if write_queue_cap is not None:
+        extra["write_queue_cap"] = write_queue_cap
+    return AsyncCDStoreTCPServer(
+        None,
+        host=host,
+        port=port,
+        frame_budget=FETCH_BATCH_BYTES,
+        tenants=registry,
+        gateway=service,
+        **extra,
+    )
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    tcp = build_gateway(
+        Path(args.root),
+        host=args.host,
+        port=args.port,
+        tenants_file=args.tenants,
+        credentials=_credentials_from(args),
+        executor_size=args.executor_size,
+        max_connections=args.max_connections,
+        write_queue_cap=args.write_queue_cap,
+    )
+    service = tcp.gateway
+    tcp.start()
+    host, port = tcp.address
+    mode = "authenticated" if tcp.tenants is not None else "open"
+    print(f"serving read gateway at tcp://{host}:{port} "
+          f"({mode} mode, {len(service.ring.node_ids)} replica(s), "
+          f"cache {service.cache.capacity_bytes} bytes; Ctrl-C to stop)")
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        stats = service.stats()
+        print(f"cache: {stats['cache_hits']} hits, "
+              f"{stats['cache_misses']} misses "
+              f"({stats['cache_hit_ratio']:.1%} hit ratio)")
+    finally:
+        tcp.close()
+        service.close()
+    return 0
+
+
 def cmd_tenant_add(args: argparse.Namespace) -> int:
     root = Path(args.root)
     _load_config(root)  # must be a deployment
@@ -554,6 +735,37 @@ def build_parser() -> argparse.ArgumentParser:
              "or 'tcp://host:port' (a `repro serve` process); repeat once "
              "per cloud, in cloud order — persisted deployment-wide",
     )
+    p.add_argument(
+        "--gateway", type=_remote_spec_arg, default=None, metavar="SPEC",
+        help="tcp://host:port of the deployment's read gateway (`repro "
+             "gateway` serves it there); clients then restore through it "
+             "with automatic direct-quorum fallback",
+    )
+    p.add_argument(
+        "--gateway-cache-bytes", type=_positive_int, default=256 << 20,
+        dest="gateway_cache_bytes", metavar="BYTES",
+        help="gateway hot-container cache bound in bytes of cached share "
+             "payload (default 256 MB; requires --gateway)",
+    )
+    p.add_argument(
+        "--gateway-recipe-ttl", type=_nonneg_float, default=30.0,
+        dest="gateway_recipe_ttl", metavar="SECONDS",
+        help="gateway resolution-cache TTL; 0 revalidates recipes on "
+             "every resolve (default 30; requires --gateway)",
+    )
+    p.add_argument(
+        "--gateway-shard-count", type=_positive_int, default=64,
+        dest="gateway_shard_count", metavar="N",
+        help="virtual nodes per replica on the gateway's consistent-hash "
+             "ring (default 64; requires --gateway)",
+    )
+    p.add_argument(
+        "--gateway-replica", type=_remote_spec_arg, action="append",
+        default=None, dest="gateway_replica", metavar="SPEC",
+        help="serving replica the gateway fetches from; repeat in cloud "
+             "order (defaults to the deployment's remote cloud specs; "
+             "requires --gateway)",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser(
@@ -612,6 +824,59 @@ def build_parser() -> argparse.ArgumentParser:
              "only with --async)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "gateway",
+        help="serve this deployment's sharded read gateway",
+        description="Host the read gateway the deployment's config names "
+                    "in its gateway spec: clients resolve a backup once, "
+                    "then stream restore windows whose shards the gateway "
+                    "fetches from the serving replicas through a "
+                    "byte-bounded hot-container cache. Runs until "
+                    "interrupted.",
+    )
+    p.add_argument("--root", required=True)
+    p.add_argument(
+        "--port", type=_port_arg, required=True,
+        help="TCP port to listen on (1-65535)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--tenants", default=None, metavar="PATH",
+        help="tenant registry JSON enabling authenticated multi-tenant "
+             f"mode (defaults to {TENANTS_FILE_NAME} under --root when "
+             "present; omit both for open mode)",
+    )
+    p.add_argument(
+        "--tenant", default=None,
+        help="admin tenant id the gateway authenticates as against "
+             "multi-tenant replicas (owner scoping would refuse a "
+             "plain tenant's cross-tenant fetches)",
+    )
+    p.add_argument(
+        "--secret-file", default=None, dest="secret_file", metavar="PATH",
+        help="file holding the gateway's tenant shared secret "
+             f"(alternatively set ${SECRET_ENV}); omit against open-mode "
+             "replicas",
+    )
+    p.add_argument(
+        "--executor-size", type=_positive_int, default=None,
+        dest="executor_size", metavar="N",
+        help="worker threads executing gateway requests (default 8)",
+    )
+    p.add_argument(
+        "--max-connections", type=_positive_int, default=None,
+        dest="max_connections", metavar="N",
+        help="connection cap; excess connects are refused with a typed "
+             "overload error (default 1000)",
+    )
+    p.add_argument(
+        "--write-queue-cap", type=_positive_int, default=None,
+        dest="write_queue_cap", metavar="BYTES",
+        help="per-connection outbound queue cap; clients that stop "
+             "reading past this backlog are evicted (default 16 MB)",
+    )
+    p.set_defaults(func=cmd_gateway)
 
     p = sub.add_parser("backup", help="back up a file")
     p.add_argument("--root", required=True)

@@ -29,8 +29,13 @@ from dataclasses import dataclass, field
 
 from repro.chunking.base import Chunker
 from repro.chunking.registry import ChunkerSpec, create_chunker
-from repro.client.comm import FETCH_ERRORS, UPLOAD_BATCH_BYTES, CommEngine
-from repro.client.workers import plan_windows
+from repro.client.comm import UPLOAD_BATCH_BYTES, CommEngine
+from repro.client.read import (
+    GATEWAY_FALLBACK_ERRORS,
+    DirectReadSession,
+    GatewayReadSession,
+    ReadSession,
+)
 from repro.cloud.network import SimClock
 from repro.core.convergent import ConvergentDispersal
 from repro.crypto.hashing import sha256
@@ -38,10 +43,9 @@ from repro.dedup.stats import DedupStats
 from repro.errors import (
     CloudUnavailableError,
     InsufficientCloudsError,
-    IntegrityError,
     ParameterError,
 )
-from repro.server.messages import FileManifest, RecipeEntry
+from repro.server.messages import FileManifest
 from repro.server.server import CDStoreServer
 from repro.sharing.ssss import SSSS
 
@@ -114,6 +118,10 @@ class CDStoreClient:
         from the measured encode-rate/wire-rate ratio at the first upload
         (recorded in the :class:`UploadReceipt`).  See
         :mod:`repro.client.comm`.
+    gateway:
+        Optional read-gateway handle (see :mod:`repro.client.read` and
+        :mod:`repro.gateway`): restores are served through it, with
+        automatic fallback to the direct quorum path on any failure.
     """
 
     def __init__(
@@ -129,6 +137,7 @@ class CDStoreClient:
         codec=None,
         clock: SimClock | None = None,
         pipeline_depth: int | str = 1,
+        gateway=None,
     ) -> None:
         if not servers:
             raise ParameterError("need at least one server")
@@ -150,6 +159,12 @@ class CDStoreClient:
         #: fetch and decode one window at a time); tests shrink it to
         #: exercise multi-window restores on small payloads.
         self.restore_window_bytes = UPLOAD_BATCH_BYTES
+        #: Optional read gateway: any object with the gateway read
+        #: surface (``resolve_backup`` + ``iter_window_shards``), usually
+        #: a :class:`~repro.net.client.RemoteServerProxy` to a
+        #: ``repro gateway``.  The client does NOT own it (no close) —
+        #: the system façade shares one proxy across its clients.
+        self.gateway = gateway
         #: The parallel multi-cloud comm engine; shares ``self.servers`` so
         #: server replacements (cloud repair) are picked up live.
         self.comm = CommEngine(
@@ -246,158 +261,55 @@ class CDStoreClient:
     def _reachable_servers(self) -> list[CDStoreServer]:
         return [server for server in self.servers if server.cloud.available]
 
-    def download(self, path: str) -> bytes:
-        """Restore the file stored under ``path`` from any ``k`` clouds.
+    def open_read(self, path: str, via: str = "auto") -> ReadSession:
+        """Resolve ``path`` and return the :class:`ReadSession` to read it.
 
-        The ``k`` per-server fetches run concurrently; a chosen server
-        failing mid-restore is transparently replaced by a spare reachable
-        cloud (§3.1 availability).  All ``k`` file entries are
-        cross-checked before decoding — a lying minority cannot spoof the
-        file size or secret count unnoticed.
-
-        With ``pipeline_depth > 1`` the shares stream in per-window maps
-        (``restore_window_bytes`` of per-cloud shares each): decoding of
-        window ``i`` overlaps the fetch of windows ``i+1 ..
-        i+pipeline_depth-1``, and a cloud failing in window ``i`` is
-        replaced by a spare for that window onward only.  ``pipeline_depth
-        == 1`` fetches the whole file as a single window — the
-        pre-streaming behaviour, byte-for-byte.
+        ``via`` selects the read path: ``"direct"`` (quorum restore),
+        ``"gateway"`` (requires a configured gateway), or ``"auto"``
+        (gateway when configured, else direct).  Resolution — file-entry
+        cross-check or gateway recipe resolution, plus window planning —
+        happens here, once; the session's :attr:`~ReadSession.plan`
+        exposes the result and ``read()`` executes it.
         """
-        reachable = self._reachable_servers()
-        if len(reachable) < self.k:
-            raise InsufficientCloudsError(
-                f"only {len(reachable)} of {self.n} clouds reachable; "
-                f"need k={self.k}"
+        if via not in ("auto", "direct", "gateway"):
+            raise ParameterError(
+                f"via must be 'auto', 'direct' or 'gateway', got {via!r}"
             )
-        lookup_key = self._lookup_key(path)
-        chosen = reachable[: self.k]
-        # Shared, mutable failover pool: the comm engine pops spares it
-        # promotes to chosen sources, so the §3.2 widening below never
-        # treats a promoted spare as extra decode material.
-        spare_pool = list(reachable[self.k :])
+        if via == "gateway" and self.gateway is None:
+            raise ParameterError("no gateway configured for this client")
+        if via != "direct" and self.gateway is not None:
+            return GatewayReadSession(self, path, self.gateway)
+        return DirectReadSession(self, path)
 
-        sources = self.comm.fetch_sources(
-            self.user_id, lookup_key, chosen, spare_pool
-        )
+    def download(self, path: str) -> bytes:
+        """Restore the file stored under ``path``.
 
-        # Cross-check the replicated (non-sensitive) metadata across all k
-        # servers instead of trusting whichever answered last.
-        sizes = {source.entry.file_size for source in sources}
-        counts = {source.entry.secret_count for source in sources}
-        if len(sizes) != 1 or len(counts) != 1:
-            raise IntegrityError(
-                "servers disagree on file entry (file size / secret count)"
-            )
-        file_size = sizes.pop()
-        secret_count = counts.pop()
-        lengths = {len(source.recipe) for source in sources}
-        if len(lengths) != 1 or lengths.pop() != secret_count:
-            raise IntegrityError("servers disagree on recipe length")
+        A thin wrapper over :meth:`open_read`: with a gateway configured
+        the restore is served from the gateway's hot-container cache;
+        any gateway-path failure (dead replica behind a cache miss,
+        transport loss, decode failure) falls back to the direct quorum
+        restore, where the ``k`` per-server fetches run concurrently and
+        a server failing mid-restore is replaced by a spare reachable
+        cloud at window granularity (§3.1 availability, §3.2 widening).
 
-        # Window plan: contiguous secret runs whose per-cloud share bytes
-        # stay within restore_window_bytes.  A non-streaming engine fetches
-        # everything as one window (the serial-phase degenerate case).
-        reference = sources[0].recipe
-        if self.comm.streaming:
-            windows = plan_windows(
-                [
-                    self.dispersal.share_size(entry.secret_size)
-                    for entry in reference
-                ],
-                self.restore_window_bytes,
-            )
-        else:
-            windows = [(0, secret_count)] if secret_count else []
-
-        #: §3.2 widening state, shared across windows: each spare's recipe
-        #: is fetched at most once per restore, and a spare that fails is
-        #: skipped for all later secrets in any window.
-        spare_recipes: dict[int, list[RecipeEntry]] = {}
-        dead_spares: set[int] = set()
-
-        parts: list[bytes] = []
-        stream = self.comm.stream_share_windows(
-            self.user_id,
-            lookup_key,
-            sources,
-            windows,
-            spare_pool,
-            expect=(file_size, secret_count),
-        )
-        try:
-            for window in stream:
-                requests: list[tuple[dict[int, bytes], int]] = []
-                for seq in range(window.start, window.end):
-                    shares = {
-                        slot.server.server_id: slot.shares[
-                            slot.recipe[seq].fingerprint
-                        ]
-                        for slot in window.slots
-                    }
-                    requests.append((shares, reference[seq].secret_size))
-
-                used_ids = {slot.server.server_id for slot in window.slots}
-
-                def widen_with_spares(
-                    index: int,
-                    shares: dict[int, bytes],
-                    secret_size: int,
-                    _window=window,
-                    _used=used_ids,
-                ) -> bytes:
-                    """Last resort for one secret: widen its share pool (§3.2).
-
-                    The fetched shares could not decode even with the k-subset
-                    brute force, so pull this secret's share from each
-                    remaining reachable spare cloud and retry.  A spare that
-                    fails is skipped (and not retried for later secrets) — one
-                    bad spare must not abort a restore that the remaining
-                    shares can still satisfy.
-                    """
-                    seq = _window.start + index
-                    widened = dict(shares)
-                    for server in list(spare_pool):
-                        if (
-                            server.server_id in _used
-                            or server.server_id in dead_spares
-                        ):
-                            continue
-                        if not server.cloud.available:
-                            # Remember the failed probe: for a remote cloud
-                            # `available` is a network PING, and repeating
-                            # it per secret would stall the widening loop
-                            # on an unresponsive host.
-                            dead_spares.add(server.server_id)
-                            continue
-                        try:
-                            recipe = spare_recipes.get(server.server_id)
-                            if recipe is None:
-                                recipe = server.get_recipe(self.user_id, lookup_key)
-                                spare_recipes[server.server_id] = recipe
-                            fetched = server.fetch_shares([recipe[seq].fingerprint])
-                        except (*FETCH_ERRORS, IndexError):
-                            # IndexError: the spare's recipe is shorter than
-                            # the agreed secret count — as unusable as corrupt.
-                            dead_spares.add(server.server_id)
-                            continue
-                        widened[server.server_id] = fetched[recipe[seq].fingerprint]
-                    return self.dispersal.decode(widened, secret_size)
-
-                # Batched happy path: secrets decoded from the same k-subset
-                # share one inverse-matrix multiply; on integrity failure the
-                # dispersal retries per secret and widens only the ones that
-                # still fail.
-                parts.extend(
-                    self.dispersal.decode_batch(requests, fallback=widen_with_spares)
-                )
-        finally:
-            stream.close()
-        result = b"".join(parts)
-        if len(result) != file_size:
-            raise IntegrityError(
-                f"restored size {len(result)} != recorded size {file_size}"
-            )
-        return result
+        With ``pipeline_depth > 1`` the direct path streams shares in
+        per-window maps (``restore_window_bytes`` of per-cloud shares
+        each): decoding of window ``i`` overlaps the fetch of windows
+        ``i+1 .. i+pipeline_depth-1``.  ``pipeline_depth == 1`` fetches
+        the whole file as a single window — the pre-streaming behaviour,
+        byte-for-byte.
+        """
+        if self.gateway is not None:
+            try:
+                with self.open_read(path, via="gateway") as session:
+                    return session.read()
+            except GATEWAY_FALLBACK_ERRORS:
+                # Degraded mode: restart from scratch on the quorum.  The
+                # direct session re-resolves (its windows may differ from
+                # the gateway's) and runs the full failover machinery.
+                pass
+        with self.open_read(path, via="direct") as session:
+            return session.read()
 
     def list_files(self) -> list[str]:
         """List this user's stored pathnames.

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.errors import ParameterError, ReproError
 
-__all__ = ["CloudSpec", "ReproConfig", "CONFIG_FILE_NAME"]
+__all__ = ["CloudSpec", "GatewaySpec", "ReproConfig", "CONFIG_FILE_NAME"]
 
 #: Conventional config file name under a deployment root.
 CONFIG_FILE_NAME = "cdstore.json"
@@ -87,10 +87,9 @@ class CloudSpec:
     def parse(cls, text: str) -> "CloudSpec":
         """Parse ``"local"`` or ``"tcp://host:port"``.
 
-        The one canonical parser: the CLI's argparse types, the system
-        façade and :func:`repro.net.client.parse_cloud_spec` (now a
-        deprecated shim) all route here, so a malformed spec produces
-        the same :class:`~repro.errors.ParameterError` everywhere.
+        The one canonical parser: the CLI's argparse types and the
+        system façade all route here, so a malformed spec produces the
+        same :class:`~repro.errors.ParameterError` everywhere.
         """
         if not isinstance(text, str):
             raise ParameterError(
@@ -131,6 +130,89 @@ def _coerce_spec(value: "CloudSpec | str") -> CloudSpec:
 
 
 @dataclass(frozen=True)
+class GatewaySpec:
+    """Where the deployment's read gateway lives, and its cache shape.
+
+    A gateway (:mod:`repro.gateway`) is optional infrastructure: when a
+    deployment's config carries one, clients built by
+    :meth:`~repro.system.cdstore.CDStoreSystem.from_config` restore
+    through it (with automatic direct-quorum fallback).  ``repro init
+    --gateway tcp://host:port`` persists it; ``repro gateway`` serves it.
+    """
+
+    #: The ``tcp://host:port`` clients connect to.
+    endpoint: CloudSpec
+    #: Hot-container cache bound, in bytes of cached share payload.
+    cache_bytes: int = 256 << 20
+    #: Recipe/resolution cache TTL in seconds; 0 revalidates on every
+    #: resolve (the strongest overwrite-visibility, the weakest caching).
+    recipe_ttl: float = 30.0
+    #: Virtual nodes per replica on the consistent-hash ring.
+    shard_count: int = 64
+    #: The serving replicas the gateway fetches from; empty means "the
+    #: deployment's own cloud_specs" (resolved by ``from_config``).
+    replicas: tuple[CloudSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        endpoint = _coerce_spec(self.endpoint)
+        if not endpoint.is_remote:
+            raise ParameterError(
+                "gateway endpoint must be a tcp://host:port spec"
+            )
+        object.__setattr__(self, "endpoint", endpoint)
+        if not isinstance(self.cache_bytes, int) or self.cache_bytes < 1:
+            raise ParameterError(
+                f"gateway cache_bytes must be a positive integer, "
+                f"got {self.cache_bytes!r}"
+            )
+        if (
+            not isinstance(self.recipe_ttl, (int, float))
+            or isinstance(self.recipe_ttl, bool)
+            or self.recipe_ttl < 0
+        ):
+            raise ParameterError(
+                f"gateway recipe_ttl must be >= 0 seconds, "
+                f"got {self.recipe_ttl!r}"
+            )
+        object.__setattr__(self, "recipe_ttl", float(self.recipe_ttl))
+        if not isinstance(self.shard_count, int) or self.shard_count < 1:
+            raise ParameterError(
+                f"gateway shard_count must be a positive integer, "
+                f"got {self.shard_count!r}"
+            )
+        object.__setattr__(
+            self, "replicas", tuple(_coerce_spec(s) for s in self.replicas)
+        )
+
+    @classmethod
+    def from_mapping(cls, raw: dict) -> "GatewaySpec":
+        if not isinstance(raw, dict):
+            raise ParameterError(
+                f"gateway config must be a JSON object, got {type(raw).__name__}"
+            )
+        known = {"endpoint", "cache_bytes", "recipe_ttl", "shard_count", "replicas"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown gateway config keys: {', '.join(sorted(unknown))}"
+            )
+        if "endpoint" not in raw:
+            raise ParameterError("gateway config needs an 'endpoint' key")
+        kwargs = dict(raw)
+        kwargs["replicas"] = tuple(kwargs.get("replicas") or ())
+        return cls(**kwargs)
+
+    def to_mapping(self) -> dict:
+        return {
+            "endpoint": str(self.endpoint),
+            "cache_bytes": self.cache_bytes,
+            "recipe_ttl": self.recipe_ttl,
+            "shard_count": self.shard_count,
+            "replicas": [str(spec) for spec in self.replicas],
+        }
+
+
+@dataclass(frozen=True)
 class ReproConfig:
     """Every deployment-wide setting, validated once.
 
@@ -154,6 +236,9 @@ class ReproConfig:
     #: serial framing against v1 servers).  ``False`` pins every proxy to
     #: the one-request-in-flight v1 protocol.
     mux: bool = True
+    #: Optional read gateway (:class:`GatewaySpec` or its mapping form);
+    #: ``None`` means clients restore directly from the cloud quorum.
+    gateway: GatewaySpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n, int) or self.n < 1:
@@ -192,6 +277,10 @@ class ReproConfig:
             )
         if not isinstance(self.mux, bool):
             raise ParameterError(f"mux must be a boolean, got {self.mux!r}")
+        if self.gateway is not None and not isinstance(self.gateway, GatewaySpec):
+            object.__setattr__(
+                self, "gateway", GatewaySpec.from_mapping(self.gateway)
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -224,7 +313,7 @@ class ReproConfig:
             )
         known = {
             "n", "k", "salt", "chunker", "cloud_specs", "scheme",
-            "threads", "workers", "pipeline_depth", "mux",
+            "threads", "workers", "pipeline_depth", "mux", "gateway",
         }
         unknown = set(raw) - known
         if unknown:
@@ -234,6 +323,8 @@ class ReproConfig:
         kwargs = {key: raw[key] for key in known & set(raw)}
         if kwargs.get("cloud_specs") is None:
             kwargs.pop("cloud_specs", None)
+        if kwargs.get("gateway") is None:
+            kwargs.pop("gateway", None)
         return cls(**kwargs)
 
     def to_mapping(self) -> dict:
@@ -248,6 +339,9 @@ class ReproConfig:
             "workers": self.workers,
             "pipeline_depth": self.pipeline_depth,
             "mux": self.mux,
+            "gateway": (
+                self.gateway.to_mapping() if self.gateway is not None else None
+            ),
         }
 
     @classmethod

@@ -1,0 +1,31 @@
+"""The sharded read gateway (``repro gateway``).
+
+A gateway is read-side infrastructure between restore clients and the
+serving replicas: it terminates client restore requests on the async mux
+front-end, resolves each backup once, consistent-hash-shards the window
+fetches across replicas (:class:`~repro.gateway.ring.HashRing`), and
+keeps a bytes-bounded hot-container cache
+(:class:`~repro.gateway.cache.HotContainerCache`) so that popular
+backups are served from memory instead of hitting the same replicas over
+and over.  The service itself is
+:class:`~repro.gateway.service.GatewayService`; its wire surface
+(``T_GW_RESOLVE`` / ``T_GW_WINDOW``) is documented in
+``docs/PROTOCOL.md`` §8.
+
+The gateway is deliberately *not* in the durability path: it holds no
+authoritative state, performs no replica failover, and may be killed at
+any time — clients fall back to the direct quorum restore (window-
+granular spare failover, §3.2 share widening) whenever the gateway path
+fails.
+"""
+
+from repro.gateway.cache import HotContainerCache
+from repro.gateway.ring import HashRing
+from repro.gateway.service import GATEWAY_WINDOW_BYTES, GatewayService
+
+__all__ = [
+    "GATEWAY_WINDOW_BYTES",
+    "GatewayService",
+    "HashRing",
+    "HotContainerCache",
+]

@@ -1,0 +1,114 @@
+"""The gateway's bytes-bounded hot-container cache.
+
+A thread-safe wrapper around the generic :class:`~repro.lsm.cache.
+LRUCache` (the same implementation behind the LSM block cache and the
+container disk cache, §4.5), measured in bytes of cached share payload.
+
+Keys are **content-addressed**: the service keys each entry by
+``(user, lookup_key, window index, replica id, digest of the window's
+share fingerprints)``.  Overwriting a backup changes its fingerprints,
+so the new version can never hit the old version's entries — staleness
+is structurally impossible, not TTL-bounded.  What content addressing
+does *not* do is free the dead bytes, which is why the cache also keeps
+a per-backup key index so :meth:`invalidate` can drop every entry of an
+overwritten or deleted backup in one call.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+from repro.analysis.annotations import guarded_by, requires_lock
+from repro.lsm.cache import LRUCache
+
+__all__ = ["HotContainerCache"]
+
+#: ``(user_id, lookup_key)`` — one backup's identity.
+Backup = tuple[str, bytes]
+
+
+class HotContainerCache:
+    """Thread-safe byte-bounded LRU of window share lists.
+
+    Values are ``list[bytes]`` (one window's shares from one replica);
+    an entry's cost is the summed share payload (floored at 1 so empty
+    windows still occupy a slot and stay evictable).
+    """
+
+    #: Lock discipline (``repro analyze``, LOCK-001): the underlying
+    #: LRU and the per-backup key index are shared by every connection
+    #: the front-end multiplexes; both mutate only under ``_lock``.
+    GUARDED_BY = guarded_by(_cache="_lock", _by_backup="_lock")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self._lock = Lock()
+        self._cache = LRUCache(
+            capacity_bytes,
+            size_of=lambda shares: sum(len(s) for s in shares) or 1,
+            on_evict=self._evicted,
+        )
+        self._by_backup: dict[Backup, set] = {}
+
+    @requires_lock("_lock")
+    def _evicted(self, key, _value) -> None:
+        # Runs inside LRUCache.put, which only runs under self._lock:
+        # keep the per-backup index in step with capacity eviction.
+        backup = key[:2]
+        keys = self._by_backup.get(backup)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_backup[backup]
+
+    def get(self, key: tuple):
+        """The cached share list, or None (counts toward hit stats)."""
+        with self._lock:
+            return self._cache.get(key)
+
+    def put(self, key: tuple, shares: list) -> None:
+        with self._lock:
+            self._by_backup.setdefault(key[:2], set()).add(key)
+            self._cache.put(key, shares)
+
+    def invalidate(self, backup: Backup) -> int:
+        """Drop every entry of one backup; returns entries removed."""
+        with self._lock:
+            keys = self._by_backup.pop(backup, set())
+            removed = 0
+            for key in keys:
+                if self._cache.pop(key) is not None:
+                    removed += 1
+            return removed
+
+    # ------------------------------------------------------------------
+    # observability (benchmark + stats surface)
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        with self._lock:
+            return self._cache.capacity
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._cache.size
+
+    @property
+    def entries(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            return self._cache.hit_rate

@@ -1,0 +1,65 @@
+"""Consistent-hash ring for sharding window fetches across replicas.
+
+The gateway must spread fetch load over its serving replicas *stably*:
+the same ``(backup, window)`` must keep landing on the same replicas so
+the hot-container cache actually accumulates hits, and adding or
+removing one replica must move only ``~1/n`` of the keyspace (a modulo
+scheme would reshuffle everything and cold-start the cache fleet-wide).
+
+Classic construction: each replica owns ``vnodes`` pseudo-random points
+on a 64-bit ring (SHA-256 of ``"node:vnode"`` — deterministic across
+processes and Python's per-process hash randomisation); a key hashes to
+a point and walks clockwise collecting *distinct* replicas in
+preference order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ParameterError
+
+__all__ = ["HashRing"]
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over integer node ids."""
+
+    def __init__(self, node_ids: list[int], vnodes: int = 64) -> None:
+        if not node_ids:
+            raise ParameterError("a hash ring needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise ParameterError(f"duplicate node ids: {sorted(node_ids)}")
+        if vnodes < 1:
+            raise ParameterError(f"vnodes must be >= 1, got {vnodes}")
+        self.node_ids = sorted(node_ids)
+        points: list[tuple[int, int]] = []
+        for node_id in self.node_ids:
+            for vnode in range(vnodes):
+                points.append((_point(b"%d:%d" % (node_id, vnode)), node_id))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def preferred(self, key: bytes) -> list[int]:
+        """All node ids in preference order for ``key``.
+
+        Deterministic: the first ``k`` entries are the replicas a
+        gateway fetches a window from, and the tail is the natural
+        ordering a future rebalance would promote from.
+        """
+        start = bisect.bisect_right(self._points, _point(key))
+        seen: list[int] = []
+        for i in range(len(self._owners)):
+            owner = self._owners[(start + i) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self.node_ids):
+                    break
+        return seen

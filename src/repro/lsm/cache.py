@@ -61,6 +61,19 @@ class LRUCache:
             if self._on_evict is not None:
                 self._on_evict(old_key, old_value)
 
+    def pop(self, key: Hashable):
+        """Remove ``key`` and return its value, or None if absent.
+
+        Explicit removal (cache invalidation) does not run ``on_evict``:
+        the callback is for capacity pressure, and invalidation callers
+        are already holding whatever bookkeeping the entry needs.
+        """
+        if key not in self._data:
+            return None
+        value = self._data.pop(key)
+        self._size -= self._size_of(value)
+        return value
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 

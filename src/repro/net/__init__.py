@@ -24,7 +24,7 @@ system without changing a byte of what travels:
 """
 
 from repro.net.async_server import AsyncCDStoreTCPServer
-from repro.net.client import RemoteCloud, RemoteServerProxy, parse_cloud_spec
+from repro.net.client import RemoteCloud, RemoteServerProxy
 from repro.net.server import CDStoreTCPServer
 
 __all__ = [
@@ -32,5 +32,4 @@ __all__ = [
     "CDStoreTCPServer",
     "RemoteCloud",
     "RemoteServerProxy",
-    "parse_cloud_spec",
 ]

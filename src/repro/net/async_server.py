@@ -110,7 +110,7 @@ class AsyncCDStoreTCPServer:
 
     def __init__(
         self,
-        server: CDStoreServer,
+        server: CDStoreServer | None,
         host: str = "127.0.0.1",
         port: int = 0,
         frame_budget: int = FETCH_BATCH_BYTES,
@@ -122,6 +122,7 @@ class AsyncCDStoreTCPServer:
         source_inflight_cap: int = 64,
         max_backlog: int | None = None,
         slow_reader_grace: float = 20.0,
+        gateway=None,
     ) -> None:
         if executor_size < 1:
             raise ValueError(f"executor_size must be >= 1, got {executor_size}")
@@ -130,9 +131,10 @@ class AsyncCDStoreTCPServer:
         if write_queue_cap < 1:
             raise ValueError(f"write_queue_cap must be >= 1, got {write_queue_cap}")
         self._dispatcher = FrameDispatcher(
-            server, frame_budget=frame_budget, tenants=tenants
+            server, frame_budget=frame_budget, tenants=tenants, gateway=gateway
         )
         self.server = server
+        self.gateway = gateway
         self.max_frame = max_frame
         self.executor_size = executor_size
         self.max_connections = max_connections
@@ -154,6 +156,14 @@ class AsyncCDStoreTCPServer:
         self._connections: set[_AsyncConnection] = set()
         self._total_inflight = 0
         self._source_inflight: dict[object, int] = {}
+
+    @property
+    def server_id(self) -> int:
+        """The backing server's id, or the gateway sentinel when this
+        front-end terminates gateway traffic only (``server=None``)."""
+        if self.server is not None:
+            return self.server.server_id
+        return wire.GATEWAY_SERVER_ID
 
     @property
     def frame_budget(self) -> int:
@@ -184,7 +194,7 @@ class AsyncCDStoreTCPServer:
         self._thread = threading.Thread(
             target=self._run_loop,
             args=(ready,),
-            name=f"cdstore-async-{self.server.server_id}",
+            name=f"cdstore-async-{self.server_id}",
             daemon=True,
         )
         self._thread.start()
@@ -246,7 +256,7 @@ class AsyncCDStoreTCPServer:
         self._address = self._aserver.sockets[0].getsockname()[:2]
         self._executor = ThreadPoolExecutor(
             max_workers=self.executor_size,
-            thread_name_prefix=f"cdstore-async-{self.server.server_id}",
+            thread_name_prefix=f"cdstore-async-{self.server_id}",
         )
         ready.set()
         try:
@@ -357,7 +367,7 @@ class AsyncCDStoreTCPServer:
         except Exception:  # noqa: BLE001 - server bug: drop the connection
             logger.exception(
                 "request handler crashed on server %s; aborting connection",
-                self.server.server_id,
+                self.server_id,
             )
             conn.abort_threadsafe()
 
@@ -476,7 +486,7 @@ class _AsyncConnection:
                 state.version,
                 request_id,
                 ServerOverloadedError(
-                    f"server {srv.server.server_id} shed request under load"
+                    f"server {srv.server_id} shed request under load"
                 ),
             )
             return
@@ -502,7 +512,7 @@ class _AsyncConnection:
         if exc is not None:  # _run_job catches everything; belt-and-braces
             logger.error(
                 "request job failed on server %s",
-                self.srv.server.server_id,
+                self.srv.server_id,
                 exc_info=exc,
             )
             self.abort()

@@ -53,7 +53,6 @@ import os
 import queue
 import socket
 import threading
-import warnings
 
 from repro.analysis.annotations import guarded_by, requires_lock
 from repro.cloud.network import Link
@@ -71,27 +70,13 @@ from repro.server.index import FileEntry
 from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
 from repro.tenants import Credentials, auth_proof
 
-__all__ = ["RemoteCloud", "RemoteServerProxy", "parse_cloud_spec"]
+__all__ = ["RemoteCloud", "RemoteServerProxy"]
 
-
-def parse_cloud_spec(spec: str) -> tuple[str, int]:
-    """Deprecated: parse ``tcp://host:port`` into ``(host, port)``.
-
-    Kept for one release as a shim over the canonical parser,
-    :meth:`repro.config.CloudSpec.parse` — call that instead (it also
-    understands ``"local"`` and returns a typed spec).
-    """
-    warnings.warn(
-        "parse_cloud_spec() is deprecated; use repro.config.CloudSpec.parse()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if not isinstance(spec, str) or not spec.startswith("tcp://"):
-        # CloudSpec.parse accepts "local", which this shim never did.
-        raise ParameterError(
-            f"cloud spec must look like tcp://host:port, got {spec!r}"
-        )
-    return CloudSpec.parse(spec).address
+#: Reply frames that are mid-stream (more frames follow for the same
+#: request id): share batches from ``fetch_shares`` and per-replica
+#: shard frames from a gateway window fetch.  Everything else is the
+#: terminal frame of its request.
+_MIDSTREAM_FRAMES = frozenset({wire.R_SHARE_BATCH, wire.R_GW_SHARD})
 
 
 class RemoteCloud:
@@ -632,14 +617,14 @@ class RemoteServerProxy:
                         if request_id in self._discard:
                             # Tail of an abandoned stream: swallow until
                             # its terminal frame, then forget the id.
-                            if reply_type != wire.R_SHARE_BATCH:
+                            if reply_type not in _MIDSTREAM_FRAMES:
                                 self._discard.discard(request_id)
                             continue
                         raise ProtocolError(
                             f"{self.address_spec} sent unsolicited frame "
                             f"0x{reply_type:02x} for request id {request_id}"
                         )
-                    if reply_type != wire.R_SHARE_BATCH:
+                    if reply_type not in _MIDSTREAM_FRAMES:
                         # Every reply except a mid-stream share batch is
                         # terminal: retire the id here so a handle nobody
                         # awaits (an abandoned pipelined ack) cannot leak
@@ -1035,6 +1020,130 @@ class RemoteServerProxy:
         return wire.decode_backup_list(
             self._call(wire.T_LIST_BACKUPS, b"", wire.R_BACKUP_LIST)
         )
+
+    # ------------------------------------------------------------------
+    # gateway surface (only answered by a `repro gateway` front-end)
+    # ------------------------------------------------------------------
+    def resolve_backup(
+        self, user_id: str, lookup_key: bytes
+    ) -> tuple[int, list[int], list[tuple[int, int]]]:
+        """One-round-trip restore resolution against a read gateway.
+
+        Returns ``(file_size, secret_sizes, windows)`` — the gateway's
+        cross-checked :class:`~repro.client.read.RestorePlan` material.
+        A plain cloud front-end answers with ``ProtocolError``.
+        """
+        reply = self._call(
+            wire.T_GW_RESOLVE,
+            wire.encode_gw_resolve(user_id, lookup_key),
+            wire.R_GW_BACKUP,
+        )
+        return wire.decode_gw_backup(reply)
+
+    def iter_window_shards(
+        self, user_id: str, lookup_key: bytes, window_index: int
+    ):
+        """Stream one resolved window's per-replica shards from a gateway.
+
+        Yields ``(server_id, shares)`` with the shares in sequence order;
+        the gateway terminates the stream with a shard count that must
+        match what was streamed.  Same interleaving/abandonment rules as
+        :meth:`iter_share_batches`: mux connections park an abandoned
+        stream's id on the discard list, serial connections drop.
+        """
+        request = wire.encode_gw_window(user_id, lookup_key, window_index)
+        handle = self._submit(wire.T_GW_WINDOW, request)
+        if handle is None:
+            yield from self._iter_window_shards_serial(request)
+            return
+        streamed = 0
+        terminal = False
+        try:
+            while True:
+                reply_type, payload = self._await_reply(handle)
+                if reply_type == wire.R_GW_SHARD:
+                    try:
+                        shard = wire.decode_gw_shard(payload)
+                    except ProtocolError:
+                        terminal = True
+                        with self._lock:
+                            self._drop(reason="malformed gateway shard")
+                        raise
+                    streamed += 1
+                    yield shard
+                    continue
+                if reply_type == wire.R_GW_WINDOW_END:
+                    terminal = True
+                    total = wire.decode_gw_window_end(payload)
+                    if total != streamed:
+                        raise ProtocolError(
+                            f"{self.address_spec} streamed {streamed} "
+                            f"shards but announced {total}"
+                        )
+                    return
+                if reply_type == wire.R_ERROR:
+                    terminal = True  # in sync: the gateway answered
+                    raise wire.decode_error(payload)
+                terminal = True
+                with self._lock:
+                    self._drop(reason=f"unexpected frame 0x{reply_type:02x}")
+                raise ProtocolError(
+                    f"{self.address_spec} sent unexpected frame "
+                    f"0x{reply_type:02x} inside a shard stream"
+                )
+        except CloudUnavailableError:
+            terminal = True  # the connection is already gone
+            raise
+        finally:
+            with self._lock:
+                still_registered = (
+                    self._pending.pop(handle.request_id, None) is not None
+                )
+                if still_registered and not terminal and self._sock is not None:
+                    self._discard.add(handle.request_id)
+
+    def _iter_window_shards_serial(self, request: bytes):
+        """The v1 path: stream under the connection lock, drop on abandon."""
+        with self._lock:
+            self._ensure_connected()
+            sock = self._sock
+            finished = False
+            try:
+                sock.sendall(
+                    wire.encode_frame(wire.T_GW_WINDOW, request, self.max_frame)
+                )
+                streamed = 0
+                while True:
+                    reply_type, payload = self._read_reply(sock)
+                    if reply_type == wire.R_GW_SHARD:
+                        streamed += 1
+                        yield wire.decode_gw_shard(payload)
+                        continue
+                    if reply_type == wire.R_GW_WINDOW_END:
+                        total = wire.decode_gw_window_end(payload)
+                        if total != streamed:
+                            raise ProtocolError(
+                                f"{self.address_spec} streamed {streamed} "
+                                f"shards but announced {total}"
+                            )
+                        finished = True
+                        return
+                    if reply_type == wire.R_ERROR:
+                        finished = True  # in sync: the gateway answered
+                        raise wire.decode_error(payload)
+                    raise ProtocolError(
+                        f"{self.address_spec} sent unexpected frame "
+                        f"0x{reply_type:02x} inside a shard stream"
+                    )
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                finished = True
+                self._drop(reason=exc)
+                raise CloudUnavailableError(
+                    f"connection to {self.address_spec} dropped mid-fetch: {exc}"
+                ) from exc
+            finally:
+                if not finished:
+                    self._drop()
 
     @property
     def stats(self) -> DedupStats:

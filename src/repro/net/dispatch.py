@@ -117,6 +117,14 @@ class FrameDispatcher:
     tenants:
         Optional :class:`~repro.tenants.TenantRegistry`; ``None`` serves
         everyone (single-operator mode).
+    gateway:
+        Optional :class:`~repro.gateway.service.GatewayService`.  When
+        set, the gateway frames (:data:`~repro.net.wire.GATEWAY_FRAMES`)
+        are answered from it — under exactly the same auth/tenancy gate
+        as API frames, so a tenant cannot read another tenant's backups
+        through the cache.  A pure gateway front-end passes
+        ``server=None`` and answers *only* ping/auth/gateway frames;
+        API frames are then a protocol error.
     """
 
     #: Lock discipline (``repro analyze``, LOCK-001): the per-tenant token
@@ -126,15 +134,19 @@ class FrameDispatcher:
 
     def __init__(
         self,
-        server: CDStoreServer,
+        server: CDStoreServer | None,
         frame_budget: int = FETCH_BATCH_BYTES,
         tenants: TenantRegistry | None = None,
+        gateway=None,
     ) -> None:
         if frame_budget < 1:
             raise ValueError(f"frame_budget must be >= 1, got {frame_budget}")
+        if server is None and gateway is None:
+            raise ValueError("a dispatcher needs a server, a gateway, or both")
         self.server = server
         self.frame_budget = frame_budget
         self.tenants = tenants
+        self.gateway = gateway
         self._bucket_lock = Lock()
         self._buckets: dict[str, TokenBucket] = {}
 
@@ -241,11 +253,43 @@ class FrameDispatcher:
             # front-end once the PONG is out (ConnState.apply_negotiation).
             negotiated = wire.negotiate_version(wire.decode_ping(payload))
             state._negotiated = negotiated
-            yield wire.R_PONG, wire.encode_pong(server.server_id, negotiated)
+            server_id = (
+                server.server_id if server is not None else wire.GATEWAY_SERVER_ID
+            )
+            yield wire.R_PONG, wire.encode_pong(server_id, negotiated)
         elif frame_type == wire.T_AUTH:
             yield from self._handle_auth(state, payload)
         elif frame_type == wire.T_AUTH_PROOF:
             yield from self._handle_auth_proof(state, payload)
+        elif frame_type == wire.T_GW_RESOLVE:
+            user_id, lookup_key = wire.decode_gw_resolve(payload)
+            self._authorize(state, frame_type, user_id)
+            if self.gateway is None:
+                raise ProtocolError("this front-end serves no read gateway")
+            file_size, secret_sizes, windows = self.gateway.resolve_backup(
+                user_id, lookup_key
+            )
+            yield (
+                wire.R_GW_BACKUP,
+                wire.encode_gw_backup(file_size, secret_sizes, windows),
+            )
+        elif frame_type == wire.T_GW_WINDOW:
+            user_id, lookup_key, window_index = wire.decode_gw_window(payload)
+            self._authorize(state, frame_type, user_id)
+            if self.gateway is None:
+                raise ProtocolError("this front-end serves no read gateway")
+            shard_count = 0
+            for server_id, shares in self.gateway.iter_window_shards(
+                user_id, lookup_key, window_index
+            ):
+                shard_count += 1
+                yield wire.R_GW_SHARD, wire.encode_gw_shard(server_id, shares)
+            yield wire.R_GW_WINDOW_END, wire.encode_gw_window_end(shard_count)
+        elif server is None:
+            # A pure gateway front-end: API frames have no backing server.
+            raise ProtocolError(
+                f"gateway front-end cannot serve frame 0x{frame_type:02x}"
+            )
         elif frame_type == wire.T_QUERY_DUPLICATES:
             user_id, fingerprints = wire.decode_query_duplicates(payload)
             self._authorize(state, frame_type, user_id)

@@ -60,6 +60,8 @@ __all__ = [
     "AUTH_PROOF_SIZE",
     "CONTROL_FRAMES",
     "FRAME_HEADER",
+    "GATEWAY_FRAMES",
+    "GATEWAY_SERVER_ID",
     "LOCAL_ONLY_METHODS",
     "MAX_FRAME_BYTES",
     "METHOD_FRAMES",
@@ -126,6 +128,9 @@ T_REBUILD_RECIPE = 0x10
 T_LIST_BACKUPS = 0x11
 T_AUTH = 0x12
 T_AUTH_PROOF = 0x13
+# Gateway requests (client -> repro gateway; see repro.gateway).
+T_GW_RESOLVE = 0x14
+T_GW_WINDOW = 0x15
 
 # Responses (server -> client).
 R_OK = 0x80
@@ -142,6 +147,9 @@ R_STATS = 0x8A
 R_BACKUP_LIST = 0x8B
 R_AUTH_CHALLENGE = 0x8C
 R_AUTH_OK = 0x8D
+R_GW_BACKUP = 0x8E
+R_GW_SHARD = 0x8F
+R_GW_WINDOW_END = 0x90
 R_ERROR = 0xFF
 
 #: Server-surface method -> request frame that carries it.  This is the
@@ -172,6 +180,18 @@ METHOD_FRAMES: dict[str, int] = {
 #: Request frames that are connection machinery, not server-API methods:
 #: the version handshake and the tenant authentication exchange.
 CONTROL_FRAMES: frozenset[int] = frozenset({T_PING, T_AUTH, T_AUTH_PROOF})
+
+#: Request frames carried by the read-gateway surface
+#: (:class:`repro.gateway.service.GatewayService`), not the
+#: :class:`~repro.server.protocol.CDStoreServerAPI` — the WIRE-005
+#: checker exempts these from METHOD_FRAMES exactly like control frames.
+#: A front-end without a gateway answers them with ``ProtocolError``.
+GATEWAY_FRAMES: frozenset[int] = frozenset({T_GW_RESOLVE, T_GW_WINDOW})
+
+#: ``server_id`` a gateway front-end reports in :data:`R_PONG` — a
+#: gateway is not a cloud, so it answers with a value no cloud index can
+#: take (the u32 maximum) instead of claiming slot 0.
+GATEWAY_SERVER_ID = 0xFFFFFFFF
 
 #: Protocol methods that never cross the wire (local lifecycle/recovery).
 LOCAL_ONLY_METHODS: frozenset[str] = frozenset({"close", "recover"})
@@ -791,3 +811,75 @@ def decode_backup_list(payload: bytes) -> list[tuple[str, bytes]]:
         out.append((user_id, reader.sized_bytes()))
     reader.done()
     return out
+
+
+# ---------------------------------------------------------------------------
+# Gateway codecs (repro gateway read tier; see repro.gateway)
+# ---------------------------------------------------------------------------
+
+#: A resolve request body is exactly the shared user/key shape.
+encode_gw_resolve = encode_user_key
+decode_gw_resolve = decode_user_key
+
+
+def encode_gw_backup(
+    file_size: int,
+    secret_sizes: list[int],
+    windows: list[tuple[int, int]],
+) -> bytes:
+    """R_GW_BACKUP: the gateway's resolved restore plan for one backup."""
+    parts = [struct.pack(">QI", file_size, len(secret_sizes))]
+    parts.extend(struct.pack(">I", size) for size in secret_sizes)
+    parts.append(struct.pack(">I", len(windows)))
+    parts.extend(struct.pack(">II", start, end) for start, end in windows)
+    return b"".join(parts)
+
+
+def decode_gw_backup(payload: bytes) -> tuple[int, list[int], list[tuple[int, int]]]:
+    reader = _Reader(payload)
+    file_size = reader.u64()
+    secret_sizes = [reader.u32() for _ in range(reader.u32())]
+    windows = [(reader.u32(), reader.u32()) for _ in range(reader.u32())]
+    reader.done()
+    return file_size, secret_sizes, windows
+
+
+def encode_gw_window(user_id: str, lookup_key: bytes, window_index: int) -> bytes:
+    """T_GW_WINDOW: fetch one resolved window's shards from the gateway."""
+    return _string(user_id) + _sized(lookup_key) + struct.pack(">I", window_index)
+
+
+def decode_gw_window(payload: bytes) -> tuple[str, bytes, int]:
+    reader = _Reader(payload)
+    user_id = reader.string()
+    lookup_key = reader.sized_bytes()
+    window_index = reader.u32()
+    reader.done()
+    return user_id, lookup_key, window_index
+
+
+def encode_gw_shard(server_id: int, shares: list[bytes]) -> bytes:
+    """R_GW_SHARD: one replica's shares for the window, in sequence order."""
+    parts = [struct.pack(">II", server_id, len(shares))]
+    parts.extend(_sized(share) for share in shares)
+    return b"".join(parts)
+
+
+def decode_gw_shard(payload: bytes) -> tuple[int, list[bytes]]:
+    reader = _Reader(payload)
+    server_id = reader.u32()
+    shares = [reader.sized_bytes() for _ in range(reader.u32())]
+    reader.done()
+    return server_id, shares
+
+
+def encode_gw_window_end(shard_count: int) -> bytes:
+    """R_GW_WINDOW_END: terminates a shard stream; echoes the shard count."""
+    return struct.pack(">I", shard_count)
+
+
+def decode_gw_window_end(payload: bytes) -> int:
+    reader = _Reader(payload)
+    count = reader.u32()
+    reader.done()
+    return count

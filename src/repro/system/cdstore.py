@@ -93,6 +93,13 @@ class CDStoreSystem:
         remote proxy this system builds, so multi-tenant ``repro serve``
         deployments authenticate transparently.  Never persisted in the
         deployment config.
+    gateway:
+        Optional read gateway: a :class:`~repro.config.GatewaySpec` or a
+        ``tcp://host:port`` string naming a running ``repro gateway``.
+        The system builds **one** shared proxy to it, hands it to every
+        client it creates (restores go through the gateway with
+        automatic direct-quorum fallback), and closes it in
+        :meth:`close` — clients share the proxy and never close it.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class CDStoreSystem:
         clock: SimClock | None = None,
         credentials: Credentials | None = None,
         mux: bool = True,
+        gateway=None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
             raise ParameterError(f"got {len(clouds)} clouds for n={n}")
@@ -161,6 +169,20 @@ class CDStoreSystem:
             )
             self.clouds.append(spec)
             self.servers.append(CDStoreServer(server_id=i, cloud=spec, index=index))
+        #: The shared gateway proxy (None without a gateway).  Owned by
+        #: the system: clients borrow it, ``close()`` closes it.
+        self.gateway = None
+        if gateway is not None:
+            from repro.net import wire
+            from repro.net.client import RemoteServerProxy
+
+            endpoint = gateway if isinstance(gateway, str) else str(gateway.endpoint)
+            self.gateway = RemoteServerProxy(
+                endpoint,
+                server_id=wire.GATEWAY_SERVER_ID,
+                credentials=credentials,
+                mux=self.mux,
+            )
         self._clients: dict[str, CDStoreClient] = {}
 
     # ------------------------------------------------------------------
@@ -220,6 +242,7 @@ class CDStoreSystem:
             clock=clock,
             credentials=credentials,
             mux=config.mux,
+            gateway=config.gateway,
         )
 
     # ------------------------------------------------------------------
@@ -265,6 +288,7 @@ class CDStoreSystem:
                 ),
                 codec=codec,
                 clock=self.clock,
+                gateway=self.gateway,
             )
         return self._clients[user_id]
 
@@ -537,6 +561,8 @@ class CDStoreSystem:
         self._closed = True
         for client in self._clients.values():
             client.close()
+        if self.gateway is not None:
+            self.gateway.close()
         for server in self.servers:
             server.close()
 

@@ -188,19 +188,13 @@ def test_pre_config_object_schema_still_loads(tmp_path):
 
 
 # ---------------------------------------------------------------------------
-# The deprecated net-client shim
+# The deprecated net-client shim is gone; CloudSpec.parse is the one parser
 
 
-def test_parse_cloud_spec_shim_warns_and_delegates():
-    from repro.net.client import parse_cloud_spec
+def test_parse_cloud_spec_shim_removed():
+    import repro.net
+    import repro.net.client
 
-    with pytest.warns(DeprecationWarning, match="CloudSpec.parse"):
-        assert parse_cloud_spec("tcp://h:7000") == ("h", 7000)
-
-
-def test_parse_cloud_spec_shim_still_rejects_local():
-    from repro.net.client import parse_cloud_spec
-
-    with pytest.raises(ParameterError):
-        with pytest.warns(DeprecationWarning):
-            parse_cloud_spec("local")
+    assert not hasattr(repro.net, "parse_cloud_spec")
+    assert not hasattr(repro.net.client, "parse_cloud_spec")
+    assert CloudSpec.parse("tcp://h:7000").address == ("h", 7000)

@@ -40,6 +40,17 @@ class TestLRUCache:
         assert "a" not in cache
         assert "b" in cache
 
+    def test_pop_removes_without_eviction_callback(self):
+        evicted = []
+        cache = LRUCache(100, size_of=len,
+                         on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", b"x" * 10)
+        assert cache.pop("a") == b"x" * 10
+        assert cache.pop("a") is None  # idempotent on absent keys
+        assert "a" not in cache
+        assert cache.size == 0
+        assert evicted == []  # on_evict is for capacity pressure only
+
     def test_eviction_callback(self):
         evicted = []
         cache = LRUCache(1, on_evict=lambda k, v: evicted.append((k, v)))

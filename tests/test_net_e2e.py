@@ -18,7 +18,8 @@ from repro.cloud.network import Link
 from repro.cloud.provider import CloudProvider
 from repro.errors import CloudUnavailableError, NotFoundError
 from repro.lsm.cache import LRUCache
-from repro.net import CDStoreTCPServer, RemoteServerProxy, parse_cloud_spec
+from repro.config import CloudSpec
+from repro.net import CDStoreTCPServer, RemoteServerProxy
 from repro.server.server import CDStoreServer
 from repro.storage.container import KIND_SHARE
 from repro.system.cdstore import CDStoreSystem
@@ -370,8 +371,8 @@ class TestFrameBudget:
 
 class TestCloudSpecParsing:
     def test_valid_specs(self):
-        assert parse_cloud_spec("tcp://localhost:9300") == ("localhost", 9300)
-        assert parse_cloud_spec("tcp://10.0.0.1:1") == ("10.0.0.1", 1)
+        assert CloudSpec.parse("tcp://localhost:9300").address == ("localhost", 9300)
+        assert CloudSpec.parse("tcp://10.0.0.1:1").address == ("10.0.0.1", 1)
 
     @pytest.mark.parametrize("spec", [
         "localhost:9300", "tcp://", "tcp://host", "tcp://:9300",
@@ -382,7 +383,7 @@ class TestCloudSpecParsing:
         from repro.errors import ParameterError
 
         with pytest.raises(ParameterError):
-            parse_cloud_spec(spec)
+            CloudSpec.parse(spec)
 
 
 # ---------------------------------------------------------------------------
