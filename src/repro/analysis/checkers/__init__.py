@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.analysis.checkers.durability import check_durability
 from repro.analysis.checkers.lifecycle import check_lifecycle
 from repro.analysis.checkers.locks import check_lock_discipline
+from repro.analysis.checkers.obs_docs import check_obs_docs
 from repro.analysis.checkers.picklable import check_picklable
 from repro.analysis.checkers.wire_surface import check_wire_surface
 
@@ -21,6 +22,7 @@ __all__ = [
     "check_durability",
     "check_lifecycle",
     "check_lock_discipline",
+    "check_obs_docs",
     "check_picklable",
     "check_wire_surface",
 ]
@@ -34,4 +36,5 @@ FILE_CHECKERS = [
 
 PROJECT_CHECKERS = [
     check_wire_surface,
+    check_obs_docs,
 ]

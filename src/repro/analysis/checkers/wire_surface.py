@@ -25,9 +25,11 @@ declaring a ``typing.Protocol`` class.
   in ``LOCAL_ONLY_METHODS``), a ``METHOD_FRAMES`` key the Protocol never
   declares, or a ``T_*`` request frame that is neither control machinery
   (``CONTROL_FRAMES``) nor gateway-tier (``GATEWAY_FRAMES`` — the read
-  gateway's surface, deliberately outside the server API) nor mapped to
-  any method.  Only runs when the wire module actually declares
-  ``METHOD_FRAMES``, so single-surface fixtures stay exercisable.
+  gateway's surface, deliberately outside the server API) nor
+  observability-tier (``OBS_FRAMES`` — admin diagnostics, likewise
+  outside the storage API) nor mapped to any method.  Only runs when
+  the wire module actually declares ``METHOD_FRAMES``, so
+  single-surface fixtures stay exercisable.
 * WIRE-006 — the normative spec (``PROTOCOL.md`` / ``docs/PROTOCOL.md``,
   found walking up from the wire module) has drifted from the code: a
   frame constant with no spec line carrying both its name and its byte
@@ -178,17 +180,19 @@ def _check_protocol_surface(project: Project, wire: FileContext) -> list[Finding
 
     control = _referenced_names(wire, "CONTROL_FRAMES")
     gateway = _referenced_names(wire, "GATEWAY_FRAMES")
+    obs = _referenced_names(wire, "OBS_FRAMES")
     local_only = _string_members(wire, "LOCAL_ONLY_METHODS")
     mapped = {frame_name for frame_name, _ in frames.values()}
 
     # Every request frame must be connection machinery, a gateway-tier
-    # frame, or the carrier of some API method — any other T_* can never
-    # dispatch.
+    # or observability-tier frame, or the carrier of some API method —
+    # any other T_* can never dispatch.
     for name, _value, lineno in _frame_constants(wire):
         if (
             name.startswith("T_")
             and name not in control
             and name not in gateway
+            and name not in obs
             and name not in mapped
         ):
             findings.append(
@@ -196,8 +200,8 @@ def _check_protocol_surface(project: Project, wire: FileContext) -> list[Finding
                     lineno,
                     "WIRE-005",
                     f"request frame {name} is in none of CONTROL_FRAMES, "
-                    f"GATEWAY_FRAMES, or METHOD_FRAMES — nothing can be "
-                    f"dispatched to it",
+                    f"GATEWAY_FRAMES, OBS_FRAMES, or METHOD_FRAMES — "
+                    f"nothing can be dispatched to it",
                 )
             )
 

@@ -88,6 +88,11 @@ RULE_DOCS: dict[str, str] = {
         "code: a frame constant or errors.py wire_code with no spec line "
         "carrying both its name and value, or no spec document at all"
     ),
+    "OBS-001": (
+        "a metric registered on the obs registry (REGISTRY.counter/gauge/"
+        "histogram) is missing from the docs/OBSERVABILITY.md catalogue, "
+        "or metrics are registered with no catalogue document at all"
+    ),
     "LIFE-001": (
         "a socket/file/shared-memory resource acquired in a function is "
         "not released on all paths (no with/try-finally/ownership handoff "

@@ -28,8 +28,10 @@ binary wire protocol, mixing local and remote clouds freely.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.chunking import ChunkerSpec, chunker_names
@@ -37,6 +39,7 @@ from repro.cloud.network import Link
 from repro.cloud.provider import CloudProvider
 from repro.config import CONFIG_FILE_NAME, CloudSpec, ReproConfig
 from repro.errors import ReproError
+from repro.obs.log import StructuredLog
 from repro.storage.backend import LocalDirBackend
 from repro.system.cdstore import CDStoreSystem
 from repro.tenants import (
@@ -152,6 +155,25 @@ def _load_config(root: Path) -> ReproConfig:
     return ReproConfig.from_file(root)
 
 
+def _apply_obs(config: ReproConfig) -> dict:
+    """Apply the deployment's :class:`~repro.config.ObsSpec` to this
+    process and return the front-end tracing kwargs.
+
+    The metrics kill switch is process-wide (the registry is shared by
+    every layer), so serving processes honour ``obs.enabled`` here; the
+    per-front-end tracing knobs travel as constructor kwargs.
+    """
+    from repro.obs.registry import REGISTRY
+
+    obs = config.obs
+    REGISTRY.enabled = obs.enabled
+    return {
+        "trace": obs.enabled and obs.trace,
+        "span_ring": obs.span_ring_size,
+        "slow_threshold": obs.slow_request_seconds,
+    }
+
+
 def _credentials_from(args: argparse.Namespace) -> Credentials | None:
     """Tenant credentials from ``--secret-file`` or the environment.
 
@@ -181,6 +203,22 @@ def _load_system(root: Path, args: argparse.Namespace | None = None) -> CDStoreS
     return CDStoreSystem.from_config(
         _load_config(root), root=root, credentials=credentials
     )
+
+
+def _client_trace_id(client) -> str | None:
+    """The trace id of the client's most recent root span, if any."""
+    spans = client.spans.spans()
+    return spans[-1].trace_id if spans else None
+
+
+def _emit_summary(args: argparse.Namespace, event: str, human: str, **fields) -> None:
+    """One operation summary: a JSON event under ``--log-json``, prose
+    otherwise.  The JSON line carries every field (tenant and trace ids
+    included) so log shippers need no prose parsing."""
+    if getattr(args, "log_json", False):
+        StructuredLog(json_lines=True).event(event, **fields)
+    else:
+        print(human)
 
 
 # ---------------------------------------------------------------------------
@@ -264,15 +302,28 @@ def cmd_backup(args: argparse.Namespace) -> int:
         )
         receipt = client.upload(name, data)
         client.flush()
+        trace_id = _client_trace_id(client)
         depth_note = (
             f", pipeline depth {receipt.pipeline_depth}"
             f"{' (adaptive)' if args.pipeline_depth is None else ''}"
         )
-        print(
+        _emit_summary(
+            args,
+            "backup_complete",
             f"backed up {receipt.file_size} bytes as {name!r}: "
             f"{receipt.secret_count} secrets, "
             f"{receipt.transferred_share_bytes} share bytes transferred "
-            f"(intra-user saving {receipt.intra_user_saving:.1%}{depth_note})"
+            f"(intra-user saving {receipt.intra_user_saving:.1%}{depth_note}) "
+            f"[trace {trace_id}]",
+            user=args.user,
+            tenant=args.tenant or args.user,
+            trace_id=trace_id,
+            path=name,
+            file_size=receipt.file_size,
+            secret_count=receipt.secret_count,
+            transferred_share_bytes=receipt.transferred_share_bytes,
+            intra_user_saving=round(receipt.intra_user_saving, 4),
+            pipeline_depth=receipt.pipeline_depth,
         )
         return 0
     finally:
@@ -292,7 +343,18 @@ def cmd_restore(args: argparse.Namespace) -> int:
         )
         data = client.download(args.name)
         Path(args.output).write_bytes(data)
-        print(f"restored {len(data)} bytes to {args.output}")
+        trace_id = _client_trace_id(client)
+        _emit_summary(
+            args,
+            "restore_complete",
+            f"restored {len(data)} bytes to {args.output} [trace {trace_id}]",
+            user=args.user,
+            tenant=args.tenant or args.user,
+            trace_id=trace_id,
+            path=args.name,
+            output=str(args.output),
+            file_size=len(data),
+        )
         return 0
     finally:
         system.close()
@@ -379,6 +441,7 @@ def build_cloud_server(
         registry = TenantRegistry.from_file(tenants_file)
     elif (root / TENANTS_FILE_NAME).exists():
         registry = TenantRegistry.from_file(root / TENANTS_FILE_NAME)
+    obs = _apply_obs(config)
     cloud = CloudProvider(
         name=f"cloud-{cloud_index}",
         uplink=Link(100.0),
@@ -411,6 +474,7 @@ def build_cloud_server(
             ),
             tenants=registry,
             **extra,
+            **obs,
         )
     return CDStoreTCPServer(
         server,
@@ -418,6 +482,7 @@ def build_cloud_server(
         port=port,
         frame_budget=frame_budget if frame_budget is not None else FETCH_BATCH_BYTES,
         tenants=registry,
+        **obs,
     )
 
 
@@ -554,6 +619,7 @@ def build_gateway(
         tenants=registry,
         gateway=service,
         **extra,
+        **_apply_obs(config),
     )
 
 
@@ -634,7 +700,80 @@ def cmd_tenant_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_obs_snapshot(endpoint: str, args: argparse.Namespace) -> dict:
+    """Dial a front-end and pull one versioned metrics snapshot."""
+    from repro.net.client import RemoteServerProxy
+
+    proxy = RemoteServerProxy(
+        endpoint, server_id=0, credentials=_credentials_from(args)
+    )
+    try:
+        return proxy.obs_stats()
+    finally:
+        proxy.close()
+
+
+def _histogram_stats(series: dict) -> tuple[int, float]:
+    return int(series.get("count", 0)), float(series.get("sum", 0.0))
+
+
+def _render_obs_table(snapshot: dict) -> list[str]:
+    """Human rendering of one obs snapshot (the ``repro stats`` table)."""
+    lines = [
+        f"component: {snapshot.get('component', '?')} "
+        f"(server id {snapshot.get('server_id', '?')}, "
+        f"snapshot v{snapshot.get('version', '?')})"
+    ]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            for key, value in sorted(counters[name].items()):
+                label = f"{{{key}}}" if key else ""
+                lines.append(f"  {name}{label}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            for key, value in sorted(gauges[name].items()):
+                label = f"{{{key}}}" if key else ""
+                lines.append(f"  {name}{label}  {value}")
+    if histograms:
+        lines.append("histograms (count / total s / mean s):")
+        for name in sorted(histograms):
+            for key, series in sorted(histograms[name].items()):
+                label = f"{{{key}}}" if key else ""
+                count, total = _histogram_stats(series)
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"  {name}{label}  {count} / {total:.4f} / {mean:.6f}"
+                )
+    spans = snapshot.get("spans", [])
+    lines.append(f"spans in ring: {len(spans)}")
+    return lines
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.endpoint is not None:
+        snapshot = _fetch_obs_snapshot(args.endpoint, args)
+        if args.as_json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        elif args.prom:
+            from repro.obs.registry import render_prometheus
+
+            print(render_prometheus(snapshot), end="")
+        else:
+            for line in _render_obs_table(snapshot):
+                print(line)
+        return 0
+    if args.root is None:
+        print(
+            "error: pass --root for storage stats, or a tcp://host:port "
+            "endpoint for a live server's metrics",
+            file=sys.stderr,
+        )
+        return 1
     system = _load_system(Path(args.root), args)
     try:
         print(f"clouds: {system.n} (k = {system.k})")
@@ -660,6 +799,96 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"bytes stored across clouds: {total}")
         for line in lines:
             print(line)
+        return 0
+    finally:
+        system.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Refreshing live view of a front-end's hot metrics.
+
+    Each round re-fetches the snapshot and prints gauges plus the
+    per-frame-type request rates computed from counter deltas between
+    rounds — a minimal ``top`` for one serving process.  ``--iterations``
+    bounds the loop (tests drive it non-interactively); the default runs
+    until Ctrl-C.
+    """
+    prev: dict | None = None
+    prev_at: float | None = None
+    rounds = 0
+    try:
+        while args.iterations is None or rounds < args.iterations:
+            if rounds:
+                time.sleep(args.interval)
+            snapshot = _fetch_obs_snapshot(args.endpoint, args)
+            now = time.monotonic()
+            print(f"--- {args.endpoint} "
+                  f"({snapshot.get('component', '?')}, round {rounds + 1}) ---")
+            for name in sorted(snapshot.get("gauges", {})):
+                for key, value in sorted(snapshot["gauges"][name].items()):
+                    label = f"{{{key}}}" if key else ""
+                    print(f"  {name}{label}  {value}")
+            frames = snapshot.get("histograms", {}).get("net_dispatch_seconds", {})
+            if frames:
+                print("  frame rates (req/s, mean ms):")
+                old = (
+                    prev.get("histograms", {}).get("net_dispatch_seconds", {})
+                    if prev is not None
+                    else {}
+                )
+                elapsed = now - prev_at if prev_at is not None else None
+                for key, series in sorted(frames.items()):
+                    count, total = _histogram_stats(series)
+                    old_count, old_total = _histogram_stats(old.get(key, {}))
+                    delta = count - old_count
+                    rate = (
+                        delta / elapsed if elapsed and elapsed > 0 else float(delta)
+                    )
+                    mean_ms = (total / count * 1000.0) if count else 0.0
+                    print(f"    {key or 'all'}  {rate:.1f}/s  {mean_ms:.3f} ms")
+            prev, prev_at = snapshot, now
+            rounds += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_tenant_stats(args: argparse.Namespace) -> int:
+    """Per-tenant durable usage rows (quota accounting + rate limiting)."""
+    from repro.obs.registry import REGISTRY
+
+    root = Path(args.root)
+    _load_config(root)  # must be a deployment
+    path = root / TENANTS_FILE_NAME
+    if not path.exists():
+        print("no tenant registry (open mode)")
+        return 0
+    registry = TenantRegistry.from_file(path)
+    system = _load_system(root, args)
+    try:
+        limited = REGISTRY.snapshot()["counters"].get(
+            "dispatch_rate_limited_total", {}
+        )
+        print(f"{'tenant':<20} {'role':<7} {'bytes':>14} "
+              f"{'containers':>11} {'rate_limited':>13}")
+        for record in registry.records():
+            total_bytes = containers = 0
+            skipped = 0
+            for server in system.servers:
+                # Remote proxies expose no tenant-usage frame; their rows
+                # come from running tenant-stats next to the serving
+                # process (the usage ledger is per-server state).
+                usage_fn = getattr(server, "tenant_usage", None)
+                if usage_fn is None:
+                    skipped += 1
+                    continue
+                usage = usage_fn(record.tenant_id)
+                total_bytes += usage.bytes_stored
+                containers += usage.containers
+            hits = limited.get(f"tenant={record.tenant_id}", 0)
+            note = f"  ({skipped} remote cloud(s) not counted)" if skipped else ""
+            print(f"{record.tenant_id:<20} {record.role:<7} {total_bytes:>14} "
+                  f"{containers:>11} {hits:>13}{note}")
         return 0
     finally:
         system.close()
@@ -905,6 +1134,11 @@ def build_parser() -> argparse.ArgumentParser:
              "derives the depth from the measured encode/wire rates and "
              "records it in the backup summary",
     )
+    p.add_argument(
+        "--log-json", action="store_true", dest="log_json",
+        help="emit the operation summary as one structured JSON line "
+             "(tenant and trace ids included) instead of prose",
+    )
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help="restore a file")
@@ -927,6 +1161,11 @@ def build_parser() -> argparse.ArgumentParser:
              "the whole file before the first decode; unset picks the "
              "adaptive default",
     )
+    p.add_argument(
+        "--log-json", action="store_true", dest="log_json",
+        help="emit the operation summary as one structured JSON line "
+             "(tenant and trace ids included) instead of prose",
+    )
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("ls", help="list a user's backups")
@@ -941,14 +1180,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gc", action="store_true", help="run garbage collection")
     p.set_defaults(func=cmd_delete)
 
-    p = sub.add_parser("stats", help="deployment storage statistics")
-    p.add_argument("--root", required=True)
+    p = sub.add_parser(
+        "stats",
+        help="deployment storage statistics, or a live server's metrics",
+        description="With --root: storage totals per cloud. With a "
+                    "tcp://host:port endpoint: fetch the front-end's "
+                    "versioned observability snapshot (per-frame latency "
+                    "histograms, queue/cache gauges, span ring) over the "
+                    "admin-gated stats frame.",
+    )
+    p.add_argument(
+        "endpoint", nargs="?", type=_remote_spec_arg, default=None,
+        help="tcp://host:port of a `repro serve`/`repro gateway` "
+             "front-end to query for live metrics",
+    )
+    p.add_argument("--root", default=None)
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw snapshot as JSON (endpoint mode)",
+    )
+    p.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition (endpoint mode)",
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "top",
+        help="refreshing live metrics view of a serving front-end",
+        description="Poll a front-end's metrics snapshot every --interval "
+                    "seconds and print gauges plus per-frame-type request "
+                    "rates (counter deltas between rounds). Runs until "
+                    "Ctrl-C, or for --iterations rounds.",
+    )
+    p.add_argument("endpoint", type=_remote_spec_arg)
+    p.add_argument(
+        "--interval", type=_nonneg_float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    p.add_argument(
+        "--iterations", type=_positive_int, default=None,
+        help="stop after this many rounds (default: run until Ctrl-C)",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "tenant-stats",
+        help="per-tenant durable usage and rate-limit accounting",
+        description="Render one row per registered tenant: bytes stored "
+                    "and containers sealed (the durable quota ledger each "
+                    "server keeps) plus rate-limited request counts from "
+                    "the metrics registry.",
+    )
+    p.add_argument("--root", required=True)
+    p.set_defaults(func=cmd_tenant_stats)
 
     # Every command that drives remote clouds accepts tenant credentials;
     # adding the flags in one loop keeps the surfaces identical.
     for cmd_parser in (sub.choices[name]
-                       for name in ("backup", "restore", "ls", "delete", "stats")):
+                       for name in ("backup", "restore", "ls", "delete",
+                                    "stats", "top", "tenant-stats")):
         cmd_parser.add_argument(
             "--tenant", default=None,
             help="tenant id to authenticate as against multi-tenant "

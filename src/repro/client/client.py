@@ -45,6 +45,7 @@ from repro.errors import (
     InsufficientCloudsError,
     ParameterError,
 )
+from repro.obs.trace import SpanRecorder, Tracer
 from repro.server.messages import FileManifest
 from repro.server.server import CDStoreServer
 from repro.sharing.ssss import SSSS
@@ -122,6 +123,14 @@ class CDStoreClient:
         Optional read-gateway handle (see :mod:`repro.client.read` and
         :mod:`repro.gateway`): restores are served through it, with
         automatic fallback to the direct quorum path on any failure.
+    trace, span_ring, slow_threshold:
+        Client-side observability (see :mod:`repro.obs`): every entry
+        point runs under a root span that mints the request's trace id,
+        keeping the newest ``span_ring`` finished spans in
+        :attr:`spans`; a span slower than ``slow_threshold`` seconds
+        emits one structured ``slow_request`` event.  ``trace=False``
+        turns the spans into no-ops (no ids are minted, so remote calls
+        carry the zero trace id and cost the servers no ring space).
     """
 
     def __init__(
@@ -138,6 +147,9 @@ class CDStoreClient:
         clock: SimClock | None = None,
         pipeline_depth: int | str = 1,
         gateway=None,
+        trace: bool = True,
+        span_ring: int = 256,
+        slow_threshold: float | None = 1.0,
     ) -> None:
         if not servers:
             raise ParameterError("need at least one server")
@@ -174,6 +186,21 @@ class CDStoreClient:
             clock=clock,
             pipeline_depth=pipeline_depth,
         )
+        #: Client-side tracer: entry points open *root* spans here, so
+        #: the trace id a whole upload/restore shares is minted exactly
+        #: once, then rides thread-local context into the comm engine and
+        #: the wire's v2 trace extension.
+        self.tracer = Tracer(
+            "client",
+            recorder=SpanRecorder(span_ring),
+            slow_threshold=slow_threshold,
+            enabled=trace,
+        )
+
+    @property
+    def spans(self) -> SpanRecorder:
+        """This client's span ring (newest ``span_ring`` finished spans)."""
+        return self.tracer.recorder
 
     def close(self) -> None:
         """Shut down the comm engine's worker pools (idempotent)."""
@@ -201,6 +228,10 @@ class CDStoreClient:
         Requires every cloud to be reachable (backups write to all ``n``;
         restores are what tolerate failures).
         """
+        with self.tracer.span("upload", root=True, path=path, bytes=len(data)):
+            return self._upload(path, data)
+
+    def _upload(self, path: str, data: bytes) -> UploadReceipt:
         for server in self.servers:
             server.cloud.check_available()
         chunks = list(self.chunker.chunk_bytes(data))
@@ -299,17 +330,19 @@ class CDStoreClient:
         the whole file as a single window — the pre-streaming behaviour,
         byte-for-byte.
         """
-        if self.gateway is not None:
-            try:
-                with self.open_read(path, via="gateway") as session:
-                    return session.read()
-            except GATEWAY_FALLBACK_ERRORS:
-                # Degraded mode: restart from scratch on the quorum.  The
-                # direct session re-resolves (its windows may differ from
-                # the gateway's) and runs the full failover machinery.
-                pass
-        with self.open_read(path, via="direct") as session:
-            return session.read()
+        with self.tracer.span("download", root=True, path=path):
+            if self.gateway is not None:
+                try:
+                    with self.open_read(path, via="gateway") as session:
+                        return session.read()
+                except GATEWAY_FALLBACK_ERRORS:
+                    # Degraded mode: restart from scratch on the quorum.
+                    # The direct session re-resolves (its windows may
+                    # differ from the gateway's) and runs the full
+                    # failover machinery.
+                    pass
+            with self.open_read(path, via="direct") as session:
+                return session.read()
 
     def list_files(self) -> list[str]:
         """List this user's stored pathnames.
@@ -318,6 +351,10 @@ class CDStoreClient:
         (§4.3 sensitive metadata), so listing needs any ``k`` reachable
         clouds — the same availability contract as restore.
         """
+        with self.tracer.span("list_files", root=True):
+            return self._list_files()
+
+    def _list_files(self) -> list[str]:
         reachable = self._reachable_servers()
         if len(reachable) < self.k:
             raise InsufficientCloudsError(
@@ -352,17 +389,18 @@ class CDStoreClient:
     # ------------------------------------------------------------------
     def delete(self, path: str) -> None:
         """Delete the file on every reachable cloud."""
-        lookup_key = self._lookup_key(path)
-        for server in self.servers:
-            if not server.cloud.available:
-                raise CloudUnavailableError(
-                    f"cloud {server.cloud.name!r} is down; deletion must "
-                    "reach all clouds"
-                )
-        self.comm.map_servers(
-            lambda server: server.delete_file(self.user_id, lookup_key),
-            self.servers,
-        )
+        with self.tracer.span("delete", root=True, path=path):
+            lookup_key = self._lookup_key(path)
+            for server in self.servers:
+                if not server.cloud.available:
+                    raise CloudUnavailableError(
+                        f"cloud {server.cloud.name!r} is down; deletion must "
+                        "reach all clouds"
+                    )
+            self.comm.map_servers(
+                lambda server: server.delete_file(self.user_id, lookup_key),
+                self.servers,
+            )
 
     def flush(self) -> None:
         """Seal open containers on every server (end of a session)."""

@@ -94,6 +94,8 @@ from repro.errors import (
     ProtocolError,
     StorageError,
 )
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import ZERO_TRACE_ID, current_context, use_context
 from repro.server.index import FileEntry
 from repro.server.messages import RecipeEntry, ShareMeta, ShareUpload
 from repro.server.server import CDStoreServer
@@ -135,6 +137,46 @@ _AUTO_FALLBACK_DEPTH = 4
 #: pipeline moments later — convergent encoding is deterministic, so the
 #: probe costs a few chunks of CPU and changes nothing on the wire).
 _PROBE_SECRETS = 4
+
+# Comm-pipeline stage timings (docs/OBSERVABILITY.md): one observation
+# per encode slab / upload batch / restore-window slot fetch, so the
+# three histograms together show which §4.6 stage bounds a transfer.
+_WINDOW_ENCODE_SECONDS = REGISTRY.histogram(
+    "client_window_encode_seconds",
+    "Wall time encoding one slab of secrets into shares",
+)
+_WINDOW_UPLOAD_SECONDS = REGISTRY.histogram(
+    "client_window_upload_seconds",
+    "Wall time putting one 4 MB upload batch on a cloud's wire",
+)
+_WINDOW_RESTORE_SECONDS = REGISTRY.histogram(
+    "client_window_restore_seconds",
+    "Wall time fetching one restore window's shares from one cloud",
+)
+_FAILOVERS = REGISTRY.counter(
+    "client_failovers_total",
+    "Restore slots that replaced a failed cloud with a promoted spare",
+)
+
+
+def _carry_context(fn: Callable[..., T]) -> Callable[..., T]:
+    """Bind the calling thread's trace context into a pool submission.
+
+    Thread-local context does not follow work onto the engine's worker
+    threads; this captures ``(trace_id, span_id)`` at submit time and
+    re-activates it in the worker, so per-cloud traffic stays attributed
+    to the client span that caused it.  Untraced callers get ``fn`` back
+    unwrapped — the hot path costs one tuple compare.
+    """
+    trace_id, span_id = current_context()
+    if trace_id == ZERO_TRACE_ID:
+        return fn
+
+    def run(*args, **kwargs):
+        with use_context(trace_id, span_id):
+            return fn(*args, **kwargs)
+
+    return run
 
 
 def choose_pipeline_depth(
@@ -217,6 +259,7 @@ class CloudUploader:
             return
         batch, self._batch = self._batch, []
         self._batch_bytes = 0
+        clock = time.perf_counter()
         if self._upload_async is not None:
             # Pipelined: put the batch on the wire and only *wait* when
             # the ack window is full, so consecutive batches (and the
@@ -229,6 +272,9 @@ class CloudUploader:
             self._inflight.append(self._upload_async(self.user_id, batch))
         else:
             self.server.upload_shares(self.user_id, batch)
+        # Pipelined sends observe only the enqueue (+ any ack-window
+        # stall) — that *is* the wall time this batch cost the client.
+        _WINDOW_UPLOAD_SECONDS.observe(time.perf_counter() - clock)
         self.result.batches += 1
 
     def _drain_acks(self) -> None:
@@ -551,7 +597,8 @@ class CommEngine:
         if not self.parallel or len(servers) < 2:
             return [fn(server) for server in servers]
         self._ensure_workers()
-        futures = [self._pool_for(server).submit(fn, server) for server in servers]
+        task = _carry_context(fn)
+        futures = [self._pool_for(server).submit(task, server) for server in servers]
         return self._gather(futures)
 
     def _advance_clock(self, durations: list[float]) -> float:
@@ -598,10 +645,19 @@ class CommEngine:
             if shared_slabs_available():
                 transport = SharedSlabTransport()
 
+        def encode_slab(secrets: list[bytes]):
+            clock = time.perf_counter()
+            share_sets = dispersal.encode_batch(secrets)
+            _WINDOW_ENCODE_SECONDS.observe(time.perf_counter() - clock)
+            return share_sets
+
         def submit(start: int, end: int) -> Future:
             secrets = [chunk.data for chunk in chunks[start:end]]
             if pool is None:
-                return self._encode_pool.submit(dispersal.encode_batch, secrets)
+                # Thread-pool slabs time the encode in-worker; process
+                # slabs run out-of-process where the registry's cells
+                # are not ours, so they go unobserved.
+                return self._encode_pool.submit(_carry_context(encode_slab), secrets)
             if transport is None:
                 return pool.submit(dispersal, secrets)
             name, layout = transport.publish(slab_of[start], secrets)
@@ -652,9 +708,10 @@ class CommEngine:
             assert self._cloud_workers is not None
             encoded, transport = self._submit_encode_slabs(dispersal, chunks)
             try:
+                task = _carry_context(self._upload_to_cloud)
                 futures = [
                     self._cloud_workers[idx].submit(
-                        self._upload_to_cloud, idx, user_id, chunks, encoded
+                        task, idx, user_id, chunks, encoded
                     )
                     for idx in range(n)
                 ]
@@ -676,9 +733,11 @@ class CommEngine:
             # same byte sequence either way).
             spans = slab_spans([chunk.size for chunk in chunks], 1)
             for start, end in spans:
+                clock = time.perf_counter()
                 share_sets = dispersal.encode_batch(
                     [chunk.data for chunk in chunks[start:end]]
                 )
+                _WINDOW_ENCODE_SECONDS.observe(time.perf_counter() - clock)
                 for uploader in uploaders:
                     for seq in range(start, end):
                         uploader.feed(
@@ -738,6 +797,7 @@ class CommEngine:
                         if not spares:
                             raise
                         server = spares.pop(0)
+                    _FAILOVERS.inc()
                     continue
                 return server, entry, recipe
 
@@ -786,6 +846,7 @@ class CommEngine:
                     ):
                         continue
                 source.server, source.entry, source.recipe = candidate, entry, recipe
+                _FAILOVERS.inc()
                 return
 
     def _fetch_window_shares(
@@ -850,9 +911,11 @@ class CommEngine:
         totals = [0] * len(sources)
 
         def fetch(source: FileSource, slot: int, start: int, end: int) -> SlotShares:
+            clock = time.perf_counter()
             got = self._fetch_window_shares(
                 user_id, lookup_key, source, start, end, spares, pool_lock, expect
             )
+            _WINDOW_RESTORE_SECONDS.observe(time.perf_counter() - clock)
             totals[slot] += sum(len(payload) for payload in got.shares.values())
             return got
 
@@ -877,10 +940,12 @@ class CommEngine:
 
         self._ensure_workers()
 
+        task = _carry_context(fetch)
+
         def submit(window_idx: int) -> list[Future]:
             start, end = windows[window_idx]
             return [
-                self._pool_for(source.server).submit(fetch, source, slot, start, end)
+                self._pool_for(source.server).submit(task, source, slot, start, end)
                 for slot, source in enumerate(sources)
             ]
 

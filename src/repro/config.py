@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.errors import ParameterError, ReproError
 
-__all__ = ["CloudSpec", "GatewaySpec", "ReproConfig", "CONFIG_FILE_NAME"]
+__all__ = ["CloudSpec", "GatewaySpec", "ObsSpec", "ReproConfig", "CONFIG_FILE_NAME"]
 
 #: Conventional config file name under a deployment root.
 CONFIG_FILE_NAME = "cdstore.json"
@@ -213,6 +213,79 @@ class GatewaySpec:
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """The deployment's observability shape (:mod:`repro.obs`).
+
+    One spec configures every layer the same way — client entry-point
+    spans, the front-ends' dispatcher tracing, the slow-request log.
+    The metrics registry itself has no per-deployment state; these knobs
+    govern the *tracing* side and the structured breadcrumbs.
+    """
+
+    #: Master switch: ``False`` disables metric recording and tracing.
+    enabled: bool = True
+    #: Offer/accept the wire v2 trace extension and record spans.
+    trace: bool = True
+    #: Spans at or above this many seconds emit a structured
+    #: ``slow_request`` event; ``None``/``0`` disables the log.
+    slow_request_seconds: float | None = 1.0
+    #: Finished spans each component's ring buffer retains.
+    span_ring_size: int = 256
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ParameterError(
+                f"obs enabled must be a boolean, got {self.enabled!r}"
+            )
+        if not isinstance(self.trace, bool):
+            raise ParameterError(
+                f"obs trace must be a boolean, got {self.trace!r}"
+            )
+        threshold = self.slow_request_seconds
+        if threshold is not None:
+            if (
+                not isinstance(threshold, (int, float))
+                or isinstance(threshold, bool)
+                or threshold < 0
+            ):
+                raise ParameterError(
+                    f"obs slow_request_seconds must be >= 0 or null, "
+                    f"got {threshold!r}"
+                )
+            # 0 and null both mean "no slow-request log", normalised to
+            # one spelling so configs round-trip canonically.
+            threshold = float(threshold) or None
+        object.__setattr__(self, "slow_request_seconds", threshold)
+        if not isinstance(self.span_ring_size, int) or self.span_ring_size < 1:
+            raise ParameterError(
+                f"obs span_ring_size must be a positive integer, "
+                f"got {self.span_ring_size!r}"
+            )
+
+    @classmethod
+    def from_mapping(cls, raw: dict) -> "ObsSpec":
+        if not isinstance(raw, dict):
+            raise ParameterError(
+                f"obs config must be a JSON object, got {type(raw).__name__}"
+            )
+        known = {"enabled", "trace", "slow_request_seconds", "span_ring_size"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown obs config keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(**raw)
+
+    def to_mapping(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "trace": self.trace,
+            "slow_request_seconds": self.slow_request_seconds,
+            "span_ring_size": self.span_ring_size,
+        }
+
+
+@dataclass(frozen=True)
 class ReproConfig:
     """Every deployment-wide setting, validated once.
 
@@ -239,6 +312,9 @@ class ReproConfig:
     #: Optional read gateway (:class:`GatewaySpec` or its mapping form);
     #: ``None`` means clients restore directly from the cloud quorum.
     gateway: GatewaySpec | None = None
+    #: Observability shape (:class:`ObsSpec` or its mapping form); the
+    #: default traces everything with a 1 s slow-request threshold.
+    obs: ObsSpec = ObsSpec()
 
     def __post_init__(self) -> None:
         if not isinstance(self.n, int) or self.n < 1:
@@ -281,6 +357,8 @@ class ReproConfig:
             object.__setattr__(
                 self, "gateway", GatewaySpec.from_mapping(self.gateway)
             )
+        if not isinstance(self.obs, ObsSpec):
+            object.__setattr__(self, "obs", ObsSpec.from_mapping(self.obs))
 
     # ------------------------------------------------------------------
     @property
@@ -313,7 +391,7 @@ class ReproConfig:
             )
         known = {
             "n", "k", "salt", "chunker", "cloud_specs", "scheme",
-            "threads", "workers", "pipeline_depth", "mux", "gateway",
+            "threads", "workers", "pipeline_depth", "mux", "gateway", "obs",
         }
         unknown = set(raw) - known
         if unknown:
@@ -325,6 +403,8 @@ class ReproConfig:
             kwargs.pop("cloud_specs", None)
         if kwargs.get("gateway") is None:
             kwargs.pop("gateway", None)
+        if kwargs.get("obs") is None:
+            kwargs.pop("obs", None)
         return cls(**kwargs)
 
     def to_mapping(self) -> dict:
@@ -342,6 +422,7 @@ class ReproConfig:
             "gateway": (
                 self.gateway.to_mapping() if self.gateway is not None else None
             ),
+            "obs": self.obs.to_mapping(),
         }
 
     @classmethod

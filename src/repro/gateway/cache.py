@@ -20,8 +20,29 @@ from threading import Lock
 
 from repro.analysis.annotations import guarded_by, requires_lock
 from repro.lsm.cache import LRUCache
+from repro.obs.registry import REGISTRY
 
 __all__ = ["HotContainerCache"]
+
+# Registry-backed cache accounting (docs/OBSERVABILITY.md): the counters
+# feed ``repro stats`` / the fig10 hit-ratio gate; the gauges track the
+# occupancy the byte bound is enforcing.
+_CACHE_HITS = REGISTRY.counter(
+    "gateway_cache_hits_total", "Hot-container cache lookups served from memory"
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "gateway_cache_misses_total", "Hot-container cache lookups that went to a replica"
+)
+_CACHE_INVALIDATIONS = REGISTRY.counter(
+    "gateway_cache_invalidations_total",
+    "Entries dropped because their backup was overwritten or deleted",
+)
+_CACHE_BYTES = REGISTRY.gauge(
+    "gateway_cache_bytes", "Share payload bytes resident in the hot-container cache"
+)
+_CACHE_ENTRIES = REGISTRY.gauge(
+    "gateway_cache_entries", "Window entries resident in the hot-container cache"
+)
 
 #: ``(user_id, lookup_key)`` — one backup's identity.
 Backup = tuple[str, bytes]
@@ -63,12 +84,20 @@ class HotContainerCache:
     def get(self, key: tuple):
         """The cached share list, or None (counts toward hit stats)."""
         with self._lock:
-            return self._cache.get(key)
+            shares = self._cache.get(key)
+        if shares is None:
+            _CACHE_MISSES.inc()
+        else:
+            _CACHE_HITS.inc()
+        return shares
 
     def put(self, key: tuple, shares: list) -> None:
         with self._lock:
             self._by_backup.setdefault(key[:2], set()).add(key)
             self._cache.put(key, shares)
+            size, entries = self._cache.size, len(self._cache)
+        _CACHE_BYTES.set(size)
+        _CACHE_ENTRIES.set(entries)
 
     def invalidate(self, backup: Backup) -> int:
         """Drop every entry of one backup; returns entries removed."""
@@ -78,7 +107,33 @@ class HotContainerCache:
             for key in keys:
                 if self._cache.pop(key) is not None:
                     removed += 1
-            return removed
+            size, entries = self._cache.size, len(self._cache)
+        if removed:
+            _CACHE_INVALIDATIONS.inc(removed)
+        _CACHE_BYTES.set(size)
+        _CACHE_ENTRIES.set(entries)
+        return removed
+
+    def stats_snapshot(self) -> dict:
+        """Every stats field under **one** lock acquisition.
+
+        The per-field properties below each take the lock separately, so
+        reading several of them in a row can interleave with concurrent
+        puts and report, e.g., a hit count from before an eviction next
+        to a byte count from after it.  Multi-field consumers (the
+        gateway's ``stats()`` view, the CLI tables) read this snapshot
+        instead.
+        """
+        with self._lock:
+            cache = self._cache
+            return {
+                "capacity_bytes": cache.capacity,
+                "size_bytes": cache.size,
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+            }
 
     # ------------------------------------------------------------------
     # observability (benchmark + stats surface)

@@ -47,8 +47,14 @@ from repro.client.workers import plan_windows
 from repro.errors import IntegrityError, NotFoundError, ParameterError
 from repro.gateway.cache import HotContainerCache
 from repro.gateway.ring import HashRing
+from repro.obs.registry import REGISTRY
 
 __all__ = ["GATEWAY_WINDOW_BYTES", "GatewayService"]
+
+_RESOLUTIONS = REGISTRY.counter(
+    "gateway_resolutions_total",
+    "Backup resolutions served, by source (cache | fresh)",
+)
 
 #: Default restore-window budget, in plaintext bytes per window.  One
 #: window is the unit of caching and of ``T_GW_WINDOW`` transfer.
@@ -180,8 +186,10 @@ class GatewayService:
         with self._lock:
             cached = self._resolutions.get(backup)
             if cached is not None and now < cached.expires:
+                _RESOLUTIONS.inc(source="cache")
                 return cached
         fresh = self._resolve_fresh(user_id, lookup_key)
+        _RESOLUTIONS.inc(source="fresh")
         with self._lock:
             self._resolutions[backup] = fresh
         if cached is not None and cached.digest != fresh.digest:
@@ -296,15 +304,23 @@ class GatewayService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counters for the bench/CLI surface (hit ratio is the fig10
-        gate)."""
+        gate).
+
+        A thin view: the canonical counters live in the process metrics
+        registry (``gateway_cache_*``, ``gateway_resolutions_total``);
+        the cache fields here come from one consistent
+        :meth:`~repro.gateway.cache.HotContainerCache.stats_snapshot`
+        read rather than per-field locking.
+        """
         with self._lock:
             resolutions = len(self._resolutions)
+        cache = self.cache.stats_snapshot()
         return {
-            "cache_hits": self.cache.hits,
-            "cache_misses": self.cache.misses,
-            "cache_hit_ratio": self.cache.hit_rate,
-            "cache_bytes": self.cache.size_bytes,
-            "cache_entries": self.cache.entries,
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "cache_hit_ratio": cache["hit_rate"],
+            "cache_bytes": cache["size_bytes"],
+            "cache_entries": cache["entries"],
             "resolutions": resolutions,
         }
 

@@ -27,8 +27,25 @@ from repro.lsm.cache import LRUCache
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import SSTable
 from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.obs.registry import REGISTRY
 
 __all__ = ["LSMStore", "prefix_upper_bound"]
+
+# Storage-engine throughput counters (docs/OBSERVABILITY.md).  Appends
+# sit on the ingest hot path — one Counter.inc is a per-thread dict
+# update, cheap enough to leave unconditioned.
+_WAL_APPENDS = REGISTRY.counter(
+    "lsm_wal_appends_total", "Mutations logged to the write-ahead log"
+)
+_WAL_SYNCS = REGISTRY.counter(
+    "lsm_wal_syncs_total", "WAL group-commit fsyncs"
+)
+_FLUSHES = REGISTRY.counter(
+    "lsm_flushes_total", "Memtable flushes into new SSTables"
+)
+_COMPACTIONS = REGISTRY.counter(
+    "lsm_compactions_total", "SSTable merge compactions"
+)
 
 
 def prefix_upper_bound(prefix: bytes) -> bytes | None:
@@ -97,6 +114,7 @@ class LSMStore:
         """Insert or overwrite ``key``."""
         self._check_open()
         self._wal.append_put(key, value)
+        _WAL_APPENDS.inc()
         self._mem.put(key, value)
         self._maybe_flush()
 
@@ -104,6 +122,7 @@ class LSMStore:
         """Delete ``key`` (tombstoned until compaction)."""
         self._check_open()
         self._wal.append_delete(key)
+        _WAL_APPENDS.inc()
         self._mem.delete(key)
         self._maybe_flush()
 
@@ -117,6 +136,7 @@ class LSMStore:
         serving contract — cheaper than ``sync=True`` per append."""
         self._check_open()
         self._wal.sync()
+        _WAL_SYNCS.inc()
 
     def flush(self) -> None:
         """Flush the memtable to a new SSTable and reset the WAL."""
@@ -129,6 +149,7 @@ class LSMStore:
         self._tables.append(table)
         self._mem = MemTable()
         self._wal.reset()
+        _FLUSHES.inc()
         if len(self._tables) >= self.compact_at:
             self.compact()
 
@@ -208,6 +229,7 @@ class LSMStore:
         self._block_cache.clear()
         for old in old_paths:
             old.unlink(missing_ok=True)
+        _COMPACTIONS.inc()
 
     def snapshot(self, destination: str | Path) -> Path:
         """Write a point-in-time copy of the store to ``destination``.

@@ -66,12 +66,37 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.errors import ProtocolError, ReproError, ServerOverloadedError
 from repro.net import wire
 from repro.net.dispatch import ConnState, FrameDispatcher
+from repro.obs.registry import REGISTRY
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
 from repro.tenants import TenantRegistry
 
 __all__ = ["AsyncCDStoreTCPServer"]
 
 logger = logging.getLogger(__name__)
+
+# Front-end hot-path metrics (docs/OBSERVABILITY.md).  All carry a
+# ``server`` label so co-located front-ends (a gateway plus its replicas
+# in one process) stay distinguishable in one registry snapshot; the
+# snapshot served by T_OBS_STATS is process-wide either way.
+_CONNECTIONS = REGISTRY.gauge(
+    "net_async_connections", "Open connections per async front-end"
+)
+_INFLIGHT = REGISTRY.gauge(
+    "net_async_inflight", "API requests admitted and not yet finished"
+)
+_SHEDS = REGISTRY.counter(
+    "net_async_sheds_total",
+    "Work refused by admission control, by reason "
+    "(connection_cap | backlog | source_inflight)",
+)
+_SLOW_READER_EVICTIONS = REGISTRY.counter(
+    "net_async_slow_reader_evictions_total",
+    "Connections aborted because the peer stopped draining replies",
+)
+_WRITE_QUEUE_BYTES = REGISTRY.gauge(
+    "net_async_write_queue_bytes",
+    "Bytes parked in per-connection outbound reply queues",
+)
 
 
 class AsyncCDStoreTCPServer:
@@ -106,6 +131,11 @@ class AsyncCDStoreTCPServer:
     slow_reader_grace:
         Seconds a worker may wait on a full outbound queue before the
         connection is evicted.
+    trace, span_ring, slow_threshold:
+        Observability plumbing forwarded to the
+        :class:`~repro.net.dispatch.FrameDispatcher`: whether to offer
+        the v2 trace extension in PONG, the span ring capacity, and the
+        slow-request log threshold in seconds (``None`` disables).
     """
 
     def __init__(
@@ -123,6 +153,9 @@ class AsyncCDStoreTCPServer:
         max_backlog: int | None = None,
         slow_reader_grace: float = 20.0,
         gateway=None,
+        trace: bool = True,
+        span_ring: int = 256,
+        slow_threshold: float | None = 1.0,
     ) -> None:
         if executor_size < 1:
             raise ValueError(f"executor_size must be >= 1, got {executor_size}")
@@ -131,7 +164,13 @@ class AsyncCDStoreTCPServer:
         if write_queue_cap < 1:
             raise ValueError(f"write_queue_cap must be >= 1, got {write_queue_cap}")
         self._dispatcher = FrameDispatcher(
-            server, frame_budget=frame_budget, tenants=tenants, gateway=gateway
+            server,
+            frame_budget=frame_budget,
+            tenants=tenants,
+            gateway=gateway,
+            trace=trace,
+            span_ring=span_ring,
+            slow_threshold=slow_threshold,
         )
         self.server = server
         self.gateway = gateway
@@ -168,6 +207,11 @@ class AsyncCDStoreTCPServer:
     @property
     def frame_budget(self) -> int:
         return self._dispatcher.frame_budget
+
+    @property
+    def spans(self):
+        """This front-end's span ring (the dispatcher's recorder)."""
+        return self._dispatcher.spans
 
     @property
     def tenants(self) -> TenantRegistry | None:
@@ -284,6 +328,7 @@ class AsyncCDStoreTCPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         if len(self._connections) >= self.max_connections:
+            _SHEDS.inc(reason="connection_cap", server=self.server_id)
             # Shed with a typed answer: the peer has not negotiated yet, so
             # v1 framing is the one framing it is guaranteed to understand.
             with contextlib.suppress(ConnectionError, OSError):
@@ -303,10 +348,12 @@ class AsyncCDStoreTCPServer:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn = _AsyncConnection(self, reader, writer)
         self._connections.add(conn)
+        _CONNECTIONS.inc(server=self.server_id)
         try:
             await conn.run()
         finally:
             self._connections.discard(conn)
+            _CONNECTIONS.dec(server=self.server_id)
             conn.abort()
 
     def _admit(self, conn: "_AsyncConnection", state: ConnState) -> object | None:
@@ -319,14 +366,18 @@ class AsyncCDStoreTCPServer:
         """
         key: object = state.tenant if state.tenant is not None else conn
         if self._total_inflight >= self.max_backlog:
+            _SHEDS.inc(reason="backlog", server=self.server_id)
             return None
         if self._source_inflight.get(key, 0) >= self.source_inflight_cap:
+            _SHEDS.inc(reason="source_inflight", server=self.server_id)
             return None
         self._total_inflight += 1
         self._source_inflight[key] = self._source_inflight.get(key, 0) + 1
+        _INFLIGHT.inc(server=self.server_id)
         return key
 
     def _release(self, key: object) -> None:
+        _INFLIGHT.dec(server=self.server_id)
         self._total_inflight -= 1
         left = self._source_inflight.get(key, 0) - 1
         if left <= 0:
@@ -547,6 +598,7 @@ class _AsyncConnection:
                     self._out_bytes -= len(buf)
                     if self._out_bytes <= self.srv.write_queue_cap:
                         self._space.set()
+                _WRITE_QUEUE_BYTES.add(-len(buf), server=self.srv.server_id)
                 self.writer.write(buf)
                 try:
                     await self.writer.drain()
@@ -578,11 +630,13 @@ class _AsyncConnection:
                     self._space.clear()
                     queued = False
             if queued:
+                _WRITE_QUEUE_BYTES.add(len(buf), server=srv.server_id)
                 self._call_soon(self._wake_writer)
                 return
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 # Slow reader: evict rather than pin this worker forever.
+                _SLOW_READER_EVICTIONS.inc(server=srv.server_id)
                 self.abort_threadsafe()
                 raise ConnectionResetError("slow reader evicted")
             self._space.wait(timeout=min(remaining, 0.1))
@@ -605,8 +659,11 @@ class _AsyncConnection:
             if self.dead:
                 return
             self.dead = True
+            cleared = self._out_bytes
             self._out.clear()
             self._out_bytes = 0
+        if cleared:
+            _WRITE_QUEUE_BYTES.add(-cleared, server=self.srv.server_id)
         self._space.set()  # release blocked workers (they observe dead)
         self._wake.set()  # release the writer coroutine
         transport = self.writer.transport
@@ -619,8 +676,11 @@ class _AsyncConnection:
         with self._qlock:
             already = self.dead
             self.dead = True
+            cleared = self._out_bytes
             self._out.clear()
             self._out_bytes = 0
+        if cleared:
+            _WRITE_QUEUE_BYTES.add(-cleared, server=self.srv.server_id)
         self._space.set()
         if not already:
             self._call_soon(self._finish_abort)

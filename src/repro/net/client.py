@@ -66,6 +66,7 @@ from repro.errors import (
 )
 from repro.net import wire
 from repro.net.server import recv_exact
+from repro.obs.trace import current_context
 from repro.server.index import FileEntry
 from repro.server.messages import FileManifest, RecipeEntry, ShareMeta, ShareUpload
 from repro.tenants import Credentials, auth_proof
@@ -201,6 +202,12 @@ class RemoteServerProxy:
         Advertise wire version 2 and multiplex requests over the shared
         socket when the server agrees (see the module docstring).
         ``False`` pins the proxy to the serial v1 framing.
+    trace:
+        Offer the v2 trace extension in the PING handshake.  When the
+        server accepts, every non-control request frame carries a
+        fixed-size trace trailer (the calling thread's context, or
+        zeroes when untraced) — see ``docs/PROTOCOL.md`` §3.1.  Ignored
+        on serial (v1) connections, which never negotiate it.
     """
 
     #: Lock discipline (``repro analyze``, LOCK-001): connection identity
@@ -213,6 +220,7 @@ class RemoteServerProxy:
         _sock="_lock",
         _server_id="_lock",
         _version="_lock",
+        _trace="_lock",
         _pending="_lock",
         _discard="_lock",
         _next_id="_lock",
@@ -228,6 +236,7 @@ class RemoteServerProxy:
         max_frame: int = wire.MAX_FRAME_BYTES,
         credentials: Credentials | None = None,
         mux: bool = True,
+        trace: bool = True,
     ) -> None:
         if isinstance(address, str):
             self.host, self.port = CloudSpec.parse(address).address
@@ -241,6 +250,9 @@ class RemoteServerProxy:
         #: Version advertised in T_PING: mux proxies offer v2, pinned
         #: proxies offer v1 so the server never upgrades the framing.
         self._advertise = wire.WIRE_VERSION if self.mux else 1
+        #: Whether to *offer* the trace extension (only meaningful on a
+        #: mux handshake — v1 framing has no room for the trailer).
+        self.trace_enabled = bool(trace) and self.mux
         #: Role granted by the last successful auth handshake (None when
         #: unauthenticated / running against an open server).
         self.role: str | None = None
@@ -249,6 +261,9 @@ class RemoteServerProxy:
         #: Negotiated framing for the current connection (1 until the
         #: PONG of a mux handshake says otherwise).
         self._version = 1
+        #: Whether the current connection negotiated the trace extension
+        #: (the PONG echoed :data:`~repro.net.wire.FLAG_TRACE`).
+        self._trace = False
         #: In-flight mux requests by correlation id.
         self._pending: dict[int, _PendingReply] = {}
         #: Abandoned stream ids whose late frames must be swallowed.
@@ -300,6 +315,7 @@ class RemoteServerProxy:
             except OSError:  # pragma: no cover
                 pass
         self._version = 1
+        self._trace = False
         self._discard.clear()
         pending, self._pending = self._pending, {}
         if pending:
@@ -333,9 +349,10 @@ class RemoteServerProxy:
                 f"cannot configure socket for {self.address_spec}: {exc}"
             ) from exc
         self._sock = sock
+        offered = wire.FLAG_TRACE if self.trace_enabled else 0
         try:
             frame_type, payload = self._roundtrip(
-                wire.T_PING, wire.encode_ping(self._advertise)
+                wire.T_PING, wire.encode_ping(self._advertise, offered)
             )
         except (ConnectionError, socket.timeout, OSError) as exc:
             # A server that accepts then dies before answering the
@@ -358,7 +375,7 @@ class RemoteServerProxy:
                 f"{self.address_spec} answered PING with frame "
                 f"0x{frame_type:02x}"
             )
-        version, server_id = wire.decode_pong(payload)
+        version, server_id, accepted = wire.decode_pong(payload)
         if not 1 <= version <= self._advertise:
             self._drop()
             raise ProtocolError(
@@ -374,8 +391,12 @@ class RemoteServerProxy:
         self._server_id = server_id
         # Both sides switch framing on the PONG boundary (wire.py): every
         # frame after this point — including the auth exchange — uses the
-        # negotiated framing.
+        # negotiated framing.  Same boundary for the trace extension: the
+        # server only echoes FLAG_TRACE when it will strip trailers.
         self._version = version
+        self._trace = (
+            version >= 2 and bool(accepted & offered & wire.FLAG_TRACE)
+        )
         if self.credentials is not None:
             self._authenticate()
         if self._version >= 2:
@@ -477,6 +498,7 @@ class RemoteServerProxy:
         """
         sock = self._sock
         assert sock is not None
+        payload = self._wrap_trace(frame_type, payload)
         if self._version >= 2:
             request_id = self._alloc_id()
             sock.sendall(
@@ -516,6 +538,21 @@ class RemoteServerProxy:
     # mux request plumbing
     # ------------------------------------------------------------------
     @requires_lock("_lock")
+    def _wrap_trace(self, frame_type: int, payload: bytes) -> bytes:
+        """Append the trace trailer when negotiated (control frames exempt).
+
+        The trailer is fixed-size and carried on *every* non-control
+        request frame once the extension is on — an untraced thread
+        sends the all-zero context rather than switching formats
+        per-request (``wire.split_trace_context`` on the server side
+        then needs no out-of-band length signal).
+        """
+        if not self._trace or frame_type in wire.CONTROL_FRAMES:
+            return payload
+        trace_id, span_id = current_context()
+        return payload + wire.encode_trace_context(trace_id, span_id)
+
+    @requires_lock("_lock")
     def _alloc_id(self) -> int:
         """A correlation id not currently in flight (or being discarded)."""
         rid = self._next_id
@@ -536,6 +573,7 @@ class RemoteServerProxy:
             self._ensure_connected()
             if self._version < 2:
                 return None
+            payload = self._wrap_trace(frame_type, payload)
             handle = _PendingReply(self._alloc_id())
             self._pending[handle.request_id] = handle
             sock = self._sock
@@ -1149,6 +1187,19 @@ class RemoteServerProxy:
     def stats(self) -> DedupStats:
         """The remote server's dedup counters (one RPC per access)."""
         return wire.decode_stats(self._call(wire.T_STATS, b"", wire.R_STATS))
+
+    def obs_stats(self) -> dict:
+        """The remote front-end's observability snapshot (admin-gated).
+
+        One :data:`~repro.net.wire.T_OBS_STATS` round trip; the reply is
+        the versioned JSON snapshot — metrics registry contents plus the
+        front-end's span ring (see ``docs/OBSERVABILITY.md``).  A server
+        authenticated with a non-admin tenant answers with
+        :class:`~repro.errors.AuthError`.
+        """
+        return wire.decode_obs_stats(
+            self._call(wire.T_OBS_STATS, b"", wire.R_OBS_STATS)
+        )
 
     @property
     def stored_bytes(self) -> int:

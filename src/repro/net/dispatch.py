@@ -47,6 +47,8 @@ from threading import Lock
 from repro.analysis.annotations import guarded_by
 from repro.errors import AuthError, ProtocolError, QuotaExceededError
 from repro.net import wire
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import ZERO_TRACE_ID, SpanRecorder, Tracer
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
 from repro.tenants import ROLE_ADMIN, TenantRegistry, TokenBucket, auth_proof
 
@@ -54,7 +56,8 @@ __all__ = ["ADMIN_FRAMES", "ConnState", "FrameDispatcher"]
 
 #: Maintenance/observability frames reserved to the ``admin`` role when a
 #: tenant registry is active: they either touch other tenants' data
-#: (scrub, GC, repair) or aggregate across tenants (stats, backup list).
+#: (scrub, GC, repair) or aggregate across tenants (stats, backup list,
+#: the T_OBS_STATS metrics/span snapshot).
 ADMIN_FRAMES = frozenset(
     {
         wire.T_SCRUB,
@@ -64,7 +67,24 @@ ADMIN_FRAMES = frozenset(
         wire.T_LIST_BACKUPS,
         wire.T_STATS,
         wire.T_STORED_BYTES,
+        wire.T_OBS_STATS,
     }
+)
+
+#: Wall-clock cost of answering one request frame, by frame short name.
+#: Observed around the *full* reply generation — for streamed fetches
+#: that includes every batch, so slow-consumer backpressure shows up
+#: here, which is exactly what "why was this restore slow?" needs.
+_DISPATCH_SECONDS = REGISTRY.histogram(
+    "net_dispatch_seconds",
+    "Latency of answering one request frame, labeled by frame type",
+)
+
+#: Requests rejected by a tenant's token bucket (per-tenant label) — the
+#: "rate-limit hits" column of ``repro tenant-stats``.
+_RATE_LIMITED = REGISTRY.counter(
+    "dispatch_rate_limited_total",
+    "Requests rejected by the per-tenant request-rate token bucket",
 )
 
 
@@ -76,7 +96,10 @@ class ConnState:
     workers only *read* the auth fields after the handshake settled.
     """
 
-    __slots__ = ("tenant", "role", "pending", "version", "_negotiated")
+    __slots__ = (
+        "tenant", "role", "pending", "version", "trace",
+        "_negotiated", "_trace_pending",
+    )
 
     def __init__(self) -> None:
         self.tenant: str | None = None
@@ -86,7 +109,13 @@ class ConnState:
         #: Framing currently in force.  Every connection starts v1; the
         #: PING/PONG negotiation may upgrade it (never downgrade).
         self.version: int = 1
+        #: Trace extension in force: every non-control request frame
+        #: carries a :data:`~repro.net.wire.TRACE_CONTEXT_SIZE`-byte
+        #: trailer.  Negotiated via :data:`~repro.net.wire.FLAG_TRACE`
+        #: on the same PONG boundary as the framing upgrade.
+        self.trace: bool = False
         self._negotiated: int | None = None
+        self._trace_pending: bool = False
 
     def apply_negotiation(self) -> None:
         """Switch framing to the negotiated version (post-PONG, once).
@@ -95,11 +124,16 @@ class ConnState:
         reply to the PING itself is always framed in the version the PING
         arrived under, and only *subsequent* frames use the upgrade.
         A later PING on an already-upgraded connection cannot downgrade
-        it — that would desynchronise frames already in flight.
+        it — that would desynchronise frames already in flight.  The
+        trace extension switches on at the same boundary (and, once on,
+        never off — same no-downgrade rule).
         """
         if self._negotiated is not None:
             self.version = max(self.version, self._negotiated)
             self._negotiated = None
+            if self._trace_pending:
+                self.trace = True
+                self._trace_pending = False
 
 
 class FrameDispatcher:
@@ -138,6 +172,9 @@ class FrameDispatcher:
         frame_budget: int = FETCH_BATCH_BYTES,
         tenants: TenantRegistry | None = None,
         gateway=None,
+        trace: bool = True,
+        span_ring: int = 256,
+        slow_threshold: float | None = 1.0,
     ) -> None:
         if frame_budget < 1:
             raise ValueError(f"frame_budget must be >= 1, got {frame_budget}")
@@ -147,8 +184,23 @@ class FrameDispatcher:
         self.frame_budget = frame_budget
         self.tenants = tenants
         self.gateway = gateway
+        #: Whether this front-end accepts the FLAG_TRACE capability
+        #: (``ObsSpec.trace``); the span ring and slow-request threshold
+        #: come from the same spec.
+        self.trace_enabled = trace
+        self.component = "gateway" if server is None else "server"
+        self.tracer = Tracer(
+            self.component,
+            recorder=SpanRecorder(span_ring),
+            slow_threshold=slow_threshold,
+        )
         self._bucket_lock = Lock()
         self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def spans(self) -> SpanRecorder:
+        """This front-end's ring of finished server-side spans."""
+        return self.tracer.recorder
 
     # ------------------------------------------------------------------
     # authentication & tenant enforcement
@@ -224,6 +276,7 @@ class FrameDispatcher:
                 bucket = self._buckets[tenant_id] = TokenBucket(rate)
             allowed = bucket.allow(time.monotonic())
         if not allowed:
+            _RATE_LIMITED.inc(tenant=tenant_id)
             raise QuotaExceededError(
                 f"request rate limit exceeded for tenant {tenant_id!r}"
             )
@@ -235,6 +288,27 @@ class FrameDispatcher:
         return state.tenant
 
     # ------------------------------------------------------------------
+    # observability snapshot (T_OBS_STATS)
+    # ------------------------------------------------------------------
+    def obs_snapshot(self) -> dict:
+        """The versioned snapshot an ``R_OBS_STATS`` reply carries.
+
+        The process-wide metrics registry plus this front-end's own span
+        ring and identity — two co-located front-ends (a gateway and a
+        replica in one test process) share metrics but answer with their
+        own spans.
+        """
+        snapshot = REGISTRY.snapshot()
+        snapshot["component"] = self.component
+        snapshot["server_id"] = (
+            self.server.server_id
+            if self.server is not None
+            else wire.GATEWAY_SERVER_ID
+        )
+        snapshot["spans"] = self.tracer.snapshot()
+        return snapshot
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def dispatch(self, state: ConnState, frame_type: int, payload: bytes):
@@ -244,19 +318,50 @@ class FrameDispatcher:
         one bounded frame at a time; every other request yields exactly
         one tuple.  The caller frames each tuple for the connection's
         negotiated version (and, on v2, echoes the request id).
+
+        Observability wrapper: on trace-negotiated connections the
+        :data:`~repro.net.wire.TRACE_CONTEXT_SIZE`-byte trailer is
+        stripped *here*, before any payload codec runs, and activated as
+        the handler's thread-local context — a gateway handler calling
+        replica proxies in the same thread forwards the trace onward
+        with no per-call plumbing.  Every frame's wall-clock cost lands
+        in the ``net_dispatch_seconds`` histogram.
         """
+        trace_id, parent_id = ZERO_TRACE_ID, 0
+        if state.trace and frame_type not in wire.CONTROL_FRAMES:
+            trace_id, parent_id, payload = wire.split_trace_context(payload)
+        name = wire.frame_name(frame_type)
+        clock = time.perf_counter()
+        try:
+            with self.tracer.span(
+                f"frame:{name}", trace_id=trace_id, parent_id=parent_id
+            ):
+                yield from self._dispatch(state, frame_type, payload)
+        finally:
+            _DISPATCH_SECONDS.observe(time.perf_counter() - clock, frame=name)
+
+    def _dispatch(self, state: ConnState, frame_type: int, payload: bytes):
         server = self.server
         if frame_type == wire.T_PING:
             # Liveness stays unauthenticated: failover probes must work
             # before (and without) credentials.  The PONG answers with the
             # negotiated version; the framing upgrade is applied by the
             # front-end once the PONG is out (ConnState.apply_negotiation).
-            negotiated = wire.negotiate_version(wire.decode_ping(payload))
+            advertised, ping_flags = wire.decode_ping(payload)
+            negotiated = wire.negotiate_version(advertised)
             state._negotiated = negotiated
+            accepted = 0
+            if (
+                self.trace_enabled
+                and negotiated >= 2
+                and ping_flags & wire.FLAG_TRACE
+            ):
+                accepted |= wire.FLAG_TRACE
+            state._trace_pending = bool(accepted & wire.FLAG_TRACE)
             server_id = (
                 server.server_id if server is not None else wire.GATEWAY_SERVER_ID
             )
-            yield wire.R_PONG, wire.encode_pong(server_id, negotiated)
+            yield wire.R_PONG, wire.encode_pong(server_id, negotiated, accepted)
         elif frame_type == wire.T_AUTH:
             yield from self._handle_auth(state, payload)
         elif frame_type == wire.T_AUTH_PROOF:
@@ -285,6 +390,12 @@ class FrameDispatcher:
                 shard_count += 1
                 yield wire.R_GW_SHARD, wire.encode_gw_shard(server_id, shares)
             yield wire.R_GW_WINDOW_END, wire.encode_gw_window_end(shard_count)
+        elif frame_type == wire.T_OBS_STATS:
+            # Served by every front-end (server or gateway): the metrics
+            # registry is process-wide, the span ring is this front-end's.
+            _expect_empty(payload)
+            self._authorize(state, frame_type)
+            yield wire.R_OBS_STATS, wire.encode_obs_stats(self.obs_snapshot())
         elif server is None:
             # A pure gateway front-end: API frames have no backing server.
             raise ProtocolError(

@@ -40,12 +40,20 @@ from repro.analysis.annotations import guarded_by
 from repro.errors import ReproError
 from repro.net import wire
 from repro.net.dispatch import ADMIN_FRAMES, ConnState, FrameDispatcher
+from repro.obs.registry import REGISTRY
 from repro.server.server import CDStoreServer, FETCH_BATCH_BYTES
 from repro.tenants import TenantRegistry
 
 __all__ = ["ADMIN_FRAMES", "CDStoreTCPServer", "recv_exact"]
 
 logger = logging.getLogger(__name__)
+
+# Per-frame latency and error accounting live in the shared
+# FrameDispatcher; the thread-per-connection front-end only tracks its
+# connection count (its one piece of state the dispatcher cannot see).
+_TCP_CONNECTIONS = REGISTRY.gauge(
+    "net_tcp_connections", "Open connections per threaded front-end"
+)
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -98,9 +106,17 @@ class CDStoreTCPServer:
         frame_budget: int = FETCH_BATCH_BYTES,
         max_frame: int = wire.MAX_FRAME_BYTES,
         tenants: TenantRegistry | None = None,
+        trace: bool = True,
+        span_ring: int = 256,
+        slow_threshold: float | None = 1.0,
     ) -> None:
         self._dispatcher = FrameDispatcher(
-            server, frame_budget=frame_budget, tenants=tenants
+            server,
+            frame_budget=frame_budget,
+            tenants=tenants,
+            trace=trace,
+            span_ring=span_ring,
+            slow_threshold=slow_threshold,
         )
         self.server = server
         self.max_frame = max_frame
@@ -115,6 +131,11 @@ class CDStoreTCPServer:
     @property
     def frame_budget(self) -> int:
         return self._dispatcher.frame_budget
+
+    @property
+    def spans(self):
+        """This front-end's span ring (the dispatcher's recorder)."""
+        return self._dispatcher.spans
 
     @property
     def tenants(self) -> TenantRegistry | None:
@@ -240,6 +261,7 @@ class CDStoreTCPServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         state = ConnState()
+        _TCP_CONNECTIONS.inc(server=self.server.server_id)
         try:
             while not self._stopped.is_set():
                 try:
@@ -284,6 +306,7 @@ class CDStoreTCPServer:
             )
             return
         finally:
+            _TCP_CONNECTIONS.dec(server=self.server.server_id)
             with self._conn_lock:
                 self._connections.discard(conn)
             try:

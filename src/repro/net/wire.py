@@ -42,6 +42,7 @@ is a one-place change and the numbers never shift.
 
 from __future__ import annotations
 
+import json
 import struct
 from typing import Callable
 
@@ -59,6 +60,7 @@ __all__ = [
     "AUTH_NONCE_SIZE",
     "AUTH_PROOF_SIZE",
     "CONTROL_FRAMES",
+    "FLAG_TRACE",
     "FRAME_HEADER",
     "GATEWAY_FRAMES",
     "GATEWAY_SERVER_ID",
@@ -66,8 +68,10 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "METHOD_FRAMES",
     "MUX_FRAME_HEADER",
+    "OBS_FRAMES",
     "REQUEST_ID_MAX",
     "SHARE_WIRE_OVERHEAD",
+    "TRACE_CONTEXT_SIZE",
     "WIRE_VERSION",
     "decode_error",
     "decode_frames",
@@ -75,10 +79,13 @@ __all__ = [
     "encode_frame",
     "encode_frame_v",
     "encode_mux_frame",
+    "encode_trace_context",
+    "frame_name",
     "negotiate_version",
     "read_frame",
     "read_frame_mux",
     "read_frame_v",
+    "split_trace_context",
 ]
 
 #: Highest protocol revision this build speaks.  Version 1 is the serial
@@ -131,6 +138,8 @@ T_AUTH_PROOF = 0x13
 # Gateway requests (client -> repro gateway; see repro.gateway).
 T_GW_RESOLVE = 0x14
 T_GW_WINDOW = 0x15
+# Observability: fetch the versioned metrics/span snapshot (admin-gated).
+T_OBS_STATS = 0x16
 
 # Responses (server -> client).
 R_OK = 0x80
@@ -150,7 +159,29 @@ R_AUTH_OK = 0x8D
 R_GW_BACKUP = 0x8E
 R_GW_SHARD = 0x8F
 R_GW_WINDOW_END = 0x90
+R_OBS_STATS = 0x91
 R_ERROR = 0xFF
+
+def frame_name(frame_type: int) -> str:
+    """Human label for a frame byte (``"PING"``, ``"GW_WINDOW"``, …).
+
+    Used as the ``frame`` label on dispatch latency histograms and in
+    span names, so exposition stays readable without a byte/name lookup
+    table at the consumer.  Unknown bytes render as hex.
+    """
+    name = _FRAME_NAMES.get(frame_type)
+    return name if name is not None else f"0x{frame_type:02x}"
+
+
+def _build_frame_names() -> dict[int, str]:
+    names: dict[int, str] = {}
+    for name, value in globals().items():
+        if isinstance(value, int) and (
+            name.startswith("T_") or name.startswith("R_")
+        ):
+            names.setdefault(value, name[2:])
+    return names
+
 
 #: Server-surface method -> request frame that carries it.  This is the
 #: single source of truth the WIRE-005 checker cross-checks against
@@ -192,6 +223,14 @@ GATEWAY_FRAMES: frozenset[int] = frozenset({T_GW_RESOLVE, T_GW_WINDOW})
 #: gateway is not a cloud, so it answers with a value no cloud index can
 #: take (the u32 maximum) instead of claiming slot 0.
 GATEWAY_SERVER_ID = 0xFFFFFFFF
+
+#: Observability request frames: served by *every* front-end (server or
+#: gateway) from its own dispatcher, not from the
+#: :class:`~repro.server.protocol.CDStoreServerAPI` surface — the
+#: WIRE-005 checker exempts these from METHOD_FRAMES exactly like
+#: control and gateway frames.  Admin-gated when a tenant registry is
+#: active (see :data:`repro.net.dispatch.ADMIN_FRAMES`).
+OBS_FRAMES: frozenset[int] = frozenset({T_OBS_STATS})
 
 #: Protocol methods that never cross the wire (local lifecycle/recovery).
 LOCAL_ONLY_METHODS: frozenset[str] = frozenset({"close", "recover"})
@@ -434,28 +473,97 @@ def _check_fp(fp: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def encode_ping(version: int = WIRE_VERSION) -> bytes:
-    """T_PING carries the highest wire version the client speaks."""
-    return struct.pack(">H", version)
+#: PING/PONG capability flag: the sender supports the per-request trace
+#: extension (:data:`TRACE_CONTEXT_SIZE`-byte trailer on request frames).
+#: Carried in the optional trailing flags byte of both handshake frames;
+#: a peer that omits the byte — every v1 and older-v2 build — advertises
+#: nothing, so negotiation degrades to "no trace" with no special case.
+FLAG_TRACE = 0x01
 
 
-def decode_ping(payload: bytes) -> int:
+def encode_ping(version: int = WIRE_VERSION, flags: int = 0) -> bytes:
+    """T_PING carries the highest wire version the client speaks.
+
+    ``flags`` (capability bits, :data:`FLAG_TRACE`) ride in an optional
+    trailing byte appended only when nonzero, so a client with nothing
+    to advertise emits the byte-identical legacy payload.
+    """
+    blob = struct.pack(">H", version)
+    if flags:
+        blob += struct.pack(">B", flags)
+    return blob
+
+
+def decode_ping(payload: bytes) -> tuple[int, int]:
+    """Returns ``(version, flags)``; a legacy 2-byte PING has flags 0."""
     reader = _Reader(payload)
     version = struct.unpack(">H", reader.take(2))[0]
+    flags = reader.u8() if len(payload) > 2 else 0
     reader.done()
-    return version
+    return version, flags
 
 
-def encode_pong(server_id: int, version: int = WIRE_VERSION) -> bytes:
-    """R_PONG answers with the *negotiated* version for this connection."""
-    return struct.pack(">HI", version, server_id)
+def encode_pong(server_id: int, version: int = WIRE_VERSION, flags: int = 0) -> bytes:
+    """R_PONG answers with the *negotiated* version for this connection.
+
+    ``flags`` echoes the capabilities the server *accepted* (a subset of
+    the PING's), in the same optional-trailing-byte shape.
+    """
+    blob = struct.pack(">HI", version, server_id)
+    if flags:
+        blob += struct.pack(">B", flags)
+    return blob
 
 
-def decode_pong(payload: bytes) -> tuple[int, int]:
+def decode_pong(payload: bytes) -> tuple[int, int, int]:
+    """Returns ``(version, server_id, flags)``; legacy PONGs have flags 0."""
     reader = _Reader(payload)
     version, server_id = struct.unpack(">HI", reader.take(6))
+    flags = reader.u8() if len(payload) > 6 else 0
     reader.done()
-    return version, server_id
+    return version, server_id, flags
+
+
+# ---------------------------------------------------------------------------
+# trace extension (wire v2, negotiated via FLAG_TRACE)
+# ---------------------------------------------------------------------------
+
+#: Bytes of the per-request trace trailer: 16-byte trace id + u64 parent
+#: span id.  When both sides negotiated :data:`FLAG_TRACE`, **every**
+#: non-control request frame carries the trailer (an untraced request
+#: carries all zeroes) — fixed presence, so no in-band marker is needed
+#: and the strict codecs never see the extra bytes.
+TRACE_CONTEXT_SIZE = 16 + 8
+
+_TRACE_SPAN = struct.Struct(">Q")
+
+
+def encode_trace_context(trace_id: bytes, span_id: int) -> bytes:
+    """The request-frame trailer carrying the caller's trace context."""
+    if len(trace_id) != TRACE_CONTEXT_SIZE - _TRACE_SPAN.size:
+        raise ProtocolError(
+            f"trace id must be {TRACE_CONTEXT_SIZE - _TRACE_SPAN.size} bytes, "
+            f"got {len(trace_id)}"
+        )
+    return trace_id + _TRACE_SPAN.pack(span_id)
+
+
+def split_trace_context(payload: bytes) -> tuple[bytes, int, bytes]:
+    """Strip the trailer: ``(trace_id, parent_span_id, inner_payload)``.
+
+    Called by the dispatcher on trace-negotiated connections before any
+    payload codec runs, so the codecs' exact-consumption contract
+    (:meth:`_Reader.done`) holds unchanged.
+    """
+    if len(payload) < TRACE_CONTEXT_SIZE:
+        raise ProtocolError(
+            f"request frame of {len(payload)} bytes cannot carry the "
+            f"{TRACE_CONTEXT_SIZE}-byte trace context"
+        )
+    trailer = payload[-TRACE_CONTEXT_SIZE:]
+    trace_id = trailer[: -_TRACE_SPAN.size]
+    (span_id,) = _TRACE_SPAN.unpack(trailer[-_TRACE_SPAN.size:])
+    return trace_id, span_id, payload[:-TRACE_CONTEXT_SIZE]
 
 
 #: Client/server nonces in the auth exchange are exactly this long.
@@ -795,6 +903,31 @@ def decode_stats(payload: bytes) -> DedupStats:
     return DedupStats(**dict(zip(_STATS_FIELDS, values)))
 
 
+# T_OBS_STATS carries no request body; its reply is a JSON document, not
+# packed structs: the snapshot schema evolves with the metric catalogue
+# (every release adds metrics), and the frame is an admin/ops surface
+# where flexibility beats the few KB a binary encoding would save.  The
+# embedded ``version`` key (repro.obs.registry.SNAPSHOT_VERSION) is the
+# compatibility contract.
+
+
+def encode_obs_stats(snapshot: dict) -> bytes:
+    """R_OBS_STATS: one versioned observability snapshot, JSON-encoded."""
+    if "version" not in snapshot:
+        raise ProtocolError("obs snapshot must carry a 'version' key")
+    return json.dumps(snapshot, sort_keys=True).encode("utf-8")
+
+
+def decode_obs_stats(payload: bytes) -> dict:
+    try:
+        snapshot = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad obs stats payload: {exc}") from exc
+    if not isinstance(snapshot, dict) or "version" not in snapshot:
+        raise ProtocolError("obs stats payload is not a versioned snapshot")
+    return snapshot
+
+
 def encode_backup_list(backups: list[tuple[str, bytes]]) -> bytes:
     parts = [struct.pack(">I", len(backups))]
     for user_id, lookup_key in backups:
@@ -883,3 +1016,8 @@ def decode_gw_window_end(payload: bytes) -> int:
     count = reader.u32()
     reader.done()
     return count
+
+
+#: Frame byte -> short name ("PING", "OBS_STATS", …); built once all
+#: constants above exist.
+_FRAME_NAMES = _build_frame_names()

@@ -1,0 +1,55 @@
+"""Structured event logging: human one-liners or JSON lines.
+
+The CLI's backup/restore summaries and the tracer's slow-request log
+share this sink instead of ad-hoc ``print`` calls.  One event is one
+line; the format is a constructor choice, not a per-call one:
+
+* human (default): ``backup_file path=a.txt bytes=1024 ...``
+* JSON lines (``--log-json``): ``{"event": "backup_file", "ts": ..., ...}``
+
+Events carry whatever fields the caller attaches — tenant and trace ids
+ride along where available, so a slow restore in the JSON log joins
+against the span rings by ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+__all__ = ["StructuredLog"]
+
+
+def _render_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    if isinstance(value, (list, tuple)):
+        return ",".join(_render_value(v) for v in value)
+    return str(value)
+
+
+class StructuredLog:
+    """One event sink; ``json_lines`` picks the serialisation."""
+
+    def __init__(self, stream=None, json_lines: bool = False) -> None:
+        self._stream = stream
+        self.json_lines = json_lines
+
+    @property
+    def stream(self):
+        # Resolved lazily so a log constructed at import time still
+        # honours test-time capsys/stdout redirection.
+        return self._stream if self._stream is not None else sys.stdout
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one structured event line."""
+        if self.json_lines:
+            record = {"event": event, "ts": time.time()}
+            record.update(fields)
+            line = json.dumps(record, sort_keys=True, default=str)
+        else:
+            parts = [event]
+            parts.extend(f"{key}={_render_value(value)}" for key, value in fields.items())
+            line = " ".join(parts)
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,405 @@
+"""Process-wide metrics registry: counters, gauges, latency histograms.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  Metrics are incremented inside the WAL append
+   loop, the dispatcher, and the per-window restore path; the bench gate
+   (``micro.obs_enabled_over_disabled``) requires instrumented ingest +
+   restore to stay within 5% of uninstrumented.  Counters and histograms
+   therefore keep **per-thread cells**: an increment touches only the
+   calling thread's own dict — no lock, no CAS, no cross-thread cache
+   traffic — and only a *new thread's first touch* of a metric takes the
+   registry lock to publish its cell table.  Reads (snapshots) sum
+   across the published tables; under the GIL a point read of another
+   thread's dict is safe, so readers never block writers.
+2. **Thread safety.**  Structural state (the metric table, the list of
+   published per-thread cell tables, gauge values) mutates only under a
+   lock, declared via ``GUARDED_BY`` so ``repro analyze`` (LOCK-001) and
+   the runtime lock witness both see the discipline.
+3. **Snapshot consistency.**  ``snapshot()`` returns a versioned,
+   JSON-safe dict (:data:`SNAPSHOT_VERSION`) — the payload of the
+   ``T_OBS_STATS`` wire frame and the input to
+   :func:`render_prometheus`.
+
+Metric names use Prometheus conventions (``[a-z_]+``, ``_total`` suffix
+on counters, ``_seconds`` on latency histograms) so the text exposition
+needs no name mangling.  Registration is idempotent: asking for an
+existing name returns the existing metric (layers register at import
+time and must not fight over who was first); re-registering under a
+different *kind* is a :class:`~repro.errors.ParameterError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.annotations import guarded_by, requires_lock
+from repro.errors import ParameterError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SNAPSHOT_VERSION",
+    "render_prometheus",
+]
+
+#: Version stamp carried by every :meth:`MetricsRegistry.snapshot` (and
+#: therefore every ``R_OBS_STATS`` payload).  Bump when the snapshot
+#: shape changes; consumers must check it before interpreting the dict.
+SNAPSHOT_VERSION = 1
+
+#: Default histogram boundaries for latency metrics, in seconds.  Spans
+#: 0.5 ms .. 10 s — fsync group commits sit in the low milliseconds,
+#: whole-window restores in the hundreds; the +Inf bucket is implicit.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical hashable form of one label set (sorted name/value pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _key_text(key: tuple) -> str:
+    """JSON-safe rendering of a label key: ``"a=1,b=2"`` (``""`` for none)."""
+    return ",".join(f"{name}={value}" for name, value in key)
+
+
+class _Metric:
+    """Shared shell: name, help text, and the per-thread cell machinery.
+
+    Each thread owns a private ``dict[label_key, cell]`` reached through
+    ``threading.local`` — the lock-free fast path.  The dict itself is
+    *published* (appended to ``_tables``) exactly once per thread, under
+    the lock, so readers can find it.  Cells of finished threads stay
+    published — counters are cumulative, so their contributions must
+    outlive the thread.
+    """
+
+    #: Lock discipline (``repro analyze``, LOCK-001): the published
+    #: table list mutates only under ``_lock``; the per-thread dicts it
+    #: holds are single-writer by construction.
+    GUARDED_BY = guarded_by(_tables="_lock")
+
+    kind = "metric"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._tables: list[dict] = []
+        self._local = threading.local()
+
+    def _cells(self) -> dict:
+        """This thread's cell table, publishing it on first touch."""
+        cells = getattr(self._local, "cells", None)
+        if cells is None:
+            cells = self._local.cells = {}
+            with self._lock:
+                self._tables.append(cells)
+        return cells
+
+    @requires_lock("_lock")
+    def _merged(self) -> dict:
+        """Sum the published per-thread tables (caller holds ``_lock``).
+
+        ``list(table.items())`` iterates in C without releasing the GIL,
+        so a writer thread cannot interleave mid-snapshot of one table.
+        """
+        merged: dict = {}
+        for table in self._tables:
+            for key, value in list(table.items()):
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+class Counter(_Metric):
+    """Monotonic counter; ``inc`` is the lock-free per-thread fast path."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        cells = self._cells()
+        key = _label_key(labels)
+        cells[key] = cells.get(key, 0) + amount
+
+    def value(self, **labels) -> int | float:
+        key = _label_key(labels)
+        with self._lock:
+            return self._merged().get(key, 0)
+
+    def collect(self) -> dict[str, int | float]:
+        with self._lock:
+            return {_key_text(key): value for key, value in self._merged().items()}
+
+
+class Gauge(_Metric):
+    """Point-in-time value; set/add take the lock (gauges are off the
+    hot path — queue depths, in-flight counts, cache occupancy)."""
+
+    kind = "gauge"
+
+    #: Gauges need cross-thread read-modify-write (several worker threads
+    #: inc/dec one in-flight count), so their cells live in one shared
+    #: table under the metric lock instead of per-thread tables.
+    GUARDED_BY = guarded_by(_tables="_lock", _values="_lock")
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help_text, registry)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: int | float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def add(self, amount: int | float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        self.add(amount, **labels)
+
+    def dec(self, amount: int | float = 1, **labels) -> None:
+        self.add(-amount, **labels)
+
+    def value(self, **labels) -> int | float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def collect(self) -> dict[str, int | float]:
+        with self._lock:
+            return {_key_text(key): value for key, value in self._values.items()}
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram; ``observe`` is the lock-free fast path.
+
+    Each per-thread cell is a flat list: one cumulative-count slot per
+    finite bucket boundary, one +Inf slot, then the running sum and the
+    observation count — a single allocation per (thread, label set).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        registry: "MetricsRegistry",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, registry)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ParameterError(
+                f"histogram {name!r} buckets must be a sorted non-empty sequence"
+            )
+        self.buckets: tuple[float, ...] = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        cells = self._cells()
+        key = _label_key(labels)
+        cell = cells.get(key)
+        if cell is None:
+            # +Inf slot, sum, count appended after the finite buckets.
+            cell = cells[key] = [0] * (len(self.buckets) + 3)
+        # Linear scan: bucket counts are small (≤ ~16) and the common
+        # case (fast operations) exits within the first few boundaries.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell[i] += 1
+                break
+        else:
+            cell[len(self.buckets)] += 1  # +Inf
+        cell[-2] += value
+        cell[-1] += 1
+
+    @requires_lock("_lock")
+    def _merged(self) -> dict:
+        merged: dict = {}
+        width = len(self.buckets) + 3
+        for table in self._tables:
+            for key, cell in list(table.items()):
+                into = merged.get(key)
+                if into is None:
+                    into = merged[key] = [0] * width
+                snap = list(cell)
+                for i, v in enumerate(snap):
+                    into[i] += v
+        return merged
+
+    def counts(self, **labels) -> list[int]:
+        """Per-bucket counts (finite buckets then +Inf), non-cumulative."""
+        key = _label_key(labels)
+        with self._lock:
+            cell = self._merged().get(key)
+        if cell is None:
+            return [0] * (len(self.buckets) + 1)
+        return [int(v) for v in cell[: len(self.buckets) + 1]]
+
+    def observations(self, **labels) -> int:
+        key = _label_key(labels)
+        with self._lock:
+            cell = self._merged().get(key)
+        return int(cell[-1]) if cell is not None else 0
+
+    def collect(self) -> dict[str, dict]:
+        with self._lock:
+            merged = self._merged()
+        out: dict[str, dict] = {}
+        n = len(self.buckets)
+        for key, cell in merged.items():
+            out[_key_text(key)] = {
+                "buckets": list(self.buckets),
+                "counts": [int(v) for v in cell[: n + 1]],
+                "sum": float(cell[-2]),
+                "count": int(cell[-1]),
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics, one instance per process (usually :data:`REGISTRY`).
+
+    ``enabled`` is the global kill switch the overhead benchmark (and
+    ``ObsSpec(enabled=False)``) flips: a disabled registry's metrics are
+    cheap no-ops, but stay registered so the exposition shape is stable.
+    """
+
+    #: Lock discipline (``repro analyze``, LOCK-001): the name → metric
+    #: table mutates only under ``_lock``.
+    GUARDED_BY = guarded_by(_metrics="_lock")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, name: str, factory, kind: str) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ParameterError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = self._metrics[name] = factory()
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help_text, self), "counter")
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_text, self), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_text, self, buckets), "histogram"
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Versioned, JSON-safe dump of every metric (the wire payload)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: dict = {
+            "version": SNAPSHOT_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for metric in metrics:
+            section = out[metric.kind + "s"]
+            section[metric.name] = metric.collect()
+        return out
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.snapshot(), help_texts=self._help_texts())
+
+    def _help_texts(self) -> dict[str, str]:
+        with self._lock:
+            return {name: m.help for name, m in self._metrics.items()}
+
+
+def _prom_labels(key_text: str) -> str:
+    if not key_text:
+        return ""
+    pairs = [pair.split("=", 1) for pair in key_text.split(",")]
+    inner = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict, help_texts: dict[str, str] | None = None) -> str:
+    """Prometheus text exposition of one :meth:`MetricsRegistry.snapshot`.
+
+    Works on any snapshot dict (including one decoded from an
+    ``R_OBS_STATS`` frame), so ``repro stats --prom`` renders a remote
+    server's metrics without a registry object in hand.
+    """
+    help_texts = help_texts or {}
+    lines: list[str] = []
+
+    def header(name: str, kind: str) -> None:
+        text = help_texts.get(name)
+        if text:
+            lines.append(f"# HELP {name} {text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for name in sorted(snapshot.get("counters", {})):
+        header(name, "counter")
+        for key_text, value in sorted(snapshot["counters"][name].items()):
+            lines.append(f"{name}{_prom_labels(key_text)} {value}")
+    for name in sorted(snapshot.get("gauges", {})):
+        header(name, "gauge")
+        for key_text, value in sorted(snapshot["gauges"][name].items()):
+            lines.append(f"{name}{_prom_labels(key_text)} {value}")
+    for name in sorted(snapshot.get("histograms", {})):
+        header(name, "histogram")
+        for key_text, hist in sorted(snapshot["histograms"][name].items()):
+            cumulative = 0
+            for bound, count in zip(hist["buckets"], hist["counts"]):
+                cumulative += count
+                le = _prom_labels(
+                    (key_text + "," if key_text else "") + f"le={bound}"
+                )
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            cumulative += hist["counts"][len(hist["buckets"])]
+            le = _prom_labels((key_text + "," if key_text else "") + "le=+Inf")
+            lines.append(f"{name}_bucket{le} {cumulative}")
+            labels = _prom_labels(key_text)
+            lines.append(f"{name}_sum{labels} {hist['sum']}")
+            lines.append(f"{name}_count{labels} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide default registry every layer instruments against.
+REGISTRY = MetricsRegistry()

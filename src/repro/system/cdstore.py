@@ -20,7 +20,7 @@ from repro.chunking.registry import ChunkerSpec
 from repro.cloud.network import Link, SimClock
 from repro.cloud.provider import CloudProvider
 from repro.client.client import CDStoreClient
-from repro.config import ReproConfig
+from repro.config import ObsSpec, ReproConfig
 from repro.crypto.hashing import fingerprint
 from repro.dedup.stats import DedupStats
 from repro.errors import InsufficientCloudsError, ParameterError
@@ -119,6 +119,7 @@ class CDStoreSystem:
         credentials: Credentials | None = None,
         mux: bool = True,
         gateway=None,
+        obs: ObsSpec | None = None,
     ) -> None:
         if clouds is not None and len(clouds) != n:
             raise ParameterError(f"got {len(clouds)} clouds for n={n}")
@@ -133,6 +134,9 @@ class CDStoreSystem:
         self.workers = workers
         self.pipeline_depth = pipeline_depth
         self.mux = bool(mux)
+        #: Observability shape every client and proxy this system
+        #: builds inherits (tracing on by default).
+        self.obs = obs if obs is not None else ObsSpec()
         self.clock = clock
         #: Optional DupLESS-style key server (§3.2 remarks): when set,
         #: clients encode with server-aided CAONT-RS instead of plain
@@ -156,7 +160,11 @@ class CDStoreSystem:
                 from repro.net.client import RemoteServerProxy
 
                 proxy = RemoteServerProxy(
-                    spec, server_id=i, credentials=credentials, mux=self.mux
+                    spec,
+                    server_id=i,
+                    credentials=credentials,
+                    mux=self.mux,
+                    trace=self.obs.enabled and self.obs.trace,
                 )
                 self.remote_indices.add(i)
                 self.clouds.append(proxy.cloud)
@@ -182,6 +190,7 @@ class CDStoreSystem:
                 server_id=wire.GATEWAY_SERVER_ID,
                 credentials=credentials,
                 mux=self.mux,
+                trace=self.obs.enabled and self.obs.trace,
             )
         self._clients: dict[str, CDStoreClient] = {}
 
@@ -243,6 +252,7 @@ class CDStoreSystem:
             credentials=credentials,
             mux=config.mux,
             gateway=config.gateway,
+            obs=config.obs,
         )
 
     # ------------------------------------------------------------------
@@ -289,6 +299,9 @@ class CDStoreSystem:
                 codec=codec,
                 clock=self.clock,
                 gateway=self.gateway,
+                trace=self.obs.enabled and self.obs.trace,
+                span_ring=self.obs.span_ring_size,
+                slow_threshold=self.obs.slow_request_seconds,
             )
         return self._clients[user_id]
 

@@ -1,0 +1,20 @@
+"""OBS-001 fixture: one documented metric, one ghost, one suppression."""
+
+
+class _Registry:
+    def counter(self, name, help_text=""):
+        return None
+
+    def gauge(self, name, help_text=""):
+        return None
+
+    def histogram(self, name, help_text=""):
+        return None
+
+
+REGISTRY = _Registry()
+
+_OK = REGISTRY.counter("documented_total", "catalogued in OBSERVABILITY.md")
+_OK_HIST = REGISTRY.histogram("documented_seconds", "also catalogued")
+_GHOST = REGISTRY.counter("ghost_total", "TRUE-POSITIVE: not in the catalogue")
+_DEBUG = REGISTRY.gauge("debug_scratch_gauge")  # analysis: ignore[OBS-001] -- fixture: throwaway debug gauge, never exposed

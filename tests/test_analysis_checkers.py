@@ -181,6 +181,37 @@ def test_missing_protocol_doc_is_flagged(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# OBS-001
+
+
+def test_obs_checker_flags_undocumented_metric():
+    sample = FIXTURES / "obs_docs" / "sample.py"
+    findings = findings_for("obs_docs")
+    assert rules(findings) == {"OBS-001"}
+    assert [f.line for f in findings] == [line_of(sample, "TRUE-POSITIVE")]
+    assert "'ghost_total'" in findings[0].message
+    assert "counter" in findings[0].message
+    assert "OBSERVABILITY.md" in findings[0].message
+
+
+def test_obs_checker_suppression_is_honoured():
+    sample = FIXTURES / "obs_docs" / "sample.py"
+    suppressed_line = line_of(sample, "analysis: ignore[OBS-001]")
+    assert all(f.line != suppressed_line for f in findings_for("obs_docs"))
+
+
+def test_obs_checker_flags_missing_catalogue(tmp_path):
+    (tmp_path / "metrics.py").write_text(
+        'REGISTRY = None\n_C = REGISTRY.counter("orphan_total")\n'
+    )
+    findings = run_analysis([tmp_path])
+    assert any(
+        f.rule == "OBS-001" and "no operator catalogue" in f.message
+        for f in findings
+    )
+
+
+# ---------------------------------------------------------------------------
 # PICKLE-001
 
 

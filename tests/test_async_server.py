@@ -150,7 +150,7 @@ def connect_raw(tcp, advertise: int = wire.WIRE_VERSION, timeout: float = 10.0):
     sock.sendall(wire.encode_frame(wire.T_PING, wire.encode_ping(advertise)))
     frame_type, _rid, pong = read_raw_frame(sock, version=1)
     assert frame_type == wire.R_PONG
-    version, _server_id = wire.decode_pong(pong)
+    version, _server_id, _flags = wire.decode_pong(pong)
     return sock, version
 
 

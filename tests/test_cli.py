@@ -327,3 +327,71 @@ class TestNetworkModeEndToEnd:
         assert main(["serve", "--root", str(root), "--cloud", "1",
                      "--port", "9300"]) == 1
         assert "remote" in capsys.readouterr().err
+
+
+class TestObsStatsSurface:
+    """`repro stats <endpoint>` / `repro top` / `repro tenant-stats`:
+    the live observability surface added alongside the metrics registry."""
+
+    @pytest.fixture
+    def served_cloud(self, tmp_path):
+        from repro.cli import build_cloud_server
+
+        root = tmp_path / "srv"
+        assert main(["init", "--root", str(root), "--n", "4", "--k", "3",
+                     "--salt", "org"]) == 0
+        tcp = build_cloud_server(root, 0).start()
+        host, port = tcp.address
+        yield f"tcp://{host}:{port}"
+        tcp.shutdown()
+        tcp.server.close()
+
+    def test_stats_endpoint_renders_snapshot_table(self, served_cloud, capsys):
+        assert main(["stats", served_cloud]) == 0
+        out = capsys.readouterr().out
+        assert "component: server" in out
+        assert "spans in ring:" in out
+
+    def test_stats_endpoint_json_is_versioned(self, served_cloud, capsys):
+        import json
+
+        assert main(["stats", served_cloud, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["version"] == 1
+        assert snapshot["component"] == "server"
+        # The connection's own handshake PING is already on the books.
+        assert "net_dispatch_seconds" in snapshot["histograms"]
+
+    def test_stats_endpoint_prometheus_exposition(self, served_cloud, capsys):
+        assert main(["stats", served_cloud, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert 'net_dispatch_seconds_bucket{frame="PING",le="+Inf"}' in out
+        assert "net_dispatch_seconds_sum" in out
+
+    def test_top_bounded_rounds(self, served_cloud, capsys):
+        assert main(["top", served_cloud, "--interval", "0.05",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out and "round 2" in out
+        assert "frame rates" in out
+
+    def test_stats_requires_root_or_endpoint(self, capsys):
+        assert main(["stats"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_tenant_stats_open_mode(self, deployment, capsys):
+        assert main(["tenant-stats", "--root", str(deployment)]) == 0
+        assert "no tenant registry" in capsys.readouterr().out
+
+    def test_tenant_stats_lists_registered_tenants(self, deployment, tmp_path,
+                                                   capsys):
+        secret = tmp_path / "alice.key"
+        secret.write_bytes(b"s3cret")
+        assert main(["tenant", "add", "--root", str(deployment),
+                     "--id", "alice", "--secret-file", str(secret),
+                     "--max-bytes", "1000000"]) == 0
+        capsys.readouterr()
+        assert main(["tenant-stats", "--root", str(deployment)]) == 0
+        out = capsys.readouterr().out
+        assert "rate_limited" in out
+        assert "alice" in out

@@ -149,8 +149,20 @@ class TestRequestRoundTrips:
         assert wire.decode_rebuild_recipe(blob) == (user, key, entries)
 
     def test_ping_pong(self):
-        assert wire.decode_ping(wire.encode_ping()) == wire.WIRE_VERSION
-        assert wire.decode_pong(wire.encode_pong(3)) == (wire.WIRE_VERSION, 3)
+        assert wire.decode_ping(wire.encode_ping()) == (wire.WIRE_VERSION, 0)
+        assert wire.decode_pong(wire.encode_pong(3)) == (wire.WIRE_VERSION, 3, 0)
+
+    def test_ping_pong_trace_flags(self):
+        # The flags byte only appears when nonzero — a zero-flag PING is
+        # byte-identical to the pre-extension encoding.
+        assert len(wire.encode_ping(2, 0)) == len(wire.encode_ping(2)) == 2
+        assert len(wire.encode_ping(2, wire.FLAG_TRACE)) == 3
+        version, flags = wire.decode_ping(wire.encode_ping(2, wire.FLAG_TRACE))
+        assert (version, flags) == (2, wire.FLAG_TRACE)
+        version, sid, flags = wire.decode_pong(
+            wire.encode_pong(7, 2, wire.FLAG_TRACE)
+        )
+        assert (version, sid, flags) == (2, 7, wire.FLAG_TRACE)
 
 
 # ---------------------------------------------------------------------------
@@ -388,6 +400,6 @@ class TestMuxFraming:
             assert agreed == wire.WIRE_VERSION
 
     def test_ping_pong_carry_versions(self):
-        assert wire.decode_ping(wire.encode_ping(1)) == 1
-        version, server_id = wire.decode_pong(wire.encode_pong(9, version=1))
-        assert (version, server_id) == (1, 9)
+        assert wire.decode_ping(wire.encode_ping(1)) == (1, 0)
+        version, server_id, flags = wire.decode_pong(wire.encode_pong(9, version=1))
+        assert (version, server_id, flags) == (1, 9, 0)
